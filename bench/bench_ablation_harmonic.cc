@@ -1,0 +1,100 @@
+// Ablation: harmonic summing in the periodicity search.
+// The paper lists "harmonic summing" as a core step of the Arecibo
+// processing (§2.1). This ablation shows why: as the pulse duty cycle
+// shrinks, power spreads across harmonics and the fold=1 search loses
+// candidates that the harmonic-summed search keeps.
+
+#include <cmath>
+#include <cstdio>
+
+#include "arecibo/dedisperse.h"
+#include "arecibo/search.h"
+#include "arecibo/spectrometer.h"
+#include "bench/report.h"
+
+namespace {
+
+using namespace dflow::arecibo;
+
+}  // namespace
+
+int main() {
+  using dflow::bench::Header;
+  using dflow::bench::Row;
+  using dflow::bench::Footer;
+
+  Header("Ablation -- harmonic summing vs duty cycle",
+         "narrow pulses spread power over harmonics; summing folds it back");
+
+  constexpr int kChannels = 64;
+  constexpr int64_t kSamples = 1 << 13;
+  constexpr double kSampleTime = 1e-3;
+  constexpr double kF0 = 4.0;
+
+  Dedisperser dedisperser(MakeDmTrials(300.0, 8));
+  SearchConfig no_harmonics;
+  no_harmonics.snr_threshold = 9.0;
+  no_harmonics.max_harmonics = 1;
+  SearchConfig with_harmonics = no_harmonics;
+  with_harmonics.max_harmonics = 8;
+  PeriodicitySearch fundamental_only(no_harmonics);
+  PeriodicitySearch summed(with_harmonics);
+
+  auto best_snr = [&](PeriodicitySearch& search, const TimeSeries& series) {
+    double best = 0.0;
+    for (const Candidate& candidate : search.Search(series)) {
+      double ratio = candidate.freq_hz / kF0;
+      double nearest = std::round(ratio);
+      if (nearest >= 1.0 && nearest <= 8.0 &&
+          std::fabs(ratio - nearest) < 0.02) {
+        best = std::max(best, candidate.snr);
+      }
+    }
+    return best;
+  };
+
+  std::printf("  %-12s %-14s %-14s %s\n", "duty cycle", "fold=1 snr",
+              "fold<=8 snr", "summing gain");
+  double gain_wide = 0.0, gain_narrow = 0.0;
+  for (double duty : {0.20, 0.10, 0.05, 0.02, 0.01}) {
+    double sum_fundamental = 0.0, sum_summed = 0.0;
+    const int trials = 6;
+    for (int trial = 0; trial < trials; ++trial) {
+      SpectrometerModel model(kChannels, kSamples, kSampleTime,
+                              4000 + trial);
+      PulsarParams pulsar;
+      pulsar.period_sec = 1.0 / kF0;
+      pulsar.dm = 100.0;
+      pulsar.duty_cycle = duty;
+      // Constant pulse *energy*: narrower pulses are taller, as for a
+      // real pulsar observed with different intrinsic widths.
+      pulsar.pulse_amplitude = 0.008 / duty;
+      DynamicSpectrum spec = model.Generate({pulsar}, {});
+      TimeSeries series = dedisperser.Dedisperse(spec, 100.0);
+      sum_fundamental += best_snr(fundamental_only, series);
+      sum_summed += best_snr(summed, series);
+    }
+    double gain = sum_summed / std::max(sum_fundamental, 1e-9);
+    std::printf("  %-12.2f %-14.1f %-14.1f %.2fx\n", duty,
+                sum_fundamental / trials, sum_summed / trials, gain);
+    if (duty == 0.20) {
+      gain_wide = gain;
+    }
+    if (duty == 0.01) {
+      gain_narrow = gain;
+    }
+  }
+
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.2fx at duty 0.20 vs %.2fx at 0.01",
+                gain_wide, gain_narrow);
+  Row("summing gain, wide vs narrow pulses", buf);
+  Row("gain concentrated where the paper needs it",
+      gain_narrow > gain_wide ? "yes (narrow/millisecond pulsars)" : "NO");
+
+  // Survey impact: the gain is a sensitivity-limit shift -- at a fixed
+  // threshold it admits pulsars ~gain_narrow times weaker.
+  bool shape = gain_narrow > 1.15 && gain_narrow > gain_wide + 0.05;
+  Footer(shape);
+  return shape ? 0 : 1;
+}

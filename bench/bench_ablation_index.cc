@@ -1,0 +1,127 @@
+// Ablation: secondary indexing in the metadata databases.
+// All three case studies hang their dissemination layer on relational
+// metadata ("index management" is one of WebLab's tuning parameters, and
+// the Arecibo candidate DB "supports interactive groupings of candidate
+// signals"). This ablation measures point- and range-query latency with
+// and without a B+Tree index as the table grows, plus the insert-side
+// price of maintaining it.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/report.h"
+#include "db/database.h"
+
+namespace {
+
+using namespace dflow;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+db::Schema CandidateSchema() {
+  return db::Schema({{"pointing", db::Type::kInt64, false},
+                     {"snr", db::Type::kDouble, false}});
+}
+
+void Fill(db::Database* db, int64_t rows) {
+  std::vector<db::Row> batch;
+  batch.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.push_back(db::Row{
+        db::Value::Int(i % 1000),
+        db::Value::Double(6.0 + static_cast<double>(i % 50))});
+  }
+  (void)db->InsertMany("c", std::move(batch));
+}
+
+double QuerySeconds(db::Database* db, const std::string& sql, int reps) {
+  double start = NowSeconds();
+  for (int i = 0; i < reps; ++i) {
+    auto result = db->Execute(sql);
+    if (!result.ok()) {
+      return -1.0;
+    }
+  }
+  return (NowSeconds() - start) / reps;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablation -- B+Tree index vs sequential scan",
+                "point/range query latency vs table size, and the insert "
+                "cost of index maintenance");
+
+  std::printf("  %-10s %-16s %-16s %s\n", "rows", "seq point query",
+              "indexed point query", "speedup");
+  double speedup_large = 0.0;
+  for (int64_t rows : {1000, 10000, 50000}) {
+    db::Database bare;
+    (void)bare.CreateTable("c", CandidateSchema());
+    Fill(&bare, rows);
+    db::Database indexed;
+    (void)indexed.CreateTable("c", CandidateSchema());
+    (void)indexed.CreateIndex("cp", "c", "pointing");
+    Fill(&indexed, rows);
+
+    const std::string query = "SELECT * FROM c WHERE pointing = 123";
+    double seq = QuerySeconds(&bare, query, 20);
+    double idx = QuerySeconds(&indexed, query, 20);
+    std::printf("  %-10lld %-16.3f %-16.3f %.0fx\n",
+                static_cast<long long>(rows), seq * 1000, idx * 1000,
+                seq / idx);
+    if (rows == 50000) {
+      speedup_large = seq / idx;
+    }
+  }
+
+  // Range query.
+  {
+    db::Database bare;
+    (void)bare.CreateTable("c", CandidateSchema());
+    Fill(&bare, 50000);
+    db::Database indexed;
+    (void)indexed.CreateTable("c", CandidateSchema());
+    (void)indexed.CreateIndex("cp", "c", "pointing");
+    Fill(&indexed, 50000);
+    const std::string range = "SELECT COUNT(*) FROM c WHERE pointing < 20";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.2f ms -> %.2f ms",
+                  QuerySeconds(&bare, range, 10) * 1000,
+                  QuerySeconds(&indexed, range, 10) * 1000);
+    bench::Row("range query at 50k rows (seq -> indexed)", buf);
+  }
+
+  // Insert-side price of index maintenance.
+  {
+    db::Database bare;
+    (void)bare.CreateTable("c", CandidateSchema());
+    double start = NowSeconds();
+    Fill(&bare, 50000);
+    double bare_seconds = NowSeconds() - start;
+    db::Database indexed;
+    (void)indexed.CreateTable("c", CandidateSchema());
+    (void)indexed.CreateIndex("cp", "c", "pointing");
+    start = NowSeconds();
+    Fill(&indexed, 50000);
+    double indexed_seconds = NowSeconds() - start;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.2fx slower with index maintenance",
+                  indexed_seconds / bare_seconds);
+    bench::Row("bulk load of 50k rows", buf);
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0fx", speedup_large);
+  bench::Row("point-query speedup at 50k rows", buf);
+  bench::Note("reads pay for writes: the WebLab preload defers index "
+              "builds for exactly this reason (see bench_weblab_preload)");
+
+  bool shape = speedup_large > 10.0;
+  bench::Footer(shape);
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// E5: detection sensitivity of the search pipeline.
+// Paper (Section 2.1): processing = "data unpacking, dedispersion, Fourier
+// analysis, harmonic summing, threshold tests"; "another level of
+// complexity comes from addressing pulsars that are in binary systems, for
+// which an acceleration search algorithm also needs to be applied"; the
+// survey is "the most sensitive ever done".
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "arecibo/dedisperse.h"
+#include "arecibo/search.h"
+#include "arecibo/spectrometer.h"
+#include "bench/report.h"
+
+namespace {
+
+using namespace dflow::arecibo;
+
+constexpr int kChannels = 64;
+constexpr int64_t kSamples = 1 << 13;
+constexpr double kSampleTime = 1e-3;
+constexpr double kF0 = 4.0;  // 250 ms pulsar.
+
+bool Detected(const std::vector<Candidate>& found, double f0) {
+  for (const Candidate& candidate : found) {
+    double ratio = candidate.freq_hz / f0;
+    double nearest = std::round(ratio);
+    // Fundamental or a low harmonic, tightly matched -- loose windows
+    // would count chance noise peaks as detections.
+    if (nearest >= 1.0 && nearest <= 4.0 &&
+        std::fabs(ratio - nearest) < 0.02) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  using dflow::bench::Header;
+  using dflow::bench::Row;
+  using dflow::bench::Note;
+  using dflow::bench::Footer;
+
+  Header("E5 -- detection sensitivity: amplitude sweep, isolated vs binary",
+         "dedispersion + FFT + harmonic summing recovers pulsars; binaries "
+         "additionally need the acceleration search");
+
+  Dedisperser dedisperser(MakeDmTrials(300.0, 16));
+  SearchConfig config;
+  config.snr_threshold = 8.0;
+  PeriodicitySearch plain(config);
+  std::vector<double> accel_trials;
+  for (double alpha = -0.9; alpha <= 0.9001; alpha += 0.1) {
+    accel_trials.push_back(alpha);
+  }
+  AccelerationSearch accelerated(config, accel_trials);
+
+  // --- Isolated pulsars: detection fraction vs pulse amplitude ---
+  std::printf("  isolated pulsars (10 trials per amplitude):\n");
+  std::printf("  %-12s %s\n", "amplitude", "detected");
+  double detect_strong = 0.0, detect_weak = 0.0;
+  for (double amplitude : {0.02, 0.04, 0.08, 0.20, 0.80}) {
+    int detected = 0;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+      SpectrometerModel model(kChannels, kSamples, kSampleTime,
+                              1000 + trial);
+      PulsarParams pulsar;
+      pulsar.period_sec = 1.0 / kF0;
+      pulsar.dm = 100.0;
+      pulsar.pulse_amplitude = amplitude;
+      pulsar.duty_cycle = 0.05;
+      DynamicSpectrum spec = model.Generate({pulsar}, {});
+      TimeSeries series = dedisperser.Dedisperse(spec, 100.0);
+      if (Detected(plain.Search(series), kF0)) {
+        ++detected;
+      }
+    }
+    std::printf("  %-12.2f %d/%d\n", amplitude, detected, trials);
+    if (amplitude == 0.80) {
+      detect_strong = detected / 10.0;
+    }
+    if (amplitude == 0.02) {
+      detect_weak = detected / 10.0;
+    }
+  }
+
+  // --- Binary pulsars: plain vs acceleration search ---
+  std::printf("\n  binary pulsars (frequency drifting across bins):\n");
+  std::printf("  %-12s %-14s %s\n", "drift", "plain search",
+              "acceleration search");
+  const double block_sec = kSamples * kSampleTime;
+  int plain_wins = 0, accel_wins = 0, trials_run = 0;
+  for (double drift_bins : {8.0, 16.0, 24.0}) {
+    const double alpha = drift_bins / (kF0 * block_sec);
+    int plain_found = 0, accel_found = 0;
+    const int trials = 5;
+    for (int trial = 0; trial < trials; ++trial) {
+      SpectrometerModel model(kChannels, kSamples, kSampleTime,
+                              2000 + trial);
+      PulsarParams pulsar;
+      pulsar.period_sec = 1.0 / kF0;
+      pulsar.dm = 100.0;
+      pulsar.pulse_amplitude = 0.4;
+      pulsar.duty_cycle = 0.05;
+      pulsar.accel_bins = alpha * kF0 * block_sec;
+      DynamicSpectrum spec = model.Generate({pulsar}, {});
+      TimeSeries series = dedisperser.Dedisperse(spec, 100.0);
+      if (Detected(plain.Search(series), kF0)) {
+        ++plain_found;
+      }
+      if (Detected(accelerated.Search(series), kF0)) {
+        ++accel_found;
+      }
+      ++trials_run;
+    }
+    char drift[32];
+    std::snprintf(drift, sizeof(drift), "%.0f bins", drift_bins);
+    std::printf("  %-12s %-14s %d/%d\n", drift,
+                (std::to_string(plain_found) + "/" + std::to_string(trials))
+                    .c_str(),
+                accel_found, trials);
+    plain_wins += plain_found;
+    accel_wins += accel_found;
+  }
+
+  Row("strong isolated pulsars detected",
+      detect_strong >= 0.9 ? "yes" : "NO");
+  Row("weakest pulsars (a=0.02) mostly missed",
+      detect_weak <= 0.4 ? "yes" : "NO");
+  Row("acceleration search recovers binaries plain search loses",
+      accel_wins > plain_wins ? "yes" : "NO");
+  Note("the monotone amplitude curve + the accel-search gap are the "
+       "reproduced shapes");
+
+  bool shape = detect_strong >= 0.9 && detect_weak <= 0.4 &&
+               accel_wins > plain_wins;
+  Footer(shape);
+  return shape ? 0 : 1;
+}

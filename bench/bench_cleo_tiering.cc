@@ -1,0 +1,99 @@
+// E7: hot/warm/cold column partitioning.
+// Paper (Section 3.1): "CLEO data are partitioned into hot, warm and cold
+// storage units. This is a column-wise split of the event into groups of
+// ASUs, based on usage patterns. The hot data are those components of an
+// event most frequently accessed during physics analysis. These ASUs are
+// typically small compared with the less frequently accessed ASUs."
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "eventstore/event_model.h"
+#include "eventstore/passes.h"
+#include "storage/tier_store.h"
+#include "util/units.h"
+
+int main() {
+  using namespace dflow;
+  using storage::Tier;
+  using storage::TierStore;
+
+  bench::Header("E7 -- hot/warm/cold ASU tiering speedup",
+                "hot ASUs are small and frequently read; analyses touching "
+                "only hot groups avoid the tape-backed cold path entirely");
+
+  // Derive realistic per-event group sizes from the generator + passes.
+  eventstore::CollisionGenerator generator(
+      eventstore::CollisionGeneratorConfig{}, 7);
+  eventstore::ReconstructionPass recon("R1", "cal", 1);
+  eventstore::PostReconPass post("P1", 2);
+  eventstore::Run raw = generator.NextRun(0.0);
+  auto recon_out = recon.Process(raw);
+  auto post_out = post.Process(recon_out->run);
+
+  auto mean_group = [](const eventstore::Run& run, const std::string& group) {
+    int64_t total = 0;
+    for (const auto& event : run.events) {
+      total += event.GroupBytes(group);
+    }
+    return total / static_cast<int64_t>(run.events.size());
+  };
+
+  TierStore store;
+  // Hot: the post-recon summary quantities every analysis touches.
+  int64_t pr_bytes = 0;
+  for (int i = 0; i < 12; ++i) {
+    pr_bytes += mean_group(post_out->run, "pr" + std::to_string(i));
+  }
+  (void)store.RegisterGroup("postrecon", pr_bytes, Tier::kHot);
+  // Warm: reconstructed physics objects.
+  (void)store.RegisterGroup("tracks", mean_group(recon_out->run, "tracks"),
+                            Tier::kWarm);
+  (void)store.RegisterGroup("showers", mean_group(recon_out->run, "showers"),
+                            Tier::kWarm);
+  // Cold: the raw detector response, rarely re-read.
+  (void)store.RegisterGroup("raw_hits", mean_group(raw, "raw_hits"),
+                            Tier::kCold);
+
+  bench::Row("hot bytes/event (postrecon)",
+             FormatBytes(*store.GroupBytesPerEvent("postrecon")));
+  bench::Row("warm bytes/event (tracks+showers)",
+             FormatBytes(*store.GroupBytesPerEvent("tracks") +
+                         *store.GroupBytesPerEvent("showers")));
+  bench::Row("cold bytes/event (raw_hits)",
+             FormatBytes(*store.GroupBytesPerEvent("raw_hits")));
+  bool sizes_ok = *store.GroupBytesPerEvent("postrecon") <
+                  *store.GroupBytesPerEvent("raw_hits");
+
+  // A typical selection pass over 10M events touching different depths.
+  const int64_t events = 10'000'000;
+  double hot_only = *store.ReadCost({"postrecon"}, events);
+  double hot_warm = *store.ReadCost({"postrecon", "tracks", "showers"},
+                                    events);
+  double everything =
+      *store.ReadCost({"postrecon", "tracks", "showers", "raw_hits"}, events);
+
+  std::printf("  analysis over 10M events:\n");
+  std::printf("  %-40s %s\n", "hot only (selection cuts)",
+              FormatDuration(hot_only).c_str());
+  std::printf("  %-40s %s\n", "hot + warm (kinematic fits)",
+              FormatDuration(hot_warm).c_str());
+  std::printf("  %-40s %s\n", "hot + warm + cold (re-reconstruction)",
+              FormatDuration(everything).c_str());
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0fx", everything / hot_only);
+  bench::Row("cold-path penalty vs hot-only", buf);
+
+  // Ablation: what if the hot groups were (mis)placed on the cold tier --
+  // i.e., no column split at all, events read as a unit from the HSM?
+  (void)store.MoveGroup("postrecon", Tier::kCold);
+  double unpartitioned = *store.ReadCost({"postrecon"}, events);
+  std::snprintf(buf, sizeof(buf), "%.1fx", unpartitioned / hot_only);
+  bench::Row("hot-only analysis slowdown without the split", buf);
+  bool split_matters = unpartitioned > 2 * hot_only;
+
+  bool shape = sizes_ok && everything > 5 * hot_only && split_matters;
+  bench::Footer(shape);
+  return shape ? 0 : 1;
+}

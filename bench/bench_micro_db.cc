@@ -1,0 +1,164 @@
+// Microbenchmarks of the embedded relational engine (the dissemination
+// substrate all three case studies share): insert paths, indexed vs
+// sequential selection, aggregation, and WAL overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "db/database.h"
+
+namespace {
+
+using namespace dflow;
+using db::Database;
+using db::Row;
+using db::Schema;
+using db::Type;
+using db::Value;
+
+Schema CandidateSchema() {
+  return Schema({{"pointing", Type::kInt64, false},
+                 {"beam", Type::kInt64, false},
+                 {"freq", Type::kDouble, false},
+                 {"snr", Type::kDouble, false}});
+}
+
+Row CandidateRow(int64_t i) {
+  return Row{Value::Int(i % 400), Value::Int(i % 7),
+             Value::Double(0.1 + static_cast<double>(i % 1000)),
+             Value::Double(6.0 + static_cast<double>(i % 40))};
+}
+
+void BM_InsertAutocommit(benchmark::State& state) {
+  Database db;
+  (void)db.CreateTable("c", CandidateSchema());
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Insert("c", CandidateRow(i++)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertAutocommit);
+
+void BM_InsertBatched(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Database db;
+  (void)db.CreateTable("c", CandidateSchema());
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(batch));
+    for (int64_t k = 0; k < batch; ++k) {
+      rows.push_back(CandidateRow(i++));
+    }
+    benchmark::DoNotOptimize(db.InsertMany("c", std::move(rows)));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_InsertBatched)->Arg(64)->Arg(1024);
+
+void BM_InsertWithIndex(benchmark::State& state) {
+  Database db;
+  (void)db.CreateTable("c", CandidateSchema());
+  (void)db.CreateIndex("by_pointing", "c", "pointing");
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Insert("c", CandidateRow(i++)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertWithIndex);
+
+void PopulatedDb(Database& db, int64_t rows, bool with_index) {
+  (void)db.CreateTable("c", CandidateSchema());
+  if (with_index) {
+    (void)db.CreateIndex("by_pointing", "c", "pointing");
+  }
+  std::vector<Row> batch;
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.push_back(CandidateRow(i));
+  }
+  (void)db.InsertMany("c", std::move(batch));
+}
+
+void BM_SelectSeqScan(benchmark::State& state) {
+  Database db;
+  PopulatedDb(db, 20000, /*with_index=*/false);
+  for (auto _ : state) {
+    auto result = db.Execute("SELECT * FROM c WHERE pointing = 123");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SelectSeqScan);
+
+void BM_SelectIndexScan(benchmark::State& state) {
+  Database db;
+  PopulatedDb(db, 20000, /*with_index=*/true);
+  for (auto _ : state) {
+    auto result = db.Execute("SELECT * FROM c WHERE pointing = 123");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SelectIndexScan);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  Database db;
+  PopulatedDb(db, 20000, /*with_index=*/false);
+  for (auto _ : state) {
+    auto result = db.Execute(
+        "SELECT beam, COUNT(*), AVG(snr) FROM c GROUP BY beam");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GroupByAggregate);
+
+void BM_JoinNestedLoop(benchmark::State& state) {
+  Database db;
+  PopulatedDb(db, 5000, /*with_index=*/false);
+  (void)db.CreateTable("p", Schema({{"id", Type::kInt64, false},
+                                    {"ra", Type::kDouble, false}}));
+  for (int64_t i = 0; i < 400; ++i) {
+    (void)db.Insert("p", {Value::Int(i), Value::Double(i * 0.9)});
+  }
+  for (auto _ : state) {
+    auto result = db.Execute(
+        "SELECT id, snr FROM p JOIN c ON id = pointing WHERE snr > 40");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_JoinNestedLoop);
+
+void BM_JoinIndexNestedLoop(benchmark::State& state) {
+  Database db;
+  PopulatedDb(db, 5000, /*with_index=*/true);  // Index on c.pointing.
+  (void)db.CreateTable("p", Schema({{"id", Type::kInt64, false},
+                                    {"ra", Type::kDouble, false}}));
+  for (int64_t i = 0; i < 400; ++i) {
+    (void)db.Insert("p", {Value::Int(i), Value::Double(i * 0.9)});
+  }
+  for (auto _ : state) {
+    auto result = db.Execute(
+        "SELECT id, snr FROM p JOIN c ON id = pointing WHERE snr > 40");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_JoinIndexNestedLoop);
+
+void BM_WalDurableInsert(benchmark::State& state) {
+  auto path = std::filesystem::temp_directory_path() / "dflow_bench_db.wal";
+  std::filesystem::remove(path);
+  auto db = Database::Open(path.string());
+  (void)(*db)->CreateTable("c", CandidateSchema());
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Insert("c", CandidateRow(i++)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WalDurableInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

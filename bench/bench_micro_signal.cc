@@ -1,0 +1,115 @@
+// Microbenchmarks of the Arecibo signal-processing kernels: FFT,
+// dedispersion, harmonic-summed search, and wlz (de)compression -- the
+// CPU costs behind the paper's "50 to 200 processors" estimate.
+
+#include <benchmark/benchmark.h>
+
+#include "arecibo/dedisperse.h"
+#include "arecibo/fft.h"
+#include "arecibo/search.h"
+#include "arecibo/spectrometer.h"
+#include "util/compress.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dflow;
+using namespace dflow::arecibo;
+
+void BM_Fft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) {
+    x = {rng.Normal(), 0.0};
+  }
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(Fft(copy));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_DedisperseOneTrial(benchmark::State& state) {
+  SpectrometerModel model(96, 1 << 14, 6.4e-5, 2);
+  DynamicSpectrum spectrum = model.Generate({}, {});
+  Dedisperser dedisperser(MakeDmTrials(300.0, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedisperser.Dedisperse(spectrum, 150.0));
+  }
+  state.SetBytesProcessed(state.iterations() * spectrum.SizeBytes());
+}
+BENCHMARK(BM_DedisperseOneTrial);
+
+void BM_PeriodicitySearch(benchmark::State& state) {
+  SpectrometerModel model(96, 1 << 14, 6.4e-5, 3);
+  PulsarParams pulsar;
+  pulsar.period_sec = 0.25;
+  pulsar.dm = 100.0;
+  pulsar.pulse_amplitude = 4.0;
+  DynamicSpectrum spectrum = model.Generate({pulsar}, {});
+  Dedisperser dedisperser(MakeDmTrials(300.0, 4));
+  TimeSeries series = dedisperser.Dedisperse(spectrum, 100.0);
+  SearchConfig config;
+  PeriodicitySearch search(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.Search(series));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(series.samples.size()));
+}
+BENCHMARK(BM_PeriodicitySearch);
+
+void BM_AccelerationSearch(benchmark::State& state) {
+  SpectrometerModel model(96, 1 << 13, 6.4e-5, 4);
+  DynamicSpectrum spectrum = model.Generate({}, {});
+  Dedisperser dedisperser(MakeDmTrials(300.0, 2));
+  TimeSeries series = dedisperser.Dedisperse(spectrum, 100.0);
+  std::vector<double> trials;
+  for (double a = -0.2; a <= 0.2001; a += 0.05) {
+    trials.push_back(a);
+  }
+  AccelerationSearch search(SearchConfig{}, trials);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.Search(series));
+  }
+  state.counters["accel_trials"] = static_cast<double>(trials.size());
+}
+BENCHMARK(BM_AccelerationSearch);
+
+void BM_WlzCompress(benchmark::State& state) {
+  Rng rng(5);
+  std::string text;
+  static const char* kWords[] = {"pulsar", "survey", "beam", "trial",
+                                 "candidate"};
+  for (int i = 0; i < 20000; ++i) {
+    text += kWords[rng.Uniform(0, 4)];
+    text += ' ';
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WlzCompress(text));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_WlzCompress);
+
+void BM_WlzDecompress(benchmark::State& state) {
+  Rng rng(6);
+  std::string text;
+  for (int i = 0; i < 50000; ++i) {
+    text.push_back(static_cast<char>('a' + rng.Uniform(0, 11)));
+  }
+  std::string compressed = WlzCompress(text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WlzDecompress(compressed));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_WlzDecompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

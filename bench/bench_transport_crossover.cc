@@ -1,0 +1,105 @@
+// E4: physical disk shipment vs network transport.
+// Paper (Sections 2.2, 5): "because of Arecibo's limited network bandwidth
+// to the outside world, for the foreseeable future, network transport of
+// raw data is infeasible. We therefore have developed a system based on
+// transport of physical ATA disks"; WebLab instead uses "a dedicated
+// 100 Mb/sec connection ... which can easily be upgraded to 500 Mb/sec".
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/report.h"
+#include "net/network_link.h"
+#include "net/shipment.h"
+#include "net/transfer.h"
+#include "sim/simulation.h"
+#include "util/crc32.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace dflow;
+
+// Time to deliver one 14 TB weekly block (400 x 35 GB files).
+double DeliverBlockVia(net::Channel* channel, sim::Simulation* simulation) {
+  net::TransferScheduler scheduler(simulation, channel, /*max_retries=*/10);
+  std::vector<net::TransferItem> items;
+  for (int i = 0; i < 400; ++i) {
+    items.push_back(net::TransferItem{"pointing_" + std::to_string(i),
+                                      35 * kGB, 0});
+  }
+  double done = -1.0;
+  (void)scheduler.SendAll(items, [&] { done = simulation->Now(); });
+  simulation->Run();
+  return done;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("E4 -- transport crossover: disk shipments vs network links",
+                "sneakernet wins at Arecibo's thin WAN; a dedicated "
+                "100-500 Mb/s link wins for WebLab-scale daily volumes");
+
+  // --- The 14 TB Arecibo block across candidate links ---
+  std::printf("  delivering one 14 TB block (400 x 35 GB):\n");
+  std::printf("  %-34s %-16s %s\n", "channel", "delivery time",
+              "sustainable rate");
+  double shipment_time = 0.0;
+  {
+    sim::Simulation simulation;
+    net::ShipmentChannel shipment(&simulation, "ata_disks",
+                                  net::ShipmentConfig{});
+    shipment_time = DeliverBlockVia(&shipment, &simulation);
+    std::printf("  %-34s %-16s %s\n", "weekly ATA-disk shipment (40x400GB)",
+                FormatDuration(shipment_time).c_str(),
+                FormatRate(shipment.NominalBandwidth()).c_str());
+  }
+  double crossover_bw = -1.0;
+  for (double mbps : {10.0, 45.0, 100.0, 155.0, 500.0, 1000.0}) {
+    sim::Simulation simulation;
+    net::NetworkLinkConfig config;
+    config.bandwidth_bits_per_sec = mbps * 1e6;
+    net::NetworkLink link(&simulation, "wan", config);
+    double t = DeliverBlockVia(&link, &simulation);
+    char label[64];
+    std::snprintf(label, sizeof(label), "network link at %.0f Mb/s", mbps);
+    std::printf("  %-34s %-16s %s\n", label, FormatDuration(t).c_str(),
+                FormatRate(link.NominalBandwidth()).c_str());
+    if (t < shipment_time && crossover_bw < 0) {
+      crossover_bw = mbps;
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "~%.0f Mb/s", crossover_bw);
+  bench::Row("network beats weekly shipments above", buf);
+
+  // --- WebLab's side of the comparison: 250 GB/day target ---
+  const double weblab_daily = 250.0 * kGB / kDay;
+  sim::Simulation simulation;
+  net::NetworkLinkConfig internet2;
+  internet2.bandwidth_bits_per_sec = 100.0e6;
+  net::NetworkLink ia_link(&simulation, "ia_to_internet2", internet2);
+  bench::Row("WebLab target ingest rate", FormatRate(weblab_daily));
+  bench::Row("dedicated 100 Mb/s link sustains",
+             FormatRate(ia_link.NominalBandwidth()));
+  bool weblab_ok = ia_link.NominalBandwidth() > weblab_daily;
+  bench::Row("link covers the target", weblab_ok ? "yes" : "NO");
+
+  // --- Arecibo's side: the island uplink cannot carry the survey ---
+  net::NetworkLinkConfig island;
+  island.bandwidth_bits_per_sec = 20.0e6;
+  net::NetworkLink arecibo_wan(&simulation, "arecibo_wan", island);
+  net::ShipmentChannel shipments(&simulation, "disks", net::ShipmentConfig{});
+  const double survey_rate = 14.0 * kTB / kWeek;
+  bench::Row("Arecibo survey data rate", FormatRate(survey_rate));
+  bench::Row("island WAN sustains", FormatRate(arecibo_wan.NominalBandwidth()));
+  bench::Row("disk shipments sustain",
+             FormatRate(shipments.NominalBandwidth()));
+  bool arecibo_ok = shipments.NominalBandwidth() > survey_rate &&
+                    arecibo_wan.NominalBandwidth() < survey_rate;
+
+  bool shape = weblab_ok && arecibo_ok && crossover_bw > 20.0;
+  bench::Footer(shape);
+  return shape ? 0 : 1;
+}

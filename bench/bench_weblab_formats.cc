@@ -1,0 +1,100 @@
+// E12: ARC/DAT container characteristics (google-benchmark).
+// Paper (Section 4.1): "Each compressed ARC file is about 100 MB big ...
+// there is a metadata file in the DAT file format, also compressed ...
+// average about 15 MB"; the preload subsystem "uncompresses them, parses
+// them to extract relevant information".
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "util/units.h"
+#include "weblab/arc_format.h"
+#include "weblab/crawler.h"
+
+namespace {
+
+using namespace dflow;
+
+std::vector<weblab::WebPage> SharedPages() {
+  static const auto& pages = *new std::vector<weblab::WebPage>([] {
+    weblab::CrawlerConfig config;
+    config.initial_pages = 2000;
+    weblab::SyntheticCrawler crawler(config);
+    return crawler.NextCrawl().pages;
+  }());
+  return pages;
+}
+
+void BM_WriteArcFile(benchmark::State& state) {
+  auto pages = SharedPages();
+  int64_t raw_bytes = 0;
+  for (const auto& page : pages) {
+    raw_bytes += static_cast<int64_t>(page.content.size());
+  }
+  int64_t compressed = 0;
+  for (auto _ : state) {
+    std::string blob = weblab::WriteArcFile(pages);
+    compressed = static_cast<int64_t>(blob.size());
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(state.iterations() * raw_bytes);
+  state.counters["compression_ratio"] =
+      static_cast<double>(raw_bytes) / static_cast<double>(compressed);
+}
+BENCHMARK(BM_WriteArcFile);
+
+void BM_ReadArcFile(benchmark::State& state) {
+  std::string blob = weblab::WriteArcFile(SharedPages());
+  int64_t pages = 0;
+  for (auto _ : state) {
+    auto decoded = weblab::ReadArcFile(blob);
+    pages = static_cast<int64_t>(decoded->size());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+  state.counters["pages"] = static_cast<double>(pages);
+}
+BENCHMARK(BM_ReadArcFile);
+
+void BM_WriteDatFile(benchmark::State& state) {
+  auto pages = SharedPages();
+  for (auto _ : state) {
+    std::string blob = weblab::WriteDatFile(pages);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pages.size()));
+}
+BENCHMARK(BM_WriteDatFile);
+
+void BM_ReadDatFile(benchmark::State& state) {
+  std::string blob = weblab::WriteDatFile(SharedPages());
+  for (auto _ : state) {
+    auto decoded = weblab::ReadDatFile(blob);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_ReadDatFile);
+
+// The paper's ARC:DAT size ratio (~100 MB : ~15 MB, i.e. ~6.7:1).
+void BM_ArcToDatSizeRatio(benchmark::State& state) {
+  auto pages = SharedPages();
+  double ratio = 0.0;
+  for (auto _ : state) {
+    std::string arc = weblab::WriteArcFile(pages);
+    std::string dat = weblab::WriteDatFile(pages);
+    ratio = static_cast<double>(arc.size()) /
+            static_cast<double>(dat.size());
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["arc_to_dat_ratio"] = ratio;
+}
+BENCHMARK(BM_ArcToDatSizeRatio);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// E13: single large-memory machine vs commodity cluster for web-graph
+// research workloads.
+// Paper (Section 4.2): "It is much easier to study the graph if it is
+// loaded into the memory of a single large computer than distributed
+// across many smaller ones, because network latency would be a serious
+// concern. ... the decision was made to ... store the meta-information in
+// a relational database on a single high-performance computer" (the
+// 16-processor / 64 GB Unisys ES7000).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/report.h"
+#include "util/units.h"
+#include "weblab/cluster_model.h"
+#include "weblab/crawler.h"
+#include "weblab/web_graph.h"
+
+namespace {
+
+using namespace dflow;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("E13 -- big-memory node vs commodity cluster for graph "
+                "research",
+                "latency-bound traversals favour one shared memory; only "
+                "bulk-synchronous batch work amortizes a cluster");
+
+  weblab::BigMemoryMachine es7000;  // 16 cores, 64 GB.
+  weblab::CommodityCluster cluster;
+
+  // 2005-web-scale link analysis: "billions of pages".
+  const int64_t web_edges = 20'000'000'000;
+  const int64_t walk_edges = 50'000'000;  // A research traversal/sample.
+
+  std::printf("  traversal workload (%lld edge hops, e.g. stratified "
+              "sampling / random walks):\n",
+              static_cast<long long>(walk_edges));
+  std::printf("  %-26s %s\n", "single ES7000-class node",
+              FormatDuration(weblab::TraversalTimeSingle(es7000, walk_edges))
+                  .c_str());
+  std::printf("  %-10s %-10s %s\n", "cluster", "nodes", "time");
+  for (int nodes : {4, 16, 64, 256}) {
+    cluster.nodes = nodes;
+    std::printf("  %-10s %-10d %s\n", "", nodes,
+                FormatDuration(
+                    weblab::TraversalTimeCluster(cluster, walk_edges))
+                    .c_str());
+  }
+  cluster.nodes = 64;
+  double traversal_gap =
+      weblab::TraversalTimeCluster(cluster, walk_edges) /
+      weblab::TraversalTimeSingle(es7000, walk_edges);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.0fx slower on the cluster",
+                traversal_gap);
+  bench::Row("traversal verdict", buf);
+
+  std::printf("\n  batch workload (one PageRank-style pass over %lld "
+              "edges):\n",
+              static_cast<long long>(web_edges));
+  double single_batch = weblab::BatchIterationTimeSingle(es7000, web_edges);
+  double cluster_batch = weblab::BatchIterationTimeCluster(cluster, web_edges);
+  std::printf("  %-26s %s\n", "single node",
+              FormatDuration(single_batch).c_str());
+  std::printf("  %-26s %s\n", "64-node cluster",
+              FormatDuration(cluster_batch).c_str());
+  bench::Row("batch verdict", cluster_batch < single_batch
+                                  ? "cluster wins (production services)"
+                                  : "single node wins");
+
+  // Memory fit: the research subset fits the big node; the full web only
+  // fits the cluster (the production-search side of the paper's contrast).
+  weblab::CrawlerConfig crawler_config;
+  crawler_config.initial_pages = 20000;
+  weblab::SyntheticCrawler crawler(crawler_config);
+  weblab::Crawl crawl = crawler.NextCrawl();
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const auto& page : crawl.pages) {
+    for (const auto& link : page.links) {
+      edges.emplace_back(page.url, link);
+    }
+  }
+  double build_start = NowSeconds();
+  weblab::WebGraph graph = weblab::WebGraph::Build(edges);
+  double pagerank_start = NowSeconds();
+  auto rank = graph.PageRank(20);
+  double pagerank_seconds = NowSeconds() - pagerank_start;
+  std::printf("\n  measured on a %lld-node / %lld-edge synthetic crawl:\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()));
+  std::snprintf(buf, sizeof(buf), "%.1f ms (build %.1f ms)",
+                pagerank_seconds * 1000,
+                (pagerank_start - build_start) * 1000);
+  bench::Row("in-memory PageRank x20 iterations", buf);
+  bench::Row("graph memory footprint", FormatBytes(graph.MemoryBytes()));
+  // Research subsets (~1/1000 of the web) fit the 64 GB machine.
+  int64_t research_subset = graph.MemoryBytes() * 1000;
+  bench::Row("x1000 research subset fits ES7000?",
+             weblab::FitsSingleMachine(es7000, research_subset) ? "yes"
+                                                                : "no");
+
+  bool shape = traversal_gap > 50.0 && cluster_batch < single_batch &&
+               !rank.empty();
+  bench::Footer(shape);
+  return shape ? 0 : 1;
+}

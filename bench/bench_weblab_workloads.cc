@@ -1,0 +1,142 @@
+// E14: the social-science researcher workloads.
+// Paper (Section 4): "researchers wish to extract a portion of the Web to
+// analyze in depth ... several time slices, so that they can study how
+// things change over time"; "a Retro Browser to browse the Web as it was
+// at a certain date, a facility to extract subsets of the collection ...
+// extraction of the Web graph and calculations of graph statistics";
+// "extend research on burst detection ... to identify emerging topics";
+// stratified samples.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/report.h"
+#include "db/database.h"
+#include "util/units.h"
+#include "weblab/analysis.h"
+#include "weblab/crawler.h"
+#include "weblab/preload.h"
+#include "weblab/retro_browser.h"
+#include "weblab/web_graph.h"
+
+namespace {
+
+using namespace dflow;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("E14 -- researcher workloads on the loaded archive",
+                "time-sliced subset extraction, stratified samples, burst "
+                "detection, retro browsing, graph statistics");
+
+  // Build and load four bimonthly crawls through the preload path.
+  weblab::CrawlerConfig crawler_config;
+  crawler_config.initial_pages = 1500;
+  crawler_config.new_pages_per_crawl = 200;
+  crawler_config.burst_start_crawl = 3;
+  crawler_config.burst_end_crawl = 3;
+  weblab::SyntheticCrawler crawler(crawler_config);
+  db::Database db;
+  weblab::PageStore page_store;
+  weblab::PreloadSubsystem preload(weblab::PreloadConfig{}, &db, &page_store);
+  weblab::BurstDetector burst_detector(10, 3.0);
+
+  std::vector<weblab::Crawl> crawls;
+  for (int i = 0; i < 4; ++i) {
+    crawls.push_back(crawler.NextCrawl());
+    const weblab::Crawl& crawl = crawls.back();
+    std::vector<std::string> arcs = {weblab::WriteArcFile(crawl.pages)};
+    std::vector<std::string> dats = {weblab::WriteDatFile(crawl.pages)};
+    if (!preload.LoadArcFiles(arcs).ok() ||
+        !preload.LoadDatFiles(dats).ok()) {
+      return 1;
+    }
+    burst_detector.AddCrawl(crawl.crawl_index, crawl.pages);
+  }
+  bench::Row("archive loaded",
+             std::to_string(page_store.NumVersions()) + " page versions, " +
+                 FormatBytes(page_store.TotalBytes()) + " content");
+
+  // 1. Time-sliced subset extraction via SQL.
+  double start = NowSeconds();
+  auto subset = db.Execute(
+      "SELECT url, bytes FROM pages WHERE crawl_ts = " +
+      std::to_string(crawls[1].crawl_time) +
+      " AND url LIKE 'http://site7.%' ORDER BY bytes DESC");
+  double subset_ms = (NowSeconds() - start) * 1000;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%zu pages in %.2f ms",
+                subset->rows.size(), subset_ms);
+  bench::Row("time-sliced domain subset (SQL)", buf);
+  bool subset_ok = subset.ok() && !subset->rows.empty();
+
+  // 2. Stratified sample across domains.
+  std::vector<weblab::PageMetadata> latest_meta;
+  for (const auto& page : crawls.back().pages) {
+    weblab::PageMetadata meta;
+    meta.url = page.url;
+    meta.links = page.links;
+    latest_meta.push_back(std::move(meta));
+  }
+  auto sample = weblab::StratifiedSampleByDomain(latest_meta, 10, 1996);
+  std::snprintf(buf, sizeof(buf), "%zu pages across %d domains",
+                sample.size(), crawler_config.num_domains);
+  bench::Row("stratified sample (10/domain)", buf);
+  bool sample_ok = sample.size() ==
+                   static_cast<size_t>(10 * crawler_config.num_domains);
+
+  // 3. Burst detection across the time slices.
+  auto bursts = burst_detector.FindBursts();
+  bool burst_ok = !bursts.empty() && bursts[0].term == "election" &&
+                  bursts[0].crawl_index == 3;
+  std::snprintf(buf, sizeof(buf), "top term '%s' in crawl %d (score %.1f)",
+                bursts.empty() ? "-" : bursts[0].term.c_str(),
+                bursts.empty() ? 0 : bursts[0].crawl_index,
+                bursts.empty() ? 0.0 : bursts[0].score);
+  bench::Row("burst detection", buf);
+
+  // 4. Retro browsing with navigation.
+  weblab::RetroBrowser browser(&page_store, &db);
+  start = NowSeconds();
+  // Start from a page with outlinks (page 0 predates all link targets).
+  auto page = browser.Browse(crawls[0].pages[100].url,
+                             crawls[1].crawl_time + 1);
+  int hops = 0;
+  while (page.ok() && hops < 5 && !page->links.empty()) {
+    page = browser.FollowLink(*page, 0, crawls[1].crawl_time + 1);
+    ++hops;
+  }
+  double browse_ms = (NowSeconds() - start) * 1000;
+  std::snprintf(buf, sizeof(buf), "%d link hops in %.2f ms", hops,
+                browse_ms);
+  bench::Row("retro browsing session", buf);
+  bool browse_ok = hops >= 1;
+
+  // 5. Web-graph statistics of the latest slice.
+  weblab::WebGraph graph = weblab::WebGraph::FromMetadata(latest_meta);
+  auto [components, num_components] = graph.WeaklyConnectedComponents();
+  auto hist = graph.InDegreeHistogram(32);
+  auto rank = graph.PageRank(15);
+  std::snprintf(buf, sizeof(buf),
+                "%lld nodes, %lld edges, %d weak components",
+                static_cast<long long>(graph.num_nodes()),
+                static_cast<long long>(graph.num_edges()), num_components);
+  bench::Row("web graph of the latest slice", buf);
+  // Heavy-tailed in-degrees: some node far above the mean.
+  int64_t tail = hist.back();
+  std::snprintf(buf, sizeof(buf), "%lld nodes with in-degree >= 32",
+                static_cast<long long>(tail));
+  bench::Row("heavy tail", buf);
+  bool graph_ok = num_components >= 1 && tail > 0;
+
+  bool shape = subset_ok && sample_ok && burst_ok && browse_ok && graph_ok;
+  bench::Footer(shape);
+  return shape ? 0 : 1;
+}

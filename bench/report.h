@@ -1,0 +1,39 @@
+#ifndef DFLOW_BENCH_REPORT_H_
+#define DFLOW_BENCH_REPORT_H_
+
+// Shared formatting helpers for the experiment-reproduction binaries.
+// Each bench prints a header naming the paper artifact it regenerates and
+// rows of "paper says / we measure" so EXPERIMENTS.md can be checked
+// against the binary output directly.
+
+#include <cstdio>
+#include <string>
+
+namespace dflow::bench {
+
+inline void Header(const std::string& experiment, const std::string& claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+inline void Row(const std::string& label, const std::string& value) {
+  std::printf("  %-48s %s\n", label.c_str(), value.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  -- %s\n", text.c_str());
+}
+
+inline void Footer(bool shape_holds) {
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+  std::printf("shape_holds: %s\n\n", shape_holds ? "YES" : "NO");
+}
+
+}  // namespace dflow::bench
+
+#endif  // DFLOW_BENCH_REPORT_H_

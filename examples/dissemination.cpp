@@ -1,0 +1,156 @@
+// Dissemination: the paper's Section-5 "next steps", realized.
+//
+// "The logical next step for all projects is to extend the functionality
+// of their dissemination Web Services to enable full access to data and
+// analysis functionality." This example stands up all three projects'
+// services under one registry, walks a client through each, and finishes
+// with the NVO federation: a query spanning two surveys' catalogs and a
+// cross-match confirming a pulsar seen by both.
+
+#include <cstdio>
+
+#include "arecibo/candidate_service.h"
+#include "arecibo/nvo_federation.h"
+#include "arecibo/survey.h"
+#include "arecibo/votable.h"
+#include "core/web_service.h"
+#include "eventstore/event_store.h"
+#include "eventstore/eventstore_service.h"
+#include "util/logging.h"
+#include "weblab/crawler.h"
+#include "weblab/preload.h"
+#include "weblab/weblab_service.h"
+
+using namespace dflow;
+
+namespace {
+
+core::ServiceRequest Req(const std::string& path,
+                         std::map<std::string, std::string> params = {}) {
+  core::ServiceRequest request;
+  request.path = path;
+  request.params = std::move(params);
+  return request;
+}
+
+void Show(const std::string& title, const core::ServiceResponse& response,
+          size_t max_chars = 400) {
+  std::printf("--- %s (%s)\n%.*s%s\n", title.c_str(),
+              response.content_type.c_str(),
+              static_cast<int>(std::min(max_chars, response.body.size())),
+              response.body.c_str(),
+              response.body.size() > max_chars ? "..." : "");
+}
+
+}  // namespace
+
+int main() {
+  core::ServiceRegistry registry;
+
+  // --- Arecibo: run a pointing, load candidates, serve them ---
+  arecibo::SurveyConfig survey_config;
+  survey_config.num_channels = 48;
+  survey_config.num_samples = 1 << 12;
+  survey_config.sample_time_sec = 1e-3;
+  survey_config.num_dm_trials = 12;
+  survey_config.dm_max = 200.0;
+  arecibo::SurveyPipeline pipeline(survey_config);
+  arecibo::InjectedPulsar pulsar;
+  pulsar.beam = 3;
+  pulsar.params.period_sec = 0.25;
+  pulsar.params.dm = 90.0;
+  pulsar.params.pulse_amplitude = 0.4;
+  auto pointing = pipeline.ProcessPointing(1, {pulsar}, {});
+
+  db::Database candidate_db;
+  auto candidate_service = arecibo::CandidateService::Create(&candidate_db);
+  DFLOW_CHECK_OK(candidate_service.status());
+  DFLOW_CHECK_OK((*candidate_service)->Load(pointing.candidates));
+  DFLOW_CHECK_OK(registry.Mount("arecibo", std::move(*candidate_service)));
+
+  // --- CLEO: a small store behind its service ---
+  auto store = eventstore::EventStore::Create(
+      eventstore::StoreScale::kCollaboration);
+  DFLOW_CHECK_OK(store.status());
+  for (int64_t run = 1; run <= 4; ++run) {
+    DFLOW_CHECK_OK((*store)->RegisterFile(
+        {run, "recon", "Recon_Feb13_04_P2@1076630400", 100 + run,
+         40'000'000 + run, "/hsm/recon", {}}));
+  }
+  DFLOW_CHECK_OK((*store)->AssignGrade("physics", 200, {1, 4}, "recon",
+                                       "Recon_Feb13_04_P2@1076630400"));
+  registry.Mount("cleo", std::make_shared<eventstore::EventStoreService>(
+                             store->get()));
+
+  // --- WebLab: one crawl behind its service ---
+  weblab::CrawlerConfig crawl_config;
+  crawl_config.initial_pages = 500;
+  weblab::SyntheticCrawler crawler(crawl_config);
+  weblab::Crawl crawl = crawler.NextCrawl();
+  db::Database weblab_db;
+  weblab::PageStore page_store;
+  weblab::PreloadSubsystem preload(weblab::PreloadConfig{}, &weblab_db,
+                                   &page_store);
+  DFLOW_CHECK_OK(
+      preload.LoadArcFiles({weblab::WriteArcFile(crawl.pages)}).status());
+  DFLOW_CHECK_OK(
+      preload.LoadDatFiles({weblab::WriteDatFile(crawl.pages)}).status());
+  weblab::InvertedIndex index;
+  for (const auto& page : crawl.pages) {
+    index.AddPage(page.url, page.content);
+  }
+  registry.Mount("weblab", std::make_shared<weblab::WebLabService>(
+                               &page_store, &weblab_db, &index));
+
+  // --- The federated entry point ---
+  std::printf("mounted endpoints:\n");
+  for (const std::string& endpoint : registry.Endpoints()) {
+    std::printf("  %s\n", endpoint.c_str());
+  }
+  std::printf("\n");
+
+  Show("arecibo/top?limit=3",
+       *registry.Handle(Req("arecibo/top", {{"limit", "3"}})));
+  Show("cleo/resolve?grade=physics&ts=300",
+       *registry.Handle(
+           Req("cleo/resolve", {{"grade", "physics"}, {"ts", "300"}})));
+  Show("weblab/search?q=w1+w2",
+       *registry.Handle(Req("weblab/search", {{"q", "w1 w2"}})), 200);
+  Show("weblab/retro (first crawl page)",
+       *registry.Handle(
+           Req("weblab/retro",
+               {{"url", crawl.pages[42].url},
+                {"date", std::to_string(crawl.crawl_time + 1)}})),
+       160);
+
+  // --- NVO federation: queries spanning surveys ---
+  arecibo::NvoFederation nvo;
+  DFLOW_CHECK_OK(nvo.Contribute(
+      "PALFA",
+      registry.Handle(Req("arecibo/votable"))->body));
+  // A second survey saw the same 4 Hz pulsar.
+  arecibo::Candidate confirmation;
+  confirmation.freq_hz = 3.91;  // The survey's binned 4 Hz fundamental.
+  confirmation.period_sec = 1.0 / confirmation.freq_hz;
+  confirmation.dm = 92.0;
+  confirmation.snr = 12.5;
+  DFLOW_CHECK_OK(nvo.Contribute(
+      "ParkesMB",
+      arecibo::CandidatesToVoTable({confirmation}, "ParkesMB")));
+
+  std::printf("--- NVO federation: %lld candidates from %zu surveys\n",
+              static_cast<long long>(nvo.NumCandidates()),
+              nvo.Surveys().size());
+  auto matches = nvo.CrossMatches(0.01, 25.0);
+  for (const auto& match : matches) {
+    std::printf("cross-match: %.3f Hz seen by %s (snr %.1f) and %s "
+                "(snr %.1f) -> confirmed pulsar\n",
+                match.a.candidate.freq_hz, match.a.survey.c_str(),
+                match.a.candidate.snr, match.b.survey.c_str(),
+                match.b.candidate.snr);
+  }
+  if (matches.empty()) {
+    std::printf("no cross-matches (unexpected for this sky)\n");
+  }
+  return matches.empty() ? 1 : 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: the three core APIs of dflow in ~80 lines.
+//
+//   1. Express a data flow as a FlowGraph of stages and run it over the
+//      discrete-event simulator with exact byte accounting.
+//   2. Keep metadata in the embedded relational engine with plain SQL.
+//   3. Stamp and verify provenance on every derived product.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "core/flow_graph.h"
+#include "util/logging.h"
+#include "core/flow_runner.h"
+#include "core/stage.h"
+#include "db/database.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+
+using namespace dflow;
+
+int main() {
+  // --- 1. A three-stage workflow: acquire -> reduce -> publish ---
+  sim::Simulation simulation;
+  core::FlowGraph graph;
+
+  auto stage = [](const char* name, double seconds_per_product, double ratio) {
+    return std::make_shared<core::LambdaStage>(
+        name, core::StageCosts{seconds_per_product, 0.0},
+        [ratio](const core::DataProduct& in)
+            -> Result<std::vector<core::DataProduct>> {
+          core::DataProduct out = in;
+          out.bytes = static_cast<int64_t>(in.bytes * ratio);
+          return std::vector<core::DataProduct>{out};
+        });
+  };
+  DFLOW_CHECK_OK(graph.AddStage(stage("acquire", 60.0, 1.0)));
+  DFLOW_CHECK_OK(graph.AddStage(stage("reduce", 30.0, 0.02)));
+  DFLOW_CHECK_OK(graph.AddStage(stage("publish", 5.0, 1.0)));
+  DFLOW_CHECK_OK(graph.Connect("acquire", "reduce"));
+  DFLOW_CHECK_OK(graph.Connect("reduce", "publish"));
+
+  core::FlowRunner runner(&simulation, &graph);
+  DFLOW_CHECK_OK(runner.SetWorkers("reduce", 4));  // A small CPU farm.
+  for (int i = 0; i < 10; ++i) {
+    core::DataProduct block;
+    block.name = "block_" + std::to_string(i);
+    block.bytes = 35 * kGB;
+    DFLOW_CHECK_OK(runner.Inject("acquire", block, i * 600.0));
+  }
+  DFLOW_CHECK_OK(runner.Run());
+  std::printf("workflow finished at virtual t=%s\n\n",
+              FormatDuration(simulation.Now()).c_str());
+  std::printf("%s\n", runner.Report().c_str());
+
+  // --- 2. Metadata in the embedded SQL engine ---
+  db::Database db;
+  DFLOW_CHECK_OK(
+      db.Execute("CREATE TABLE products (name TEXT, bytes INT)").status());
+  for (const core::DataProduct& product : runner.SinkOutputs("publish")) {
+    DFLOW_CHECK_OK(db.Insert("products",
+                             {db::Value::String(product.name),
+                              db::Value::Int(product.bytes)}));
+  }
+  auto result = db.Execute(
+      "SELECT COUNT(*) AS n, SUM(bytes) AS total FROM products");
+  DFLOW_CHECK_OK(result.status());
+  std::printf("published products:\n%s\n\n", result->ToString().c_str());
+
+  // --- 3. Provenance travels with every product ---
+  const core::DataProduct& first = runner.SinkOutputs("publish").front();
+  std::printf("provenance of %s (hash %s):\n", first.name.c_str(),
+              first.provenance.SummaryHash().c_str());
+  for (const auto& step : first.provenance.steps()) {
+    std::printf("  %s (%s)\n", step.module.c_str(),
+                step.version.ToString().c_str());
+  }
+  return 0;
+}

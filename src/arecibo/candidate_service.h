@@ -1,0 +1,49 @@
+#ifndef DFLOW_ARECIBO_CANDIDATE_SERVICE_H_
+#define DFLOW_ARECIBO_CANDIDATE_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arecibo/search.h"
+#include "core/web_service.h"
+#include "db/database.h"
+
+namespace dflow::arecibo {
+
+/// The Web-based dissemination layer over the Arecibo candidate database
+/// (§2.2: "The database is accessed through a Web-based server and will
+/// provide the tools for meta-analyses"). Owns a `candidates` table in the
+/// provided database and serves:
+///
+///   top      ?limit=N&include_rfi=0|1   strongest candidates (TSV)
+///   count    ?rfi=0|1                   candidate counts
+///   votable  ?pointing=N                NVO export of one pointing (XML)
+///   pointings                           distinct pointings (TSV)
+class CandidateService : public core::WebService {
+ public:
+  /// Creates the candidates table in `db` if absent (borrowed pointer).
+  static Result<std::unique_ptr<CandidateService>> Create(db::Database* db);
+
+  /// Loads a batch of candidates (e.g. one pointing's meta-analysis
+  /// output) into the table.
+  Status Load(const std::vector<Candidate>& candidates);
+
+  Result<core::ServiceResponse> Handle(
+      const core::ServiceRequest& request) override;
+  std::vector<std::string> Endpoints() const override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  explicit CandidateService(db::Database* db) : db_(db) {}
+
+  Result<std::vector<Candidate>> QueryCandidates(const std::string& where,
+                                                 int64_t limit) const;
+
+  std::string name_ = "arecibo-candidates";
+  db::Database* db_;
+};
+
+}  // namespace dflow::arecibo
+
+#endif  // DFLOW_ARECIBO_CANDIDATE_SERVICE_H_

@@ -1,0 +1,68 @@
+#include "arecibo/dedisperse.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dflow::arecibo {
+
+std::vector<double> MakeDmTrials(double dm_max, int num_trials) {
+  DFLOW_CHECK(num_trials > 0);
+  std::vector<double> trials(static_cast<size_t>(num_trials));
+  for (int i = 0; i < num_trials; ++i) {
+    trials[static_cast<size_t>(i)] =
+        dm_max * static_cast<double>(i) / std::max(1, num_trials - 1);
+  }
+  return trials;
+}
+
+Dedisperser::Dedisperser(std::vector<double> dm_trials)
+    : dm_trials_(std::move(dm_trials)) {
+  DFLOW_CHECK(!dm_trials_.empty());
+}
+
+TimeSeries Dedisperser::Dedisperse(const DynamicSpectrum& spectrum,
+                                   double dm) const {
+  TimeSeries series;
+  series.dm = dm;
+  series.sample_time_sec = spectrum.sample_time_sec;
+  series.samples.assign(static_cast<size_t>(spectrum.num_samples), 0.0);
+  const double ref_delay = DispersionDelaySec(dm, spectrum.freq_hi_mhz);
+  for (int channel = 0; channel < spectrum.num_channels; ++channel) {
+    const double delay =
+        DispersionDelaySec(dm, spectrum.ChannelFreqMhz(channel)) - ref_delay;
+    const int64_t shift =
+        static_cast<int64_t>(std::lround(delay / spectrum.sample_time_sec));
+    for (int64_t s = 0; s < spectrum.num_samples; ++s) {
+      const int64_t src = s + shift;
+      if (src >= 0 && src < spectrum.num_samples) {
+        series.samples[static_cast<size_t>(s)] += spectrum.At(channel, src);
+      }
+    }
+  }
+  // Normalize to unit noise: the sum of C unit-variance channels has
+  // sigma = sqrt(C).
+  const double norm = 1.0 / std::sqrt(static_cast<double>(
+                                spectrum.num_channels));
+  for (double& x : series.samples) {
+    x *= norm;
+  }
+  return series;
+}
+
+std::vector<TimeSeries> Dedisperser::DedisperseAll(
+    const DynamicSpectrum& spectrum) const {
+  std::vector<TimeSeries> out;
+  out.reserve(dm_trials_.size());
+  for (double dm : dm_trials_) {
+    out.push_back(Dedisperse(spectrum, dm));
+  }
+  return out;
+}
+
+int64_t Dedisperser::OutputBytes(const DynamicSpectrum& spectrum) const {
+  return static_cast<int64_t>(dm_trials_.size()) * spectrum.num_samples *
+         static_cast<int64_t>(sizeof(double));
+}
+
+}  // namespace dflow::arecibo

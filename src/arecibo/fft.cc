@@ -1,0 +1,72 @@
+#include "arecibo/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dflow::arecibo {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+Status Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    return Status::InvalidArgument("FFT size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Butterflies.
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                   (inverse ? 1.0 : -1.0);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = data[i + k];
+        std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) {
+      x /= static_cast<double>(n);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> PowerSpectrum(const std::vector<double>& series) {
+  size_t n = NextPowerOfTwo(std::max<size_t>(series.size(), 2));
+  std::vector<std::complex<double>> buffer(n);
+  for (size_t i = 0; i < series.size(); ++i) {
+    buffer[i] = std::complex<double>(series[i], 0.0);
+  }
+  Status s = Fft(buffer);
+  (void)s;  // Size is a power of two by construction.
+  std::vector<double> power(n / 2);
+  power[0] = 0.0;  // Suppress DC.
+  for (size_t k = 1; k < n / 2; ++k) {
+    power[k] = std::norm(buffer[k]);
+  }
+  return power;
+}
+
+}  // namespace dflow::arecibo

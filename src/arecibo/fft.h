@@ -1,0 +1,28 @@
+#ifndef DFLOW_ARECIBO_FFT_H_
+#define DFLOW_ARECIBO_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::arecibo {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` applies the conjugate transform and 1/N
+/// normalization. This is the workhorse of the pulsar periodicity search
+/// (§2.1 "Fourier analysis"), implemented from scratch per the
+/// reproduction rules.
+Status Fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Power spectrum of a real time series: zero-pads to the next power of
+/// two, FFTs, and returns |X_k|^2 for k = 0..N/2-1 (the one-sided
+/// spectrum). The DC bin is zeroed so detrending is unnecessary upstream.
+std::vector<double> PowerSpectrum(const std::vector<double>& series);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace dflow::arecibo
+
+#endif  // DFLOW_ARECIBO_FFT_H_

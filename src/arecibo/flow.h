@@ -1,0 +1,49 @@
+#ifndef DFLOW_ARECIBO_FLOW_H_
+#define DFLOW_ARECIBO_FLOW_H_
+
+#include <memory>
+
+#include "arecibo/survey.h"
+#include "core/flow_graph.h"
+#include "core/flow_runner.h"
+#include "util/result.h"
+
+namespace dflow::arecibo {
+
+/// Names of the Figure-1 stages, in data-flow order.
+struct AreciboFlowStages {
+  static constexpr const char* kAcquisition = "telescope_acquisition";
+  static constexpr const char* kLocalQa = "local_quality_monitoring";
+  static constexpr const char* kDiskTransport = "disk_transport_to_ctc";
+  static constexpr const char* kTapeArchive = "ctc_tape_archive";
+  static constexpr const char* kConsortium = "palfa_consortium_processing";
+  static constexpr const char* kConsolidation = "ctc_consolidation";
+  static constexpr const char* kMetaAnalysis = "meta_analysis_db";
+  static constexpr const char* kNvo = "nvo_linkage";
+};
+
+/// Builds the paper's Figure 1 as an executable workflow: telescope
+/// acquisition -> local quality monitoring -> physical disk transport ->
+/// CTC tape archive (which fans out to consortium processing and long-term
+/// storage) -> consolidation of data products -> the meta-analysis
+/// database -> NVO linkage. Stage lambdas apply the paper's volume ratios
+/// (products ~2% of raw, refined candidates ~0.1%), so running the flow
+/// over one block of pointings reproduces the per-stage byte totals.
+Status BuildAreciboFlow(const SurveyConfig& config, core::FlowGraph* graph);
+
+/// Injects one week's observing block (`config.pointings_per_block`
+/// pointings of `raw_bytes_per_pointing` each) into the acquisition stage,
+/// spaced over the telescope sessions.
+Status InjectObservingBlock(const SurveyConfig& config,
+                            core::FlowRunner* runner);
+
+/// Tags each stage with its processing site for provenance (§2.2: data
+/// products carry "a version number indicating processing code and
+/// processing site"): the telescope stages run at Arecibo, the archive
+/// and meta-analysis at the CTC, consortium processing at PALFA member
+/// institutions.
+Status ConfigureAreciboSites(core::FlowRunner* runner);
+
+}  // namespace dflow::arecibo
+
+#endif  // DFLOW_ARECIBO_FLOW_H_

@@ -1,0 +1,87 @@
+#include "arecibo/nvo_federation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arecibo/votable.h"
+
+namespace dflow::arecibo {
+
+Status NvoFederation::Contribute(const std::string& survey_name,
+                                 const std::string& votable_xml) {
+  if (survey_name.empty()) {
+    return Status::InvalidArgument("survey name required");
+  }
+  DFLOW_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
+                         VoTableToCandidates(votable_xml));
+  auto& existing = contributions_[survey_name];
+  existing.insert(existing.end(), candidates.begin(), candidates.end());
+  return Status::OK();
+}
+
+std::vector<NvoFederation::FederatedCandidate> NvoFederation::SpanningQuery(
+    double min_snr) const {
+  std::vector<FederatedCandidate> out;
+  for (const auto& [survey, candidates] : contributions_) {
+    for (const Candidate& candidate : candidates) {
+      if (!candidate.rfi_flag && candidate.snr >= min_snr) {
+        out.push_back(FederatedCandidate{survey, candidate});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FederatedCandidate& a, const FederatedCandidate& b) {
+              return a.candidate.snr > b.candidate.snr;
+            });
+  return out;
+}
+
+std::vector<NvoFederation::CrossMatch> NvoFederation::CrossMatches(
+    double freq_tolerance, double dm_tolerance) const {
+  std::vector<CrossMatch> out;
+  std::vector<FederatedCandidate> all = SpanningQuery(0.0);
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      if (all[i].survey == all[j].survey) {
+        continue;
+      }
+      const Candidate& a = all[i].candidate;
+      const Candidate& b = all[j].candidate;
+      if (a.freq_hz <= 0.0) {
+        continue;
+      }
+      if (std::fabs(a.freq_hz - b.freq_hz) / a.freq_hz <= freq_tolerance &&
+          std::fabs(a.dm - b.dm) <= dm_tolerance) {
+        out.push_back(CrossMatch{all[i], all[j]});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> NvoFederation::Surveys() const {
+  std::vector<std::string> out;
+  out.reserve(contributions_.size());
+  for (const auto& [survey, candidates] : contributions_) {
+    out.push_back(survey);
+  }
+  return out;
+}
+
+int64_t NvoFederation::NumCandidates() const {
+  int64_t total = 0;
+  for (const auto& [survey, candidates] : contributions_) {
+    total += static_cast<int64_t>(candidates.size());
+  }
+  return total;
+}
+
+std::string NvoFederation::ExportVoTable() const {
+  std::vector<Candidate> all;
+  for (const auto& [survey, candidates] : contributions_) {
+    all.insert(all.end(), candidates.begin(), candidates.end());
+  }
+  return CandidatesToVoTable(all, "nvo-federation");
+}
+
+}  // namespace dflow::arecibo

@@ -1,0 +1,67 @@
+#ifndef DFLOW_ARECIBO_NVO_FEDERATION_H_
+#define DFLOW_ARECIBO_NVO_FEDERATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arecibo/search.h"
+#include "util/result.h"
+
+namespace dflow::arecibo {
+
+/// A federated catalog in the National Virtual Observatory style (§5:
+/// "Arecibo is in the process of contributing its data to the National
+/// Virtual Observatory, federating their data with other data resources
+/// from the Astronomy community. This will enable queries, which span
+/// different datasets from different contributors, and hence astronomers
+/// can leverage the combined information for their analysis").
+///
+/// Contributors publish VOTable documents; the federation ingests them,
+/// tags every candidate with its origin, and answers cross-dataset
+/// queries: spanning selections and cross-matches (the same signal seen
+/// by two surveys — the confirmation workflow the paper describes for
+/// follow-up observations).
+class NvoFederation {
+ public:
+  /// Ingests a contributor's VOTable under `survey_name`. Repeated
+  /// contributions append. Fails on malformed XML.
+  Status Contribute(const std::string& survey_name,
+                    const std::string& votable_xml);
+
+  /// A candidate with its originating survey.
+  struct FederatedCandidate {
+    std::string survey;
+    Candidate candidate;
+  };
+
+  /// All candidates across every contributor with snr >= min_snr,
+  /// excluding RFI-flagged entries, strongest first: the "query spanning
+  /// different datasets".
+  std::vector<FederatedCandidate> SpanningQuery(double min_snr) const;
+
+  /// Pairs of candidates from *different* surveys whose frequencies agree
+  /// within `freq_tolerance` (fractional) and DMs within `dm_tolerance`:
+  /// independent detections of the same object.
+  struct CrossMatch {
+    FederatedCandidate a;
+    FederatedCandidate b;
+  };
+  std::vector<CrossMatch> CrossMatches(double freq_tolerance = 0.005,
+                                       double dm_tolerance = 20.0) const;
+
+  std::vector<std::string> Surveys() const;
+  int64_t NumCandidates() const;
+
+  /// The federation's combined catalog re-exported as one VOTable
+  /// (surveys are distinguishable by the beam/pointing metadata their
+  /// contributors set; the resource name is the federation's).
+  std::string ExportVoTable() const;
+
+ private:
+  std::map<std::string, std::vector<Candidate>> contributions_;
+};
+
+}  // namespace dflow::arecibo
+
+#endif  // DFLOW_ARECIBO_NVO_FEDERATION_H_

@@ -1,0 +1,169 @@
+#include "arecibo/search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arecibo/fft.h"
+#include "util/logging.h"
+
+namespace dflow::arecibo {
+
+namespace {
+
+/// Robust location/scale of a power spectrum via median and interquartile
+/// range (the spectrum is chi-squared distributed and peaky; plain
+/// mean/stddev would be dragged up by the very signals we search for).
+void RobustStats(const std::vector<double>& power, double* location,
+                 double* scale) {
+  std::vector<double> sorted(power.begin() + 1, power.end());
+  std::sort(sorted.begin(), sorted.end());
+  size_t n = sorted.size();
+  *location = sorted[n / 2];
+  double q1 = sorted[n / 4];
+  double q3 = sorted[(3 * n) / 4];
+  // IQR -> sigma for an exponential-ish distribution; 1.349 is the
+  // Gaussian conversion, close enough for thresholding.
+  *scale = std::max((q3 - q1) / 1.349, 1e-12);
+}
+
+}  // namespace
+
+PeriodicitySearch::PeriodicitySearch(SearchConfig config) : config_(config) {
+  DFLOW_CHECK(config_.max_harmonics >= 1);
+  DFLOW_CHECK(config_.max_candidates >= 1);
+}
+
+std::vector<Candidate> PeriodicitySearch::Search(
+    const TimeSeries& series) const {
+  std::vector<Candidate> out;
+  if (series.samples.size() < 8) {
+    return out;
+  }
+  const std::vector<double> power = PowerSpectrum(series.samples);
+  const size_t padded = NextPowerOfTwo(series.samples.size());
+  const double freq_step =
+      1.0 / (static_cast<double>(padded) * series.sample_time_sec);
+
+  double location, scale;
+  RobustStats(power, &location, &scale);
+
+  const size_t num_bins = power.size();
+  std::vector<double> best_snr(num_bins, 0.0);
+  std::vector<int> best_fold(num_bins, 1);
+
+  for (int fold = 1; fold <= config_.max_harmonics; fold *= 2) {
+    for (size_t k = static_cast<size_t>(config_.min_bin);
+         k * static_cast<size_t>(fold) < num_bins; ++k) {
+      double summed = 0.0;
+      for (int h = 1; h <= fold; ++h) {
+        summed += power[k * static_cast<size_t>(h)];
+      }
+      const double snr = (summed - fold * location) /
+                         (scale * std::sqrt(static_cast<double>(fold)));
+      if (snr > best_snr[k]) {
+        best_snr[k] = snr;
+        best_fold[k] = fold;
+      }
+    }
+  }
+
+  // Local maxima above threshold.
+  for (size_t k = static_cast<size_t>(config_.min_bin); k + 1 < num_bins;
+       ++k) {
+    if (best_snr[k] < config_.snr_threshold) {
+      continue;
+    }
+    if (best_snr[k] < best_snr[k - 1] || best_snr[k] < best_snr[k + 1]) {
+      continue;
+    }
+    Candidate candidate;
+    candidate.freq_hz = static_cast<double>(k) * freq_step;
+    candidate.period_sec = 1.0 / candidate.freq_hz;
+    candidate.dm = series.dm;
+    candidate.snr = best_snr[k];
+    candidate.harmonics = best_fold[k];
+    out.push_back(candidate);
+  }
+
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.snr > b.snr;
+  });
+  if (out.size() > static_cast<size_t>(config_.max_candidates)) {
+    out.resize(static_cast<size_t>(config_.max_candidates));
+  }
+  return out;
+}
+
+AccelerationSearch::AccelerationSearch(SearchConfig config,
+                                       std::vector<double> accel_trials)
+    : base_(config), accel_trials_(std::move(accel_trials)) {
+  if (accel_trials_.empty()) {
+    accel_trials_.push_back(0.0);
+  }
+}
+
+TimeSeries AccelerationSearch::Resample(const TimeSeries& series,
+                                        double alpha) {
+  TimeSeries out;
+  out.dm = series.dm;
+  out.sample_time_sec = series.sample_time_sec;
+  const int64_t n = static_cast<int64_t>(series.samples.size());
+  // Truncate to the prefix whose source indices stay in range: padding the
+  // tail with zeros would create a step edge and flood the low spectral
+  // bins with artifacts.
+  int64_t valid = n;
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    const double src =
+        x + alpha * x * x / (2.0 * static_cast<double>(n));
+    if (std::lround(src) < 0 || std::lround(src) >= n) {
+      valid = i;
+      break;
+    }
+  }
+  out.samples.assign(static_cast<size_t>(valid), 0.0);
+  for (int64_t i = 0; i < valid; ++i) {
+    const double x = static_cast<double>(i);
+    const double src =
+        x + alpha * x * x / (2.0 * static_cast<double>(n));
+    out.samples[static_cast<size_t>(i)] =
+        series.samples[static_cast<size_t>(std::lround(src))];
+  }
+  return out;
+}
+
+std::vector<Candidate> AccelerationSearch::Search(
+    const TimeSeries& series) const {
+  std::vector<Candidate> best;
+  for (double alpha : accel_trials_) {
+    TimeSeries resampled =
+        alpha == 0.0 ? series : Resample(series, alpha);
+    std::vector<Candidate> found = base_.Search(resampled);
+    for (Candidate& candidate : found) {
+      candidate.accel = alpha;
+      // Keep the strongest detection per frequency (within one bin).
+      bool merged = false;
+      for (Candidate& existing : best) {
+        if (std::fabs(existing.freq_hz - candidate.freq_hz) <
+            0.5 / (static_cast<double>(series.samples.size()) *
+                   series.sample_time_sec)) {
+          if (candidate.snr > existing.snr) {
+            existing = candidate;
+          }
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        best.push_back(candidate);
+      }
+    }
+  }
+  std::sort(best.begin(), best.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.snr > b.snr;
+            });
+  return best;
+}
+
+}  // namespace dflow::arecibo

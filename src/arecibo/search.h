@@ -1,0 +1,78 @@
+#ifndef DFLOW_ARECIBO_SEARCH_H_
+#define DFLOW_ARECIBO_SEARCH_H_
+
+#include <vector>
+
+#include "arecibo/dedisperse.h"
+#include "util/result.h"
+
+namespace dflow::arecibo {
+
+/// A pulsar candidate produced by the periodicity search.
+struct Candidate {
+  double freq_hz = 0.0;
+  double period_sec = 0.0;
+  double dm = 0.0;
+  double snr = 0.0;
+  int harmonics = 1;       // Harmonic fold at which the peak maximized.
+  double accel = 0.0;      // Trial acceleration (fractional stretch).
+  int beam = -1;
+  int pointing = -1;
+  bool rfi_flag = false;
+};
+
+struct SearchConfig {
+  double snr_threshold = 6.0;
+  /// Harmonic folds attempted: 1, 2, 4, ... up to this count.
+  int max_harmonics = 4;
+  /// Cap on candidates returned per time series (strongest first).
+  int max_candidates = 16;
+  /// Ignore spectral bins below this index (red-noise guard).
+  int min_bin = 2;
+};
+
+/// FFT periodicity search with harmonic summing (§2.1: "Fourier analysis,
+/// harmonic summing, threshold tests to identify candidates"). Harmonic
+/// summing adds power[k] + power[2k] + ... so that narrow (high duty
+/// cycle) pulses whose power spreads across harmonics still cross the
+/// threshold.
+class PeriodicitySearch {
+ public:
+  explicit PeriodicitySearch(SearchConfig config);
+
+  /// Candidates above threshold, strongest first.
+  std::vector<Candidate> Search(const TimeSeries& series) const;
+
+  const SearchConfig& config() const { return config_; }
+
+ private:
+  SearchConfig config_;
+};
+
+/// Time-domain resampling search for binary pulsars (§2.1: "pulsars that
+/// are in binary systems, for which an acceleration search algorithm also
+/// needs to be applied"). A constant line-of-sight acceleration smears the
+/// spin frequency across Fourier bins; resampling the series with a trial
+/// quadratic stretch re-concentrates it. Trials sweep fractional stretch
+/// values alpha: sample i is read from position i + alpha*i^2/(2N).
+class AccelerationSearch {
+ public:
+  AccelerationSearch(SearchConfig config, std::vector<double> accel_trials);
+
+  /// Runs the periodicity search at every trial acceleration and keeps
+  /// the best detection per frequency.
+  std::vector<Candidate> Search(const TimeSeries& series) const;
+
+  /// The resampling primitive (exposed for tests).
+  static TimeSeries Resample(const TimeSeries& series, double alpha);
+
+  const std::vector<double>& accel_trials() const { return accel_trials_; }
+
+ private:
+  PeriodicitySearch base_;
+  std::vector<double> accel_trials_;
+};
+
+}  // namespace dflow::arecibo
+
+#endif  // DFLOW_ARECIBO_SEARCH_H_

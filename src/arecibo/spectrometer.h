@@ -1,0 +1,101 @@
+#ifndef DFLOW_ARECIBO_SPECTROMETER_H_
+#define DFLOW_ARECIBO_SPECTROMETER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dflow::arecibo {
+
+/// Cold-plasma dispersion delay in seconds between frequency `freq_mhz`
+/// and infinite frequency, for dispersion measure `dm` (pc cm^-3):
+///   t = 4.148808e3 * DM / f_MHz^2.
+double DispersionDelaySec(double dm, double freq_mhz);
+
+/// A block of channelized power samples from one beam of the receiver:
+/// `power[channel * num_samples + sample]`, channel 0 = lowest frequency.
+struct DynamicSpectrum {
+  int num_channels = 0;
+  int64_t num_samples = 0;
+  double freq_lo_mhz = 1375.0;   // ALFA band around 1.4 GHz.
+  double freq_hi_mhz = 1425.0;
+  double sample_time_sec = 6.4e-5;
+  std::vector<float> power;
+
+  double ChannelFreqMhz(int channel) const {
+    double step = (freq_hi_mhz - freq_lo_mhz) / num_channels;
+    return freq_lo_mhz + (channel + 0.5) * step;
+  }
+  float& At(int channel, int64_t sample) {
+    return power[static_cast<size_t>(channel) * num_samples + sample];
+  }
+  float At(int channel, int64_t sample) const {
+    return power[static_cast<size_t>(channel) * num_samples + sample];
+  }
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(power.size() * sizeof(float));
+  }
+};
+
+/// A pulsar to inject into synthetic data.
+struct PulsarParams {
+  double period_sec = 0.5;
+  double dm = 60.0;                 // pc cm^-3.
+  double pulse_amplitude = 3.0;     // In units of the noise sigma.
+  double duty_cycle = 0.05;         // Pulse width / period.
+  double phase = 0.0;               // Initial phase in [0, 1).
+  double accel_bins = 0.0;          // Fourier-bin drift over the block
+                                    // (binary motion); 0 = isolated.
+};
+
+/// A one-off dispersed transient (giant pulse, RRAT burst, or one of the
+/// paper's hoped-for "entirely new classes of signals"): a single pulse at
+/// `time_sec` with the usual cold-plasma dispersion sweep across the band.
+struct TransientParams {
+  double time_sec = 1.0;
+  double dm = 100.0;
+  double amplitude = 5.0;        // In units of the noise sigma.
+  double width_sec = 0.003;
+};
+
+/// Terrestrial interference to inject. RFI is what the meta-analysis must
+/// reject: unlike a pulsar it is undispersed (DM ~ 0) and appears in all
+/// beams at once.
+struct RfiParams {
+  double period_sec = 1.0 / 60.0;   // Power-line-style periodic RFI.
+  double amplitude = 2.0;
+  int channel_lo = 0;               // Narrowband span.
+  int channel_hi = 8;
+};
+
+/// Generates synthetic ALFA-like dynamic spectra: radiometer noise plus
+/// dispersed periodic pulses for each pulsar plus undispersed RFI. The
+/// substitute for the telescope itself: everything downstream (unpacking,
+/// dedispersion, Fourier search, RFI excision) runs the same code path it
+/// would on real data.
+class SpectrometerModel {
+ public:
+  SpectrometerModel(int num_channels, int64_t num_samples,
+                    double sample_time_sec, uint64_t seed);
+
+  /// One beam's spectrum with the given sources. RFI, if present, is
+  /// deterministic in phase so that multiple beams see the *same*
+  /// interference (generate each beam with a different seed but the same
+  /// rfi list).
+  DynamicSpectrum Generate(const std::vector<PulsarParams>& pulsars,
+                           const std::vector<RfiParams>& rfi,
+                           const std::vector<TransientParams>& transients = {});
+
+ private:
+  int num_channels_;
+  int64_t num_samples_;
+  double sample_time_;
+  Rng rng_;
+};
+
+}  // namespace dflow::arecibo
+
+#endif  // DFLOW_ARECIBO_SPECTROMETER_H_

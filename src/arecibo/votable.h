@@ -1,0 +1,26 @@
+#ifndef DFLOW_ARECIBO_VOTABLE_H_
+#define DFLOW_ARECIBO_VOTABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "arecibo/search.h"
+#include "util/result.h"
+
+namespace dflow::arecibo {
+
+/// Serializes a candidate list to the VOTable-style XML that the National
+/// Virtual Observatory linkage requires (§2.2: "Connecting the CTC
+/// database system with the NVO requires particular XML-based protocols").
+/// The schema is a faithful small subset: RESOURCE/TABLE with FIELD
+/// declarations and TABLEDATA rows.
+std::string CandidatesToVoTable(const std::vector<Candidate>& candidates,
+                                const std::string& survey_name);
+
+/// Parses the subset produced by CandidatesToVoTable back into candidates
+/// (round-trip used for federation tests).
+Result<std::vector<Candidate>> VoTableToCandidates(const std::string& xml);
+
+}  // namespace dflow::arecibo
+
+#endif  // DFLOW_ARECIBO_VOTABLE_H_

@@ -1,0 +1,34 @@
+#ifndef DFLOW_CORE_DATA_PRODUCT_H_
+#define DFLOW_CORE_DATA_PRODUCT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "provenance/provenance.h"
+
+namespace dflow::core {
+
+/// A unit of data moving through a workflow: raw telescope pointings,
+/// detector runs, ARC files, candidate lists, reconstructed events. The
+/// payload itself is not carried here — case-study modules process real
+/// payloads at laptop scale — but the byte size is exact paper-scale
+/// accounting, and the provenance chain accumulates one step per stage,
+/// which is how versioned data products keep their history (§2.2, §3.2).
+struct DataProduct {
+  std::string name;
+  int64_t bytes = 0;
+  prov::ProvenanceRecord provenance;
+  std::map<std::string, std::string> attributes;
+
+  /// Convenience accessor; returns `fallback` when absent.
+  std::string Attr(const std::string& key,
+                   const std::string& fallback = "") const {
+    auto it = attributes.find(key);
+    return it == attributes.end() ? fallback : it->second;
+  }
+};
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_DATA_PRODUCT_H_

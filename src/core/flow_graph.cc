@@ -1,0 +1,117 @@
+#include "core/flow_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace dflow::core {
+
+Status FlowGraph::AddStage(std::shared_ptr<Stage> stage) {
+  if (stage == nullptr) {
+    return Status::InvalidArgument("null stage");
+  }
+  const std::string& name = stage->name();
+  if (stages_.count(name) > 0) {
+    return Status::AlreadyExists("stage '" + name + "' already in graph");
+  }
+  stages_[name] = std::move(stage);
+  edges_[name];  // Ensure adjacency entry exists.
+  insertion_order_.push_back(name);
+  return Status::OK();
+}
+
+Status FlowGraph::Connect(const std::string& from, const std::string& to) {
+  if (stages_.count(from) == 0) {
+    return Status::NotFound("no stage '" + from + "'");
+  }
+  if (stages_.count(to) == 0) {
+    return Status::NotFound("no stage '" + to + "'");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loop on '" + from + "'");
+  }
+  auto& successors = edges_[from];
+  if (std::find(successors.begin(), successors.end(), to) !=
+      successors.end()) {
+    return Status::AlreadyExists("edge " + from + " -> " + to +
+                                 " already exists");
+  }
+  successors.push_back(to);
+  return Status::OK();
+}
+
+Result<Stage*> FlowGraph::Find(const std::string& name) const {
+  auto it = stages_.find(name);
+  if (it == stages_.end()) {
+    return Status::NotFound("no stage '" + name + "'");
+  }
+  return it->second.get();
+}
+
+const std::vector<std::string>& FlowGraph::Successors(
+    const std::string& name) const {
+  static const std::vector<std::string>& kEmpty =
+      *new std::vector<std::string>();
+  auto it = edges_.find(name);
+  return it == edges_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> FlowGraph::StageNames() const {
+  return insertion_order_;
+}
+
+Result<std::vector<std::string>> FlowGraph::TopologicalOrder() const {
+  std::map<std::string, int> in_degree;
+  for (const std::string& name : insertion_order_) {
+    in_degree[name];
+  }
+  for (const auto& [from, successors] : edges_) {
+    for (const std::string& to : successors) {
+      ++in_degree[to];
+    }
+  }
+  std::deque<std::string> ready;
+  for (const std::string& name : insertion_order_) {
+    if (in_degree[name] == 0) {
+      ready.push_back(name);
+    }
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    std::string name = ready.front();
+    ready.pop_front();
+    order.push_back(name);
+    for (const std::string& to : Successors(name)) {
+      if (--in_degree[to] == 0) {
+        ready.push_back(to);
+      }
+    }
+  }
+  if (order.size() != stages_.size()) {
+    return Status::FailedPrecondition("workflow graph contains a cycle");
+  }
+  return order;
+}
+
+std::string FlowGraph::ToDot(
+    const std::map<std::string, std::string>& annotations) const {
+  std::ostringstream os;
+  os << "digraph workflow {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const std::string& name : insertion_order_) {
+    os << "  \"" << name << "\"";
+    auto it = annotations.find(name);
+    if (it != annotations.end()) {
+      os << " [label=\"" << name << "\\n" << it->second << "\"]";
+    }
+    os << ";\n";
+  }
+  for (const std::string& name : insertion_order_) {
+    for (const std::string& to : Successors(name)) {
+      os << "  \"" << name << "\" -> \"" << to << "\";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dflow::core

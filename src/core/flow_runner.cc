@@ -1,0 +1,167 @@
+#include "core/flow_runner.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace dflow::core {
+
+FlowRunner::FlowRunner(sim::Simulation* simulation, FlowGraph* graph)
+    : simulation_(simulation), graph_(graph) {
+  DFLOW_CHECK(simulation_ != nullptr);
+  DFLOW_CHECK(graph_ != nullptr);
+}
+
+FlowRunner::StageState& FlowRunner::StateOf(const std::string& stage) {
+  return states_[stage];
+}
+
+Status FlowRunner::SetWorkers(const std::string& stage, int workers) {
+  if (ran_) {
+    return Status::FailedPrecondition("run already started");
+  }
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  if (workers <= 0) {
+    return Status::InvalidArgument("workers must be positive");
+  }
+  StateOf(stage).workers = workers;
+  return Status::OK();
+}
+
+Status FlowRunner::SetRelease(const std::string& stage, std::string release) {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  StateOf(stage).release = std::move(release);
+  return Status::OK();
+}
+
+Status FlowRunner::SetSite(const std::string& stage, std::string site) {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  StateOf(stage).site = std::move(site);
+  return Status::OK();
+}
+
+Status FlowRunner::Inject(const std::string& stage, DataProduct product,
+                          double at) {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  if (at < 0.0) {
+    return Status::InvalidArgument("injection time must be >= 0");
+  }
+  simulation_->ScheduleAt(at, [this, stage, product = std::move(product)] {
+    Deliver(stage, product);
+  });
+  return Status::OK();
+}
+
+void FlowRunner::Deliver(const std::string& stage_name, DataProduct product) {
+  auto stage_or = graph_->Find(stage_name);
+  DFLOW_CHECK(stage_or.ok());
+  Stage* stage = *stage_or;
+  StageState& state = StateOf(stage_name);
+  if (state.resource == nullptr) {
+    state.resource = std::make_unique<sim::Resource>(simulation_, stage_name,
+                                                     state.workers);
+  }
+  state.metrics.products_in += 1;
+  state.metrics.bytes_in += product.bytes;
+
+  double service_time = stage->ServiceTime(product);
+  state.resource->Submit(
+      service_time, [this, stage, stage_name, product = std::move(product)] {
+        StageState& state = StateOf(stage_name);
+        auto outputs = stage->Process(product);
+        if (!outputs.ok()) {
+          state.metrics.errors += 1;
+          DFLOW_LOG(Warning) << "stage '" << stage_name
+                             << "' failed: " << outputs.status().ToString();
+          return;
+        }
+        const std::vector<std::string>& successors =
+            graph_->Successors(stage_name);
+        for (DataProduct& output : *outputs) {
+          state.metrics.products_out += 1;
+          state.metrics.bytes_out += output.bytes;
+          // Accumulate the provenance chain.
+          prov::ProcessingStep step;
+          step.module = stage_name;
+          step.version.process = stage_name;
+          step.version.release = state.release;
+          step.version.change_date =
+              static_cast<int64_t>(simulation_->Now());
+          step.site = state.site;
+          step.input_files.push_back(product.name);
+          output.provenance = product.provenance;
+          output.provenance.AddStep(std::move(step));
+          if (successors.empty()) {
+            state.sink_outputs.push_back(std::move(output));
+          } else {
+            for (const std::string& next : successors) {
+              Deliver(next, output);
+            }
+          }
+        }
+      });
+}
+
+Status FlowRunner::Run() {
+  DFLOW_ASSIGN_OR_RETURN(auto order, graph_->TopologicalOrder());
+  (void)order;
+  ran_ = true;
+  simulation_->Run();
+  return Status::OK();
+}
+
+const StageMetrics& FlowRunner::MetricsFor(const std::string& stage) const {
+  static const StageMetrics& kEmpty = *new StageMetrics();
+  auto it = states_.find(stage);
+  return it == states_.end() ? kEmpty : it->second.metrics;
+}
+
+const std::vector<DataProduct>& FlowRunner::SinkOutputs(
+    const std::string& stage) const {
+  static const std::vector<DataProduct>& kEmpty =
+      *new std::vector<DataProduct>();
+  auto it = states_.find(stage);
+  return it == states_.end() ? kEmpty : it->second.sink_outputs;
+}
+
+double FlowRunner::UtilizationOf(const std::string& stage) const {
+  auto it = states_.find(stage);
+  if (it == states_.end() || it->second.resource == nullptr) {
+    return 0.0;
+  }
+  return it->second.resource->Utilization();
+}
+
+std::string FlowRunner::Report() const {
+  std::ostringstream os;
+  os << std::left << std::setw(28) << "stage" << std::right << std::setw(10)
+     << "in" << std::setw(12) << "bytes_in" << std::setw(10) << "out"
+     << std::setw(12) << "bytes_out" << std::setw(8) << "util" << "\n";
+  for (const std::string& name : graph_->StageNames()) {
+    const StageMetrics& m = MetricsFor(name);
+    os << std::left << std::setw(28) << name << std::right << std::setw(10)
+       << m.products_in << std::setw(12) << FormatBytes(m.bytes_in)
+       << std::setw(10) << m.products_out << std::setw(12)
+       << FormatBytes(m.bytes_out) << std::setw(8) << std::fixed
+       << std::setprecision(2) << UtilizationOf(name) << "\n";
+  }
+  return os.str();
+}
+
+std::string FlowRunner::AnnotatedDot() const {
+  std::map<std::string, std::string> annotations;
+  for (const std::string& name : graph_->StageNames()) {
+    const StageMetrics& m = MetricsFor(name);
+    annotations[name] =
+        "in " + FormatBytes(m.bytes_in) + " / out " + FormatBytes(m.bytes_out);
+  }
+  return graph_->ToDot(annotations);
+}
+
+}  // namespace dflow::core

@@ -1,0 +1,59 @@
+#include "core/web_service.h"
+
+#include <cstdlib>
+
+namespace dflow::core {
+
+Result<int64_t> ServiceRequest::IntParam(const std::string& key,
+                                         int64_t fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    return Status::InvalidArgument("parameter '" + key +
+                                   "' is not an integer: " + it->second);
+  }
+  return value;
+}
+
+Status ServiceRegistry::Mount(const std::string& prefix,
+                              std::shared_ptr<WebService> service) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("null service");
+  }
+  auto [it, inserted] = mounts_.try_emplace(prefix, std::move(service));
+  if (!inserted) {
+    return Status::AlreadyExists("prefix '" + prefix + "' already mounted");
+  }
+  return Status::OK();
+}
+
+Result<ServiceResponse> ServiceRegistry::Handle(
+    const ServiceRequest& request) const {
+  size_t slash = request.path.find('/');
+  std::string prefix =
+      slash == std::string::npos ? request.path : request.path.substr(0, slash);
+  auto it = mounts_.find(prefix);
+  if (it == mounts_.end()) {
+    return Status::NotFound("no service mounted at '" + prefix + "'");
+  }
+  ServiceRequest inner = request;
+  inner.path =
+      slash == std::string::npos ? "" : request.path.substr(slash + 1);
+  return it->second->Handle(inner);
+}
+
+std::vector<std::string> ServiceRegistry::Endpoints() const {
+  std::vector<std::string> out;
+  for (const auto& [prefix, service] : mounts_) {
+    for (const std::string& endpoint : service->Endpoints()) {
+      out.push_back(prefix + "/" + endpoint);
+    }
+  }
+  return out;
+}
+
+}  // namespace dflow::core

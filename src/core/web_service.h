@@ -1,0 +1,73 @@
+#ifndef DFLOW_CORE_WEB_SERVICE_H_
+#define DFLOW_CORE_WEB_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::core {
+
+/// A dissemination request: a path like "candidates/top" plus string
+/// parameters — the shape of the Web-Services interfaces the paper says
+/// all three projects expose ("access to databases and some of the data
+/// analysis functionality is provided through Web Services already", §5).
+struct ServiceRequest {
+  std::string path;
+  std::map<std::string, std::string> params;
+
+  /// Parameter accessor with default.
+  std::string Param(const std::string& key,
+                    const std::string& fallback = "") const {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+  Result<int64_t> IntParam(const std::string& key, int64_t fallback) const;
+};
+
+struct ServiceResponse {
+  /// "text/plain", "text/xml" (VOTable), "text/tab-separated-values".
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
+/// One dissemination endpoint group (the candidate DB, an EventStore, the
+/// WebLab). Implementations register handlers by path.
+class WebService {
+ public:
+  virtual ~WebService() = default;
+
+  /// Dispatches a request; NotFound for unknown paths.
+  virtual Result<ServiceResponse> Handle(const ServiceRequest& request) = 0;
+
+  /// Paths this service answers (for discovery / "full access to data and
+  /// analysis functionality").
+  virtual std::vector<std::string> Endpoints() const = 0;
+
+  virtual const std::string& name() const = 0;
+};
+
+/// Routes requests across mounted services by path prefix
+/// ("arecibo/candidates/top" -> the service mounted at "arecibo"). The
+/// federation hook the paper's next-steps section asks for: one entry
+/// point spanning the three projects' dissemination layers.
+class ServiceRegistry {
+ public:
+  /// Mounts `service` at `prefix`. AlreadyExists on duplicate prefixes.
+  Status Mount(const std::string& prefix, std::shared_ptr<WebService> service);
+
+  /// Routes "prefix/rest..." to the mounted service with path "rest...".
+  Result<ServiceResponse> Handle(const ServiceRequest& request) const;
+
+  /// Every mounted endpoint, fully qualified.
+  std::vector<std::string> Endpoints() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<WebService>> mounts_;
+};
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_WEB_SERVICE_H_

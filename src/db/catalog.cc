@@ -1,0 +1,73 @@
+#include "db/catalog.h"
+
+#include "util/strings.h"
+
+namespace dflow::db {
+
+IndexInfo* TableInfo::FindIndexOnColumn(std::string_view column) const {
+  std::string lower = ToLower(column);
+  // Strip any "table." qualifier.
+  size_t dot = lower.rfind('.');
+  if (dot != std::string::npos) {
+    lower = lower.substr(dot + 1);
+  }
+  for (const auto& index : indexes) {
+    if (ToLower(index->column) == lower) {
+      return index.get();
+    }
+  }
+  return nullptr;
+}
+
+Status Catalog::AddTable(std::string name, Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = std::move(name);
+  info->heap = std::make_unique<HeapTable>(std::move(schema));
+  tables_[key] = std::move(info);
+  return Status::OK();
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+TableInfo* Catalog::Find(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<TableInfo*> Catalog::Get(std::string_view name) const {
+  TableInfo* info = Find(name);
+  if (info == nullptr) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  return info;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, info] : tables_) {
+    names.push_back(info->name);
+  }
+  return names;
+}
+
+int64_t Catalog::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [key, info] : tables_) {
+    total += info->heap->SizeBytes();
+  }
+  return total;
+}
+
+}  // namespace dflow::db

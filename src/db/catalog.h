@@ -1,0 +1,56 @@
+#ifndef DFLOW_DB_CATALOG_H_
+#define DFLOW_DB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/btree.h"
+#include "db/heap_table.h"
+#include "util/result.h"
+
+namespace dflow::db {
+
+/// A secondary index over one column of a table.
+struct IndexInfo {
+  std::string name;
+  std::string column;
+  size_t column_index = 0;
+  std::unique_ptr<BTreeIndex> tree;
+};
+
+/// A table plus its indexes. Index maintenance is the Database's job; the
+/// catalog only owns the structures.
+struct TableInfo {
+  std::string name;
+  std::unique_ptr<HeapTable> heap;
+  std::vector<std::unique_ptr<IndexInfo>> indexes;
+
+  /// First index whose key column is `column` (unqualified,
+  /// case-insensitive), or nullptr.
+  IndexInfo* FindIndexOnColumn(std::string_view column) const;
+};
+
+/// Name -> table map with case-insensitive lookup.
+class Catalog {
+ public:
+  Status AddTable(std::string name, Schema schema);
+  Status DropTable(std::string_view name);
+  /// Table lookup; nullptr if absent.
+  TableInfo* Find(std::string_view name) const;
+  /// Like Find but returns NotFound status.
+  Result<TableInfo*> Get(std::string_view name) const;
+
+  std::vector<std::string> TableNames() const;
+  /// Sum of heap sizes across all tables (storage accounting).
+  int64_t TotalBytes() const;
+
+ private:
+  // Keyed by lowercased name.
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+};
+
+}  // namespace dflow::db
+
+#endif  // DFLOW_DB_CATALOG_H_

@@ -1,0 +1,40 @@
+#ifndef DFLOW_DB_EXECUTOR_H_
+#define DFLOW_DB_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "db/catalog.h"
+#include "db/parser.h"
+#include "util/result.h"
+
+namespace dflow::db {
+
+/// Materialized result of a query: output column names plus rows.
+/// Mutating statements report `affected` and leave columns/rows empty.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected = 0;
+
+  /// ASCII table rendering for examples and debugging.
+  std::string ToString() const;
+};
+
+/// Executes a SELECT against the catalog. The planner is deliberately
+/// small: it uses a B+Tree index scan when a top-level AND conjunct is
+/// `indexed_column <op> literal`, and falls back to a sequential scan
+/// otherwise; joins are index-nested-loop when the inner join key is
+/// indexed, else nested-loop.
+Result<QueryResult> ExecuteSelect(const Catalog& catalog,
+                                  const SelectStmt& stmt);
+
+/// Internal helper shared with Database's UPDATE/DELETE paths: collects the
+/// RowIds (and rows) of `table` matching `where` (null = all), using an
+/// index when possible.
+Result<std::vector<std::pair<RowId, Row>>> CollectMatches(
+    const TableInfo& table, const ExprPtr& where);
+
+}  // namespace dflow::db
+
+#endif  // DFLOW_DB_EXECUTOR_H_

@@ -1,0 +1,374 @@
+#include "db/expr.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dflow::db {
+
+std::string_view BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "%";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+    case BinOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = Kind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::ColumnRef(std::string name) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = Kind::kColumnRef;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinOp op, ExprPtr left, ExprPtr right) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = Kind::kBinary;
+  e->bin_op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnOp op, ExprPtr operand) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = Kind::kUnary;
+  e->un_op_ = op;
+  e->left_ = std::move(operand);
+  return e;
+}
+
+Status Expr::Bind(const Schema& schema) {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return Status::OK();
+    case Kind::kColumnRef: {
+      DFLOW_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column_name_));
+      column_index_ = static_cast<int>(idx);
+      return Status::OK();
+    }
+    case Kind::kBinary:
+      DFLOW_RETURN_IF_ERROR(left_->Bind(schema));
+      return right_->Bind(schema);
+    case Kind::kUnary:
+      return left_->Bind(schema);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Value> Expr::Eval(const Row& row) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kColumnRef:
+      if (column_index_ < 0 ||
+          static_cast<size_t>(column_index_) >= row.size()) {
+        return Status::FailedPrecondition("unbound column '" + column_name_ +
+                                          "'");
+      }
+      return row[static_cast<size_t>(column_index_)];
+    case Kind::kBinary:
+      return EvalBinary(row);
+    case Kind::kUnary:
+      return EvalUnary(row);
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+
+bool IsNumeric(const Value& v) {
+  return v.type() == Type::kInt64 || v.type() == Type::kDouble;
+}
+
+Result<Value> Arithmetic(BinOp op, const Value& a, const Value& b) {
+  if (!IsNumeric(a) || !IsNumeric(b)) {
+    return Status::InvalidArgument("arithmetic on non-numeric values");
+  }
+  bool both_int = a.type() == Type::kInt64 && b.type() == Type::kInt64;
+  if (both_int && op != BinOp::kDiv) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value::Int(x + y);
+      case BinOp::kSub:
+        return Value::Int(x - y);
+      case BinOp::kMul:
+        return Value::Int(x * y);
+      case BinOp::kMod:
+        if (y == 0) {
+          return Status::InvalidArgument("modulo by zero");
+        }
+        return Value::Int(x % y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  switch (op) {
+    case BinOp::kAdd:
+      return Value::Double(x + y);
+    case BinOp::kSub:
+      return Value::Double(x - y);
+    case BinOp::kMul:
+      return Value::Double(x * y);
+    case BinOp::kDiv:
+      if (y == 0.0) {
+        return Status::InvalidArgument("division by zero");
+      }
+      return Value::Double(x / y);
+    case BinOp::kMod:
+      if (y == 0.0) {
+        return Status::InvalidArgument("modulo by zero");
+      }
+      return Value::Double(std::fmod(x, y));
+    default:
+      return Status::Internal("not an arithmetic op");
+  }
+}
+
+}  // namespace
+
+Result<Value> Expr::EvalBinary(const Row& row) const {
+  // Kleene AND/OR need special NULL handling and short-circuiting.
+  if (bin_op_ == BinOp::kAnd || bin_op_ == BinOp::kOr) {
+    DFLOW_ASSIGN_OR_RETURN(Value lhs, left_->Eval(row));
+    bool is_and = bin_op_ == BinOp::kAnd;
+    if (!lhs.is_null() && lhs.type() == Type::kBool &&
+        lhs.AsBool() != is_and) {
+      // FALSE AND x -> FALSE; TRUE OR x -> TRUE.
+      return lhs;
+    }
+    DFLOW_ASSIGN_OR_RETURN(Value rhs, right_->Eval(row));
+    if (lhs.is_null()) {
+      if (!rhs.is_null() && rhs.type() == Type::kBool &&
+          rhs.AsBool() != is_and) {
+        return rhs;  // NULL AND FALSE -> FALSE; NULL OR TRUE -> TRUE.
+      }
+      return Value::Null();
+    }
+    if (lhs.type() != Type::kBool) {
+      return Status::InvalidArgument("AND/OR on non-boolean");
+    }
+    if (rhs.is_null()) {
+      return Value::Null();
+    }
+    if (rhs.type() != Type::kBool) {
+      return Status::InvalidArgument("AND/OR on non-boolean");
+    }
+    return Value::Bool(is_and ? (lhs.AsBool() && rhs.AsBool())
+                              : (lhs.AsBool() || rhs.AsBool()));
+  }
+
+  DFLOW_ASSIGN_OR_RETURN(Value lhs, left_->Eval(row));
+  DFLOW_ASSIGN_OR_RETURN(Value rhs, right_->Eval(row));
+  if (lhs.is_null() || rhs.is_null()) {
+    return Value::Null();  // NULL propagates through comparisons/arithmetic.
+  }
+  switch (bin_op_) {
+    case BinOp::kEq:
+      return Value::Bool(lhs.Compare(rhs) == 0);
+    case BinOp::kNe:
+      return Value::Bool(lhs.Compare(rhs) != 0);
+    case BinOp::kLt:
+      return Value::Bool(lhs.Compare(rhs) < 0);
+    case BinOp::kLe:
+      return Value::Bool(lhs.Compare(rhs) <= 0);
+    case BinOp::kGt:
+      return Value::Bool(lhs.Compare(rhs) > 0);
+    case BinOp::kGe:
+      return Value::Bool(lhs.Compare(rhs) >= 0);
+    case BinOp::kLike:
+      if (lhs.type() != Type::kString || rhs.type() != Type::kString) {
+        return Status::InvalidArgument("LIKE on non-string values");
+      }
+      return Value::Bool(LikeMatch(lhs.AsString(), rhs.AsString()));
+    default:
+      return Arithmetic(bin_op_, lhs, rhs);
+  }
+}
+
+Result<Value> Expr::EvalUnary(const Row& row) const {
+  DFLOW_ASSIGN_OR_RETURN(Value v, left_->Eval(row));
+  switch (un_op_) {
+    case UnOp::kIsNull:
+      return Value::Bool(v.is_null());
+    case UnOp::kIsNotNull:
+      return Value::Bool(!v.is_null());
+    case UnOp::kNot:
+      if (v.is_null()) {
+        return Value::Null();
+      }
+      if (v.type() != Type::kBool) {
+        return Status::InvalidArgument("NOT on non-boolean");
+      }
+      return Value::Bool(!v.AsBool());
+    case UnOp::kNeg:
+      if (v.is_null()) {
+        return Value::Null();
+      }
+      if (v.type() == Type::kInt64) {
+        return Value::Int(-v.AsInt());
+      }
+      if (v.type() == Type::kDouble) {
+        return Value::Double(-v.AsDouble());
+      }
+      return Status::InvalidArgument("negation of non-numeric value");
+  }
+  return Status::Internal("unreachable");
+}
+
+bool Expr::MatchSimplePredicate(std::string* column, BinOp* op,
+                                Value* literal) const {
+  if (kind_ != Kind::kBinary) {
+    return false;
+  }
+  BinOp o = bin_op_;
+  if (o != BinOp::kEq && o != BinOp::kLt && o != BinOp::kLe &&
+      o != BinOp::kGt && o != BinOp::kGe) {
+    return false;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  if (left_->kind_ == Kind::kColumnRef && right_->kind_ == Kind::kLiteral) {
+    col = left_.get();
+    lit = right_.get();
+  } else if (left_->kind_ == Kind::kLiteral &&
+             right_->kind_ == Kind::kColumnRef) {
+    col = right_.get();
+    lit = left_.get();
+    // Reverse the comparison: 5 < x  ==  x > 5.
+    switch (o) {
+      case BinOp::kLt:
+        o = BinOp::kGt;
+        break;
+      case BinOp::kLe:
+        o = BinOp::kGe;
+        break;
+      case BinOp::kGt:
+        o = BinOp::kLt;
+        break;
+      case BinOp::kGe:
+        o = BinOp::kLe;
+        break;
+      default:
+        break;
+    }
+  } else {
+    return false;
+  }
+  if (lit->literal_.is_null()) {
+    return false;
+  }
+  *column = col->column_name_;
+  *op = o;
+  *literal = lit->literal_;
+  return true;
+}
+
+std::pair<int, int> Expr::EquiJoinBoundIndexes() const {
+  if (kind_ == Kind::kBinary && bin_op_ == BinOp::kEq &&
+      left_->kind_ == Kind::kColumnRef && right_->kind_ == Kind::kColumnRef &&
+      left_->column_index_ >= 0 && right_->column_index_ >= 0) {
+    return {left_->column_index_, right_->column_index_};
+  }
+  return {-1, -1};
+}
+
+void Expr::SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) {
+    return;
+  }
+  if (e->kind_ == Kind::kBinary && e->bin_op_ == BinOp::kAnd) {
+    SplitConjuncts(e->left_, out);
+    SplitConjuncts(e->right_, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_.type() == Type::kString ? "'" + literal_.ToString() + "'"
+                                              : literal_.ToString();
+    case Kind::kColumnRef:
+      return column_name_;
+    case Kind::kBinary:
+      return "(" + left_->ToString() + " " +
+             std::string(BinOpToString(bin_op_)) + " " + right_->ToString() +
+             ")";
+    case Kind::kUnary:
+      switch (un_op_) {
+        case UnOp::kNot:
+          return "(NOT " + left_->ToString() + ")";
+        case UnOp::kNeg:
+          return "(-" + left_->ToString() + ")";
+        case UnOp::kIsNull:
+          return "(" + left_->ToString() + " IS NULL)";
+        case UnOp::kIsNotNull:
+          return "(" + left_->ToString() + " IS NOT NULL)";
+      }
+  }
+  return "?";
+}
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative wildcard match with backtracking over the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+}  // namespace dflow::db

@@ -1,0 +1,105 @@
+#ifndef DFLOW_DB_EXPR_H_
+#define DFLOW_DB_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "db/schema.h"
+#include "db/value.h"
+#include "util/result.h"
+
+namespace dflow::db {
+
+enum class BinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kAnd,
+  kOr,
+  kLike,
+};
+
+enum class UnOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Scalar expression tree used in WHERE clauses, projections, and UPDATE
+/// assignments. Expressions are built by the SQL parser or programmatically,
+/// bound once against a schema (resolving column names to positions), then
+/// evaluated per row.
+///
+/// NULL handling follows SQL three-valued logic: comparisons and arithmetic
+/// involving NULL yield NULL; AND/OR use Kleene semantics; a WHERE clause
+/// accepts a row only when the predicate evaluates to TRUE.
+class Expr {
+ public:
+  static ExprPtr Literal(Value v);
+  static ExprPtr ColumnRef(std::string name);
+  static ExprPtr Binary(BinOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr Unary(UnOp op, ExprPtr operand);
+
+  /// Resolves column references against `schema`. Must be called (and
+  /// succeed) before Eval.
+  Status Bind(const Schema& schema);
+
+  /// Evaluates against a row matching the bound schema.
+  Result<Value> Eval(const Row& row) const;
+
+  /// True if this is `column <op> literal` (or reversed) with op in
+  /// {=, <, <=, >, >=}; used by the planner to pick index scans.
+  /// On success fills column name, op (normalized to column-on-left), and
+  /// the literal.
+  bool MatchSimplePredicate(std::string* column, BinOp* op,
+                            Value* literal) const;
+
+  /// Appends the top-level AND-ed conjuncts of `e` to *out (a non-AND
+  /// expression contributes itself). Used by the planner to find indexable
+  /// predicates.
+  static void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+  /// If this expression is `col_a = col_b` over two *bound* column
+  /// references, returns their resolved column indexes; otherwise
+  /// {-1, -1}. Used by the planner to pick index-nested-loop joins
+  /// (indexes are unambiguous where names may not be).
+  std::pair<int, int> EquiJoinBoundIndexes() const;
+
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kLiteral, kColumnRef, kBinary, kUnary };
+
+  Expr() = default;
+
+  Result<Value> EvalBinary(const Row& row) const;
+  Result<Value> EvalUnary(const Row& row) const;
+
+  Kind kind_ = Kind::kLiteral;
+  // kLiteral
+  Value literal_;
+  // kColumnRef
+  std::string column_name_;
+  int column_index_ = -1;  // Resolved by Bind.
+  // kBinary / kUnary
+  BinOp bin_op_ = BinOp::kEq;
+  UnOp un_op_ = UnOp::kNot;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// SQL LIKE pattern match: '%' matches any run, '_' any single character.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+std::string_view BinOpToString(BinOp op);
+
+}  // namespace dflow::db
+
+#endif  // DFLOW_DB_EXPR_H_

@@ -1,0 +1,69 @@
+#include "db/heap_table.h"
+
+#include "util/byte_buffer.h"
+
+namespace dflow::db {
+
+HeapTable::HeapTable(Schema schema) : schema_(std::move(schema)) {}
+
+Result<RowId> HeapTable::Insert(Row row) {
+  DFLOW_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
+  ByteWriter w;
+  EncodeRow(validated, w);
+  DFLOW_ASSIGN_OR_RETURN(RowId id, InsertEncoded(w.data()));
+  ++num_rows_;
+  return id;
+}
+
+Result<RowId> HeapTable::InsertEncoded(std::string_view record) {
+  if (!pages_.empty()) {
+    auto slot = pages_.back()->Insert(record);
+    if (slot.ok()) {
+      return RowId{static_cast<uint32_t>(pages_.size() - 1), *slot};
+    }
+    if (!slot.status().IsResourceExhausted()) {
+      return slot.status();
+    }
+  }
+  pages_.push_back(std::make_unique<Page>());
+  DFLOW_ASSIGN_OR_RETURN(uint16_t slot, pages_.back()->Insert(record));
+  return RowId{static_cast<uint32_t>(pages_.size() - 1), slot};
+}
+
+Result<Row> HeapTable::Get(RowId id) const {
+  if (id.page >= pages_.size()) {
+    return Status::NotFound("page out of range");
+  }
+  DFLOW_ASSIGN_OR_RETURN(std::string_view record, pages_[id.page]->Get(id.slot));
+  ByteReader r(record);
+  return DecodeRow(r);
+}
+
+Status HeapTable::Delete(RowId id) {
+  if (id.page >= pages_.size()) {
+    return Status::NotFound("page out of range");
+  }
+  DFLOW_RETURN_IF_ERROR(pages_[id.page]->Delete(id.slot));
+  --num_rows_;
+  return Status::OK();
+}
+
+Result<RowId> HeapTable::Update(RowId id, Row row) {
+  if (id.page >= pages_.size()) {
+    return Status::NotFound("page out of range");
+  }
+  DFLOW_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
+  ByteWriter w;
+  EncodeRow(validated, w);
+  Status in_place = pages_[id.page]->Update(id.slot, w.data());
+  if (in_place.ok()) {
+    return id;
+  }
+  if (!in_place.IsResourceExhausted()) {
+    return in_place;
+  }
+  DFLOW_RETURN_IF_ERROR(pages_[id.page]->Delete(id.slot));
+  return InsertEncoded(w.data());
+}
+
+}  // namespace dflow::db

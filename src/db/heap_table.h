@@ -1,0 +1,85 @@
+#ifndef DFLOW_DB_HEAP_TABLE_H_
+#define DFLOW_DB_HEAP_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/page.h"
+#include "db/schema.h"
+#include "util/result.h"
+
+namespace dflow::db {
+
+/// Physical address of a row: page number + slot within the page. Stable
+/// across deletes (slots are tombstoned, not reused), so indexes can store
+/// RowIds.
+struct RowId {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const RowId& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator<(const RowId& other) const {
+    return page != other.page ? page < other.page : slot < other.slot;
+  }
+};
+
+/// A heap file of slotted pages storing encoded rows of one schema.
+/// Rows append to the last page with room; full pages stay where they are.
+class HeapTable {
+ public:
+  explicit HeapTable(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Validates against the schema and stores the row.
+  Result<RowId> Insert(Row row);
+
+  Result<Row> Get(RowId id) const;
+  Status Delete(RowId id);
+  /// In-place if it fits, else delete + reinsert (the returned RowId may
+  /// differ from `id`).
+  Result<RowId> Update(RowId id, Row row);
+
+  int64_t num_rows() const { return num_rows_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Total bytes occupied by page images (the storage-accounting hook).
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(pages_.size() * kPageSize);
+  }
+
+  /// Calls fn(RowId, const Row&) for every live row in physical order;
+  /// stops early if fn returns false.
+  template <typename Fn>
+  Status ForEach(Fn&& fn) const {
+    for (uint32_t p = 0; p < pages_.size(); ++p) {
+      const Page& page = *pages_[p];
+      for (uint16_t s = 0; s < page.num_slots(); ++s) {
+        auto record = page.Get(s);
+        if (!record.ok()) {
+          continue;  // Tombstone.
+        }
+        ByteReader reader(*record);
+        DFLOW_ASSIGN_OR_RETURN(Row row, DecodeRow(reader));
+        if (!fn(RowId{p, s}, row)) {
+          return Status::OK();
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<RowId> InsertEncoded(std::string_view record);
+
+  Schema schema_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace dflow::db
+
+#endif  // DFLOW_DB_HEAP_TABLE_H_

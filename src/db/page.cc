@@ -1,0 +1,110 @@
+#include "db/page.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace dflow::db {
+
+Page::Page() : data_(kPageSize, 0), payload_start_(kPageSize) {}
+
+Page::Slot Page::GetSlot(uint16_t i) const {
+  DFLOW_CHECK(i < num_slots_);
+  Slot s;
+  size_t pos = kHeaderSize + static_cast<size_t>(i) * kSlotSize;
+  std::memcpy(&s.offset, data_.data() + pos, 2);
+  std::memcpy(&s.length, data_.data() + pos + 2, 2);
+  return s;
+}
+
+void Page::SetSlot(uint16_t i, Slot s) {
+  size_t pos = kHeaderSize + static_cast<size_t>(i) * kSlotSize;
+  std::memcpy(data_.data() + pos, &s.offset, 2);
+  std::memcpy(data_.data() + pos + 2, &s.length, 2);
+}
+
+size_t Page::FreeBytes() const {
+  size_t directory_end = kHeaderSize + static_cast<size_t>(num_slots_) * kSlotSize;
+  return payload_start_ - directory_end;
+}
+
+Result<uint16_t> Page::Insert(std::string_view record) {
+  if (record.size() > kPageSize) {
+    return Status::InvalidArgument("record larger than page");
+  }
+  if (FreeBytes() < record.size() + kSlotSize) {
+    return Status::ResourceExhausted("page full");
+  }
+  payload_start_ = static_cast<uint16_t>(payload_start_ - record.size());
+  std::memcpy(data_.data() + payload_start_, record.data(), record.size());
+  uint16_t slot = num_slots_++;
+  SetSlot(slot, Slot{payload_start_, static_cast<uint16_t>(record.size())});
+  ++live_records_;
+  return slot;
+}
+
+Result<std::string_view> Page::Get(uint16_t slot) const {
+  if (slot >= num_slots_) {
+    return Status::NotFound("slot out of range");
+  }
+  Slot s = GetSlot(slot);
+  if (s.offset == kTombstone) {
+    return Status::NotFound("slot deleted");
+  }
+  return std::string_view(data_.data() + s.offset, s.length);
+}
+
+Status Page::Delete(uint16_t slot) {
+  if (slot >= num_slots_) {
+    return Status::NotFound("slot out of range");
+  }
+  Slot s = GetSlot(slot);
+  if (s.offset == kTombstone) {
+    return Status::NotFound("slot already deleted");
+  }
+  SetSlot(slot, Slot{kTombstone, 0});
+  --live_records_;
+  return Status::OK();
+}
+
+Status Page::Update(uint16_t slot, std::string_view record) {
+  if (slot >= num_slots_) {
+    return Status::NotFound("slot out of range");
+  }
+  Slot s = GetSlot(slot);
+  if (s.offset == kTombstone) {
+    return Status::NotFound("slot deleted");
+  }
+  if (record.size() <= s.length) {
+    // Shrinking update fits in place (leaves a hole at the tail).
+    std::memcpy(data_.data() + s.offset, record.data(), record.size());
+    SetSlot(slot, Slot{s.offset, static_cast<uint16_t>(record.size())});
+    return Status::OK();
+  }
+  if (FreeBytes() >= record.size()) {
+    payload_start_ = static_cast<uint16_t>(payload_start_ - record.size());
+    std::memcpy(data_.data() + payload_start_, record.data(), record.size());
+    SetSlot(slot, Slot{payload_start_, static_cast<uint16_t>(record.size())});
+    return Status::OK();
+  }
+  return Status::ResourceExhausted("update does not fit in page");
+}
+
+void Page::Compact() {
+  // Collect live records, then rewrite payloads from the end.
+  std::vector<std::pair<uint16_t, std::string>> live;
+  for (uint16_t i = 0; i < num_slots_; ++i) {
+    Slot s = GetSlot(i);
+    if (s.offset != kTombstone) {
+      live.emplace_back(i, std::string(data_.data() + s.offset, s.length));
+    }
+  }
+  payload_start_ = kPageSize;
+  for (auto& [slot, record] : live) {
+    payload_start_ = static_cast<uint16_t>(payload_start_ - record.size());
+    std::memcpy(data_.data() + payload_start_, record.data(), record.size());
+    SetSlot(slot, Slot{payload_start_, static_cast<uint16_t>(record.size())});
+  }
+}
+
+}  // namespace dflow::db

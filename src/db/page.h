@@ -1,0 +1,73 @@
+#ifndef DFLOW_DB_PAGE_H_
+#define DFLOW_DB_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::db {
+
+inline constexpr size_t kPageSize = 8192;
+
+/// A slotted heap page: a slot directory grows downward from the header
+/// while record payloads grow upward from the end of the page. Deleting a
+/// record tombstones its slot (slot numbers are stable, so RowIds stored in
+/// indexes stay valid); the space is reclaimed by Compact().
+class Page {
+ public:
+  Page();
+
+  /// Inserts a record; returns its slot number, or ResourceExhausted if the
+  /// page cannot fit `record` plus a slot entry.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Returns the record in `slot`, or NotFound if it was deleted / never
+  /// existed.
+  Result<std::string_view> Get(uint16_t slot) const;
+
+  /// Tombstones `slot`. NotFound if already deleted.
+  Status Delete(uint16_t slot);
+
+  /// Replaces the record in `slot`. If the new record does not fit in place
+  /// or in the page's free space, returns ResourceExhausted (caller then
+  /// deletes + reinserts elsewhere).
+  Status Update(uint16_t slot, std::string_view record);
+
+  uint16_t num_slots() const { return num_slots_; }
+  size_t FreeBytes() const;
+  int64_t live_records() const { return live_records_; }
+
+  /// Rewrites payloads to squeeze out holes left by deletes/updates. Slot
+  /// numbers are preserved.
+  void Compact();
+
+  /// Raw page image (for checksumming / persistence).
+  std::string_view Image() const {
+    return std::string_view(data_.data(), data_.size());
+  }
+
+ private:
+  struct Slot {
+    uint16_t offset;  // 0xffff means tombstone.
+    uint16_t length;
+  };
+
+  Slot GetSlot(uint16_t i) const;
+  void SetSlot(uint16_t i, Slot s);
+
+  static constexpr uint16_t kTombstone = 0xffff;
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+
+  std::vector<char> data_;
+  uint16_t num_slots_ = 0;
+  uint16_t payload_start_;  // Lowest byte offset used by payloads.
+  int64_t live_records_ = 0;
+};
+
+}  // namespace dflow::db
+
+#endif  // DFLOW_DB_PAGE_H_

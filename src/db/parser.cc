@@ -1,0 +1,684 @@
+#include "db/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace dflow::db {
+
+namespace {
+
+enum class TokenKind {
+  kKeywordOrIdent,
+  kNumber,
+  kString,
+  kSymbol,  // Operators and punctuation.
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // Uppercased for identifiers/keywords.
+  std::string raw;    // Original spelling.
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= sql_.size()) {
+        out.push_back(Token{TokenKind::kEnd, "", ""});
+        return out;
+      }
+      char c = sql_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexWord());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && pos_ + 1 < sql_.size() &&
+                  std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+        out.push_back(LexNumber());
+      } else if (c == '\'') {
+        DFLOW_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else {
+        DFLOW_ASSIGN_OR_RETURN(Token t, LexSymbol());
+        out.push_back(std::move(t));
+      }
+    }
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '-') {
+        while (pos_ < sql_.size() && sql_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token LexWord() {
+    size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (IsAlnum(sql_[pos_]) || sql_[pos_] == '_' || sql_[pos_] == '.')) {
+      ++pos_;
+    }
+    std::string raw(sql_.substr(start, pos_ - start));
+    std::string upper = raw;
+    for (char& ch : upper) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    return Token{TokenKind::kKeywordOrIdent, std::move(upper), std::move(raw)};
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    bool saw_dot = false;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !saw_dot) {
+        saw_dot = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && pos_ + 1 < sql_.size()) {
+        // Exponent: e[+-]?digits
+        size_t peek = pos_ + 1;
+        if (sql_[peek] == '+' || sql_[peek] == '-') {
+          ++peek;
+        }
+        if (peek < sql_.size() &&
+            std::isdigit(static_cast<unsigned char>(sql_[peek]))) {
+          saw_dot = true;  // Treat as floating point.
+          pos_ = peek + 1;
+          while (pos_ < sql_.size() &&
+                 std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+            ++pos_;
+          }
+        }
+        break;
+      } else {
+        break;
+      }
+    }
+    std::string raw(sql_.substr(start, pos_ - start));
+    return Token{TokenKind::kNumber, raw, raw};
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // Opening quote.
+    std::string out;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (c == '\'') {
+        if (pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '\'') {
+          out.push_back('\'');  // Doubled quote escape.
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        return Token{TokenKind::kString, out, out};
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  Result<Token> LexSymbol() {
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+    for (const char* sym : kTwoChar) {
+      if (sql_.substr(pos_, 2) == sym) {
+        pos_ += 2;
+        return Token{TokenKind::kSymbol, sym, sym};
+      }
+    }
+    char c = sql_[pos_];
+    static const std::string kSingles = "(),*=<>+-/%;";
+    if (kSingles.find(c) == std::string::npos) {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    }
+    ++pos_;
+    return Token{TokenKind::kSymbol, std::string(1, c), std::string(1, c)};
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    const Token& t = Peek();
+    Statement stmt;
+    if (IsKeyword(t, "CREATE")) {
+      DFLOW_ASSIGN_OR_RETURN(stmt, ParseCreate());
+    } else if (IsKeyword(t, "DROP")) {
+      DFLOW_ASSIGN_OR_RETURN(stmt, ParseDrop());
+    } else if (IsKeyword(t, "INSERT")) {
+      DFLOW_ASSIGN_OR_RETURN(stmt, ParseInsert());
+    } else if (IsKeyword(t, "SELECT")) {
+      DFLOW_ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
+      stmt = std::move(s);
+    } else if (IsKeyword(t, "UPDATE")) {
+      DFLOW_ASSIGN_OR_RETURN(stmt, ParseUpdate());
+    } else if (IsKeyword(t, "DELETE")) {
+      DFLOW_ASSIGN_OR_RETURN(stmt, ParseDelete());
+    } else if (IsKeyword(t, "BEGIN")) {
+      Advance();
+      stmt = BeginStmt{};
+    } else if (IsKeyword(t, "COMMIT")) {
+      Advance();
+      stmt = CommitStmt{};
+    } else if (IsKeyword(t, "ROLLBACK")) {
+      Advance();
+      stmt = RollbackStmt{};
+    } else {
+      return Status::InvalidArgument("expected a statement, got '" + t.raw +
+                                     "'");
+    }
+    // Optional trailing semicolon, then end of input.
+    if (PeekSymbol(";")) {
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement: '" +
+                                     Peek().raw + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  static bool IsKeyword(const Token& t, std::string_view kw) {
+    return t.kind == TokenKind::kKeywordOrIdent && t.text == kw;
+  }
+  bool PeekKeyword(std::string_view kw) const { return IsKeyword(Peek(), kw); }
+  bool PeekSymbol(std::string_view sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == sym;
+  }
+
+  Status Expect(std::string_view kw_or_sym) {
+    const Token& t = Advance();
+    if (t.text != kw_or_sym) {
+      return Status::InvalidArgument("expected '" + std::string(kw_or_sym) +
+                                     "', got '" + t.raw + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    const Token& t = Advance();
+    if (t.kind != TokenKind::kKeywordOrIdent) {
+      return Status::InvalidArgument("expected identifier, got '" + t.raw +
+                                     "'");
+    }
+    return t.raw;
+  }
+
+  Result<Statement> ParseCreate() {
+    DFLOW_RETURN_IF_ERROR(Expect("CREATE"));
+    if (PeekKeyword("TABLE")) {
+      Advance();
+      CreateTableStmt stmt;
+      DFLOW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+      DFLOW_RETURN_IF_ERROR(Expect("("));
+      while (true) {
+        Column col;
+        DFLOW_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+        DFLOW_ASSIGN_OR_RETURN(col.type, ParseType());
+        if (PeekKeyword("NOT")) {
+          Advance();
+          DFLOW_RETURN_IF_ERROR(Expect("NULL"));
+          col.nullable = false;
+        } else if (PeekKeyword("NULL")) {
+          Advance();
+        }
+        stmt.columns.push_back(std::move(col));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DFLOW_RETURN_IF_ERROR(Expect(")"));
+      return Statement{std::move(stmt)};
+    }
+    if (PeekKeyword("INDEX")) {
+      Advance();
+      CreateIndexStmt stmt;
+      DFLOW_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdent());
+      DFLOW_RETURN_IF_ERROR(Expect("ON"));
+      DFLOW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+      DFLOW_RETURN_IF_ERROR(Expect("("));
+      DFLOW_ASSIGN_OR_RETURN(stmt.column, ExpectIdent());
+      DFLOW_RETURN_IF_ERROR(Expect(")"));
+      return Statement{std::move(stmt)};
+    }
+    return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+  }
+
+  Result<Type> ParseType() {
+    const Token& t = Advance();
+    if (t.text == "INT" || t.text == "INTEGER" || t.text == "BIGINT") {
+      return Type::kInt64;
+    }
+    if (t.text == "DOUBLE" || t.text == "REAL" || t.text == "FLOAT") {
+      return Type::kDouble;
+    }
+    if (t.text == "TEXT" || t.text == "STRING" || t.text == "VARCHAR") {
+      // Optional (n) length, ignored.
+      if (PeekSymbol("(")) {
+        Advance();
+        Advance();  // Length.
+        DFLOW_RETURN_IF_ERROR(Expect(")"));
+      }
+      return Type::kString;
+    }
+    if (t.text == "BOOL" || t.text == "BOOLEAN") {
+      return Type::kBool;
+    }
+    return Status::InvalidArgument("unknown type '" + t.raw + "'");
+  }
+
+  Result<Statement> ParseDrop() {
+    DFLOW_RETURN_IF_ERROR(Expect("DROP"));
+    DFLOW_RETURN_IF_ERROR(Expect("TABLE"));
+    DropTableStmt stmt;
+    if (PeekKeyword("IF")) {
+      Advance();
+      DFLOW_RETURN_IF_ERROR(Expect("EXISTS"));
+      stmt.if_exists = true;
+    }
+    DFLOW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseInsert() {
+    DFLOW_RETURN_IF_ERROR(Expect("INSERT"));
+    DFLOW_RETURN_IF_ERROR(Expect("INTO"));
+    InsertStmt stmt;
+    DFLOW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    if (PeekSymbol("(")) {
+      Advance();
+      while (true) {
+        DFLOW_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        stmt.columns.push_back(std::move(col));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DFLOW_RETURN_IF_ERROR(Expect(")"));
+    }
+    DFLOW_RETURN_IF_ERROR(Expect("VALUES"));
+    while (true) {
+      DFLOW_RETURN_IF_ERROR(Expect("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        DFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DFLOW_RETURN_IF_ERROR(Expect(")"));
+      stmt.rows.push_back(std::move(row));
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    DFLOW_RETURN_IF_ERROR(Expect("SELECT"));
+    SelectStmt stmt;
+    if (PeekKeyword("DISTINCT")) {
+      Advance();
+      stmt.distinct = true;
+    }
+    while (true) {
+      DFLOW_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    DFLOW_RETURN_IF_ERROR(Expect("FROM"));
+    DFLOW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    if (PeekKeyword("JOIN") || PeekKeyword("INNER")) {
+      if (PeekKeyword("INNER")) {
+        Advance();
+      }
+      DFLOW_RETURN_IF_ERROR(Expect("JOIN"));
+      JoinClause join;
+      DFLOW_ASSIGN_OR_RETURN(join.table, ExpectIdent());
+      DFLOW_RETURN_IF_ERROR(Expect("ON"));
+      DFLOW_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      stmt.join = std::move(join);
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      DFLOW_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        DFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (PeekKeyword("HAVING")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      DFLOW_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        OrderByItem item;
+        DFLOW_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (PeekKeyword("DESC")) {
+          Advance();
+          item.descending = true;
+        } else if (PeekKeyword("ASC")) {
+          Advance();
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      const Token& t = Advance();
+      if (t.kind != TokenKind::kNumber) {
+        return Status::InvalidArgument("expected number after LIMIT");
+      }
+      stmt.limit = std::strtoll(t.text.c_str(), nullptr, 10);
+      if (PeekKeyword("OFFSET")) {
+        Advance();
+        const Token& skip = Advance();
+        if (skip.kind != TokenKind::kNumber) {
+          return Status::InvalidArgument("expected number after OFFSET");
+        }
+        stmt.offset = std::strtoll(skip.text.c_str(), nullptr, 10);
+      }
+    }
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (PeekSymbol("*")) {
+      Advance();
+      item.star = true;
+      return item;
+    }
+    // Aggregate function?
+    static const std::pair<const char*, AggFunc> kAggs[] = {
+        {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+        {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
+        {"AVG", AggFunc::kAvg}};
+    for (const auto& [name, func] : kAggs) {
+      if (PeekKeyword(name) && Peek(1).kind == TokenKind::kSymbol &&
+          Peek(1).text == "(") {
+        Advance();
+        Advance();
+        item.agg = func;
+        if (PeekSymbol("*")) {
+          Advance();
+          item.star = true;
+        } else {
+          DFLOW_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        }
+        DFLOW_RETURN_IF_ERROR(Expect(")"));
+        if (PeekKeyword("AS")) {
+          Advance();
+          DFLOW_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+        }
+        return item;
+      }
+    }
+    DFLOW_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (PeekKeyword("AS")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+    }
+    return item;
+  }
+
+  Result<Statement> ParseUpdate() {
+    DFLOW_RETURN_IF_ERROR(Expect("UPDATE"));
+    UpdateStmt stmt;
+    DFLOW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    DFLOW_RETURN_IF_ERROR(Expect("SET"));
+    while (true) {
+      DFLOW_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      DFLOW_RETURN_IF_ERROR(Expect("="));
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(e));
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseDelete() {
+    DFLOW_RETURN_IF_ERROR(Expect("DELETE"));
+    DFLOW_RETURN_IF_ERROR(Expect("FROM"));
+    DeleteStmt stmt;
+    DFLOW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  // Expression grammar (precedence climbing):
+  //   or: and (OR and)*
+  //   and: not (AND not)*
+  //   not: NOT not | cmp
+  //   cmp: add ((=|<>|<|<=|>|>=|LIKE) add | IS [NOT] NULL)?
+  //   add: mul ((+|-) mul)*
+  //   mul: unary ((*|/|%) unary)*
+  //   unary: - unary | primary
+  //   primary: literal | ident | ( or )
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DFLOW_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Binary(BinOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DFLOW_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::Binary(BinOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Expr::Unary(UnOp::kNot, std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DFLOW_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (PeekKeyword("IS")) {
+      Advance();
+      bool negated = false;
+      if (PeekKeyword("NOT")) {
+        Advance();
+        negated = true;
+      }
+      DFLOW_RETURN_IF_ERROR(Expect("NULL"));
+      return Expr::Unary(negated ? UnOp::kIsNotNull : UnOp::kIsNull,
+                         std::move(left));
+    }
+    if (PeekKeyword("LIKE")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Expr::Binary(BinOp::kLike, std::move(left), std::move(right));
+    }
+    static const std::pair<const char*, BinOp> kCmps[] = {
+        {"=", BinOp::kEq}, {"<>", BinOp::kNe}, {"!=", BinOp::kNe},
+        {"<=", BinOp::kLe}, {">=", BinOp::kGe}, {"<", BinOp::kLt},
+        {">", BinOp::kGt}};
+    for (const auto& [sym, op] : kCmps) {
+      if (PeekSymbol(sym)) {
+        Advance();
+        DFLOW_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return Expr::Binary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    DFLOW_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      BinOp op = Peek().text == "+" ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    DFLOW_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (PeekSymbol("*") || PeekSymbol("/") || PeekSymbol("%")) {
+      BinOp op = Peek().text == "*"
+                     ? BinOp::kMul
+                     : (Peek().text == "/" ? BinOp::kDiv : BinOp::kMod);
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (PeekSymbol("-")) {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::Unary(UnOp::kNeg, std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kNumber) {
+      Advance();
+      if (t.text.find('.') != std::string::npos ||
+          t.text.find('e') != std::string::npos ||
+          t.text.find('E') != std::string::npos) {
+        return Expr::Literal(Value::Double(std::strtod(t.text.c_str(),
+                                                       nullptr)));
+      }
+      return Expr::Literal(
+          Value::Int(std::strtoll(t.text.c_str(), nullptr, 10)));
+    }
+    if (t.kind == TokenKind::kString) {
+      Advance();
+      return Expr::Literal(Value::String(t.raw));
+    }
+    if (t.kind == TokenKind::kSymbol && t.text == "(") {
+      Advance();
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      DFLOW_RETURN_IF_ERROR(Expect(")"));
+      return e;
+    }
+    if (t.kind == TokenKind::kKeywordOrIdent) {
+      if (t.text == "NULL") {
+        Advance();
+        return Expr::Literal(Value::Null());
+      }
+      if (t.text == "TRUE") {
+        Advance();
+        return Expr::Literal(Value::Bool(true));
+      }
+      if (t.text == "FALSE") {
+        Advance();
+        return Expr::Literal(Value::Bool(false));
+      }
+      Advance();
+      return Expr::ColumnRef(t.raw);
+    }
+    return Status::InvalidArgument("unexpected token '" + t.raw +
+                                   "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseSql(std::string_view sql) {
+  Lexer lexer(sql);
+  DFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace dflow::db

@@ -1,0 +1,98 @@
+#ifndef DFLOW_DB_PARSER_H_
+#define DFLOW_DB_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/expr.h"
+#include "db/schema.h"
+#include "util/result.h"
+
+namespace dflow::db {
+
+/// Parsed statement forms for the SQL subset the embedded engine supports.
+/// The subset covers what the paper's metadata workloads need: DDL, bulk
+/// insert, filtered/ordered/aggregated selects, equi-joins, update, delete.
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<Column> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // Empty = positional.
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+enum class AggFunc { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+struct SelectItem {
+  ExprPtr expr;               // Null for COUNT(*).
+  AggFunc agg = AggFunc::kNone;
+  bool star = false;          // SELECT * (agg == kNone) or COUNT(*) arg.
+  std::string alias;          // Output column name; derived if empty.
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct JoinClause {
+  std::string table;
+  ExprPtr on;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::string table;
+  std::optional<JoinClause> join;
+  ExprPtr where;  // May be null.
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // May be null; binds against the output columns.
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;   // -1 = no limit.
+  int64_t offset = 0;   // Rows skipped before the limit applies.
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // May be null.
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // May be null.
+};
+
+struct BeginStmt {};
+struct CommitStmt {};
+struct RollbackStmt {};
+
+using Statement =
+    std::variant<CreateTableStmt, CreateIndexStmt, DropTableStmt, InsertStmt,
+                 SelectStmt, UpdateStmt, DeleteStmt, BeginStmt, CommitStmt,
+                 RollbackStmt>;
+
+/// Parses one SQL statement (a trailing ';' is allowed).
+Result<Statement> ParseSql(std::string_view sql);
+
+}  // namespace dflow::db
+
+#endif  // DFLOW_DB_PARSER_H_

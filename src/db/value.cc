@@ -1,0 +1,208 @@
+#include "db/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dflow::db {
+
+std::string_view TypeToString(Type t) {
+  switch (t) {
+    case Type::kNull:
+      return "NULL";
+    case Type::kBool:
+      return "BOOL";
+    case Type::kInt64:
+      return "INT";
+    case Type::kDouble:
+      return "DOUBLE";
+    case Type::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Type Value::type() const {
+  return static_cast<Type>(data_.index());
+}
+
+bool Value::AsBool() const {
+  DFLOW_CHECK(type() == Type::kBool) << "Value is " << TypeToString(type());
+  return std::get<bool>(data_);
+}
+
+int64_t Value::AsInt() const {
+  DFLOW_CHECK(type() == Type::kInt64) << "Value is " << TypeToString(type());
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (type() == Type::kInt64) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  DFLOW_CHECK(type() == Type::kDouble) << "Value is " << TypeToString(type());
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  DFLOW_CHECK(type() == Type::kString) << "Value is " << TypeToString(type());
+  return std::get<std::string>(data_);
+}
+
+namespace {
+// Rank for cross-type ordering: NULL < bool < numeric < string.
+int TypeRank(Type t) {
+  switch (t) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool:
+      return 1;
+    case Type::kInt64:
+    case Type::kDouble:
+      return 2;
+    case Type::kString:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) {
+    return ra < rb ? -1 : 1;
+  }
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool: {
+      bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case Type::kInt64:
+    case Type::kDouble: {
+      if (type() == Type::kInt64 && other.type() == Type::kInt64) {
+        int64_t a = AsInt(), b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = AsDouble(), b = other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case Type::kString:
+      return AsString().compare(other.AsString()) < 0
+                 ? -1
+                 : (AsString() == other.AsString() ? 0 : 1);
+  }
+  return 0;
+}
+
+void Value::EncodeTo(ByteWriter& w) const {
+  w.PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      w.PutU8(AsBool() ? 1 : 0);
+      break;
+    case Type::kInt64:
+      w.PutI64(AsInt());
+      break;
+    case Type::kDouble:
+      w.PutDouble(std::get<double>(data_));
+      break;
+    case Type::kString:
+      w.PutString(AsString());
+      break;
+  }
+}
+
+Result<Value> Value::DecodeFrom(ByteReader& r) {
+  DFLOW_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  switch (static_cast<Type>(tag)) {
+    case Type::kNull:
+      return Value::Null();
+    case Type::kBool: {
+      DFLOW_ASSIGN_OR_RETURN(uint8_t v, r.GetU8());
+      return Value::Bool(v != 0);
+    }
+    case Type::kInt64: {
+      DFLOW_ASSIGN_OR_RETURN(int64_t v, r.GetI64());
+      return Value::Int(v);
+    }
+    case Type::kDouble: {
+      DFLOW_ASSIGN_OR_RETURN(double v, r.GetDouble());
+      return Value::Double(v);
+    }
+    case Type::kString: {
+      DFLOW_ASSIGN_OR_RETURN(std::string v, r.GetString());
+      return Value::String(std::move(v));
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "NULL";
+    case Type::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case Type::kInt64: {
+      std::ostringstream os;
+      os << AsInt();
+      return os.str();
+    }
+    case Type::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(data_);
+      return os.str();
+    }
+    case Type::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  // FNV-1a over the encoded form, with the type tag folded in so that
+  // Int(1) and Bool(true) hash differently.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  h ^= static_cast<uint64_t>(type());
+  h *= 1099511628211ull;
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      mix(AsBool() ? 1 : 0);
+      break;
+    case Type::kInt64:
+      mix(static_cast<uint64_t>(AsInt()));
+      break;
+    case Type::kDouble: {
+      // Hash numerics by double bit pattern so 1 and 1.0 group together.
+      double d = AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      mix(bits);
+      break;
+    }
+    case Type::kString:
+      for (char c : AsString()) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+      }
+      break;
+  }
+  return h;
+}
+
+}  // namespace dflow::db

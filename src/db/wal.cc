@@ -1,0 +1,75 @@
+#include "db/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace dflow::db {
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError("cannot open WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(file));
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32::Of(payload);
+  if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
+      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
+      (len > 0 && std::fwrite(payload.data(), len, 1, file_) != 1)) {
+    return Status::IOError("WAL append failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  bytes_written_ += 8 + len;
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("WAL flush failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> WalReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("no WAL at '" + path + "'");
+  }
+  std::vector<std::string> records;
+  while (true) {
+    uint32_t len, crc;
+    if (std::fread(&len, sizeof(len), 1, file) != 1) {
+      break;  // Clean end of log.
+    }
+    if (std::fread(&crc, sizeof(crc), 1, file) != 1) {
+      break;  // Torn header.
+    }
+    if (len > (64u << 20)) {
+      break;  // Implausible length: corrupt tail.
+    }
+    std::string payload(len, '\0');
+    if (len > 0 && std::fread(payload.data(), len, 1, file) != 1) {
+      break;  // Torn payload.
+    }
+    if (Crc32::Of(payload) != crc) {
+      break;  // Corrupt record.
+    }
+    records.push_back(std::move(payload));
+  }
+  std::fclose(file);
+  return records;
+}
+
+}  // namespace dflow::db

@@ -1,0 +1,61 @@
+#ifndef DFLOW_DB_WAL_H_
+#define DFLOW_DB_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::db {
+
+/// Physical operations recorded in the write-ahead log. Mutations between
+/// kBegin and kCommit are atomic: recovery applies only complete
+/// transactions, so a crash mid-transaction (or a torn tail record) rolls
+/// back cleanly. This is the mechanism behind the EventStore merge bench:
+/// merging a personal store is one short transaction instead of a
+/// long-lived open one.
+enum class WalOp : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kCreateTable = 3,
+  kCreateIndex = 4,
+  kDropTable = 5,
+  kInsert = 6,
+  kDelete = 7,
+  kUpdate = 8,
+};
+
+/// Appends length+CRC framed records to a log file.
+class WalWriter {
+ public:
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending (creates it if missing).
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+
+  Status Append(std::string_view payload);
+  Status Sync();
+
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit WalWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+  int64_t bytes_written_ = 0;
+};
+
+/// Reads every intact record from a log file. A torn or corrupt tail
+/// record terminates the scan silently (standard WAL recovery semantics);
+/// corruption *before* the tail also just stops the scan, and the caller
+/// sees fewer records.
+Result<std::vector<std::string>> WalReadAll(const std::string& path);
+
+}  // namespace dflow::db
+
+#endif  // DFLOW_DB_WAL_H_

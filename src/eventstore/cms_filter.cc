@@ -1,0 +1,51 @@
+#include "eventstore/cms_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dflow::eventstore {
+
+CmsFilterResult RunCmsFilter(const CmsFilterConfig& config,
+                             double interval_sec, uint64_t seed) {
+  Rng rng(seed);
+  CmsFilterResult result;
+
+  // Tick-based simulation: 10 ms ticks are fine-grained relative to the
+  // buffer dynamics and keep the run O(interval / tick).
+  const double tick = 0.01;
+  const double drain_per_tick = config.tape_limit_bytes_per_sec * tick;
+  double buffer = 0.0;
+
+  for (double t = 0.0; t < interval_sec; t += tick) {
+    int64_t arrivals = rng.Poisson(config.detector_event_rate_hz * tick);
+    result.events_seen += arrivals;
+    for (int64_t i = 0; i < arrivals; ++i) {
+      if (!rng.Bernoulli(config.accept_fraction)) {
+        continue;
+      }
+      int64_t bytes = std::max<int64_t>(
+          1024, static_cast<int64_t>(
+                    rng.Normal(static_cast<double>(config.event_bytes_mean),
+                               static_cast<double>(config.event_bytes_sd))));
+      if (buffer + static_cast<double>(bytes) >
+          static_cast<double>(config.tape_buffer_bytes)) {
+        ++result.events_dropped_overflow;  // Data loss: budget exceeded.
+        continue;
+      }
+      buffer += static_cast<double>(bytes);
+      ++result.events_accepted;
+      result.bytes_accepted += bytes;
+    }
+    buffer = std::max(0.0, buffer - drain_per_tick);
+    result.peak_buffer_bytes = std::max(result.peak_buffer_bytes, buffer);
+  }
+
+  result.mean_tape_rate =
+      static_cast<double>(result.bytes_accepted) / interval_sec;
+  result.within_tape_budget =
+      result.events_dropped_overflow == 0 &&
+      result.mean_tape_rate <= config.tape_limit_bytes_per_sec * 1.001;
+  return result;
+}
+
+}  // namespace dflow::eventstore

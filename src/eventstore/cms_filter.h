@@ -1,0 +1,45 @@
+#ifndef DFLOW_EVENTSTORE_CMS_FILTER_H_
+#define DFLOW_EVENTSTORE_CMS_FILTER_H_
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+#include "sim/stats.h"
+#include "util/rng.h"
+
+namespace dflow::eventstore {
+
+/// The LHC/CMS real-time constraint from §3.2: the experiment "is limited
+/// to taking 200 MB/s of data to be written to tape, therefore substantial
+/// filtering has to take place in real time before writing to tape."
+struct CmsFilterConfig {
+  double detector_event_rate_hz = 100'000.0;  // Post-L1-trigger rate.
+  int64_t event_bytes_mean = 1'000'000;       // ~1 MB per event.
+  int64_t event_bytes_sd = 200'000;
+  double accept_fraction = 0.002;             // HLT acceptance.
+  double tape_limit_bytes_per_sec = 200.0e6;  // The hard 200 MB/s budget.
+  int64_t tape_buffer_bytes = 8LL * 1000 * 1000 * 1000;  // Burst buffer.
+};
+
+/// Outcome of a filtering interval.
+struct CmsFilterResult {
+  int64_t events_seen = 0;
+  int64_t events_accepted = 0;
+  int64_t bytes_accepted = 0;
+  double mean_tape_rate = 0.0;      // Accepted bytes / interval.
+  double peak_buffer_bytes = 0.0;   // Largest backlog in the tape buffer.
+  int64_t events_dropped_overflow = 0;  // Lost when the buffer overflowed.
+  bool within_tape_budget = false;
+};
+
+/// Event-by-event simulation of the high-level-trigger filter in front of
+/// the tape system: events arrive in Poisson bursts, the filter accepts a
+/// fraction, accepted bytes drain to tape at the fixed budget rate through
+/// a bounded buffer. Sweeping `accept_fraction` locates the largest
+/// acceptance that still honours the 200 MB/s tape budget.
+CmsFilterResult RunCmsFilter(const CmsFilterConfig& config,
+                             double interval_sec, uint64_t seed);
+
+}  // namespace dflow::eventstore
+
+#endif  // DFLOW_EVENTSTORE_CMS_FILTER_H_

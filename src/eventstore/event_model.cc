@@ -1,0 +1,101 @@
+#include "eventstore/event_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace dflow::eventstore {
+
+int64_t Event::SizeBytes() const {
+  int64_t total = 0;
+  for (const Asu& asu : asus) {
+    total += asu.bytes;
+  }
+  return total;
+}
+
+int64_t Event::GroupBytes(const std::string& group) const {
+  int64_t total = 0;
+  for (const Asu& asu : asus) {
+    if (asu.group == group) {
+      total += asu.bytes;
+    }
+  }
+  return total;
+}
+
+int64_t Run::AccountedBytes() const {
+  if (events.empty()) {
+    return 0;
+  }
+  int64_t payload = PayloadBytes();
+  return payload / static_cast<int64_t>(events.size()) * num_events;
+}
+
+int64_t Run::PayloadBytes() const {
+  int64_t total = 0;
+  for (const Event& event : events) {
+    total += event.SizeBytes();
+  }
+  return total;
+}
+
+CollisionGenerator::CollisionGenerator(CollisionGeneratorConfig config,
+                                       uint64_t seed)
+    : config_(config), rng_(seed) {
+  DFLOW_CHECK(config_.payload_events_per_run > 0);
+  DFLOW_CHECK(config_.events_lo > 0 && config_.events_hi >= config_.events_lo);
+}
+
+Run CollisionGenerator::NextRun(double start_time) {
+  Run run;
+  run.run_number = next_run_number_++;
+  run.start_time = start_time;
+  run.duration_sec =
+      rng_.UniformReal(config_.run_minutes_lo, config_.run_minutes_hi) *
+      kMinute;
+  run.num_events = rng_.Uniform(config_.events_lo, config_.events_hi);
+  run.events.reserve(static_cast<size_t>(config_.payload_events_per_run));
+  for (int i = 0; i < config_.payload_events_per_run; ++i) {
+    Event event;
+    event.id = next_event_id_++;
+    int64_t raw_bytes = std::max<int64_t>(
+        256, static_cast<int64_t>(
+                 rng_.Normal(static_cast<double>(config_.raw_hits_bytes_mean),
+                             static_cast<double>(config_.raw_hits_bytes_sd))));
+    event.asus.push_back(Asu{"raw_hits", raw_bytes});
+    event.asus.push_back(Asu{"trigger", config_.trigger_bytes});
+    run.events.push_back(std::move(event));
+  }
+  return run;
+}
+
+MonteCarloGenerator::MonteCarloGenerator(CollisionGeneratorConfig config,
+                                         uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+Run MonteCarloGenerator::Simulate(const Run& data_run) {
+  Run mc;
+  mc.run_number = data_run.run_number;
+  mc.start_time = data_run.start_time;
+  mc.duration_sec = data_run.duration_sec;
+  mc.num_events = data_run.num_events;
+  mc.events.reserve(data_run.events.size());
+  for (const Event& data_event : data_run.events) {
+    Event event;
+    event.id = next_event_id_++;
+    // Simulated detector response mirrors the data sizes, plus the truth
+    // record only simulation has.
+    int64_t raw_bytes = std::max<int64_t>(
+        256, static_cast<int64_t>(rng_.Normal(
+                 static_cast<double>(data_event.GroupBytes("raw_hits")),
+                 static_cast<double>(config_.raw_hits_bytes_sd) / 2.0)));
+    event.asus.push_back(Asu{"mc_raw_hits", raw_bytes});
+    event.asus.push_back(Asu{"mc_truth", 512});
+    mc.events.push_back(std::move(event));
+  }
+  return mc;
+}
+
+}  // namespace dflow::eventstore

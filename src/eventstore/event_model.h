@@ -1,0 +1,103 @@
+#ifndef DFLOW_EVENTSTORE_EVENT_MODEL_H_
+#define DFLOW_EVENTSTORE_EVENT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dflow::eventstore {
+
+/// An atomic storage unit (§3.1): "the smallest storable sub-object of an
+/// event. An ASU will never be split into component objects for storage
+/// purposes." Each ASU belongs to a named column group (the unit of
+/// hot/warm/cold placement).
+struct Asu {
+  std::string group;
+  int64_t bytes = 0;
+};
+
+/// One electron-positron collision event: an id plus its ASUs.
+struct Event {
+  int64_t id = 0;
+  std::vector<Asu> asus;
+
+  int64_t SizeBytes() const;
+  /// Total bytes of ASUs in `group`.
+  int64_t GroupBytes(const std::string& group) const;
+};
+
+/// A run (§3.1): "the set of records collected continuously over a period
+/// of time (typically between 45 and 60 minutes), under (nominally)
+/// constant detector conditions. A run worth analyzing typically comprises
+/// between 15K and 300K particle collision events."
+///
+/// `num_events` is the paper-scale accounting count; `events` materializes
+/// a payload subset at laptop scale (every materialized event is
+/// statistically representative of the full run).
+struct Run {
+  int64_t run_number = 0;
+  double start_time = 0.0;     // Virtual-time seconds.
+  double duration_sec = 0.0;
+  int64_t num_events = 0;      // Paper-scale count (15K-300K).
+  std::vector<Event> events;   // Materialized payload subset.
+
+  /// Exact accounting: mean materialized event size x num_events.
+  int64_t AccountedBytes() const;
+  int64_t PayloadBytes() const;
+};
+
+/// Generator parameters. Raw events carry one large "raw_hits" ASU plus a
+/// small trigger summary, matching the paper's observation that hot ASUs
+/// are small and the infrequently read ones large.
+struct CollisionGeneratorConfig {
+  double run_minutes_lo = 45.0;
+  double run_minutes_hi = 60.0;
+  int64_t events_lo = 15'000;
+  int64_t events_hi = 300'000;
+  int payload_events_per_run = 200;  // Materialized subset.
+  int64_t raw_hits_bytes_mean = 12'000;
+  int64_t raw_hits_bytes_sd = 3'000;
+  int64_t trigger_bytes = 64;
+};
+
+/// Substitute for the CLEO detector + CESR: produces runs of synthetic
+/// collision events with the paper's run-length and event-count
+/// distributions.
+class CollisionGenerator {
+ public:
+  CollisionGenerator(CollisionGeneratorConfig config, uint64_t seed);
+
+  /// Generates the next run; run numbers increment from 1.
+  Run NextRun(double start_time);
+
+  const CollisionGeneratorConfig& config() const { return config_; }
+
+ private:
+  CollisionGeneratorConfig config_;
+  Rng rng_;
+  int64_t next_run_number_ = 1;
+  int64_t next_event_id_ = 1;
+};
+
+/// Monte-Carlo simulation of the detector response (§3.1 step 3): for each
+/// data run, an MC run with matched statistics is generated (offsite, in
+/// the paper — the transport benches model that part). MC events carry a
+/// "mc_truth" ASU in addition to simulated raw hits.
+class MonteCarloGenerator {
+ public:
+  MonteCarloGenerator(CollisionGeneratorConfig config, uint64_t seed);
+
+  /// MC companion of `data_run` (same event counts, mc-prefixed groups).
+  Run Simulate(const Run& data_run);
+
+ private:
+  CollisionGeneratorConfig config_;
+  Rng rng_;
+  int64_t next_event_id_ = 1;
+};
+
+}  // namespace dflow::eventstore
+
+#endif  // DFLOW_EVENTSTORE_EVENT_MODEL_H_

@@ -1,0 +1,149 @@
+#ifndef DFLOW_EVENTSTORE_EVENT_STORE_H_
+#define DFLOW_EVENTSTORE_EVENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "provenance/provenance.h"
+#include "util/result.h"
+
+namespace dflow::eventstore {
+
+/// The three EventStore sizes (§3.2): "personal, group and collaboration.
+/// The only user interface differences between the three sizes is the name
+/// of the software module loaded, which is also the first word of all
+/// EventStore commands." Personal stores use the embedded in-memory
+/// database (the SQLite role) and support disconnected operation; group
+/// and collaboration stores may be durable (the MySQL / MS SQL Server
+/// role).
+enum class StoreScale { kPersonal = 0, kGroup = 1, kCollaboration = 2 };
+
+std::string_view StoreScaleToString(StoreScale scale);
+
+/// An inclusive range of run numbers.
+struct RunRange {
+  int64_t first = 0;
+  int64_t last = 0;
+
+  bool Contains(int64_t run) const { return run >= first && run <= last; }
+};
+
+/// One versioned data file known to the store.
+struct FileEntry {
+  int64_t run = 0;
+  std::string data_type;   // "raw", "recon", "postrecon", "mc", ...
+  std::string version;     // e.g. "Recon_Feb13_04_P2".
+  int64_t registered_at = 0;  // Timestamp the file entered this store.
+  int64_t bytes = 0;
+  std::string location;    // File path / HSM name.
+  prov::ProvenanceRecord provenance;
+};
+
+/// Metadata-and-provenance system in the style of CLEO's EventStore,
+/// backed by the embedded relational engine. It implements the §3.2
+/// semantics precisely:
+///
+///  * Consistent sets are organized by *grade* (e.g. "physics"), each
+///    grade carrying a time-stamped history of (run range, version)
+///    assignments.
+///  * An analysis names a grade and a timestamp; Resolve() finds the most
+///    recent snapshot prior to that timestamp, so re-running months later
+///    returns bit-identical file sets ("the date specified is not limited
+///    to a set of magic values").
+///  * First-time data — a (run, data_type) with only one version ever —
+///    appears in every snapshot even if registered after the analysis
+///    timestamp, "so that a physicist can add data collected after the
+///    beginning of the analysis without having to change to a later
+///    timestamp".
+///  * Merge() folds another (typically personal) store into this one in a
+///    single short transaction — the stratagem the paper adopted instead
+///    of long-running jobs holding open transactions on the main
+///    repository.
+class EventStore {
+ public:
+  /// In-memory store (personal) or durable store (group/collaboration with
+  /// a WAL path; pass "" for a volatile large-scale store in tests).
+  static Result<std::unique_ptr<EventStore>> Create(
+      StoreScale scale, const std::string& wal_path = "");
+
+  /// Registers a data file. AlreadyExists if this (run, data_type,
+  /// version) is present.
+  Status RegisterFile(const FileEntry& entry);
+
+  Result<FileEntry> GetFile(int64_t run, const std::string& data_type,
+                            const std::string& version) const;
+
+  /// All versions ever registered for (run, data_type), oldest first.
+  std::vector<std::string> Versions(int64_t run,
+                                    const std::string& data_type) const;
+
+  /// Declares that as of `timestamp`, `grade` maps `range` x `data_type`
+  /// to `version` (an administrative action by the CLEO officers).
+  Status AssignGrade(const std::string& grade, int64_t timestamp,
+                     RunRange range, const std::string& data_type,
+                     const std::string& version);
+
+  /// The consistent file set for an analysis started at `analysis_ts`
+  /// using `grade`. Deterministic: the same (grade, timestamp) always
+  /// yields the same set, modulo the first-time-data exception.
+  Result<std::vector<FileEntry>> Resolve(const std::string& grade,
+                                         int64_t analysis_ts) const;
+
+  /// One assignment in a grade's recorded evolution.
+  struct GradeAssignment {
+    int64_t timestamp = 0;
+    RunRange range;
+    std::string data_type;
+    std::string version;
+  };
+
+  /// The full evolution of `grade` over time, ascending by timestamp
+  /// ("The evolution of a grade over time is recorded", §3.2). Empty if
+  /// the grade was never assigned.
+  Result<std::vector<GradeAssignment>> GradeHistory(
+      const std::string& grade) const;
+
+  /// Names of every grade with at least one assignment, sorted.
+  std::vector<std::string> GradeNames() const;
+
+  /// Merges every file and grade assignment of `other` into this store in
+  /// one transaction. Duplicate files/assignments are skipped.
+  Status Merge(const EventStore& other);
+
+  int64_t NumFiles() const;
+  int64_t TotalBytes() const;
+  StoreScale scale() const { return scale_; }
+
+  /// "personal"/"group"/"collaboration" — the command-prefix convention.
+  std::string CommandPrefix() const {
+    return std::string(StoreScaleToString(scale_));
+  }
+
+  /// Underlying database (exposed for ad-hoc SQL in examples/tests).
+  db::Database& database() { return *db_; }
+  const db::Database& database() const { return *db_; }
+
+ private:
+  EventStore(StoreScale scale, std::unique_ptr<db::Database> db);
+
+  Status InitSchema();
+  struct GradeRow {
+    int64_t ts;
+    RunRange range;
+    std::string data_type;
+    std::string version;
+  };
+  Result<std::vector<GradeRow>> GradeRows(const std::string& grade) const;
+  Result<std::vector<FileEntry>> AllFiles() const;
+  static Result<FileEntry> RowToFile(const db::Row& row);
+
+  StoreScale scale_;
+  std::unique_ptr<db::Database> db_;
+};
+
+}  // namespace dflow::eventstore
+
+#endif  // DFLOW_EVENTSTORE_EVENT_STORE_H_

@@ -1,0 +1,97 @@
+#include "eventstore/eventstore_service.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dflow::eventstore {
+
+EventStoreService::EventStoreService(EventStore* store) : store_(store) {
+  DFLOW_CHECK(store_ != nullptr);
+}
+
+Result<core::ServiceResponse> EventStoreService::Handle(
+    const core::ServiceRequest& request) {
+  core::ServiceResponse response;
+  response.content_type = "text/tab-separated-values";
+
+  if (request.path == "resolve") {
+    std::string grade = request.Param("grade");
+    if (grade.empty()) {
+      return Status::InvalidArgument("resolve requires ?grade=");
+    }
+    DFLOW_ASSIGN_OR_RETURN(int64_t ts, request.IntParam("ts", 0));
+    DFLOW_ASSIGN_OR_RETURN(std::vector<FileEntry> files,
+                           store_->Resolve(grade, ts));
+    std::ostringstream os;
+    os << "run\tdata_type\tversion\tbytes\tlocation\tprov_hash\n";
+    for (const FileEntry& file : files) {
+      os << file.run << "\t" << file.data_type << "\t" << file.version
+         << "\t" << file.bytes << "\t" << file.location << "\t"
+         << file.provenance.SummaryHash() << "\n";
+    }
+    response.body = os.str();
+    return response;
+  }
+  if (request.path == "grades") {
+    std::ostringstream os;
+    for (const std::string& grade : store_->GradeNames()) {
+      os << grade << "\n";
+    }
+    response.content_type = "text/plain";
+    response.body = os.str();
+    return response;
+  }
+  if (request.path == "history") {
+    std::string grade = request.Param("grade");
+    if (grade.empty()) {
+      return Status::InvalidArgument("history requires ?grade=");
+    }
+    DFLOW_ASSIGN_OR_RETURN(auto history, store_->GradeHistory(grade));
+    std::ostringstream os;
+    os << "timestamp\trun_first\trun_last\tdata_type\tversion\n";
+    for (const auto& assignment : history) {
+      os << assignment.timestamp << "\t" << assignment.range.first << "\t"
+         << assignment.range.last << "\t" << assignment.data_type << "\t"
+         << assignment.version << "\n";
+    }
+    response.body = os.str();
+    return response;
+  }
+  if (request.path == "versions") {
+    DFLOW_ASSIGN_OR_RETURN(int64_t run, request.IntParam("run", -1));
+    std::string data_type = request.Param("data_type");
+    if (run < 0 || data_type.empty()) {
+      return Status::InvalidArgument("versions requires ?run= and ?data_type=");
+    }
+    std::ostringstream os;
+    for (const std::string& version : store_->Versions(run, data_type)) {
+      os << version << "\n";
+    }
+    response.content_type = "text/plain";
+    response.body = os.str();
+    return response;
+  }
+  if (request.path == "summary") {
+    DFLOW_ASSIGN_OR_RETURN(
+        db::QueryResult result,
+        store_->database().Execute(
+            "SELECT data_type, COUNT(*) AS files, SUM(bytes) AS bytes FROM "
+            "files GROUP BY data_type ORDER BY bytes DESC"));
+    std::ostringstream os;
+    os << "data_type\tfiles\tbytes\n";
+    for (const db::Row& row : result.rows) {
+      os << row[0].AsString() << "\t" << row[1].AsInt() << "\t"
+         << row[2].AsInt() << "\n";
+    }
+    response.body = os.str();
+    return response;
+  }
+  return Status::NotFound("no endpoint '" + request.path + "'");
+}
+
+std::vector<std::string> EventStoreService::Endpoints() const {
+  return {"resolve", "grades", "history", "versions", "summary"};
+}
+
+}  // namespace dflow::eventstore

@@ -1,0 +1,39 @@
+#ifndef DFLOW_EVENTSTORE_EVENTSTORE_SERVICE_H_
+#define DFLOW_EVENTSTORE_EVENTSTORE_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/web_service.h"
+#include "eventstore/event_store.h"
+
+namespace dflow::eventstore {
+
+/// Web-Services interface to an EventStore (§3.2: "This process could be
+/// automated to a much greater extent if we could use Grid data movement
+/// utilities and Web Services interfaces to EventStore. We would also like
+/// to make a fully Web-based CLEO analysis environment"). Serves:
+///
+///   resolve   ?grade=physics&ts=N      the consistent file set (TSV)
+///   grades                             grade names (one per line)
+///   history   ?grade=physics           a grade's recorded evolution (TSV)
+///   versions  ?run=N&data_type=recon   versions of one run's data
+///   summary                            files/bytes by data type (TSV)
+class EventStoreService : public core::WebService {
+ public:
+  /// Borrows `store`; it must outlive the service.
+  explicit EventStoreService(EventStore* store);
+
+  Result<core::ServiceResponse> Handle(
+      const core::ServiceRequest& request) override;
+  std::vector<std::string> Endpoints() const override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = "eventstore";
+  EventStore* store_;
+};
+
+}  // namespace dflow::eventstore
+
+#endif  // DFLOW_EVENTSTORE_EVENTSTORE_SERVICE_H_

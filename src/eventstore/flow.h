@@ -1,0 +1,46 @@
+#ifndef DFLOW_EVENTSTORE_FLOW_H_
+#define DFLOW_EVENTSTORE_FLOW_H_
+
+#include "core/flow_graph.h"
+#include "core/flow_runner.h"
+#include "util/result.h"
+
+namespace dflow::eventstore {
+
+/// Paper-scale accounting constants for the CLEO flow (§3.1).
+struct CleoFlowConfig {
+  int num_runs = 24;                     // Runs injected per simulated day.
+  double run_minutes = 50.0;             // 45-60 min per run.
+  int64_t raw_bytes_per_run = 3'500'000'000;  // ~90 TB over the experiment.
+  double recon_ratio = 0.35;             // Recon output vs raw.
+  double postrecon_ratio = 0.04;         // Post-recon vs raw.
+  double mc_ratio = 1.1;                 // MC slightly exceeds data volume.
+  double analysis_ratio = 0.01;          // Physics analysis output vs input.
+};
+
+/// Stage names of the Figure-2 workflow.
+struct CleoFlowStages {
+  static constexpr const char* kAcquisition = "detector_acquisition";
+  static constexpr const char* kInitialAnalysis = "initial_analysis";
+  static constexpr const char* kReconstruction = "reconstruction";
+  static constexpr const char* kPostRecon = "post_reconstruction";
+  static constexpr const char* kMonteCarlo = "mc_generation_offsite";
+  static constexpr const char* kUsbImport = "usb_disk_import";
+  static constexpr const char* kEventStore = "collaboration_eventstore";
+  static constexpr const char* kAnalysis = "physics_analysis";
+};
+
+/// Builds the paper's Figure 2 as an executable workflow: acquisition of
+/// runs -> initial analysis -> reconstruction -> post-reconstruction,
+/// with Monte-Carlo generation running offsite and entering through the
+/// USB-disk import path, everything merging into the collaboration
+/// EventStore feeding iterative physics analysis.
+Status BuildCleoFlow(const CleoFlowConfig& config, core::FlowGraph* graph);
+
+/// Injects one simulated day of runs into the acquisition stage and one
+/// matching MC batch into the offsite generator.
+Status InjectCleoDay(const CleoFlowConfig& config, core::FlowRunner* runner);
+
+}  // namespace dflow::eventstore
+
+#endif  // DFLOW_EVENTSTORE_FLOW_H_

@@ -1,0 +1,100 @@
+#include "eventstore/passes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dflow::eventstore {
+
+ReconstructionPass::ReconstructionPass(std::string release,
+                                       std::string calibration,
+                                       int64_t change_date)
+    : release_(std::move(release)), calibration_(std::move(calibration)),
+      change_date_(change_date) {}
+
+Result<PassOutput> ReconstructionPass::Process(const Run& raw_run) const {
+  if (raw_run.events.empty()) {
+    return Status::InvalidArgument("run " +
+                                   std::to_string(raw_run.run_number) +
+                                   " has no materialized events");
+  }
+  PassOutput output;
+  output.run.run_number = raw_run.run_number;
+  output.run.start_time = raw_run.start_time;
+  output.run.duration_sec = raw_run.duration_sec;
+  output.run.num_events = raw_run.num_events;
+  output.run.events.reserve(raw_run.events.size());
+  for (const Event& raw_event : raw_run.events) {
+    int64_t raw_bytes = raw_event.GroupBytes("raw_hits") +
+                        raw_event.GroupBytes("mc_raw_hits");
+    Event event;
+    event.id = raw_event.id;
+    // Derived object sizes scale with the detector activity in the event.
+    event.asus.push_back(Asu{"tracks", std::max<int64_t>(96, raw_bytes / 40)});
+    event.asus.push_back(Asu{"showers", std::max<int64_t>(64, raw_bytes / 60)});
+    event.asus.push_back(
+        Asu{"vertices", std::max<int64_t>(32, raw_bytes / 200)});
+    output.run.events.push_back(std::move(event));
+  }
+  output.step.module = "reconstruction";
+  output.step.version =
+      prov::VersionTag{"Recon", release_, change_date_};
+  output.step.parameters.emplace_back("calibration", calibration_);
+  output.step.input_files.push_back("raw_run_" +
+                                    std::to_string(raw_run.run_number));
+  return output;
+}
+
+PostReconPass::PostReconPass(std::string release, int64_t change_date,
+                             int asus_per_event)
+    : release_(std::move(release)), change_date_(change_date),
+      asus_per_event_(asus_per_event) {}
+
+Result<PassOutput> PostReconPass::Process(const Run& recon_run) const {
+  if (recon_run.events.empty()) {
+    return Status::InvalidArgument("run " +
+                                   std::to_string(recon_run.run_number) +
+                                   " has no materialized events");
+  }
+  // Run-level statistic the per-event values depend on (this is why
+  // post-recon cannot run until reconstruction finished the whole run).
+  double mean_track_bytes = 0.0;
+  for (const Event& event : recon_run.events) {
+    mean_track_bytes += static_cast<double>(event.GroupBytes("tracks"));
+  }
+  mean_track_bytes /= static_cast<double>(recon_run.events.size());
+  if (mean_track_bytes <= 0.0) {
+    return Status::FailedPrecondition(
+        "run " + std::to_string(recon_run.run_number) +
+        " has no reconstructed tracks; run reconstruction first");
+  }
+
+  PassOutput output;
+  output.run.run_number = recon_run.run_number;
+  output.run.start_time = recon_run.start_time;
+  output.run.duration_sec = recon_run.duration_sec;
+  output.run.num_events = recon_run.num_events;
+  output.run.events.reserve(recon_run.events.size());
+  for (const Event& recon_event : recon_run.events) {
+    Event event;
+    event.id = recon_event.id;
+    double activity =
+        static_cast<double>(recon_event.GroupBytes("tracks")) /
+        mean_track_bytes;
+    for (int i = 0; i < asus_per_event_; ++i) {
+      // Post-recon ASUs are small, normalized quantities.
+      int64_t bytes = std::max<int64_t>(
+          16, static_cast<int64_t>(std::lround(24.0 * activity)) + i % 4);
+      event.asus.push_back(Asu{"pr" + std::to_string(i), bytes});
+    }
+    output.run.events.push_back(std::move(event));
+  }
+  output.step.module = "post_reconstruction";
+  output.step.version = prov::VersionTag{"PostRecon", release_, change_date_};
+  output.step.parameters.emplace_back(
+      "asus_per_event", std::to_string(asus_per_event_));
+  output.step.input_files.push_back("recon_run_" +
+                                    std::to_string(recon_run.run_number));
+  return output;
+}
+
+}  // namespace dflow::eventstore

@@ -1,0 +1,62 @@
+#ifndef DFLOW_EVENTSTORE_PASSES_H_
+#define DFLOW_EVENTSTORE_PASSES_H_
+
+#include <string>
+
+#include "eventstore/event_model.h"
+#include "provenance/provenance.h"
+#include "util/result.h"
+
+namespace dflow::eventstore {
+
+/// Output of a processing pass over one run: the derived run plus the
+/// provenance step describing how it was made.
+struct PassOutput {
+  Run run;
+  prov::ProcessingStep step;
+};
+
+/// Reconstruction (§3.1 step 2): identifies particle trajectories from the
+/// energy levels recorded by measure wires. Each raw event gains "tracks",
+/// "showers", and "vertices" ASUs whose sizes scale with the raw hit
+/// volume; the raw ASUs are not carried forward (reconstructed runs are a
+/// separate data product).
+class ReconstructionPass {
+ public:
+  /// `release` is the software version recorded in provenance
+  /// (e.g. "Feb13_04_P2"); `calibration` names the calibration input.
+  ReconstructionPass(std::string release, std::string calibration,
+                     int64_t change_date);
+
+  Result<PassOutput> Process(const Run& raw_run) const;
+
+  const std::string& release() const { return release_; }
+
+ private:
+  std::string release_;
+  std::string calibration_;
+  int64_t change_date_;
+};
+
+/// Post-reconstruction (§3.1): values that "depend on statistics gathered
+/// from the reconstructed data, and so cannot be calculated until after
+/// reconstruction. There are typically a dozen ASUs per event in the
+/// post-reconstruction data." This pass first computes run-level statistics
+/// (mean track ASU size) and then derives the dozen per-event ASUs from
+/// them — enforcing the can't-run-before-recon dependency.
+class PostReconPass {
+ public:
+  PostReconPass(std::string release, int64_t change_date,
+                int asus_per_event = 12);
+
+  Result<PassOutput> Process(const Run& recon_run) const;
+
+ private:
+  std::string release_;
+  int64_t change_date_;
+  int asus_per_event_;
+};
+
+}  // namespace dflow::eventstore
+
+#endif  // DFLOW_EVENTSTORE_PASSES_H_

@@ -1,0 +1,53 @@
+#ifndef DFLOW_NET_CHANNEL_H_
+#define DFLOW_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/result.h"
+
+namespace dflow::net {
+
+/// Outcome of one file's journey across a channel.
+enum class DeliveryOutcome {
+  kDelivered,
+  kCorrupted,  // Arrived but failed its checksum (must be re-sent).
+  kLost,       // Never arrived (shipment damaged, link failure).
+};
+
+/// A single file (or file bundle) in flight.
+struct TransferItem {
+  std::string name;
+  int64_t bytes = 0;
+  uint32_t crc32 = 0;
+};
+
+/// Abstract data-movement channel. The paper's central transport contrast
+/// — Arecibo's physical ATA-disk shipments vs WebLab's dedicated
+/// Internet2 link vs CLEO's USB-disk Monte-Carlo imports — becomes two
+/// implementations of this interface, so the same workflow code can be
+/// pointed at either and the benches can sweep the crossover.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  using DeliveryCallback =
+      std::function<void(const TransferItem&, DeliveryOutcome)>;
+
+  /// Enqueues a file. The callback fires in virtual time when the file
+  /// arrives (or is discovered lost/corrupt).
+  virtual Status Send(TransferItem item, DeliveryCallback on_delivery) = 0;
+
+  virtual const std::string& name() const = 0;
+
+  /// Effective long-run throughput in bytes/second (for capacity math).
+  virtual double NominalBandwidth() const = 0;
+
+  virtual int64_t bytes_delivered() const = 0;
+  virtual int64_t items_delivered() const = 0;
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_CHANNEL_H_

@@ -1,0 +1,53 @@
+#include "net/network_link.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dflow::net {
+
+NetworkLink::NetworkLink(sim::Simulation* simulation, std::string name,
+                         NetworkLinkConfig config, uint64_t seed)
+    : simulation_(simulation), name_(std::move(name)), config_(config),
+      pipe_(simulation, name_ + "/pipe", 1), rng_(seed) {
+  DFLOW_CHECK(config_.bandwidth_bits_per_sec > 0.0);
+  DFLOW_CHECK(config_.utilization_cap > 0.0 && config_.utilization_cap <= 1.0);
+}
+
+Status NetworkLink::Send(TransferItem item, DeliveryCallback on_delivery) {
+  if (item.bytes < 0) {
+    return Status::InvalidArgument("negative transfer size");
+  }
+  double stream_time = static_cast<double>(item.bytes) / NominalBandwidth();
+  DeliveryOutcome outcome = DeliveryOutcome::kDelivered;
+  if (rng_.Bernoulli(config_.failure_probability)) {
+    outcome = DeliveryOutcome::kLost;
+  } else if (rng_.Bernoulli(config_.corruption_probability)) {
+    outcome = DeliveryOutcome::kCorrupted;
+  }
+  pipe_.Submit(stream_time, [this, item = std::move(item), outcome,
+                             cb = std::move(on_delivery)] {
+    // Propagation delay after the pipe frees (pipelined with next file).
+    simulation_->Schedule(config_.propagation_delay_sec, [this, item, outcome,
+                                                          cb] {
+      switch (outcome) {
+        case DeliveryOutcome::kDelivered:
+          bytes_delivered_ += item.bytes;
+          ++items_delivered_;
+          break;
+        case DeliveryOutcome::kCorrupted:
+          ++items_corrupted_;
+          break;
+        case DeliveryOutcome::kLost:
+          ++items_lost_;
+          break;
+      }
+      if (cb) {
+        cb(item, outcome);
+      }
+    });
+  });
+  return Status::OK();
+}
+
+}  // namespace dflow::net

@@ -1,0 +1,57 @@
+#ifndef DFLOW_NET_NETWORK_LINK_H_
+#define DFLOW_NET_NETWORK_LINK_H_
+
+#include <memory>
+
+#include "net/channel.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace dflow::net {
+
+/// Configuration of a point-to-point network path. Defaults model the
+/// WebLab arrangement: a dedicated 100 Mb/s connection from the Internet
+/// Archive into Internet2 (§4.1).
+struct NetworkLinkConfig {
+  double bandwidth_bits_per_sec = 100.0e6;
+  double propagation_delay_sec = 0.07;  // Coast-to-coast RTT scale.
+  double utilization_cap = 0.9;         // Fraction usable for bulk data.
+  double corruption_probability = 0.0;  // Per-file checksum failure.
+  double failure_probability = 0.0;     // Per-file loss (session drop).
+};
+
+/// A serialized network pipe: files queue FIFO and stream at the capped
+/// bandwidth; each file additionally pays the propagation delay. Faults
+/// are injected per file with the configured probabilities.
+class NetworkLink : public Channel {
+ public:
+  NetworkLink(sim::Simulation* simulation, std::string name,
+              NetworkLinkConfig config, uint64_t seed = 42);
+
+  Status Send(TransferItem item, DeliveryCallback on_delivery) override;
+
+  const std::string& name() const override { return name_; }
+  double NominalBandwidth() const override {
+    return config_.bandwidth_bits_per_sec / 8.0 * config_.utilization_cap;
+  }
+  int64_t bytes_delivered() const override { return bytes_delivered_; }
+  int64_t items_delivered() const override { return items_delivered_; }
+  int64_t items_corrupted() const { return items_corrupted_; }
+  int64_t items_lost() const { return items_lost_; }
+
+ private:
+  sim::Simulation* simulation_;
+  std::string name_;
+  NetworkLinkConfig config_;
+  sim::Resource pipe_;
+  Rng rng_;
+  int64_t bytes_delivered_ = 0;
+  int64_t items_delivered_ = 0;
+  int64_t items_corrupted_ = 0;
+  int64_t items_lost_ = 0;
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_NETWORK_LINK_H_

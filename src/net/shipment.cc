@@ -1,0 +1,113 @@
+#include "net/shipment.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dflow::net {
+
+ShipmentChannel::ShipmentChannel(sim::Simulation* simulation,
+                                 std::string name, ShipmentConfig config,
+                                 uint64_t seed)
+    : simulation_(simulation), name_(std::move(name)), config_(config),
+      rng_(seed) {
+  DFLOW_CHECK(config_.disk_capacity_bytes > 0);
+  DFLOW_CHECK(config_.disks_per_shipment > 0);
+}
+
+double ShipmentChannel::NominalBandwidth() const {
+  double batch_bytes = static_cast<double>(config_.disk_capacity_bytes) *
+                       config_.disks_per_shipment;
+  return batch_bytes / config_.shipment_interval_sec;
+}
+
+Status ShipmentChannel::Send(TransferItem item, DeliveryCallback on_delivery) {
+  if (item.bytes < 0) {
+    return Status::InvalidArgument("negative transfer size");
+  }
+  if (item.bytes > config_.disk_capacity_bytes) {
+    return Status::InvalidArgument("file larger than shipment disk");
+  }
+  staged_.push_back(PendingItem{std::move(item), std::move(on_delivery)});
+  ScheduleNextDispatch();
+  return Status::OK();
+}
+
+void ShipmentChannel::ScheduleNextDispatch() {
+  if (dispatch_scheduled_) {
+    return;
+  }
+  dispatch_scheduled_ = true;
+  simulation_->Schedule(config_.shipment_interval_sec, [this] {
+    dispatch_scheduled_ = false;
+    Dispatch();
+    if (!staged_.empty()) {
+      ScheduleNextDispatch();
+    }
+  });
+}
+
+void ShipmentChannel::Dispatch() {
+  if (staged_.empty()) {
+    return;
+  }
+  // Pack files onto disks first-fit in arrival order.
+  int64_t batch_capacity = config_.disk_capacity_bytes;
+  int disks_used = 1;
+  std::vector<std::vector<PendingItem>> disks(1);
+  int64_t space_left = batch_capacity;
+  size_t taken = 0;
+  for (; taken < staged_.size(); ++taken) {
+    PendingItem& pending = staged_[taken];
+    if (pending.item.bytes > space_left) {
+      if (disks_used == config_.disks_per_shipment) {
+        break;  // Shipment full; the rest waits for the next courier.
+      }
+      ++disks_used;
+      disks.emplace_back();
+      space_left = batch_capacity;
+    }
+    space_left -= pending.item.bytes;
+    disks.back().push_back(std::move(pending));
+  }
+  staged_.erase(staged_.begin(), staged_.begin() + taken);
+  ++shipments_;
+  handling_seconds_ += config_.per_disk_handling_sec * disks_used;
+
+  // Decide per-disk damage and per-file corruption up front so the
+  // delivery event is self-contained.
+  for (auto& disk : disks) {
+    bool damaged = rng_.Bernoulli(config_.disk_damage_probability);
+    for (auto& pending : disk) {
+      DeliveryOutcome outcome = DeliveryOutcome::kDelivered;
+      if (damaged) {
+        outcome = DeliveryOutcome::kLost;
+      } else if (rng_.Bernoulli(config_.file_corruption_probability)) {
+        outcome = DeliveryOutcome::kCorrupted;
+      }
+      simulation_->Schedule(
+          config_.transit_time_sec,
+          [this, item = std::move(pending.item), outcome,
+           cb = std::move(pending.on_delivery)] {
+            switch (outcome) {
+              case DeliveryOutcome::kDelivered:
+                bytes_delivered_ += item.bytes;
+                ++items_delivered_;
+                break;
+              case DeliveryOutcome::kCorrupted:
+                ++items_corrupted_;
+                break;
+              case DeliveryOutcome::kLost:
+                ++items_lost_;
+                break;
+            }
+            if (cb) {
+              cb(item, outcome);
+            }
+          });
+    }
+  }
+}
+
+}  // namespace dflow::net

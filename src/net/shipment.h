@@ -1,0 +1,75 @@
+#ifndef DFLOW_NET_SHIPMENT_H_
+#define DFLOW_NET_SHIPMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace dflow::net {
+
+/// Configuration of a physical-media channel. Defaults model the Arecibo
+/// arrangement (§2.2): raw data written to ATA disks, couriered from
+/// Puerto Rico to the Cornell Theory Center. "Never underestimate the
+/// bandwidth of a station wagon": enormous batch throughput, days of
+/// latency, and per-disk handling labour.
+struct ShipmentConfig {
+  int64_t disk_capacity_bytes = 400LL * 1000 * 1000 * 1000;  // 400 GB ATA.
+  int disks_per_shipment = 40;  // 16 TB/week: headroom over the 14 TB block.
+  double shipment_interval_sec = 7 * 24 * 3600.0;  // Weekly courier.
+  double transit_time_sec = 3 * 24 * 3600.0;       // Days in transit.
+  double per_disk_handling_sec = 15 * 60.0;        // Label/pack/verify.
+  double disk_damage_probability = 0.005;          // Whole disk lost.
+  double file_corruption_probability = 0.0005;     // Single file bad.
+};
+
+/// Channel implementation that accumulates files onto disks and dispatches
+/// them in periodic batches. Files on a damaged disk are reported kLost;
+/// individual corrupt files are reported kCorrupted (the recipient's
+/// manifest check catches them and the sender re-ships).
+class ShipmentChannel : public Channel {
+ public:
+  ShipmentChannel(sim::Simulation* simulation, std::string name,
+                  ShipmentConfig config, uint64_t seed = 42);
+
+  Status Send(TransferItem item, DeliveryCallback on_delivery) override;
+
+  const std::string& name() const override { return name_; }
+  /// Long-run throughput if every shipment were full.
+  double NominalBandwidth() const override;
+  int64_t bytes_delivered() const override { return bytes_delivered_; }
+  int64_t items_delivered() const override { return items_delivered_; }
+  int64_t items_corrupted() const { return items_corrupted_; }
+  int64_t items_lost() const { return items_lost_; }
+  int64_t shipments_dispatched() const { return shipments_; }
+  /// Total staff time spent handling disks so far.
+  double handling_seconds() const { return handling_seconds_; }
+
+ private:
+  struct PendingItem {
+    TransferItem item;
+    DeliveryCallback on_delivery;
+  };
+
+  void ScheduleNextDispatch();
+  void Dispatch();
+
+  sim::Simulation* simulation_;
+  std::string name_;
+  ShipmentConfig config_;
+  Rng rng_;
+  std::vector<PendingItem> staged_;
+  bool dispatch_scheduled_ = false;
+  int64_t bytes_delivered_ = 0;
+  int64_t items_delivered_ = 0;
+  int64_t items_corrupted_ = 0;
+  int64_t items_lost_ = 0;
+  int64_t shipments_ = 0;
+  double handling_seconds_ = 0.0;
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_SHIPMENT_H_

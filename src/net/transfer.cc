@@ -1,0 +1,96 @@
+#include "net/transfer.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dflow::net {
+
+void TransferManifest::Add(const TransferItem& item) {
+  items_[item.name] = item;
+}
+
+bool TransferManifest::Contains(const std::string& name) const {
+  return items_.count(name) > 0;
+}
+
+Status TransferManifest::Verify(const TransferItem& item) const {
+  auto it = items_.find(item.name);
+  if (it == items_.end()) {
+    return Status::NotFound("'" + item.name + "' not in manifest");
+  }
+  if (it->second.bytes != item.bytes || it->second.crc32 != item.crc32) {
+    return Status::Corruption("'" + item.name + "' fails manifest check");
+  }
+  return Status::OK();
+}
+
+int64_t TransferManifest::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, item] : items_) {
+    total += item.bytes;
+  }
+  return total;
+}
+
+TransferScheduler::TransferScheduler(sim::Simulation* simulation,
+                                     Channel* channel, int max_retries)
+    : simulation_(simulation), channel_(channel), max_retries_(max_retries) {
+  DFLOW_CHECK(simulation_ != nullptr);
+  DFLOW_CHECK(channel_ != nullptr);
+}
+
+Status TransferScheduler::SendAll(std::vector<TransferItem> items,
+                                  std::function<void()> on_all_delivered) {
+  if (started_) {
+    return Status::FailedPrecondition("scheduler already started");
+  }
+  started_ = true;
+  on_all_delivered_ = std::move(on_all_delivered);
+  outstanding_ = static_cast<int64_t>(items.size());
+  for (TransferItem& item : items) {
+    manifest_.Add(item);
+  }
+  if (outstanding_ == 0) {
+    if (on_all_delivered_) {
+      simulation_->Schedule(0.0, on_all_delivered_);
+    }
+    return Status::OK();
+  }
+  for (TransferItem& item : items) {
+    SendOne(std::move(item), 0);
+  }
+  return Status::OK();
+}
+
+void TransferScheduler::SendOne(TransferItem item, int attempt) {
+  Status s = channel_->Send(
+      item, [this, attempt](const TransferItem& delivered,
+                            DeliveryOutcome outcome) {
+        bool ok = outcome == DeliveryOutcome::kDelivered &&
+                  manifest_.Verify(delivered).ok();
+        if (!ok) {
+          if (attempt + 1 > max_retries_) {
+            ++failures_;
+            DFLOW_LOG(Error) << "transfer of '" << delivered.name
+                             << "' failed permanently";
+          } else {
+            ++retries_;
+            SendOne(delivered, attempt + 1);
+            return;
+          }
+        }
+        if (--outstanding_ == 0 && on_all_delivered_) {
+          on_all_delivered_();
+        }
+      });
+  if (!s.ok()) {
+    DFLOW_LOG(Error) << "send failed: " << s.ToString();
+    ++failures_;
+    if (--outstanding_ == 0 && on_all_delivered_) {
+      on_all_delivered_();
+    }
+  }
+}
+
+}  // namespace dflow::net

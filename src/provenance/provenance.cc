@@ -1,0 +1,171 @@
+#include "provenance/provenance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/md5.h"
+#include "util/strings.h"
+
+namespace dflow::prov {
+
+std::string VersionTag::ToString() const {
+  std::ostringstream os;
+  os << process << "_" << release << "@" << change_date;
+  return os.str();
+}
+
+Result<VersionTag> VersionTag::Parse(std::string_view s) {
+  size_t at = s.rfind('@');
+  if (at == std::string_view::npos) {
+    return Status::InvalidArgument("version tag missing '@date': " +
+                                   std::string(s));
+  }
+  std::string_view head = s.substr(0, at);
+  size_t underscore = head.find('_');
+  if (underscore == std::string_view::npos) {
+    return Status::InvalidArgument("version tag missing process: " +
+                                   std::string(s));
+  }
+  VersionTag tag;
+  tag.process = std::string(head.substr(0, underscore));
+  tag.release = std::string(head.substr(underscore + 1));
+  std::string date_str(s.substr(at + 1));
+  char* end = nullptr;
+  tag.change_date = std::strtoll(date_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || date_str.empty()) {
+    return Status::InvalidArgument("bad change date in version tag: " +
+                                   std::string(s));
+  }
+  return tag;
+}
+
+std::string ProcessingStep::CanonicalString() const {
+  // Parameters sort by name so that declaration order does not perturb the
+  // hash; input files keep pipeline order (it is meaningful).
+  std::ostringstream os;
+  os << "module=" << module << ";version=" << version.ToString() << ";";
+  if (!site.empty()) {
+    os << "site=" << site << ";";
+  }
+  std::vector<std::pair<std::string, std::string>> sorted = parameters;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [key, value] : sorted) {
+    os << "param:" << key << "=" << value << ";";
+  }
+  for (const std::string& input : input_files) {
+    os << "input:" << input << ";";
+  }
+  return os.str();
+}
+
+void ProvenanceRecord::AddStep(ProcessingStep step) {
+  steps_.push_back(std::move(step));
+}
+
+std::string ProvenanceRecord::SummaryHash() const {
+  Md5 md5;
+  for (const ProcessingStep& step : steps_) {
+    md5.Update(step.CanonicalString());
+    md5.Update("\n");
+  }
+  return md5.HexDigest();
+}
+
+bool ProvenanceRecord::ConsistentWith(const ProvenanceRecord& other) const {
+  return SummaryHash() == other.SummaryHash();
+}
+
+std::vector<std::string> ProvenanceRecord::Diff(const ProvenanceRecord& a,
+                                                const ProvenanceRecord& b) {
+  std::vector<std::string> out;
+  if (a.steps_.size() != b.steps_.size()) {
+    out.push_back("step count differs: " + std::to_string(a.steps_.size()) +
+                  " vs " + std::to_string(b.steps_.size()));
+  }
+  size_t n = std::min(a.steps_.size(), b.steps_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const ProcessingStep& sa = a.steps_[i];
+    const ProcessingStep& sb = b.steps_[i];
+    std::string prefix = "step " + std::to_string(i) + ": ";
+    if (sa.module != sb.module) {
+      out.push_back(prefix + "module '" + sa.module + "' vs '" + sb.module +
+                    "'");
+    }
+    if (!(sa.version == sb.version)) {
+      out.push_back(prefix + "version " + sa.version.ToString() + " vs " +
+                    sb.version.ToString());
+    }
+    if (sa.site != sb.site) {
+      out.push_back(prefix + "site '" + sa.site + "' vs '" + sb.site + "'");
+    }
+    auto sorted = [](const ProcessingStep& s) {
+      auto params = s.parameters;
+      std::sort(params.begin(), params.end());
+      return params;
+    };
+    auto pa = sorted(sa);
+    auto pb = sorted(sb);
+    if (pa != pb) {
+      out.push_back(prefix + "parameters differ");
+    }
+    if (sa.input_files != sb.input_files) {
+      out.push_back(prefix + "input files differ");
+    }
+  }
+  return out;
+}
+
+void ProvenanceRecord::EncodeTo(ByteWriter& w) const {
+  w.PutVarint(steps_.size());
+  for (const ProcessingStep& step : steps_) {
+    w.PutString(step.module);
+    w.PutString(step.version.process);
+    w.PutString(step.version.release);
+    w.PutI64(step.version.change_date);
+    w.PutString(step.site);
+    w.PutVarint(step.parameters.size());
+    for (const auto& [key, value] : step.parameters) {
+      w.PutString(key);
+      w.PutString(value);
+    }
+    w.PutVarint(step.input_files.size());
+    for (const std::string& input : step.input_files) {
+      w.PutString(input);
+    }
+  }
+  // Store the hash alongside so readers can detect a tampered chain.
+  w.PutString(SummaryHash());
+}
+
+Result<ProvenanceRecord> ProvenanceRecord::DecodeFrom(ByteReader& r) {
+  ProvenanceRecord record;
+  DFLOW_ASSIGN_OR_RETURN(uint64_t num_steps, r.GetVarint());
+  for (uint64_t i = 0; i < num_steps; ++i) {
+    ProcessingStep step;
+    DFLOW_ASSIGN_OR_RETURN(step.module, r.GetString());
+    DFLOW_ASSIGN_OR_RETURN(step.version.process, r.GetString());
+    DFLOW_ASSIGN_OR_RETURN(step.version.release, r.GetString());
+    DFLOW_ASSIGN_OR_RETURN(step.version.change_date, r.GetI64());
+    DFLOW_ASSIGN_OR_RETURN(step.site, r.GetString());
+    DFLOW_ASSIGN_OR_RETURN(uint64_t num_params, r.GetVarint());
+    for (uint64_t p = 0; p < num_params; ++p) {
+      DFLOW_ASSIGN_OR_RETURN(std::string key, r.GetString());
+      DFLOW_ASSIGN_OR_RETURN(std::string value, r.GetString());
+      step.parameters.emplace_back(std::move(key), std::move(value));
+    }
+    DFLOW_ASSIGN_OR_RETURN(uint64_t num_inputs, r.GetVarint());
+    for (uint64_t f = 0; f < num_inputs; ++f) {
+      DFLOW_ASSIGN_OR_RETURN(std::string input, r.GetString());
+      step.input_files.push_back(std::move(input));
+    }
+    record.steps_.push_back(std::move(step));
+  }
+  DFLOW_ASSIGN_OR_RETURN(std::string stored_hash, r.GetString());
+  if (stored_hash != record.SummaryHash()) {
+    return Status::Corruption("provenance hash mismatch");
+  }
+  return record;
+}
+
+}  // namespace dflow::prov

@@ -1,0 +1,90 @@
+#ifndef DFLOW_PROVENANCE_PROVENANCE_H_
+#define DFLOW_PROVENANCE_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/byte_buffer.h"
+#include "util/result.h"
+
+namespace dflow::prov {
+
+/// A version identifier in the CLEO EventStore style: the paper's example
+/// is "Recon Feb13_04 P2", meaning data produced by the Feb13_04 P2 release
+/// of the reconstruction software, with `change_date` recording the most
+/// recent change to the software *or its inputs* (e.g. calibration data)
+/// that might affect results.
+struct VersionTag {
+  std::string process;   // "Recon", "PostRecon", "MC", ...
+  std::string release;   // "Feb13_04_P2"
+  int64_t change_date = 0;  // Seconds since epoch.
+
+  /// "Recon_Feb13_04_P2@<change_date>".
+  std::string ToString() const;
+  static Result<VersionTag> Parse(std::string_view s);
+
+  bool operator==(const VersionTag& other) const {
+    return process == other.process && release == other.release &&
+           change_date == other.change_date;
+  }
+};
+
+/// One processing step applied to data: module names, their parameters,
+/// all input-file information (recorded "as strings" exactly as §3.2
+/// describes), and the processing site (§2.2: "we will tag all data
+/// products with a version number indicating processing code and
+/// processing site" — PALFA consortium members process the same pointings
+/// at different institutions).
+struct ProcessingStep {
+  std::string module;
+  VersionTag version;
+  std::string site;  // e.g. "CTC", "Arecibo", "McGill"; may be empty.
+  std::vector<std::pair<std::string, std::string>> parameters;
+  std::vector<std::string> input_files;
+
+  /// Deterministic canonical string over which the summary hash is taken.
+  std::string CanonicalString() const;
+};
+
+/// The provenance summary carried in every derived data file: the
+/// accumulated chain of processing steps plus the MD5 of their canonical
+/// strings. Comparing hashes detects "the majority of usage discrepancies";
+/// when they differ, Diff() shows the physicist what changed — both exactly
+/// as the paper describes. The chain tells which inputs *might* have been
+/// used (ASU-granularity tracking is explicitly out of scope in the paper
+/// and here).
+class ProvenanceRecord {
+ public:
+  ProvenanceRecord() = default;
+
+  /// Appends a step; steps accumulate across the processing pipeline
+  /// (acquisition -> reconstruction -> post-recon -> analysis).
+  void AddStep(ProcessingStep step);
+
+  const std::vector<ProcessingStep>& steps() const { return steps_; }
+
+  /// MD5 over the concatenated canonical step strings (32 hex chars).
+  std::string SummaryHash() const;
+
+  /// Two records are consistent iff their summary hashes match.
+  bool ConsistentWith(const ProvenanceRecord& other) const;
+
+  /// Human-readable differences between two records (step count, module,
+  /// version, parameter, and input mismatches). Empty if consistent.
+  static std::vector<std::string> Diff(const ProvenanceRecord& a,
+                                       const ProvenanceRecord& b);
+
+  /// Header-embedding serialization (the "simple extension to the CLEO
+  /// data storage system").
+  void EncodeTo(ByteWriter& w) const;
+  static Result<ProvenanceRecord> DecodeFrom(ByteReader& r);
+
+ private:
+  std::vector<ProcessingStep> steps_;
+};
+
+}  // namespace dflow::prov
+
+#endif  // DFLOW_PROVENANCE_PROVENANCE_H_

@@ -1,0 +1,68 @@
+#ifndef DFLOW_SIM_RESOURCE_H_
+#define DFLOW_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace dflow::sim {
+
+/// A k-server FIFO queueing resource (CPU pool, tape drives, a network
+/// uplink modelled as slots). Jobs submit a service time; when a server is
+/// free the job occupies it for that long, then the completion callback
+/// fires. Tracks utilization and queueing statistics, which is how the
+/// capacity benches answer "how many processors does the Arecibo flow
+/// need?".
+class Resource {
+ public:
+  Resource(Simulation* simulation, std::string name, int num_servers);
+
+  /// Enqueues a job requiring `service_time` seconds of one server.
+  /// `on_complete` runs at completion time (may be null).
+  void Submit(SimTime service_time, std::function<void()> on_complete);
+
+  const std::string& name() const { return name_; }
+  int num_servers() const { return num_servers_; }
+  int busy_servers() const { return busy_; }
+  int64_t jobs_completed() const { return jobs_completed_; }
+  size_t queue_length() const { return queue_.size(); }
+
+  /// Total server-seconds of service delivered so far.
+  double busy_time() const { return busy_time_; }
+
+  /// Mean utilization in [0, 1] over [0, Now()].
+  double Utilization() const;
+
+  /// Mean time jobs spent waiting in queue before service began.
+  double MeanQueueDelay() const;
+
+  /// Largest queue length observed.
+  size_t max_queue_length() const { return max_queue_length_; }
+
+ private:
+  struct Job {
+    SimTime service_time;
+    SimTime enqueue_time;
+    std::function<void()> on_complete;
+  };
+
+  void StartNext();
+
+  Simulation* simulation_;
+  std::string name_;
+  int num_servers_;
+  int busy_ = 0;
+  std::deque<Job> queue_;
+  int64_t jobs_completed_ = 0;
+  int64_t jobs_started_ = 0;
+  double busy_time_ = 0.0;
+  double total_queue_delay_ = 0.0;
+  size_t max_queue_length_ = 0;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_RESOURCE_H_

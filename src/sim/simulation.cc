@@ -1,0 +1,44 @@
+#include "sim/simulation.h"
+
+#include "util/logging.h"
+
+namespace dflow::sim {
+
+void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
+  DFLOW_CHECK(delay >= 0.0) << "negative delay " << delay;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime t, std::function<void()> fn) {
+  DFLOW_CHECK(t >= now_) << "scheduling into the past: " << t << " < " << now_;
+  queue_.push(Event{t, next_sequence_++, std::move(fn)});
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move the event out before popping; the closure may schedule new events.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+}  // namespace dflow::sim

@@ -1,0 +1,94 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dflow::sim {
+
+void SummaryStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double SummaryStats::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::StdDev() const { return std::sqrt(Variance()); }
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.count_) /
+                            static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) *
+            static_cast<double>(other.count_) / static_cast<double>(n);
+  mean_ = mean;
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string SummaryStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << StdDev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, int num_buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / num_buckets),
+      buckets_(static_cast<size_t>(num_buckets), 0) {
+  DFLOW_CHECK(hi > lo);
+  DFLOW_CHECK(num_buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  int idx = static_cast<int>((x - lo_) / width_);
+  idx = std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
+  ++buckets_[static_cast<size_t>(idx)];
+  ++count_;
+}
+
+double Histogram::Quantile(double q) const {
+  DFLOW_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) {
+    return lo_;
+  }
+  double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      double fraction =
+          buckets_[i] > 0
+              ? (target - cumulative) / static_cast<double>(buckets_[i])
+              : 0.0;
+      return lo_ + (static_cast<double>(i) + fraction) * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+}  // namespace dflow::sim

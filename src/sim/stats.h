@@ -1,0 +1,65 @@
+#ifndef DFLOW_SIM_STATS_H_
+#define DFLOW_SIM_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dflow::sim {
+
+/// Streaming summary statistics (Welford's algorithm): numerically stable
+/// mean/variance plus min/max/count, used by every monitor in the library.
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double Variance() const;
+  double StdDev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const SummaryStats& other);
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); samples outside are clamped into
+/// the edge buckets. Supports quantile estimates by linear interpolation.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_buckets);
+
+  void Add(double x);
+  int64_t count() const { return count_; }
+
+  /// Approximate q-quantile, q in [0, 1].
+  double Quantile(double q) const;
+
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+  double bucket_width() const { return width_; }
+  double lo() const { return lo_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_STATS_H_

@@ -1,0 +1,58 @@
+#include "storage/disk.h"
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace dflow::storage {
+
+DiskVolume::DiskVolume(std::string name, int64_t capacity_bytes,
+                       double bandwidth_bytes_per_sec,
+                       double seek_latency_sec)
+    : name_(std::move(name)), capacity_(capacity_bytes),
+      bandwidth_(bandwidth_bytes_per_sec), seek_latency_(seek_latency_sec) {
+  DFLOW_CHECK(capacity_ >= 0);
+  DFLOW_CHECK(bandwidth_ > 0.0);
+  DFLOW_CHECK(seek_latency_ >= 0.0);
+}
+
+Status DiskVolume::Allocate(int64_t bytes) {
+  if (bytes < 0) {
+    return Status::InvalidArgument("negative allocation");
+  }
+  if (used_ + bytes > capacity_) {
+    return Status::ResourceExhausted(
+        name_ + ": need " + FormatBytes(bytes) + ", only " +
+        FormatBytes(FreeBytes()) + " free of " + FormatBytes(capacity_));
+  }
+  used_ += bytes;
+  return Status::OK();
+}
+
+Status DiskVolume::Free(int64_t bytes) {
+  if (bytes < 0 || bytes > used_) {
+    return Status::InvalidArgument(name_ + ": freeing " + FormatBytes(bytes) +
+                                   " but only " + FormatBytes(used_) +
+                                   " used");
+  }
+  used_ -= bytes;
+  return Status::OK();
+}
+
+double DiskVolume::AccessTime(int64_t bytes) const {
+  return seek_latency_ + static_cast<double>(bytes) / bandwidth_;
+}
+
+RaidArray::RaidArray(std::string name, int num_disks, int num_parity,
+                     int64_t disk_capacity_bytes, double disk_bandwidth,
+                     double seek_latency_sec)
+    : num_disks_(num_disks), num_parity_(num_parity),
+      volume_(std::move(name),
+              static_cast<int64_t>(num_disks - num_parity) *
+                  disk_capacity_bytes,
+              static_cast<double>(num_disks - num_parity) * disk_bandwidth,
+              seek_latency_sec) {
+  DFLOW_CHECK(num_disks > num_parity);
+  DFLOW_CHECK(num_parity >= 0);
+}
+
+}  // namespace dflow::storage

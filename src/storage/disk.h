@@ -1,0 +1,70 @@
+#ifndef DFLOW_STORAGE_DISK_H_
+#define DFLOW_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace dflow::storage {
+
+/// Capacity/throughput model of one disk volume (or a RAID array treated
+/// as a single volume). Byte accounting is exact; access times are the
+/// simple seek+stream model
+///     t = seek_latency + bytes / bandwidth
+/// which is all the capacity arithmetic in the paper needs.
+class DiskVolume {
+ public:
+  DiskVolume(std::string name, int64_t capacity_bytes,
+             double bandwidth_bytes_per_sec, double seek_latency_sec);
+
+  const std::string& name() const { return name_; }
+  int64_t capacity_bytes() const { return capacity_; }
+  int64_t used_bytes() const { return used_; }
+  int64_t FreeBytes() const { return capacity_ - used_; }
+
+  /// Reserves `bytes`; ResourceExhausted if it does not fit.
+  Status Allocate(int64_t bytes);
+  /// Releases `bytes`; InvalidArgument on underflow.
+  Status Free(int64_t bytes);
+
+  /// Time to read or write `bytes` sequentially.
+  double AccessTime(int64_t bytes) const;
+
+  double bandwidth() const { return bandwidth_; }
+  double seek_latency() const { return seek_latency_; }
+
+ private:
+  std::string name_;
+  int64_t capacity_;
+  int64_t used_ = 0;
+  double bandwidth_;
+  double seek_latency_;
+};
+
+/// A striped group of identical disks: aggregate capacity scales with the
+/// data disks, bandwidth scales with the stripe width, and parity disks
+/// model RAID-5/6 overhead. WebLab's 240 TB RAID store is configured from
+/// this.
+class RaidArray {
+ public:
+  RaidArray(std::string name, int num_disks, int num_parity,
+            int64_t disk_capacity_bytes, double disk_bandwidth,
+            double seek_latency_sec);
+
+  /// The array viewed as one volume.
+  DiskVolume& volume() { return volume_; }
+  const DiskVolume& volume() const { return volume_; }
+
+  int num_disks() const { return num_disks_; }
+  int num_parity() const { return num_parity_; }
+
+ private:
+  int num_disks_;
+  int num_parity_;
+  DiskVolume volume_;
+};
+
+}  // namespace dflow::storage
+
+#endif  // DFLOW_STORAGE_DISK_H_

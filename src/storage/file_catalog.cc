@@ -1,0 +1,94 @@
+#include "storage/file_catalog.h"
+
+namespace dflow::storage {
+
+std::string_view LocationToString(Location location) {
+  switch (location) {
+    case Location::kAcquisitionSite:
+      return "acquisition";
+    case Location::kInTransit:
+      return "in-transit";
+    case Location::kArchive:
+      return "archive";
+    case Location::kProcessingSite:
+      return "processing";
+    case Location::kDatabase:
+      return "database";
+  }
+  return "?";
+}
+
+Status FileCatalog::Register(FileRecord record, double now) {
+  if (files_.count(record.name) > 0) {
+    return Status::AlreadyExists("file '" + record.name +
+                                 "' already catalogued");
+  }
+  record.history.emplace_back(now, record.location);
+  files_[record.name] = std::move(record);
+  return Status::OK();
+}
+
+Status FileCatalog::UpdateLocation(const std::string& name, Location location,
+                                   double now) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("file '" + name + "' not catalogued");
+  }
+  it->second.location = location;
+  it->second.history.emplace_back(now, location);
+  return Status::OK();
+}
+
+Result<const FileRecord*> FileCatalog::Get(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("file '" + name + "' not catalogued");
+  }
+  return &it->second;
+}
+
+bool FileCatalog::Contains(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+int64_t FileCatalog::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, record] : files_) {
+    total += record.bytes;
+  }
+  return total;
+}
+
+int64_t FileCatalog::BytesAt(Location location) const {
+  int64_t total = 0;
+  for (const auto& [name, record] : files_) {
+    if (record.location == location) {
+      total += record.bytes;
+    }
+  }
+  return total;
+}
+
+std::vector<const FileRecord*> FileCatalog::FilesAt(Location location) const {
+  std::vector<const FileRecord*> out;
+  for (const auto& [name, record] : files_) {
+    if (record.location == location) {
+      out.push_back(&record);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> FileCatalog::Audit(
+    const std::map<std::string, uint32_t>& checksums) const {
+  std::vector<std::string> bad;
+  for (const auto& [name, crc] : checksums) {
+    auto it = files_.find(name);
+    if (it == files_.end() || it->second.crc32 != crc) {
+      bad.push_back(name);
+    }
+  }
+  return bad;
+}
+
+}  // namespace dflow::storage

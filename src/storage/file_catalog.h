@@ -1,0 +1,63 @@
+#ifndef DFLOW_STORAGE_FILE_CATALOG_H_
+#define DFLOW_STORAGE_FILE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::storage {
+
+/// Where a catalogued file currently lives.
+enum class Location {
+  kAcquisitionSite,  // At the telescope / detector / Internet Archive.
+  kInTransit,        // On a shipped disk or a network transfer.
+  kArchive,          // CTC tape archive.
+  kProcessingSite,   // A consortium member site.
+  kDatabase,         // Loaded into a metadata database.
+};
+
+std::string_view LocationToString(Location location);
+
+/// Metadata for one tracked file: identity, size, checksum, version, and
+/// location history. The paper lists "tracking and logging; ensuring no
+/// data loss" among the main transport issues; the catalog is the ledger
+/// that makes loss detectable.
+struct FileRecord {
+  std::string name;
+  int64_t bytes = 0;
+  uint32_t crc32 = 0;
+  std::string version;  // Producing pipeline version tag.
+  Location location = Location::kAcquisitionSite;
+  std::vector<std::pair<double, Location>> history;  // (sim time, where).
+};
+
+/// In-memory ledger of every raw-data and data-product file a workflow
+/// produces, with byte totals per location.
+class FileCatalog {
+ public:
+  Status Register(FileRecord record, double now);
+  Status UpdateLocation(const std::string& name, Location location,
+                        double now);
+  Result<const FileRecord*> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  int64_t NumFiles() const { return static_cast<int64_t>(files_.size()); }
+  int64_t TotalBytes() const;
+  int64_t BytesAt(Location location) const;
+  std::vector<const FileRecord*> FilesAt(Location location) const;
+
+  /// Files whose recorded checksum does not match `checksums[name]`
+  /// (integrity audit after a transfer).
+  std::vector<std::string> Audit(
+      const std::map<std::string, uint32_t>& checksums) const;
+
+ private:
+  std::map<std::string, FileRecord> files_;
+};
+
+}  // namespace dflow::storage
+
+#endif  // DFLOW_STORAGE_FILE_CATALOG_H_

@@ -1,0 +1,105 @@
+#include "storage/hsm.h"
+
+#include <memory>
+
+#include "util/logging.h"
+
+namespace dflow::storage {
+
+HsmCache::HsmCache(sim::Simulation* simulation, DiskVolume* cache_disk,
+                   TapeLibrary* tape)
+    : simulation_(simulation), cache_disk_(cache_disk), tape_(tape) {
+  DFLOW_CHECK(simulation_ != nullptr);
+  DFLOW_CHECK(cache_disk_ != nullptr);
+  DFLOW_CHECK(tape_ != nullptr);
+}
+
+Status HsmCache::MakeRoom(int64_t bytes) {
+  if (bytes > cache_disk_->capacity_bytes()) {
+    return Status::ResourceExhausted("file larger than HSM disk cache");
+  }
+  while (cache_disk_->FreeBytes() < bytes) {
+    if (lru_.empty()) {
+      return Status::ResourceExhausted("HSM cache cannot make room");
+    }
+    Evict(lru_.back());
+  }
+  return Status::OK();
+}
+
+void HsmCache::InstallInCache(const std::string& file, int64_t bytes) {
+  lru_.push_front(file);
+  cache_entries_[file] = Entry{bytes, lru_.begin()};
+  DFLOW_CHECK_OK(cache_disk_->Allocate(bytes));
+}
+
+void HsmCache::Touch(const std::string& file) {
+  auto it = cache_entries_.find(file);
+  DFLOW_CHECK(it != cache_entries_.end());
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(file);
+  it->second.lru_it = lru_.begin();
+}
+
+void HsmCache::Evict(const std::string& file) {
+  auto it = cache_entries_.find(file);
+  if (it == cache_entries_.end()) {
+    return;
+  }
+  DFLOW_CHECK_OK(cache_disk_->Free(it->second.bytes));
+  lru_.erase(it->second.lru_it);
+  cache_entries_.erase(it);
+  ++evictions_;
+}
+
+Status HsmCache::Put(const std::string& file, int64_t bytes,
+                     std::function<void()> on_complete) {
+  DFLOW_RETURN_IF_ERROR(MakeRoom(bytes));
+  // Disk landing then write-through to tape; completion = tape durable.
+  InstallInCache(file, bytes);
+  double disk_time = cache_disk_->AccessTime(bytes);
+  auto cb = std::make_shared<std::function<void()>>(std::move(on_complete));
+  simulation_->Schedule(disk_time, [this, file, bytes, cb] {
+    Status s = tape_->Write(file, bytes, [cb] {
+      if (*cb) {
+        (*cb)();
+      }
+    });
+    if (!s.ok()) {
+      DFLOW_LOG(Error) << "HSM tape write of '" << file
+                       << "' failed: " << s.ToString();
+    }
+  });
+  return Status::OK();
+}
+
+Status HsmCache::Get(const std::string& file,
+                     std::function<void(int64_t)> on_complete) {
+  auto it = cache_entries_.find(file);
+  if (it != cache_entries_.end()) {
+    ++hits_;
+    Touch(file);
+    int64_t bytes = it->second.bytes;
+    simulation_->Schedule(cache_disk_->AccessTime(bytes),
+                          [bytes, cb = std::move(on_complete)] {
+                            if (cb) {
+                              cb(bytes);
+                            }
+                          });
+    return Status::OK();
+  }
+  if (!tape_->Contains(file)) {
+    return Status::NotFound("HSM: no file '" + file + "'");
+  }
+  ++misses_;
+  DFLOW_ASSIGN_OR_RETURN(int64_t bytes, tape_->FileSize(file));
+  DFLOW_RETURN_IF_ERROR(MakeRoom(bytes));
+  InstallInCache(file, bytes);
+  return tape_->Read(file, [cb = std::move(on_complete)](int64_t n) {
+    if (cb) {
+      cb(n);
+    }
+  });
+}
+
+}  // namespace dflow::storage

@@ -1,0 +1,81 @@
+#ifndef DFLOW_STORAGE_HSM_H_
+#define DFLOW_STORAGE_HSM_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <string>
+
+#include "storage/disk.h"
+#include "storage/tape.h"
+#include "util/result.h"
+
+namespace dflow::storage {
+
+/// Hierarchical storage management: a disk cache in front of a tape
+/// library, with write-through puts and LRU eviction — the system the
+/// paper says CLEO's data lives in ("most of the data are stored in a
+/// hierarchical storage management system (which automatically moves data
+/// between tape and disk cache)").
+class HsmCache {
+ public:
+  /// `cache_disk` and `tape` are borrowed; they must outlive the cache.
+  HsmCache(sim::Simulation* simulation, DiskVolume* cache_disk,
+           TapeLibrary* tape);
+
+  /// Stores a new file: lands in the disk cache (evicting LRU files as
+  /// needed) and is archived to tape. `on_complete` fires when the tape
+  /// copy is durable.
+  Status Put(const std::string& file, int64_t bytes,
+             std::function<void()> on_complete);
+
+  /// Reads a file. A cache hit costs one disk access; a miss recalls from
+  /// tape and installs the file in the cache. `on_complete` receives the
+  /// byte count.
+  Status Get(const std::string& file,
+             std::function<void(int64_t)> on_complete);
+
+  /// Drops a file from the disk cache (it remains on tape).
+  void Evict(const std::string& file);
+
+  bool InCache(const std::string& file) const {
+    return cache_entries_.count(file) > 0;
+  }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRate() const {
+    int64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+  int64_t evictions() const { return evictions_; }
+
+ private:
+  /// Frees cache space for `bytes`, evicting least-recently-used files.
+  Status MakeRoom(int64_t bytes);
+  void InstallInCache(const std::string& file, int64_t bytes);
+  void Touch(const std::string& file);
+
+  sim::Simulation* simulation_;
+  DiskVolume* cache_disk_;
+  TapeLibrary* tape_;
+
+  // LRU list: front = most recent. Map holds size + list iterator.
+  struct Entry {
+    int64_t bytes;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::list<std::string> lru_;
+  std::map<std::string, Entry> cache_entries_;
+
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace dflow::storage
+
+#endif  // DFLOW_STORAGE_HSM_H_

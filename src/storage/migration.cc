@@ -1,0 +1,113 @@
+#include "storage/migration.h"
+
+#include "util/logging.h"
+
+namespace dflow::storage {
+
+MediaMigration::MediaMigration(sim::Simulation* simulation,
+                               TapeLibrary* source,
+                               TapeLibrary* destination,
+                               MigrationConfig config, uint64_t seed)
+    : simulation_(simulation), source_(source), destination_(destination),
+      config_(config), rng_(seed) {
+  DFLOW_CHECK(simulation_ != nullptr);
+  DFLOW_CHECK(source_ != nullptr);
+  DFLOW_CHECK(destination_ != nullptr);
+  DFLOW_CHECK(config_.parallel_streams > 0);
+}
+
+Status MediaMigration::Run(
+    std::function<void(const MigrationReport&)> on_complete) {
+  if (started_) {
+    return Status::FailedPrecondition("migration already started");
+  }
+  started_ = true;
+  on_complete_ = std::move(on_complete);
+  pending_ = source_->FileNames();
+  report_.files_total = static_cast<int64_t>(pending_.size());
+  start_time_ = simulation_->Now();
+  if (pending_.empty()) {
+    report_.virtual_seconds = 0.0;
+    if (on_complete_) {
+      simulation_->Schedule(0.0, [this] { on_complete_(report_); });
+    }
+    return Status::OK();
+  }
+  for (int i = 0; i < config_.parallel_streams; ++i) {
+    PumpNext();
+  }
+  return Status::OK();
+}
+
+void MediaMigration::PumpNext() {
+  if (next_ >= pending_.size()) {
+    if (in_flight_ == 0) {
+      report_.virtual_seconds = simulation_->Now() - start_time_;
+      if (on_complete_) {
+        auto done = std::move(on_complete_);
+        on_complete_ = nullptr;
+        done(report_);
+      }
+    }
+    return;
+  }
+  std::string file = pending_[next_++];
+  ++in_flight_;
+  MigrateOne(file, 0);
+}
+
+void MediaMigration::MigrateOne(const std::string& file, int attempt) {
+  Status read = source_->Read(file, [this, file, attempt](int64_t bytes) {
+    // The read stream either verifies or the aging medium produced errors.
+    if (rng_.Bernoulli(config_.read_error_probability)) {
+      if (attempt + 1 > config_.max_retries) {
+        ++report_.files_lost;
+        DFLOW_LOG(Error) << "migration lost '" << file
+                         << "' after retries";
+        --in_flight_;
+        PumpNext();
+        return;
+      }
+      ++report_.retries;
+      MigrateOne(file, attempt + 1);
+      return;
+    }
+    Status write = destination_->Write(file, bytes, [this] {
+      ++report_.files_migrated;
+      --in_flight_;
+      PumpNext();
+    });
+    if (!write.ok()) {
+      DFLOW_LOG(Error) << "migration write failed: " << write.ToString();
+      ++report_.files_lost;
+      --in_flight_;
+      PumpNext();
+      return;
+    }
+    report_.bytes_migrated += bytes;
+  });
+  if (!read.ok()) {
+    DFLOW_LOG(Error) << "migration read failed: " << read.ToString();
+    ++report_.files_lost;
+    --in_flight_;
+    PumpNext();
+  }
+}
+
+Status MediaMigration::Verify() const {
+  for (const std::string& file : source_->FileNames()) {
+    if (!destination_->Contains(file)) {
+      return Status::Corruption("migration verify: '" + file +
+                                "' missing on destination");
+    }
+    DFLOW_ASSIGN_OR_RETURN(int64_t src_bytes, source_->FileSize(file));
+    DFLOW_ASSIGN_OR_RETURN(int64_t dst_bytes, destination_->FileSize(file));
+    if (src_bytes != dst_bytes) {
+      return Status::Corruption("migration verify: size mismatch for '" +
+                                file + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dflow::storage

@@ -1,0 +1,77 @@
+#ifndef DFLOW_STORAGE_MIGRATION_H_
+#define DFLOW_STORAGE_MIGRATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/tape.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dflow::storage {
+
+/// Section 2.2: "A key issue ... is the migration of the data to new
+/// storage technologies as they emerge. Storage media costs undoubtedly
+/// will decrease, but manpower requirements for migrating the data are
+/// significant and care is needed to avoid loss of data."
+struct MigrationConfig {
+  /// Concurrent read/write streams (bounded by drive counts anyway).
+  int parallel_streams = 2;
+  /// Probability that a source read of an aging medium fails and must be
+  /// retried (the data-loss risk the paper warns about).
+  double read_error_probability = 0.0;
+  int max_retries = 3;
+};
+
+struct MigrationReport {
+  int64_t files_total = 0;
+  int64_t files_migrated = 0;
+  int64_t files_lost = 0;      // Exhausted retries: data loss.
+  int64_t bytes_migrated = 0;
+  int64_t retries = 0;
+  double virtual_seconds = 0.0;
+};
+
+/// Copies every file from an old tape generation to a new one under the
+/// simulation clock, with bounded parallelism, read-failure retries, and a
+/// final verification that the destination holds every byte the source
+/// did. Files whose reads keep failing are counted as lost — the quantity
+/// the operator must drive to zero.
+class MediaMigration {
+ public:
+  MediaMigration(sim::Simulation* simulation, TapeLibrary* source,
+                 TapeLibrary* destination, MigrationConfig config,
+                 uint64_t seed = 42);
+
+  /// Starts the migration; `on_complete` fires (virtual time) with the
+  /// final report. FailedPrecondition if already started.
+  Status Run(std::function<void(const MigrationReport&)> on_complete);
+
+  /// Post-hoc verification: every source file present on the destination
+  /// with identical size.
+  Status Verify() const;
+
+  const MigrationReport& report() const { return report_; }
+
+ private:
+  void PumpNext();
+  void MigrateOne(const std::string& file, int attempt);
+
+  sim::Simulation* simulation_;
+  TapeLibrary* source_;
+  TapeLibrary* destination_;
+  MigrationConfig config_;
+  Rng rng_;
+  std::vector<std::string> pending_;
+  size_t next_ = 0;
+  int in_flight_ = 0;
+  bool started_ = false;
+  double start_time_ = 0.0;
+  MigrationReport report_;
+  std::function<void(const MigrationReport&)> on_complete_;
+};
+
+}  // namespace dflow::storage
+
+#endif  // DFLOW_STORAGE_MIGRATION_H_

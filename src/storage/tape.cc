@@ -1,0 +1,72 @@
+#include "storage/tape.h"
+
+#include "util/units.h"
+
+namespace dflow::storage {
+
+TapeLibrary::TapeLibrary(sim::Simulation* simulation, std::string name,
+                         TapeLibraryConfig config)
+    : simulation_(simulation), name_(std::move(name)), config_(config),
+      drives_(simulation, name_ + "/drives", config.num_drives) {}
+
+double TapeLibrary::AccessTime(int64_t bytes) const {
+  return config_.mount_seconds +
+         static_cast<double>(bytes) / config_.stream_bytes_per_sec;
+}
+
+Status TapeLibrary::Write(const std::string& file, int64_t bytes,
+                          std::function<void()> on_complete) {
+  if (files_.count(file) > 0) {
+    return Status::AlreadyExists(name_ + ": file '" + file +
+                                 "' already archived");
+  }
+  if (used_ + bytes > config_.capacity_bytes) {
+    return Status::ResourceExhausted(name_ + ": tape library full (" +
+                                     FormatBytes(used_) + " used)");
+  }
+  files_[file] = bytes;
+  used_ += bytes;
+  ++mounts_;
+  drives_.Submit(AccessTime(bytes), std::move(on_complete));
+  return Status::OK();
+}
+
+Status TapeLibrary::Read(const std::string& file,
+                         std::function<void(int64_t)> on_complete) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound(name_ + ": no archived file '" + file + "'");
+  }
+  int64_t bytes = it->second;
+  ++mounts_;
+  drives_.Submit(AccessTime(bytes),
+                 [bytes, cb = std::move(on_complete)] {
+                   if (cb) {
+                     cb(bytes);
+                   }
+                 });
+  return Status::OK();
+}
+
+bool TapeLibrary::Contains(const std::string& file) const {
+  return files_.count(file) > 0;
+}
+
+std::vector<std::string> TapeLibrary::FileNames() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, bytes] : files_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<int64_t> TapeLibrary::FileSize(const std::string& file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound(name_ + ": no archived file '" + file + "'");
+  }
+  return it->second;
+}
+
+}  // namespace dflow::storage

@@ -1,0 +1,70 @@
+#ifndef DFLOW_STORAGE_TAPE_H_
+#define DFLOW_STORAGE_TAPE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "util/result.h"
+
+namespace dflow::storage {
+
+/// Configuration of a robotic tape library (the CTC archive that Arecibo
+/// raw-data disks are copied into, and CLEO's HSM backing store).
+struct TapeLibraryConfig {
+  int num_drives = 4;
+  double mount_seconds = 90.0;          // Robot fetch + load + position.
+  double stream_bytes_per_sec = 120.0e6; // LTO-class streaming rate.
+  int64_t capacity_bytes = 2 * 1000LL * 1000 * 1000 * 1000 * 1000;  // 2 PB.
+};
+
+/// Discrete-event model of a robotic tape archive. Files are stored by
+/// name with exact byte accounting; reads and writes contend for a fixed
+/// set of drives (a sim::Resource), and each access pays a robot mount
+/// latency plus streaming time. This asymmetry (seconds on disk vs minutes
+/// on tape) is what makes CLEO's hot/warm/cold placement matter.
+class TapeLibrary {
+ public:
+  TapeLibrary(sim::Simulation* simulation, std::string name,
+              TapeLibraryConfig config);
+
+  /// Archives `bytes` under `file`. The callback fires at completion
+  /// (virtual time). Fails immediately if the library is out of capacity
+  /// or the name already exists.
+  Status Write(const std::string& file, int64_t bytes,
+               std::function<void()> on_complete);
+
+  /// Recalls a file; NotFound if absent. Callback receives the byte count.
+  Status Read(const std::string& file,
+              std::function<void(int64_t)> on_complete);
+
+  bool Contains(const std::string& file) const;
+  Result<int64_t> FileSize(const std::string& file) const;
+  /// All archived file names, sorted (the migration walk order).
+  std::vector<std::string> FileNames() const;
+
+  int64_t used_bytes() const { return used_; }
+  int64_t capacity_bytes() const { return config_.capacity_bytes; }
+  int64_t files_stored() const { return static_cast<int64_t>(files_.size()); }
+  int64_t mounts() const { return mounts_; }
+  const sim::Resource& drives() const { return drives_; }
+
+  /// Service time for one access of `bytes` (mount + stream).
+  double AccessTime(int64_t bytes) const;
+
+ private:
+  sim::Simulation* simulation_;
+  std::string name_;
+  TapeLibraryConfig config_;
+  sim::Resource drives_;
+  std::map<std::string, int64_t> files_;
+  int64_t used_ = 0;
+  int64_t mounts_ = 0;
+};
+
+}  // namespace dflow::storage
+
+#endif  // DFLOW_STORAGE_TAPE_H_

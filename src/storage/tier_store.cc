@@ -1,0 +1,102 @@
+#include "storage/tier_store.h"
+
+namespace dflow::storage {
+
+std::string_view TierToString(Tier tier) {
+  switch (tier) {
+    case Tier::kHot:
+      return "hot";
+    case Tier::kWarm:
+      return "warm";
+    case Tier::kCold:
+      return "cold";
+  }
+  return "?";
+}
+
+TierStore::TierStore() {
+  // Defaults: hot = fast local disk, warm = bulk disk, cold = tape-backed
+  // HSM (mount-dominated latency).
+  costs_[0] = TierCosts{0.005, 400.0e6};
+  costs_[1] = TierCosts{0.015, 120.0e6};
+  costs_[2] = TierCosts{95.0, 120.0e6};
+}
+
+void TierStore::SetTierCosts(Tier tier, TierCosts costs) {
+  costs_[static_cast<int>(tier)] = costs;
+}
+
+Status TierStore::RegisterGroup(const std::string& group,
+                                int64_t bytes_per_event, Tier tier) {
+  if (groups_.count(group) > 0) {
+    return Status::AlreadyExists("group '" + group + "' already registered");
+  }
+  if (bytes_per_event <= 0) {
+    return Status::InvalidArgument("bytes_per_event must be positive");
+  }
+  groups_[group] = Group{bytes_per_event, tier};
+  return Status::OK();
+}
+
+Status TierStore::MoveGroup(const std::string& group, Tier tier) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status::NotFound("no group '" + group + "'");
+  }
+  it->second.tier = tier;
+  return Status::OK();
+}
+
+Result<Tier> TierStore::GroupTier(const std::string& group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status::NotFound("no group '" + group + "'");
+  }
+  return it->second.tier;
+}
+
+Result<int64_t> TierStore::GroupBytesPerEvent(const std::string& group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status::NotFound("no group '" + group + "'");
+  }
+  return it->second.bytes_per_event;
+}
+
+Result<double> TierStore::ReadCost(const std::vector<std::string>& groups,
+                                   int64_t num_events) const {
+  double total = 0.0;
+  for (const std::string& name : groups) {
+    auto it = groups_.find(name);
+    if (it == groups_.end()) {
+      return Status::NotFound("no group '" + name + "'");
+    }
+    const TierCosts& costs = costs_[static_cast<int>(it->second.tier)];
+    int64_t bytes = it->second.bytes_per_event * num_events;
+    total += costs.latency_sec +
+             static_cast<double>(bytes) / costs.bytes_per_sec;
+  }
+  return total;
+}
+
+Result<int64_t> TierStore::BytesPerEvent(
+    const std::vector<std::string>& groups) const {
+  int64_t total = 0;
+  for (const std::string& name : groups) {
+    DFLOW_ASSIGN_OR_RETURN(int64_t bytes, GroupBytesPerEvent(name));
+    total += bytes;
+  }
+  return total;
+}
+
+std::vector<std::string> TierStore::GroupsOnTier(Tier tier) const {
+  std::vector<std::string> out;
+  for (const auto& [name, group] : groups_) {
+    if (group.tier == tier) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace dflow::storage

@@ -1,0 +1,70 @@
+#ifndef DFLOW_STORAGE_TIER_STORE_H_
+#define DFLOW_STORAGE_TIER_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::storage {
+
+/// CLEO's "hot / warm / cold" storage classes for column groups of ASUs
+/// (§3.1): a column-wise split of the event into groups by access pattern.
+/// Hot groups (small, frequently read) sit on fast disk; warm on slower
+/// bulk disk; cold on the HSM/tape path.
+enum class Tier { kHot = 0, kWarm = 1, kCold = 2 };
+
+std::string_view TierToString(Tier tier);
+
+/// Per-tier access cost model used by the tiering benches.
+struct TierCosts {
+  double latency_sec = 0.0;              // Per-request fixed cost.
+  double bytes_per_sec = 100.0e6;        // Streaming rate.
+};
+
+/// Maps named column groups (e.g. "tracks", "showers", "raw_hits") to
+/// tiers and answers "what does it cost to read these groups for N events"
+/// — the arithmetic behind the paper's observation that hot ASUs "are
+/// typically small compared with the less frequently accessed ASUs".
+class TierStore {
+ public:
+  TierStore();
+
+  /// Overrides a tier's cost model.
+  void SetTierCosts(Tier tier, TierCosts costs);
+
+  /// Registers a column group with its average bytes per event.
+  Status RegisterGroup(const std::string& group, int64_t bytes_per_event,
+                       Tier tier);
+
+  /// Moves a group between tiers (repartitioning).
+  Status MoveGroup(const std::string& group, Tier tier);
+
+  Result<Tier> GroupTier(const std::string& group) const;
+  Result<int64_t> GroupBytesPerEvent(const std::string& group) const;
+
+  /// Seconds to read `num_events` events' worth of the named groups, one
+  /// request per (group, tier).
+  Result<double> ReadCost(const std::vector<std::string>& groups,
+                          int64_t num_events) const;
+
+  /// Total bytes per event across the named groups.
+  Result<int64_t> BytesPerEvent(const std::vector<std::string>& groups) const;
+
+  /// All groups on a tier.
+  std::vector<std::string> GroupsOnTier(Tier tier) const;
+
+ private:
+  struct Group {
+    int64_t bytes_per_event;
+    Tier tier;
+  };
+  std::map<std::string, Group> groups_;
+  TierCosts costs_[3];
+};
+
+}  // namespace dflow::storage
+
+#endif  // DFLOW_STORAGE_TIER_STORE_H_

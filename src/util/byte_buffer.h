@@ -1,0 +1,92 @@
+#ifndef DFLOW_UTIL_BYTE_BUFFER_H_
+#define DFLOW_UTIL_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dflow {
+
+/// Growable little-endian byte sink used by the on-disk formats in this
+/// library (database pages, WAL records, ARC/DAT containers, EventStore
+/// file headers). Fixed-width integers are stored little-endian; varints use
+/// the LEB128-style 7-bit encoding.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed(bits);
+  }
+
+  /// Unsigned LEB128 varint.
+  void PutVarint(uint64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void PutString(std::string_view s);
+
+  /// Raw bytes, no length prefix.
+  void PutRaw(const void* data, size_t len);
+  void PutRaw(std::string_view s) { PutRaw(s.data(), s.size()); }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte string produced by ByteWriter.
+/// All getters return Status/Result rather than asserting, because readers
+/// parse data that may be corrupted (the fault-injection tests rely on
+/// this surfacing as Status::Corruption, not a crash).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<uint64_t> GetVarint();
+  Result<std::string> GetString();
+  /// Reads exactly `len` raw bytes.
+  Result<std::string> GetRaw(size_t len);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  Result<T> GetFixed();
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_UTIL_BYTE_BUFFER_H_

@@ -1,0 +1,152 @@
+#include "util/compress.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/byte_buffer.h"
+#include "util/crc32.h"
+
+namespace dflow {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'L', 'Z', '1'};
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1 << 16;
+constexpr size_t kWindow = 1 << 16;
+constexpr int kHashBits = 15;
+constexpr int kMaxChainProbes = 32;
+
+uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(ByteWriter& w, const uint8_t* base, size_t start,
+                  size_t end) {
+  if (end <= start) {
+    return;
+  }
+  w.PutU8(0x00);
+  w.PutVarint(end - start);
+  w.PutRaw(base + start, end - start);
+}
+
+}  // namespace
+
+std::string WlzCompress(std::string_view input) {
+  ByteWriter w;
+  w.PutRaw(kMagic, sizeof(kMagic));
+  w.PutVarint(input.size());
+  w.PutU32(Crc32::Of(input));
+
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t n = input.size();
+
+  // head[h]: most recent position with hash h; prev[i]: previous position
+  // with the same hash as i (hash chains).
+  std::vector<int64_t> head(size_t{1} << kHashBits, -1);
+  std::vector<int64_t> prev(n, -1);
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  while (pos + kMinMatch <= n) {
+    uint32_t h = HashAt(data + pos);
+    int64_t candidate = head[h];
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int probes = 0;
+    while (candidate >= 0 && probes < kMaxChainProbes &&
+           pos - static_cast<size_t>(candidate) <= kWindow) {
+      const uint8_t* a = data + candidate;
+      const uint8_t* b = data + pos;
+      size_t limit = std::min(n - pos, kMaxMatch);
+      size_t len = 0;
+      while (len < limit && a[len] == b[len]) {
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - static_cast<size_t>(candidate);
+        if (len >= 128) {
+          break;  // Long enough; stop probing.
+        }
+      }
+      candidate = prev[candidate];
+      ++probes;
+    }
+
+    prev[pos] = head[h];
+    head[h] = static_cast<int64_t>(pos);
+
+    if (best_len >= kMinMatch) {
+      EmitLiterals(w, data, literal_start, pos);
+      w.PutU8(0x01);
+      w.PutVarint(best_len);
+      w.PutVarint(best_dist);
+      // Insert hash entries for the matched region (sparsely, every other
+      // byte, to bound compression cost).
+      size_t insert_end = std::min(pos + best_len, n - kMinMatch + 1);
+      for (size_t i = pos + 1; i < insert_end; i += 2) {
+        uint32_t hi = HashAt(data + i);
+        prev[i] = head[hi];
+        head[hi] = static_cast<int64_t>(i);
+      }
+      pos += best_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitLiterals(w, data, literal_start, n);
+  return w.Take();
+}
+
+Result<std::string> WlzDecompress(std::string_view compressed) {
+  ByteReader r(compressed);
+  DFLOW_ASSIGN_OR_RETURN(std::string magic, r.GetRaw(4));
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) {
+    return Status::Corruption("wlz: bad magic");
+  }
+  DFLOW_ASSIGN_OR_RETURN(uint64_t expected_size, r.GetVarint());
+  DFLOW_ASSIGN_OR_RETURN(uint32_t expected_crc, r.GetU32());
+
+  std::string out;
+  out.reserve(expected_size);
+  while (!r.AtEnd()) {
+    DFLOW_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+    if (tag == 0x00) {
+      DFLOW_ASSIGN_OR_RETURN(uint64_t len, r.GetVarint());
+      DFLOW_ASSIGN_OR_RETURN(std::string bytes,
+                             r.GetRaw(static_cast<size_t>(len)));
+      out += bytes;
+    } else if (tag == 0x01) {
+      DFLOW_ASSIGN_OR_RETURN(uint64_t len, r.GetVarint());
+      DFLOW_ASSIGN_OR_RETURN(uint64_t dist, r.GetVarint());
+      if (dist == 0 || dist > out.size()) {
+        return Status::Corruption("wlz: invalid match distance");
+      }
+      if (out.size() + len > expected_size) {
+        return Status::Corruption("wlz: output overflow");
+      }
+      // Byte-by-byte copy: matches may overlap their own output
+      // (run-length-style references with dist < len).
+      size_t src = out.size() - static_cast<size_t>(dist);
+      for (uint64_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    } else {
+      return Status::Corruption("wlz: unknown token tag");
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("wlz: size mismatch");
+  }
+  if (Crc32::Of(out) != expected_crc) {
+    return Status::Corruption("wlz: checksum mismatch");
+  }
+  return out;
+}
+
+}  // namespace dflow

@@ -1,0 +1,29 @@
+#ifndef DFLOW_UTIL_COMPRESS_H_
+#define DFLOW_UTIL_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace dflow {
+
+/// Block compression for the archive container formats ("wlz"). The Internet
+/// Archive's ARC and DAT files that WebLab ingests are gzip-compressed; we
+/// implement a from-scratch LZ77 byte-oriented codec with hash-chain match
+/// finding that plays the same role: CPU-bounded decompression on the
+/// preload path and a realistic (2-5x on text) compression ratio.
+///
+/// Format: "WLZ1" magic, varint uncompressed size, then a token stream of
+/// literal runs (tag byte 0x00 + varint len + bytes) and matches
+/// (tag 0x01 + varint length + varint distance). Framed with a CRC-32 of
+/// the uncompressed payload so corruption surfaces as Status::Corruption.
+std::string WlzCompress(std::string_view input);
+
+/// Inverse of WlzCompress. Fails with Corruption on bad magic, truncation,
+/// invalid match distances, or checksum mismatch.
+Result<std::string> WlzDecompress(std::string_view compressed);
+
+}  // namespace dflow
+
+#endif  // DFLOW_UTIL_COMPRESS_H_

@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace dflow {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256>& table = *new auto(BuildTable());
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t len) {
+  const auto& table = Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc_;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  crc_ = c;
+}
+
+uint32_t Crc32::Of(std::string_view s) { return Of(s.data(), s.size()); }
+
+uint32_t Crc32::Of(const void* data, size_t len) {
+  Crc32 crc;
+  crc.Update(data, len);
+  return crc.Value();
+}
+
+}  // namespace dflow

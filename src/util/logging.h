@@ -1,0 +1,75 @@
+#ifndef DFLOW_UTIL_LOGGING_H_
+#define DFLOW_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dflow {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+/// Used via the DFLOW_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Terminates the process after printing; used by DFLOW_CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define DFLOW_LOG(level)                                             \
+  ::dflow::internal_logging::LogMessage(::dflow::LogLevel::k##level, \
+                                        __FILE__, __LINE__)          \
+      .stream()
+
+/// Invariant check that stays on in release builds. Database-style code uses
+/// this for internal invariants whose violation means a bug, not bad input;
+/// bad input is reported through Status.
+#define DFLOW_CHECK(condition)                                             \
+  if (!(condition))                                                        \
+  ::dflow::internal_logging::FatalMessage(__FILE__, __LINE__, #condition) \
+      .stream()
+
+#define DFLOW_CHECK_OK(expr)                           \
+  do {                                                 \
+    ::dflow::Status dflow_check_ok_s = (expr);         \
+    DFLOW_CHECK(dflow_check_ok_s.ok())                 \
+        << "status: " << dflow_check_ok_s.ToString();  \
+  } while (false)
+
+}  // namespace dflow
+
+#endif  // DFLOW_UTIL_LOGGING_H_

@@ -1,0 +1,48 @@
+#ifndef DFLOW_UTIL_MD5_H_
+#define DFLOW_UTIL_MD5_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dflow {
+
+/// MD5 message digest (RFC 1321), implemented from scratch. The CLEO
+/// EventStore described in the paper stores an MD5 hash of the concatenated
+/// module names, parameters, and input-file strings as a provenance summary
+/// in every derived data file; we reproduce that exact mechanism.
+///
+/// MD5 is used here as a fingerprint for consistency checking, never for
+/// security.
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorbs `data`; can be called repeatedly.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 16-byte digest. The object must not be
+  /// updated afterwards.
+  std::array<uint8_t, 16> Digest();
+
+  /// Finalizes and returns the digest as 32 lowercase hex characters.
+  std::string HexDigest();
+
+  /// Convenience: hash of a single buffer.
+  static std::string HexOf(std::string_view s);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[4];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_UTIL_MD5_H_

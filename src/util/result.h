@@ -1,0 +1,82 @@
+#ifndef DFLOW_UTIL_RESULT_H_
+#define DFLOW_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dflow {
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. The usual accessor pattern is:
+///
+///   Result<Foo> r = MakeFoo(...);
+///   if (!r.ok()) return r.status();
+///   Foo& foo = *r;
+///
+/// or, inside a function that itself returns Status/Result, the
+/// DFLOW_ASSIGN_OR_RETURN macro below.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from a non-OK Status keeps call
+  /// sites natural: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {
+    // A Result built from a Status must carry an error; an OK status with no
+    // value would be unobservable. Downgrade to an Internal error.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Undefined behaviour if !ok(); callers must check.
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Returns the contained value or `fallback` if this Result is an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// DFLOW_ASSIGN_OR_RETURN(lhs, rexpr): evaluates `rexpr` (a Result<T>); on
+/// error returns the status from the enclosing function, otherwise assigns
+/// the value to `lhs` (which may be a declaration).
+#define DFLOW_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DFLOW_ASSIGN_OR_RETURN_IMPL_(            \
+      DFLOW_RESULT_CONCAT_(dflow_result_, __LINE__), lhs, rexpr)
+
+#define DFLOW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = *std::move(tmp)
+
+#define DFLOW_RESULT_CONCAT_(a, b) DFLOW_RESULT_CONCAT_IMPL_(a, b)
+#define DFLOW_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dflow
+
+#endif  // DFLOW_UTIL_RESULT_H_

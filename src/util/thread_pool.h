@@ -1,0 +1,47 @@
+#ifndef DFLOW_UTIL_THREAD_POOL_H_
+#define DFLOW_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dflow {
+
+/// Fixed-size worker pool for the parallel payload stages (WebLab preload
+/// parsing, Arecibo per-beam dedispersion). Tasks are plain closures; the
+/// pool makes no ordering guarantee. Destruction waits for queued work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Wait() has started from
+  /// another thread concurrently with destruction.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_UTIL_THREAD_POOL_H_

@@ -1,0 +1,64 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dflow {
+
+namespace {
+
+std::string FormatScaled(double value, const char* const* suffixes,
+                         int num_suffixes, double base) {
+  int idx = 0;
+  double v = std::fabs(value);
+  while (v >= base && idx < num_suffixes - 1) {
+    v /= base;
+    ++idx;
+  }
+  char buf[64];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", std::fabs(value), suffixes[0]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+  }
+  std::string out = buf;
+  if (value < 0) {
+    out.insert(out.begin(), '-');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatBytes(int64_t bytes) {
+  static const char* const kSuffixes[] = {"B", "KB", "MB", "GB", "TB", "PB",
+                                          "EB"};
+  return FormatScaled(static_cast<double>(bytes), kSuffixes, 7, 1000.0);
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  double abs = std::fabs(seconds);
+  if (abs < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (abs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (abs < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (abs < kHour) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", seconds / kMinute);
+  } else if (abs < kDay) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / kHour);
+  } else if (abs < kYear) {
+    std::snprintf(buf, sizeof(buf), "%.2f d", seconds / kDay);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f yr", seconds / kYear);
+  }
+  return buf;
+}
+
+std::string FormatRate(double bytes_per_second) {
+  return FormatBytes(static_cast<int64_t>(bytes_per_second)) + "/s";
+}
+
+}  // namespace dflow

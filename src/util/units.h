@@ -1,0 +1,44 @@
+#ifndef DFLOW_UTIL_UNITS_H_
+#define DFLOW_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dflow {
+
+/// Byte-count arithmetic for the data-volume bookkeeping that dominates this
+/// library. Volumes in the paper span nine orders of magnitude (MB-scale ARC
+/// files to the Arecibo petabyte), so all accounting is done in int64 bytes
+/// and only formatted for humans at the edges.
+inline constexpr int64_t kKB = 1000;
+inline constexpr int64_t kMB = 1000 * kKB;
+inline constexpr int64_t kGB = 1000 * kMB;
+inline constexpr int64_t kTB = 1000 * kGB;
+inline constexpr int64_t kPB = 1000 * kTB;
+
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+/// Virtual-time constants, in seconds (the sim:: clock unit).
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24 * kHour;
+inline constexpr double kWeek = 7 * kDay;
+inline constexpr double kYear = 365.25 * kDay;
+
+/// Formats a byte count with a decimal SI suffix, e.g. "14.00 TB",
+/// "1.37 GB", "512 B". Negative values are formatted with a leading '-'.
+std::string FormatBytes(int64_t bytes);
+
+/// Formats a duration in seconds as the largest sensible unit, e.g.
+/// "3.50 h", "2.3 d", "450 ms".
+std::string FormatDuration(double seconds);
+
+/// Formats a rate in bytes/second, e.g. "250.0 GB/day" style output is the
+/// caller's job; this returns "X MB/s" style.
+std::string FormatRate(double bytes_per_second);
+
+}  // namespace dflow
+
+#endif  // DFLOW_UTIL_UNITS_H_

@@ -1,0 +1,199 @@
+#include "weblab/analysis.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace dflow::weblab {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+BurstDetector::BurstDetector(int min_count, double score_threshold)
+    : min_count_(min_count), score_threshold_(score_threshold) {}
+
+void BurstDetector::AddCrawl(int crawl_index,
+                             const std::vector<WebPage>& pages) {
+  CrawlCounts counts;
+  counts.crawl_index = crawl_index;
+  for (const WebPage& page : pages) {
+    for (std::string& token : Tokenize(page.content)) {
+      ++counts.term_counts[token];
+      ++counts.total_tokens;
+    }
+  }
+  crawls_.push_back(std::move(counts));
+}
+
+std::vector<Burst> BurstDetector::FindBursts() const {
+  std::vector<Burst> bursts;
+  if (crawls_.size() < 2) {
+    return bursts;
+  }
+  // Candidate terms: anything clearing min_count in some crawl.
+  std::set<std::string> candidates;
+  for (const CrawlCounts& crawl : crawls_) {
+    for (const auto& [term, count] : crawl.term_counts) {
+      if (count >= min_count_) {
+        candidates.insert(term);
+      }
+    }
+  }
+  // Baseline floor: a term that has never been seen before is treated as
+  // if it had min_count occurrences in a typical crawl, so rare vocabulary
+  // noise (one oddball word in one crawl) does not out-score genuine
+  // volume surges.
+  double mean_tokens = 0.0;
+  for (const CrawlCounts& crawl : crawls_) {
+    mean_tokens += static_cast<double>(crawl.total_tokens);
+  }
+  mean_tokens /= static_cast<double>(crawls_.size());
+  const double floor =
+      std::max(static_cast<double>(min_count_) / std::max(mean_tokens, 1.0),
+               1e-9);
+
+  for (const std::string& term : candidates) {
+    // Per-crawl rates.
+    std::vector<double> rates;
+    rates.reserve(crawls_.size());
+    for (const CrawlCounts& crawl : crawls_) {
+      auto it = crawl.term_counts.find(term);
+      double count = it == crawl.term_counts.end()
+                         ? 0.0
+                         : static_cast<double>(it->second);
+      rates.push_back(crawl.total_tokens > 0
+                          ? count / static_cast<double>(crawl.total_tokens)
+                          : 0.0);
+    }
+    for (size_t i = 0; i < rates.size(); ++i) {
+      // Baseline: mean rate over the *other* crawls, floored as above.
+      double other_sum = 0.0;
+      for (size_t j = 0; j < rates.size(); ++j) {
+        if (j != i) {
+          other_sum += rates[j];
+        }
+      }
+      double baseline =
+          std::max(other_sum / static_cast<double>(rates.size() - 1), floor);
+      double score = rates[i] / baseline;
+      if (score >= score_threshold_ &&
+          rates[i] * static_cast<double>(crawls_[i].total_tokens) >=
+              min_count_) {
+        bursts.push_back(Burst{term, crawls_[i].crawl_index, rates[i],
+                               baseline, score});
+      }
+    }
+  }
+  std::sort(bursts.begin(), bursts.end(), [](const Burst& a, const Burst& b) {
+    return a.score > b.score;
+  });
+  return bursts;
+}
+
+std::string DomainOf(const std::string& url) {
+  size_t start = url.find("://");
+  start = start == std::string::npos ? 0 : start + 3;
+  size_t end = url.find('/', start);
+  return url.substr(start,
+                    end == std::string::npos ? std::string::npos
+                                             : end - start);
+}
+
+std::vector<PageMetadata> StratifiedSampleByDomain(
+    const std::vector<PageMetadata>& pages, int per_stratum, uint64_t seed) {
+  std::map<std::string, std::vector<const PageMetadata*>> strata;
+  for (const PageMetadata& page : pages) {
+    strata[DomainOf(page.url)].push_back(&page);
+  }
+  Rng rng(seed);
+  std::vector<PageMetadata> sample;
+  for (auto& [domain, members] : strata) {
+    rng.Shuffle(members);
+    int take = std::min<int>(per_stratum, static_cast<int>(members.size()));
+    for (int i = 0; i < take; ++i) {
+      sample.push_back(*members[static_cast<size_t>(i)]);
+    }
+  }
+  return sample;
+}
+
+void InvertedIndex::AddPage(const std::string& url,
+                            std::string_view content) {
+  auto [it, inserted] =
+      doc_ids_.try_emplace(url, static_cast<int>(docs_.size()));
+  if (inserted) {
+    docs_.push_back(url);
+  }
+  int doc = it->second;
+  std::set<std::string> unique_terms;
+  for (std::string& token : Tokenize(content)) {
+    unique_terms.insert(std::move(token));
+  }
+  for (const std::string& term : unique_terms) {
+    std::vector<int>& posting = postings_[term];
+    if (posting.empty() || posting.back() != doc) {
+      posting.push_back(doc);
+      ++num_postings_;
+    }
+  }
+}
+
+std::vector<std::string> InvertedIndex::Lookup(const std::string& term) const {
+  std::vector<std::string> out;
+  auto it = postings_.find(term);
+  if (it == postings_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (int doc : it->second) {
+    out.push_back(docs_[static_cast<size_t>(doc)]);
+  }
+  return out;
+}
+
+std::vector<std::string> InvertedIndex::LookupAll(
+    const std::vector<std::string>& terms) const {
+  if (terms.empty()) {
+    return {};
+  }
+  std::vector<int> current;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    auto it = postings_.find(terms[i]);
+    if (it == postings_.end()) {
+      return {};
+    }
+    std::vector<int> sorted = it->second;
+    std::sort(sorted.begin(), sorted.end());
+    if (i == 0) {
+      current = std::move(sorted);
+    } else {
+      std::vector<int> merged;
+      std::set_intersection(current.begin(), current.end(), sorted.begin(),
+                            sorted.end(), std::back_inserter(merged));
+      current = std::move(merged);
+    }
+  }
+  std::vector<std::string> out;
+  out.reserve(current.size());
+  for (int doc : current) {
+    out.push_back(docs_[static_cast<size_t>(doc)]);
+  }
+  return out;
+}
+
+}  // namespace dflow::weblab

@@ -1,0 +1,56 @@
+#ifndef DFLOW_WEBLAB_ARC_FORMAT_H_
+#define DFLOW_WEBLAB_ARC_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::weblab {
+
+/// One crawled page. The ARC container stores the full record (header +
+/// content); the DAT container stores only the metadata and outlinks —
+/// exactly the split §4.1 describes.
+struct WebPage {
+  std::string url;
+  std::string ip;
+  int64_t crawl_time = 0;  // Seconds since epoch.
+  std::string mime_type = "text/html";
+  std::string content;
+  std::vector<std::string> links;
+};
+
+/// Page metadata as parsed from a DAT file.
+struct PageMetadata {
+  std::string url;
+  std::string ip;
+  int64_t crawl_time = 0;
+  std::string mime_type;
+  int64_t content_bytes = 0;
+  std::vector<std::string> links;
+};
+
+/// Writes pages "in the order received from the Web crawler" into an
+/// ARC-style container, then compresses the whole file (the Internet
+/// Archive gzips ARC files; we use the in-repo wlz codec). Compressed ARC
+/// files average ~100 MB at production scale; the benches check the
+/// compression ratios at payload scale.
+std::string WriteArcFile(const std::vector<WebPage>& pages);
+
+/// Writes the corresponding DAT metadata container (~15 MB at production
+/// scale), also compressed.
+std::string WriteDatFile(const std::vector<WebPage>& pages);
+
+/// Parses a compressed ARC file back into full pages.
+Result<std::vector<WebPage>> ReadArcFile(std::string_view compressed);
+
+/// Parses a compressed DAT file into metadata records. ARC and DAT files
+/// need not be processed together (§4.1: "the design of the subsystem does
+/// not require the corresponding ARC and DAT files to be processed
+/// together").
+Result<std::vector<PageMetadata>> ReadDatFile(std::string_view compressed);
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_ARC_FORMAT_H_

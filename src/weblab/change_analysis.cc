@@ -1,0 +1,124 @@
+#include "weblab/change_analysis.h"
+
+#include <set>
+
+#include "weblab/analysis.h"
+
+namespace dflow::weblab {
+
+namespace {
+
+void AccumulateDelta(const std::map<std::string, const WebPage*>& before,
+                     const std::map<std::string, const WebPage*>& after,
+                     CrawlDelta* delta) {
+  delta->pages_before = static_cast<int64_t>(before.size());
+  delta->pages_after = static_cast<int64_t>(after.size());
+  for (const auto& [url, page] : after) {
+    auto it = before.find(url);
+    if (it == before.end()) {
+      ++delta->pages_added;
+    } else if (it->second->content != page->content) {
+      ++delta->pages_changed;
+    } else {
+      ++delta->pages_unchanged;
+    }
+  }
+  for (const auto& [url, page] : before) {
+    if (after.count(url) == 0) {
+      ++delta->pages_removed;
+    }
+  }
+}
+
+std::map<std::string, const WebPage*> ByUrl(
+    const std::vector<WebPage>& pages) {
+  std::map<std::string, const WebPage*> out;
+  for (const WebPage& page : pages) {
+    out[page.url] = &page;
+  }
+  return out;
+}
+
+}  // namespace
+
+CrawlDelta DiffCrawls(const std::vector<WebPage>& before,
+                      const std::vector<WebPage>& after) {
+  CrawlDelta delta;
+  AccumulateDelta(ByUrl(before), ByUrl(after), &delta);
+  return delta;
+}
+
+double ShingleSimilarity(std::string_view a, std::string_view b,
+                         int shingle_words) {
+  auto shingles = [shingle_words](std::string_view text) {
+    std::set<std::string> out;
+    std::vector<std::string> tokens = Tokenize(text);
+    if (static_cast<int>(tokens.size()) < shingle_words) {
+      if (!tokens.empty()) {
+        std::string joined;
+        for (const std::string& token : tokens) {
+          joined += token;
+          joined += ' ';
+        }
+        out.insert(joined);
+      }
+      return out;
+    }
+    for (size_t i = 0; i + shingle_words <= tokens.size(); ++i) {
+      std::string shingle;
+      for (int w = 0; w < shingle_words; ++w) {
+        shingle += tokens[i + static_cast<size_t>(w)];
+        shingle += ' ';
+      }
+      out.insert(std::move(shingle));
+    }
+    return out;
+  };
+  std::set<std::string> sa = shingles(a);
+  std::set<std::string> sb = shingles(b);
+  if (sa.empty() && sb.empty()) {
+    return 1.0;
+  }
+  int64_t intersection = 0;
+  for (const std::string& shingle : sa) {
+    if (sb.count(shingle) > 0) {
+      ++intersection;
+    }
+  }
+  int64_t union_size =
+      static_cast<int64_t>(sa.size() + sb.size()) - intersection;
+  return union_size == 0 ? 1.0
+                         : static_cast<double>(intersection) /
+                               static_cast<double>(union_size);
+}
+
+std::map<std::string, CrawlDelta> PerDomainDeltas(
+    const std::vector<WebPage>& before, const std::vector<WebPage>& after) {
+  std::map<std::string, std::vector<WebPage>> before_by_domain,
+      after_by_domain;
+  for (const WebPage& page : before) {
+    before_by_domain[DomainOf(page.url)].push_back(page);
+  }
+  for (const WebPage& page : after) {
+    after_by_domain[DomainOf(page.url)].push_back(page);
+  }
+  std::map<std::string, CrawlDelta> out;
+  std::set<std::string> domains;
+  for (const auto& [domain, pages] : before_by_domain) {
+    domains.insert(domain);
+  }
+  for (const auto& [domain, pages] : after_by_domain) {
+    domains.insert(domain);
+  }
+  for (const std::string& domain : domains) {
+    static const std::vector<WebPage> kEmpty;
+    auto before_it = before_by_domain.find(domain);
+    auto after_it = after_by_domain.find(domain);
+    out[domain] = DiffCrawls(
+        before_it == before_by_domain.end() ? kEmpty : before_it->second,
+        after_it == after_by_domain.end() ? kEmpty : after_it->second);
+  }
+  return out;
+}
+
+}  // namespace dflow::weblab

@@ -1,0 +1,51 @@
+#ifndef DFLOW_WEBLAB_CHANGE_ANALYSIS_H_
+#define DFLOW_WEBLAB_CHANGE_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "weblab/arc_format.h"
+
+namespace dflow::weblab {
+
+/// Change statistics between two crawls of the same web. Section 4:
+/// "Almost invariably, they wish to have several time slices, so that they
+/// can study how things change over time" and burst detection highlights
+/// "portions of the Web that are undergoing rapid change at any point in
+/// time".
+struct CrawlDelta {
+  int64_t pages_before = 0;
+  int64_t pages_after = 0;
+  int64_t pages_added = 0;     // New urls.
+  int64_t pages_removed = 0;   // Urls gone.
+  int64_t pages_changed = 0;   // Same url, different content.
+  int64_t pages_unchanged = 0;
+
+  double ChangeRate() const {
+    int64_t common = pages_changed + pages_unchanged;
+    return common == 0 ? 0.0
+                       : static_cast<double>(pages_changed) /
+                             static_cast<double>(common);
+  }
+};
+
+/// Compares two crawls by url: adds/removals/content changes.
+CrawlDelta DiffCrawls(const std::vector<WebPage>& before,
+                      const std::vector<WebPage>& after);
+
+/// Jaccard similarity of two documents over word 3-shingles in [0, 1]
+/// (1 = identical shingle sets). The standard near-duplicate measure; a
+/// revised page typically scores high, a rewritten one low.
+double ShingleSimilarity(std::string_view a, std::string_view b,
+                         int shingle_words = 3);
+
+/// Per-domain change rates between two crawls, for "highlighting portions
+/// of the Web that are undergoing rapid change": domain -> CrawlDelta.
+std::map<std::string, CrawlDelta> PerDomainDeltas(
+    const std::vector<WebPage>& before, const std::vector<WebPage>& after);
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_CHANGE_ANALYSIS_H_

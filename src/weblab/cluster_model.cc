@@ -1,0 +1,64 @@
+#include "weblab/cluster_model.h"
+
+#include <algorithm>
+
+namespace dflow::weblab {
+
+double CrossPartitionFraction(int nodes) {
+  if (nodes <= 1) {
+    return 0.0;
+  }
+  return 1.0 - 1.0 / static_cast<double>(nodes);
+}
+
+bool FitsSingleMachine(const BigMemoryMachine& machine, int64_t graph_bytes) {
+  return graph_bytes <= machine.memory_bytes;
+}
+
+bool FitsCluster(const CommodityCluster& cluster, int64_t graph_bytes) {
+  // 2x headroom for partition skew and messaging buffers.
+  return graph_bytes / std::max(1, cluster.nodes) * 2 <=
+         cluster.memory_bytes_per_node;
+}
+
+double TraversalTimeSingle(const BigMemoryMachine& machine,
+                           int64_t edges_traversed) {
+  return static_cast<double>(edges_traversed) * machine.seconds_per_edge;
+}
+
+double TraversalTimeCluster(const CommodityCluster& cluster,
+                            int64_t edges_traversed) {
+  // A traversal is sequential: remote edges serialize on round-trip
+  // latency, local edges on memory speed. Parallelism does not help a
+  // single walk.
+  double cross = CrossPartitionFraction(cluster.nodes);
+  double remote_edges = static_cast<double>(edges_traversed) * cross;
+  double local_edges = static_cast<double>(edges_traversed) - remote_edges;
+  return local_edges * cluster.seconds_per_edge +
+         remote_edges * cluster.network_latency_sec;
+}
+
+double BatchIterationTimeSingle(const BigMemoryMachine& machine,
+                                int64_t edges) {
+  // Shared-memory parallelism across cores.
+  return static_cast<double>(edges) * machine.seconds_per_edge /
+         std::max(1, machine.cores);
+}
+
+double BatchIterationTimeCluster(const CommodityCluster& cluster,
+                                 int64_t edges) {
+  // Compute scales with nodes; cross-partition traffic is bulk-shipped
+  // and bound by per-node NIC bandwidth.
+  double per_node_edges =
+      static_cast<double>(edges) / std::max(1, cluster.nodes);
+  double compute = per_node_edges * cluster.seconds_per_edge;
+  double cross_bytes = static_cast<double>(edges) *
+                       CrossPartitionFraction(cluster.nodes) *
+                       static_cast<double>(cluster.bytes_per_edge_message) /
+                       std::max(1.0, cluster.combining_factor) /
+                       std::max(1, cluster.nodes);
+  double comm = cross_bytes / cluster.network_bytes_per_sec;
+  return compute + comm;
+}
+
+}  // namespace dflow::weblab

@@ -1,0 +1,62 @@
+#ifndef DFLOW_WEBLAB_CLUSTER_MODEL_H_
+#define DFLOW_WEBLAB_CLUSTER_MODEL_H_
+
+#include <cstdint>
+
+namespace dflow::weblab {
+
+/// Cost models behind the §4.2 architecture decision: web-graph research
+/// workloads were put on "a single high-performance computer" (the 16-way
+/// 64 GB Unisys ES7000) rather than the large commodity clusters used by
+/// production search services, "because network latency would be a
+/// serious concern".
+///
+/// Two workload shapes:
+///  * Traversal workloads (random walks, sampled BFS, stratified
+///    extraction) follow edges one at a time: every cross-partition edge
+///    costs a network round trip, and latency cannot be amortized.
+///  * Batch workloads (PageRank-style iterations) exchange messages in
+///    bulk: cross edges cost bandwidth, which parallelism amortizes.
+struct BigMemoryMachine {
+  int cores = 16;
+  int64_t memory_bytes = 64LL * 1000 * 1000 * 1000;  // 64 GB shared.
+  double seconds_per_edge = 8e-9;                    // In-memory traversal.
+};
+
+struct CommodityCluster {
+  int nodes = 64;
+  int64_t memory_bytes_per_node = 2LL * 1000 * 1000 * 1000;
+  double seconds_per_edge = 8e-9;
+  double network_latency_sec = 200e-6;   // Per remote message.
+  double network_bytes_per_sec = 125e6;  // Per node NIC (1 GbE).
+  int64_t bytes_per_edge_message = 16;
+  /// Bulk engines combine messages destined for the same remote vertex
+  /// before shipping; this divides the cross-partition byte volume.
+  double combining_factor = 8.0;
+};
+
+/// Fraction of edges crossing partitions under random hash partitioning
+/// over `nodes` machines: 1 - 1/nodes.
+double CrossPartitionFraction(int nodes);
+
+/// Whether the graph fits in memory (single machine: total; cluster:
+/// per-node share with 2x skew headroom).
+bool FitsSingleMachine(const BigMemoryMachine& machine, int64_t graph_bytes);
+bool FitsCluster(const CommodityCluster& cluster, int64_t graph_bytes);
+
+/// Seconds for a traversal workload touching `edges_traversed` edges.
+double TraversalTimeSingle(const BigMemoryMachine& machine,
+                           int64_t edges_traversed);
+double TraversalTimeCluster(const CommodityCluster& cluster,
+                            int64_t edges_traversed);
+
+/// Seconds for one bulk iteration over all `edges` (e.g. one PageRank
+/// pass).
+double BatchIterationTimeSingle(const BigMemoryMachine& machine,
+                                int64_t edges);
+double BatchIterationTimeCluster(const CommodityCluster& cluster,
+                                 int64_t edges);
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_CLUSTER_MODEL_H_

@@ -1,0 +1,127 @@
+#include "weblab/crawler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace dflow::weblab {
+
+int64_t Crawl::TotalContentBytes() const {
+  int64_t total = 0;
+  for (const WebPage& page : pages) {
+    total += static_cast<int64_t>(page.content.size());
+  }
+  return total;
+}
+
+SyntheticCrawler::SyntheticCrawler(CrawlerConfig config)
+    : config_(config), rng_(config.seed) {
+  DFLOW_CHECK(config_.initial_pages > 0);
+  DFLOW_CHECK(config_.num_domains > 0);
+  for (int i = 0; i < config_.initial_pages; ++i) {
+    AddPage();
+  }
+}
+
+std::string SyntheticCrawler::MakeUrl(int page_id) {
+  int domain = page_id % config_.num_domains;
+  return "http://site" + std::to_string(domain) + ".example.org/page" +
+         std::to_string(page_id) + ".html";
+}
+
+std::string SyntheticCrawler::MakeContent(bool bursty) {
+  int num_words = std::max<int>(
+      20, static_cast<int>(rng_.Normal(config_.words_per_page_mean,
+                                       config_.words_per_page_mean / 4.0)));
+  std::string content;
+  content.reserve(static_cast<size_t>(num_words) * 8);
+  for (int i = 0; i < num_words; ++i) {
+    if (bursty && rng_.Bernoulli(config_.burst_boost /
+                                 static_cast<double>(num_words))) {
+      content += config_.burst_word;
+    } else {
+      int64_t rank = rng_.Zipf(config_.vocabulary_size,
+                               config_.zipf_exponent);
+      content += "w" + std::to_string(rank);
+    }
+    content += ' ';
+  }
+  return content;
+}
+
+void SyntheticCrawler::AddPage() {
+  int page_id = static_cast<int>(urls_.size());
+  urls_.push_back(MakeUrl(page_id));
+  in_degree_.push_back(0);
+  contents_.push_back(MakeContent(false));
+  std::vector<int> targets;
+  if (page_id > 0) {
+    // Preferential attachment: pick targets weighted by in-degree + 1.
+    int64_t total_weight = 0;
+    for (int degree : in_degree_) {
+      total_weight += degree + 1;
+    }
+    for (int l = 0; l < config_.links_per_page && l < page_id; ++l) {
+      int64_t pick = rng_.Uniform(0, total_weight - 1);
+      int target = 0;
+      int64_t acc = 0;
+      for (int i = 0; i < page_id; ++i) {
+        acc += in_degree_[static_cast<size_t>(i)] + 1;
+        if (pick < acc) {
+          target = i;
+          break;
+        }
+      }
+      if (std::find(targets.begin(), targets.end(), target) ==
+          targets.end()) {
+        targets.push_back(target);
+        ++in_degree_[static_cast<size_t>(target)];
+      }
+    }
+  }
+  outlinks_.push_back(std::move(targets));
+}
+
+Crawl SyntheticCrawler::NextCrawl() {
+  ++crawl_index_;
+  crawl_time_ += static_cast<int64_t>(2 * 30 * kDay);  // Bimonthly.
+
+  const bool in_burst = crawl_index_ >= config_.burst_start_crawl &&
+                        crawl_index_ <= config_.burst_end_crawl;
+
+  if (crawl_index_ > 1) {
+    // Web growth and page revision between crawls.
+    for (int i = 0; i < config_.new_pages_per_crawl; ++i) {
+      AddPage();
+      if (in_burst) {
+        contents_.back() = MakeContent(true);
+      }
+    }
+    for (size_t i = 0; i < contents_.size(); ++i) {
+      if (rng_.Bernoulli(config_.page_change_probability)) {
+        contents_[i] = MakeContent(in_burst);
+      }
+    }
+  }
+
+  Crawl crawl;
+  crawl.crawl_index = crawl_index_;
+  crawl.crawl_time = crawl_time_;
+  crawl.pages.reserve(urls_.size());
+  for (size_t i = 0; i < urls_.size(); ++i) {
+    WebPage page;
+    page.url = urls_[i];
+    page.ip = "10." + std::to_string((i / 255 / 255) % 255) + "." +
+              std::to_string((i / 255) % 255) + "." + std::to_string(i % 255);
+    page.crawl_time = crawl_time_;
+    page.content = contents_[i];
+    for (int target : outlinks_[i]) {
+      page.links.push_back(urls_[static_cast<size_t>(target)]);
+    }
+    crawl.pages.push_back(std::move(page));
+  }
+  return crawl;
+}
+
+}  // namespace dflow::weblab

@@ -1,0 +1,77 @@
+#ifndef DFLOW_WEBLAB_CRAWLER_H_
+#define DFLOW_WEBLAB_CRAWLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "weblab/arc_format.h"
+
+namespace dflow::weblab {
+
+/// Parameters for the synthetic evolving web that substitutes for the
+/// Internet Archive's bimonthly crawls. The generated web has the features
+/// the WebLab researchers study: a scale-free link structure (preferential
+/// attachment), multiple domains, Zipf-distributed vocabulary, and change
+/// over time (page revision, growth, and topical "bursts").
+struct CrawlerConfig {
+  int initial_pages = 2000;
+  int new_pages_per_crawl = 400;     // Web growth between crawls.
+  double page_change_probability = 0.25;  // Revised content per crawl.
+  int links_per_page = 6;
+  int num_domains = 40;
+  int vocabulary_size = 5000;
+  double zipf_exponent = 1.1;
+  int words_per_page_mean = 300;
+  /// A burst topic: between crawls `burst_start` and `burst_end`, this
+  /// word is over-represented in changed/new pages (the burst-detection
+  /// workload of §4).
+  std::string burst_word = "election";
+  int burst_start_crawl = 3;
+  int burst_end_crawl = 5;
+  double burst_boost = 12.0;
+  uint64_t seed = 19960701;
+};
+
+/// One full crawl: every live page, stamped with the crawl time.
+struct Crawl {
+  int crawl_index = 0;
+  int64_t crawl_time = 0;
+  std::vector<WebPage> pages;
+
+  int64_t TotalContentBytes() const;
+};
+
+/// Generates a sequence of crawls of an evolving synthetic web. Pages are
+/// added with preferential attachment (in-link proportional to current
+/// in-degree), so the in-degree distribution is heavy-tailed like the real
+/// web graph.
+class SyntheticCrawler {
+ public:
+  explicit SyntheticCrawler(CrawlerConfig config);
+
+  /// Produces the next crawl; crawl times advance by two months each
+  /// call (the Internet Archive's cadence since 1996).
+  Crawl NextCrawl();
+
+  int num_pages() const { return static_cast<int>(urls_.size()); }
+
+ private:
+  std::string MakeUrl(int page_id);
+  std::string MakeContent(bool bursty);
+  void AddPage();
+
+  CrawlerConfig config_;
+  Rng rng_;
+  int crawl_index_ = 0;
+  int64_t crawl_time_ = 846'000'000;  // Late 1996.
+  std::vector<std::string> urls_;
+  std::vector<std::vector<int>> outlinks_;  // Page id -> target page ids.
+  std::vector<int> in_degree_;
+  std::vector<std::string> contents_;
+};
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_CRAWLER_H_

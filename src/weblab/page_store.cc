@@ -1,0 +1,75 @@
+#include "weblab/page_store.h"
+
+#include <algorithm>
+
+namespace dflow::weblab {
+
+Status PageStore::Put(const std::string& url, int64_t crawl_time,
+                      std::string content) {
+  auto& versions = index_[url];
+  auto it = std::lower_bound(versions.begin(), versions.end(), crawl_time,
+                             [](const VersionRef& ref, int64_t t) {
+                               return ref.crawl_time < t;
+                             });
+  if (it != versions.end() && it->crawl_time == crawl_time) {
+    return Status::AlreadyExists("version of '" + url + "' at " +
+                                 std::to_string(crawl_time) +
+                                 " already stored");
+  }
+  total_bytes_ += static_cast<int64_t>(content.size());
+  blobs_.push_back(std::move(content));
+  versions.insert(it, VersionRef{crawl_time, blobs_.size() - 1});
+  ++num_versions_;
+  return Status::OK();
+}
+
+Result<std::string> PageStore::Get(const std::string& url,
+                                   int64_t crawl_time) const {
+  auto it = index_.find(url);
+  if (it == index_.end()) {
+    return Status::NotFound("no page '" + url + "'");
+  }
+  for (const VersionRef& ref : it->second) {
+    if (ref.crawl_time == crawl_time) {
+      return blobs_[ref.blob_index];
+    }
+  }
+  return Status::NotFound("no version of '" + url + "' at " +
+                          std::to_string(crawl_time));
+}
+
+Result<std::string> PageStore::GetAsOf(const std::string& url,
+                                       int64_t as_of) const {
+  auto it = index_.find(url);
+  if (it == index_.end()) {
+    return Status::NotFound("no page '" + url + "'");
+  }
+  const VersionRef* best = nullptr;
+  for (const VersionRef& ref : it->second) {
+    if (ref.crawl_time <= as_of) {
+      best = &ref;
+    } else {
+      break;  // Versions are sorted ascending.
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("'" + url + "' was not yet crawled at " +
+                            std::to_string(as_of));
+  }
+  return blobs_[best->blob_index];
+}
+
+std::vector<int64_t> PageStore::Versions(const std::string& url) const {
+  std::vector<int64_t> out;
+  auto it = index_.find(url);
+  if (it == index_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (const VersionRef& ref : it->second) {
+    out.push_back(ref.crawl_time);
+  }
+  return out;
+}
+
+}  // namespace dflow::weblab

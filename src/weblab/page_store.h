@@ -1,0 +1,51 @@
+#ifndef DFLOW_WEBLAB_PAGE_STORE_H_
+#define DFLOW_WEBLAB_PAGE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::weblab {
+
+/// Versioned page-content store: the "actual content of the Web pages to
+/// be stored separately" half of the preload split (metadata goes to the
+/// relational database). Content is keyed by (url, crawl time); all
+/// versions of a page are retained, which is what makes time-sliced
+/// research and the Retro Browser possible.
+class PageStore {
+ public:
+  /// Stores one version. AlreadyExists if this exact (url, ts) is present.
+  Status Put(const std::string& url, int64_t crawl_time, std::string content);
+
+  /// Exact version lookup.
+  Result<std::string> Get(const std::string& url, int64_t crawl_time) const;
+
+  /// Latest version with crawl_time <= `as_of` (the Retro Browser query).
+  Result<std::string> GetAsOf(const std::string& url, int64_t as_of) const;
+
+  /// Crawl timestamps stored for `url`, ascending.
+  std::vector<int64_t> Versions(const std::string& url) const;
+
+  int64_t NumPages() const { return static_cast<int64_t>(index_.size()); }
+  int64_t NumVersions() const { return num_versions_; }
+  int64_t TotalBytes() const { return total_bytes_; }
+
+ private:
+  struct VersionRef {
+    int64_t crawl_time;
+    size_t blob_index;
+  };
+
+  std::deque<std::string> blobs_;
+  std::map<std::string, std::vector<VersionRef>> index_;  // Sorted by time.
+  int64_t num_versions_ = 0;
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_PAGE_STORE_H_

@@ -1,0 +1,74 @@
+#ifndef DFLOW_WEBLAB_PRELOAD_H_
+#define DFLOW_WEBLAB_PRELOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/result.h"
+#include "weblab/arc_format.h"
+#include "weblab/page_store.h"
+
+namespace dflow::weblab {
+
+/// Tuning knobs §4.1 says need "extensive benchmarking": "batch size, file
+/// size, degree of parallelism, and the index management".
+struct PreloadConfig {
+  int parallelism = 4;          // Worker threads for uncompress + parse.
+  int batch_size = 256;         // Metadata rows per database transaction.
+  bool build_indexes = true;    // Index the pages/links tables after load.
+};
+
+/// Throughput accounting for one preload run.
+struct PreloadStats {
+  int64_t arc_files = 0;
+  int64_t dat_files = 0;
+  int64_t compressed_bytes_in = 0;
+  int64_t uncompressed_bytes = 0;
+  int64_t pages_loaded = 0;
+  int64_t links_loaded = 0;
+  double wall_seconds = 0.0;
+
+  double BytesPerSecond() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(compressed_bytes_in) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// The preload subsystem of §4.1: "takes the incoming ARC and DAT files,
+/// uncompresses them, parses them to extract relevant information, and
+/// generates two types of output files: metadata for loading into a
+/// relational database and the actual content of the Web pages to be
+/// stored separately."
+///
+/// ARC and DAT files are independent inputs: LoadArcFiles fills the page
+/// store; LoadDatFiles fills the `pages` and `links` tables.
+class PreloadSubsystem {
+ public:
+  /// `database` and `page_store` are borrowed and must outlive the
+  /// subsystem. Creates the pages/links tables if missing.
+  PreloadSubsystem(PreloadConfig config, db::Database* database,
+                   PageStore* page_store);
+
+  /// Parses compressed ARC blobs (in parallel) and stores page content.
+  Result<PreloadStats> LoadArcFiles(
+      const std::vector<std::string>& compressed_blobs);
+
+  /// Parses compressed DAT blobs (in parallel) and loads metadata +
+  /// links into the relational database in batches.
+  Result<PreloadStats> LoadDatFiles(
+      const std::vector<std::string>& compressed_blobs);
+
+ private:
+  Status EnsureSchema();
+
+  PreloadConfig config_;
+  db::Database* db_;
+  PageStore* page_store_;
+};
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_PRELOAD_H_

@@ -1,0 +1,47 @@
+#ifndef DFLOW_WEBLAB_RETRO_BROWSER_H_
+#define DFLOW_WEBLAB_RETRO_BROWSER_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/result.h"
+#include "weblab/page_store.h"
+
+namespace dflow::weblab {
+
+/// A page as rendered by the Retro Browser: the content and outlinks of
+/// the newest version at or before the requested date.
+struct RetroPage {
+  std::string url;
+  int64_t version_time = 0;  // Crawl time of the served version.
+  std::string content;
+  std::vector<std::string> links;
+};
+
+/// "A Retro Browser to browse the Web as it was at a certain date"
+/// (§4.2). Content comes from the PageStore, links from the metadata
+/// database's `links` table, both resolved as-of the requested date.
+class RetroBrowser {
+ public:
+  /// Borrows the store and database populated by PreloadSubsystem.
+  RetroBrowser(const PageStore* page_store, db::Database* database);
+
+  /// The page `url` as it was on `date` (the newest crawl <= date).
+  Result<RetroPage> Browse(const std::string& url, int64_t date) const;
+
+  /// Follows the `link_index`-th link of a page — the basic navigation
+  /// loop of the browser. The target is also resolved as-of `date`.
+  Result<RetroPage> FollowLink(const RetroPage& page, size_t link_index,
+                               int64_t date) const;
+
+ private:
+  Result<int64_t> VersionAsOf(const std::string& url, int64_t date) const;
+
+  const PageStore* page_store_;
+  db::Database* db_;
+};
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_RETRO_BROWSER_H_

@@ -1,0 +1,72 @@
+#ifndef DFLOW_WEBLAB_WEB_GRAPH_H_
+#define DFLOW_WEBLAB_WEB_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "weblab/arc_format.h"
+
+namespace dflow::weblab {
+
+/// Immutable CSR web graph built from one crawl's link records. This is
+/// the structure §4.2 wants "loaded into the memory of a single large
+/// computer": all graph workloads (PageRank, components, degree studies,
+/// sampled traversals) run on it.
+class WebGraph {
+ public:
+  /// Builds from (src, dst) url pairs. Unknown destination urls (crawl
+  /// frontier edges) become nodes with no outlinks.
+  static WebGraph Build(
+      const std::vector<std::pair<std::string, std::string>>& edges);
+
+  /// Convenience: from DAT metadata records.
+  static WebGraph FromMetadata(const std::vector<PageMetadata>& records);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(urls_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(targets_.size()); }
+
+  const std::string& UrlOf(int node) const {
+    return urls_[static_cast<size_t>(node)];
+  }
+  Result<int> NodeOf(const std::string& url) const;
+
+  /// Outlink span of `node`.
+  std::pair<const int*, const int*> OutLinks(int node) const;
+  int OutDegree(int node) const;
+  int InDegree(int node) const { return in_degree_[static_cast<size_t>(node)]; }
+
+  /// PageRank with uniform teleport; returns one score per node.
+  std::vector<double> PageRank(int iterations = 20,
+                               double damping = 0.85) const;
+
+  /// Weakly connected component id per node, plus the component count.
+  std::pair<std::vector<int>, int> WeaklyConnectedComponents() const;
+
+  /// Strongly connected component id per node, plus the component count
+  /// (iterative Tarjan). The web's SCC structure — one giant core with
+  /// in/out tendrils — is a staple of the link-structure studies §4
+  /// motivates.
+  std::pair<std::vector<int>, int> StronglyConnectedComponents() const;
+
+  /// In-degree distribution: bucket k holds the number of nodes with
+  /// in-degree k (capped at `max_degree`, excess in the last bucket).
+  std::vector<int64_t> InDegreeHistogram(int max_degree = 64) const;
+
+  /// Estimated bytes to hold the graph in memory (the "fits in one big
+  /// machine" arithmetic).
+  int64_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> urls_;
+  std::map<std::string, int> ids_;
+  std::vector<int64_t> offsets_;  // CSR: size num_nodes + 1.
+  std::vector<int> targets_;
+  std::vector<int> in_degree_;
+};
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_WEB_GRAPH_H_

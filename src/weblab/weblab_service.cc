@@ -1,0 +1,95 @@
+#include "weblab/weblab_service.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "weblab/subsets.h"
+
+namespace dflow::weblab {
+
+WebLabService::WebLabService(const PageStore* page_store, db::Database* db,
+                             const InvertedIndex* index)
+    : page_store_(page_store), db_(db), index_(index),
+      browser_(page_store, db) {
+  DFLOW_CHECK(page_store_ != nullptr);
+  DFLOW_CHECK(db_ != nullptr);
+}
+
+Result<core::ServiceResponse> WebLabService::Handle(
+    const core::ServiceRequest& request) {
+  core::ServiceResponse response;
+
+  if (request.path == "retro" || request.path == "links") {
+    std::string url = request.Param("url");
+    if (url.empty()) {
+      return Status::InvalidArgument(request.path + " requires ?url=");
+    }
+    DFLOW_ASSIGN_OR_RETURN(int64_t date, request.IntParam("date", 0));
+    DFLOW_ASSIGN_OR_RETURN(RetroPage page, browser_.Browse(url, date));
+    if (request.path == "retro") {
+      response.content_type = "text/html";
+      response.body = page.content;
+    } else {
+      std::ostringstream os;
+      for (const std::string& link : page.links) {
+        os << link << "\n";
+      }
+      response.body = os.str();
+    }
+    return response;
+  }
+  if (request.path == "search") {
+    if (index_ == nullptr) {
+      return Status::FailedPrecondition("no full-text index loaded");
+    }
+    std::string query = request.Param("q");
+    if (query.empty()) {
+      return Status::InvalidArgument("search requires ?q=");
+    }
+    std::vector<std::string> terms = Tokenize(query);
+    std::ostringstream os;
+    for (const std::string& url : index_->LookupAll(terms)) {
+      os << url << "\n";
+    }
+    response.body = os.str();
+    return response;
+  }
+  if (request.path == "pages") {
+    DFLOW_ASSIGN_OR_RETURN(int64_t since, request.IntParam("since", 0));
+    DFLOW_ASSIGN_OR_RETURN(int64_t limit, request.IntParam("limit", 100));
+    DFLOW_ASSIGN_OR_RETURN(
+        db::QueryResult result,
+        db_->Execute("SELECT url, crawl_ts, bytes, out_degree FROM pages "
+                     "WHERE crawl_ts >= " +
+                     std::to_string(since) + " ORDER BY crawl_ts LIMIT " +
+                     std::to_string(limit)));
+    std::ostringstream os;
+    os << "url\tcrawl_ts\tbytes\tout_degree\n";
+    for (const db::Row& row : result.rows) {
+      os << row[0].AsString() << "\t" << row[1].AsInt() << "\t"
+         << row[2].AsInt() << "\t" << row[3].AsInt() << "\n";
+    }
+    response.content_type = "text/tab-separated-values";
+    response.body = os.str();
+    return response;
+  }
+  if (request.path == "extract") {
+    std::string name = request.Param("name");
+    std::string sql = request.Param("sql");
+    if (name.empty() || sql.empty()) {
+      return Status::InvalidArgument("extract requires ?name= and ?sql=");
+    }
+    DFLOW_ASSIGN_OR_RETURN(int64_t rows, ExtractSubset(db_, name, sql));
+    response.body = "view '" + name + "' materialized with " +
+                    std::to_string(rows) + " rows\n";
+    return response;
+  }
+  return Status::NotFound("no endpoint '" + request.path + "'");
+}
+
+std::vector<std::string> WebLabService::Endpoints() const {
+  return {"retro", "links", "search", "pages", "extract"};
+}
+
+}  // namespace dflow::weblab

@@ -1,0 +1,49 @@
+#ifndef DFLOW_WEBLAB_WEBLAB_SERVICE_H_
+#define DFLOW_WEBLAB_WEBLAB_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/web_service.h"
+#include "db/database.h"
+#include "weblab/analysis.h"
+#include "weblab/page_store.h"
+#include "weblab/retro_browser.h"
+
+namespace dflow::weblab {
+
+/// The WebLab's dedicated Web-Services interface (§4.2: "Access to the
+/// WebLab is provided via a Web Services interface to a dedicated Web
+/// server. General services provided include a Retro Browser ..., a
+/// facility to extract subsets ..., and tools for common analyses").
+/// Serves:
+///
+///   retro     ?url=U&date=N            the page as of a date (HTML)
+///   links     ?url=U&date=N            its outlinks (one per line)
+///   search    ?q=term+term             full-text conjunctive query
+///   pages     ?since=N&limit=K         metadata slice (TSV)
+///   extract   ?name=V&sql=SELECT...    materialize a subset view
+class WebLabService : public core::WebService {
+ public:
+  /// Borrows all three backends; they must outlive the service. The
+  /// inverted index is optional (search returns FailedPrecondition
+  /// without it).
+  WebLabService(const PageStore* page_store, db::Database* db,
+                const InvertedIndex* index);
+
+  Result<core::ServiceResponse> Handle(
+      const core::ServiceRequest& request) override;
+  std::vector<std::string> Endpoints() const override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = "weblab";
+  const PageStore* page_store_;
+  db::Database* db_;
+  const InvertedIndex* index_;
+  RetroBrowser browser_;
+};
+
+}  // namespace dflow::weblab
+
+#endif  // DFLOW_WEBLAB_WEBLAB_SERVICE_H_

@@ -1,0 +1,119 @@
+#include "arecibo/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace dflow::arecibo {
+namespace {
+
+TEST(FftTest, SizeMustBePowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_TRUE(Fft(data).IsInvalidArgument());
+  std::vector<std::complex<double>> empty;
+  EXPECT_TRUE(Fft(empty).IsInvalidArgument());
+}
+
+TEST(FftTest, DeltaFunctionHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  ASSERT_TRUE(Fft(data).ok());
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, PureToneConcentratesInOneBin) {
+  const size_t n = 256;
+  const int k = 17;
+  std::vector<std::complex<double>> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * std::numbers::pi * k * static_cast<double>(i) / n;
+    data[i] = {std::cos(phase), 0.0};
+  }
+  ASSERT_TRUE(Fft(data).ok());
+  // A real cosine splits between bins k and n-k with magnitude n/2 each.
+  EXPECT_NEAR(std::abs(data[k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - k]), n / 2.0, 1e-9);
+  for (size_t i = 1; i < n / 2; ++i) {
+    if (i != static_cast<size_t>(k)) {
+      EXPECT_LT(std::abs(data[i]), 1e-9) << "bin " << i;
+    }
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(3);
+  const size_t n = 512;
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) {
+    x = {rng.Normal(), rng.Normal()};
+  }
+  std::vector<std::complex<double>> original = data;
+  ASSERT_TRUE(Fft(data).ok());
+  ASSERT_TRUE(Fft(data, /*inverse=*/true).ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(5);
+  const size_t n = 1024;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.Normal(), 0.0};
+    time_energy += std::norm(x);
+  }
+  ASSERT_TRUE(Fft(data).ok());
+  double freq_energy = 0.0;
+  for (const auto& x : data) {
+    freq_energy += std::norm(x);
+  }
+  EXPECT_NEAR(freq_energy / n, time_energy, time_energy * 1e-9);
+}
+
+TEST(NextPowerOfTwoTest, Values) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(PowerSpectrumTest, DetectsPeriodicSignal) {
+  // 1 kHz sampling, 64 Hz tone, 1000 samples (padded to 1024).
+  const double sample_rate = 1000.0;
+  const double tone_hz = 64.0;
+  std::vector<double> series(1000);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = std::sin(2.0 * std::numbers::pi * tone_hz *
+                         static_cast<double>(i) / sample_rate);
+  }
+  std::vector<double> power = PowerSpectrum(series);
+  // Peak bin: f * N_padded / rate = 64 * 1024 / 1000 ~ 65.5.
+  size_t peak = 1;
+  for (size_t i = 1; i < power.size(); ++i) {
+    if (power[i] > power[peak]) {
+      peak = i;
+    }
+  }
+  double peak_freq = static_cast<double>(peak) * sample_rate / 1024.0;
+  EXPECT_NEAR(peak_freq, tone_hz, 1.0);
+}
+
+TEST(PowerSpectrumTest, DcSuppressed) {
+  std::vector<double> series(100, 5.0);  // Pure DC.
+  std::vector<double> power = PowerSpectrum(series);
+  EXPECT_DOUBLE_EQ(power[0], 0.0);
+}
+
+}  // namespace
+}  // namespace dflow::arecibo

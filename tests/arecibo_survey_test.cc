@@ -1,0 +1,179 @@
+#include "arecibo/survey.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arecibo/flow.h"
+#include "arecibo/votable.h"
+#include "core/flow_graph.h"
+#include "core/flow_runner.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace dflow::arecibo {
+namespace {
+
+SurveyConfig SmallConfig() {
+  SurveyConfig config;
+  config.num_channels = 48;
+  config.num_samples = 1 << 12;
+  config.sample_time_sec = 1e-3;
+  config.num_dm_trials = 12;
+  config.dm_max = 200.0;
+  config.search.snr_threshold = 6.0;
+  return config;
+}
+
+TEST(SurveyPipelineTest, EndToEndDetectionWithRfiRejection) {
+  SurveyConfig config = SmallConfig();
+  SurveyPipeline pipeline(config);
+
+  InjectedPulsar pulsar;
+  pulsar.beam = 3;
+  pulsar.params.period_sec = 0.25;
+  pulsar.params.dm = 90.0;
+  pulsar.params.pulse_amplitude = 5.0;
+  pulsar.params.duty_cycle = 0.05;
+
+  RfiParams rfi;
+  rfi.period_sec = 1.0 / 60.0;
+  rfi.amplitude = 1.5;
+  rfi.channel_lo = 0;
+  rfi.channel_hi = 47;
+
+  PointingResult result = pipeline.ProcessPointing(1, {pulsar}, {rfi});
+
+  // The pulsar survives meta-analysis in beam 3.
+  bool found_pulsar = false;
+  for (const Candidate& detection : result.detections) {
+    double ratio = detection.freq_hz / 4.0;
+    if (std::fabs(ratio - std::round(ratio)) < 0.05 && detection.beam == 3) {
+      found_pulsar = true;
+    }
+  }
+  EXPECT_TRUE(found_pulsar);
+
+  // The 60 Hz RFI appears in candidates but is flagged.
+  bool rfi_flagged = false;
+  for (const Candidate& candidate : result.candidates) {
+    if (candidate.rfi_flag && std::fabs(candidate.freq_hz - 60.0) < 3.0) {
+      rfi_flagged = true;
+    }
+  }
+  EXPECT_TRUE(rfi_flagged);
+
+  // No surviving detection is at the RFI frequency.
+  for (const Candidate& detection : result.detections) {
+    EXPECT_GT(std::fabs(detection.freq_hz - 60.0), 1.0);
+  }
+}
+
+TEST(SurveyPipelineTest, EmptySkyProducesFewDetections) {
+  SurveyConfig config = SmallConfig();
+  // Trials-aware threshold (exponential-tailed spectral noise over
+  // ~7 beams x 12 DM trials x 2048 bins).
+  config.search.snr_threshold = 13.0;
+  SurveyPipeline pipeline(config);
+  PointingResult result = pipeline.ProcessPointing(2, {}, {});
+  EXPECT_LE(result.detections.size(), 2u);
+}
+
+TEST(SurveyPipelineTest, PayloadAccountingConsistent) {
+  SurveyConfig config = SmallConfig();
+  SurveyPipeline pipeline(config);
+  PointingResult result = pipeline.ProcessPointing(3, {}, {});
+  // 7 beams of channels x samples x 4 bytes.
+  EXPECT_EQ(result.raw_payload_bytes,
+            7LL * config.num_channels * config.num_samples * 4);
+  // num_dm_trials series per beam, each num_samples doubles.
+  EXPECT_EQ(result.dedispersed_payload_bytes,
+            7LL * config.num_dm_trials * config.num_samples * 8);
+}
+
+TEST(SurveyPipelineTest, PaperScaleArithmetic) {
+  SurveyPipeline pipeline(SurveyConfig{});
+  // "400 telescope pointings ... about 35 hours ... 14 Terabytes".
+  EXPECT_EQ(pipeline.RawBytesPerBlock(), 14 * kTB);
+  // "These time series require storage about equal to ... the raw data".
+  EXPECT_EQ(pipeline.DedispersedBytesPerBlock(), 14 * kTB);
+  // "a minimum of 30 Terabytes of storage is required instantaneously".
+  EXPECT_GE(pipeline.PeakBlockStorageBytes(), 29 * kTB);
+  // ~1 PB over 5 years -> ~6.3 MB/s mean.
+  EXPECT_NEAR(pipeline.MeanRawRate(), 6.3e6, 0.5e6);
+}
+
+TEST(AreciboFlowTest, FigureOneVolumesMatchPaperRatios) {
+  SurveyConfig config;  // Paper-scale accounting.
+  sim::Simulation simulation;
+  core::FlowGraph graph;
+  ASSERT_TRUE(BuildAreciboFlow(config, &graph).ok());
+  core::FlowRunner runner(&simulation, &graph);
+  ASSERT_TRUE(runner.SetWorkers(AreciboFlowStages::kConsortium, 128).ok());
+  ASSERT_TRUE(runner.SetWorkers(AreciboFlowStages::kTapeArchive, 4).ok());
+  ASSERT_TRUE(ConfigureAreciboSites(&runner).ok());
+  ASSERT_TRUE(InjectObservingBlock(config, &runner).ok());
+  ASSERT_TRUE(runner.Run().ok());
+
+  using S = AreciboFlowStages;
+  // One week's block: 400 pointings, 14 TB raw.
+  EXPECT_EQ(runner.MetricsFor(S::kAcquisition).products_in, 400);
+  EXPECT_EQ(runner.MetricsFor(S::kTapeArchive).bytes_in, 14 * kTB);
+  // Data products are ~2% of raw.
+  int64_t products = runner.MetricsFor(S::kConsortium).bytes_out;
+  double product_ratio = static_cast<double>(products) / (14.0 * kTB);
+  EXPECT_GT(product_ratio, 0.01);
+  EXPECT_LT(product_ratio, 0.03);
+  // Refined candidates ~0.1% of raw.
+  int64_t candidates = runner.MetricsFor(S::kMetaAnalysis).bytes_out;
+  EXPECT_NEAR(static_cast<double>(candidates) / (14.0 * kTB), 0.001, 2e-4);
+  // Everything flows to the NVO sink.
+  EXPECT_EQ(runner.SinkOutputs(S::kNvo).size(), 400u);
+
+  // Provenance chains carry all eight stages, each tagged with its
+  // processing site (the "processing code and processing site" rule).
+  const auto& final_products = runner.SinkOutputs(S::kNvo);
+  const auto& steps = final_products[0].provenance.steps();
+  ASSERT_EQ(steps.size(), 8u);
+  EXPECT_EQ(steps[0].site, "Arecibo");
+  EXPECT_EQ(steps[3].site, "CTC");
+  EXPECT_EQ(steps[4].site, "PALFA-members");
+  EXPECT_EQ(steps[7].site, "NVO");
+}
+
+TEST(VoTableTest, RoundTrip) {
+  std::vector<Candidate> candidates;
+  for (int i = 0; i < 5; ++i) {
+    Candidate candidate;
+    candidate.freq_hz = 4.0 + i;
+    candidate.period_sec = 1.0 / candidate.freq_hz;
+    candidate.dm = 60.0 + i;
+    candidate.snr = 9.5 + i;
+    candidate.beam = i;
+    candidate.pointing = 100 + i;
+    candidate.rfi_flag = (i % 2 == 0);
+    candidates.push_back(candidate);
+  }
+  std::string xml = CandidatesToVoTable(candidates, "PALFA");
+  EXPECT_NE(xml.find("<VOTABLE"), std::string::npos);
+  EXPECT_NE(xml.find("PALFA"), std::string::npos);
+
+  auto parsed = VoTableToCandidates(xml);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR((*parsed)[i].freq_hz, candidates[i].freq_hz, 1e-9);
+    EXPECT_NEAR((*parsed)[i].dm, candidates[i].dm, 1e-9);
+    EXPECT_EQ((*parsed)[i].beam, candidates[i].beam);
+    EXPECT_EQ((*parsed)[i].rfi_flag, candidates[i].rfi_flag);
+  }
+}
+
+TEST(VoTableTest, RejectsGarbage) {
+  EXPECT_FALSE(VoTableToCandidates("not xml").ok());
+  EXPECT_FALSE(
+      VoTableToCandidates("<VOTABLE><TR><TD>1</TD></TR></VOTABLE>").ok());
+}
+
+}  // namespace
+}  // namespace dflow::arecibo

@@ -1,0 +1,215 @@
+#include "arecibo/single_pulse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arecibo/dedisperse.h"
+#include "arecibo/spectrometer.h"
+#include "arecibo/survey.h"
+
+namespace dflow::arecibo {
+namespace {
+
+constexpr int kChannels = 64;
+constexpr int64_t kSamples = 1 << 13;
+constexpr double kSampleTime = 1e-3;
+
+TEST(SinglePulseTest, PureNoiseIsQuiet) {
+  SpectrometerModel model(kChannels, kSamples, kSampleTime, 1);
+  DynamicSpectrum spec = model.Generate({}, {});
+  Dedisperser dedisperser(MakeDmTrials(300.0, 4));
+  SinglePulseConfig config;
+  config.snr_threshold = 7.0;
+  SinglePulseSearch search(config);
+  int total = 0;
+  for (double dm : dedisperser.dm_trials()) {
+    total +=
+        static_cast<int>(search.Search(dedisperser.Dedisperse(spec, dm)).size());
+  }
+  EXPECT_LE(total, 2);
+}
+
+TEST(SinglePulseTest, FindsInjectedTransientAtRightTime) {
+  SpectrometerModel model(kChannels, kSamples, kSampleTime, 2);
+  TransientParams burst;
+  burst.time_sec = 3.5;
+  burst.dm = 150.0;
+  burst.amplitude = 2.0;
+  burst.width_sec = 0.008;  // 8 samples.
+  DynamicSpectrum spec = model.Generate({}, {}, {burst});
+
+  Dedisperser dedisperser(MakeDmTrials(300.0, 31));
+  TimeSeries series = dedisperser.Dedisperse(spec, 150.0);
+  SinglePulseConfig config;
+  config.snr_threshold = 7.0;
+  SinglePulseSearch search(config);
+  auto events = search.Search(series);
+  ASSERT_FALSE(events.empty());
+  EXPECT_NEAR(events[0].time_sec, 3.5, 0.05);
+  EXPECT_DOUBLE_EQ(events[0].dm, 150.0);
+  EXPECT_GE(events[0].snr, 7.0);
+}
+
+TEST(SinglePulseTest, MatchedDmMaximizesSnr) {
+  SpectrometerModel model(kChannels, kSamples, kSampleTime, 3);
+  TransientParams burst;
+  burst.time_sec = 2.0;
+  burst.dm = 200.0;
+  burst.amplitude = 1.5;
+  burst.width_sec = 0.004;
+  DynamicSpectrum spec = model.Generate({}, {}, {burst});
+
+  Dedisperser dedisperser(MakeDmTrials(300.0, 31));
+  SinglePulseConfig config;
+  config.snr_threshold = 5.0;
+  SinglePulseSearch search(config);
+  auto snr_at = [&](double dm) {
+    auto events = search.Search(dedisperser.Dedisperse(spec, dm));
+    double best = 0.0;
+    for (const auto& event : events) {
+      if (std::fabs(event.time_sec - 2.0) < 0.1) {
+        best = std::max(best, event.snr);
+      }
+    }
+    return best;
+  };
+  double matched = snr_at(200.0);
+  double zero = snr_at(0.0);
+  EXPECT_GT(matched, 5.0);
+  EXPECT_GT(matched, zero * 1.5);
+}
+
+TEST(SinglePulseTest, BoxcarWidthTracksPulseWidth) {
+  SpectrometerModel model(kChannels, kSamples, kSampleTime, 4);
+  TransientParams wide;
+  wide.time_sec = 4.0;
+  wide.dm = 100.0;
+  wide.amplitude = 1.2;
+  wide.width_sec = 0.016;  // 16 samples.
+  DynamicSpectrum spec = model.Generate({}, {}, {wide});
+  Dedisperser dedisperser(MakeDmTrials(300.0, 31));
+  TimeSeries series = dedisperser.Dedisperse(spec, 100.0);
+  SinglePulseConfig config;
+  config.snr_threshold = 6.0;
+  SinglePulseSearch search(config);
+  auto events = search.Search(series);
+  ASSERT_FALSE(events.empty());
+  // The best boxcar is within a factor two of the true width.
+  EXPECT_GE(events[0].width_samples, 8);
+  EXPECT_LE(events[0].width_samples, 32);
+}
+
+TEST(SinglePulseTest, NearbyTriggersMerge) {
+  // One very bright pulse should produce one event, not a cluster.
+  SpectrometerModel model(kChannels, kSamples, kSampleTime, 5);
+  TransientParams burst;
+  burst.time_sec = 1.0;
+  burst.dm = 50.0;
+  burst.amplitude = 6.0;
+  burst.width_sec = 0.006;
+  DynamicSpectrum spec = model.Generate({}, {}, {burst});
+  Dedisperser dedisperser(MakeDmTrials(300.0, 31));
+  TimeSeries series = dedisperser.Dedisperse(spec, 50.0);
+  SinglePulseSearch search(SinglePulseConfig{});
+  auto events = search.Search(series);
+  int near_pulse = 0;
+  for (const auto& event : events) {
+    if (std::fabs(event.time_sec - 1.0) < 0.1) {
+      ++near_pulse;
+    }
+  }
+  EXPECT_EQ(near_pulse, 1);
+}
+
+TEST(SinglePulseTest, TwoSeparatedPulsesBothFound) {
+  SpectrometerModel model(kChannels, kSamples, kSampleTime, 6);
+  TransientParams first;
+  first.time_sec = 1.5;
+  first.dm = 80.0;
+  first.amplitude = 2.5;
+  TransientParams second = first;
+  second.time_sec = 6.0;
+  DynamicSpectrum spec = model.Generate({}, {}, {first, second});
+  Dedisperser dedisperser(MakeDmTrials(300.0, 31));
+  TimeSeries series = dedisperser.Dedisperse(spec, 80.0);
+  SinglePulseSearch search(SinglePulseConfig{});
+  auto events = search.Search(series);
+  bool saw_first = false, saw_second = false;
+  for (const auto& event : events) {
+    saw_first |= std::fabs(event.time_sec - 1.5) < 0.1;
+    saw_second |= std::fabs(event.time_sec - 6.0) < 0.1;
+  }
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_second);
+}
+
+TEST(SurveyTransientTest, PipelineFindsBurstAndCutsBroadbandRfi) {
+  SurveyConfig config;
+  config.num_channels = 48;
+  config.num_samples = 1 << 12;
+  config.sample_time_sec = 1e-3;
+  config.num_dm_trials = 12;
+  config.dm_max = 200.0;
+  config.search.snr_threshold = 13.0;
+  config.search_transients = true;
+  config.single_pulse.snr_threshold = 7.5;
+  SurveyPipeline pipeline(config);
+
+  // A real burst in beam 4 plus a lightning-like undispersed spike that
+  // hits every beam at the same instant (injected as a dm=0 transient in
+  // all beams).
+  InjectedTransient burst;
+  burst.beam = 4;
+  burst.params.time_sec = 2.0;
+  burst.params.dm = 120.0;
+  burst.params.amplitude = 2.5;
+  burst.params.width_sec = 0.006;
+  std::vector<InjectedTransient> injected = {burst};
+  for (int beam = 0; beam < config.num_beams; ++beam) {
+    InjectedTransient lightning;
+    lightning.beam = beam;
+    lightning.params.time_sec = 3.0;
+    lightning.params.dm = 0.0;
+    lightning.params.amplitude = 3.0;
+    lightning.params.width_sec = 0.004;
+    injected.push_back(lightning);
+  }
+
+  PointingResult result = pipeline.ProcessPointing(7, {}, {}, {}, injected);
+  bool found_burst = false, lightning_leaked = false;
+  for (const TransientEvent& event : result.transients) {
+    if (std::fabs(event.time_sec - 2.0) < 0.1) {
+      found_burst = true;
+    }
+    if (std::fabs(event.time_sec - 3.0) < 0.1) {
+      lightning_leaked = true;
+    }
+  }
+  EXPECT_TRUE(found_burst);
+  EXPECT_FALSE(lightning_leaked);  // Multibeam coincidence kills it.
+}
+
+TEST(SurveyTransientTest, DisabledByDefault) {
+  SurveyConfig config;
+  config.num_channels = 32;
+  config.num_samples = 1 << 11;
+  config.num_dm_trials = 4;
+  SurveyPipeline pipeline(config);
+  InjectedTransient burst;
+  burst.beam = 0;
+  burst.params.amplitude = 5.0;
+  PointingResult result = pipeline.ProcessPointing(1, {}, {}, {}, {burst});
+  EXPECT_TRUE(result.transients.empty());
+}
+
+TEST(SinglePulseTest, TinySeriesHandled) {
+  TimeSeries series;
+  series.sample_time_sec = 1.0;
+  series.samples = {0.0, 0.0};
+  SinglePulseSearch search(SinglePulseConfig{});
+  EXPECT_TRUE(search.Search(series).empty());
+}
+
+}  // namespace
+}  // namespace dflow::arecibo

@@ -1,0 +1,92 @@
+#include "eventstore/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flow_graph.h"
+#include "core/flow_runner.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace dflow::eventstore {
+namespace {
+
+TEST(CleoFlowTest, FigureTwoStructureAndVolumes) {
+  CleoFlowConfig config;
+  sim::Simulation simulation;
+  core::FlowGraph graph;
+  ASSERT_TRUE(BuildCleoFlow(config, &graph).ok());
+  core::FlowRunner runner(&simulation, &graph);
+  ASSERT_TRUE(runner.SetWorkers(CleoFlowStages::kReconstruction, 8).ok());
+  ASSERT_TRUE(runner.SetWorkers(CleoFlowStages::kMonteCarlo, 16).ok());
+  ASSERT_TRUE(InjectCleoDay(config, &runner).ok());
+  ASSERT_TRUE(runner.Run().ok());
+
+  using S = CleoFlowStages;
+  int64_t raw = runner.MetricsFor(S::kAcquisition).bytes_in;
+  int64_t recon = runner.MetricsFor(S::kReconstruction).bytes_out;
+  int64_t postrecon = runner.MetricsFor(S::kPostRecon).bytes_out;
+  int64_t mc = runner.MetricsFor(S::kMonteCarlo).bytes_out;
+  int64_t eventstore_in = runner.MetricsFor(S::kEventStore).bytes_in;
+  int64_t analysis = runner.MetricsFor(S::kAnalysis).bytes_out;
+
+  // One day: 24 runs of 3.5 GB.
+  EXPECT_EQ(raw, 24LL * config.raw_bytes_per_run);
+  // Reconstruction is a reduction; post-recon a further one.
+  EXPECT_LT(recon, raw);
+  EXPECT_LT(postrecon, recon);
+  // MC volume matches/exceeds the data volume (paper: MC is generated for
+  // each run and dominates offsite production).
+  EXPECT_GT(mc, raw);
+  // Everything converging on the EventStore: postrecon + MC via USB.
+  EXPECT_EQ(eventstore_in, postrecon + mc);
+  // Analysis output is a small fraction of its input.
+  EXPECT_LT(analysis, eventstore_in / 50);
+
+  // The two branches (central reconstruction, offsite MC) both reach the
+  // analysis sink, carrying distinct provenance chains.
+  const auto& outputs = runner.SinkOutputs(S::kAnalysis);
+  ASSERT_EQ(outputs.size(), 48u);  // 24 data + 24 MC products.
+  bool saw_recon_chain = false, saw_mc_chain = false;
+  for (const auto& product : outputs) {
+    const auto& steps = product.provenance.steps();
+    ASSERT_GE(steps.size(), 3u);
+    for (const auto& step : steps) {
+      if (step.module == CleoFlowStages::kReconstruction) {
+        saw_recon_chain = true;
+      }
+      if (step.module == CleoFlowStages::kMonteCarlo) {
+        saw_mc_chain = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_recon_chain);
+  EXPECT_TRUE(saw_mc_chain);
+
+  // The flow diagram renders with every Figure-2 stage present.
+  std::string dot = runner.AnnotatedDot();
+  for (const char* stage :
+       {S::kAcquisition, S::kInitialAnalysis, S::kReconstruction,
+        S::kPostRecon, S::kMonteCarlo, S::kUsbImport, S::kEventStore,
+        S::kAnalysis}) {
+    EXPECT_NE(dot.find(stage), std::string::npos) << stage;
+  }
+}
+
+TEST(CleoFlowTest, UsbImportDelaysMcArrival) {
+  // The USB-disk import stage adds hours of latency to the MC branch; the
+  // centrally reconstructed branch lands first.
+  CleoFlowConfig config;
+  config.num_runs = 1;
+  sim::Simulation simulation;
+  core::FlowGraph graph;
+  ASSERT_TRUE(BuildCleoFlow(config, &graph).ok());
+  core::FlowRunner runner(&simulation, &graph);
+  ASSERT_TRUE(InjectCleoDay(config, &runner).ok());
+  ASSERT_TRUE(runner.Run().ok());
+  // Both products arrived; total virtual time exceeds the 2 h USB leg.
+  EXPECT_EQ(runner.SinkOutputs(CleoFlowStages::kAnalysis).size(), 2u);
+  EXPECT_GT(simulation.Now(), 2 * kHour);
+}
+
+}  // namespace
+}  // namespace dflow::eventstore

@@ -1,0 +1,67 @@
+#include "eventstore/cms_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::eventstore {
+namespace {
+
+TEST(CmsFilterTest, DefaultAcceptanceHonoursTapeBudget) {
+  CmsFilterConfig config;  // 100 kHz x 1 MB x 0.002 = 200 MB/s nominal.
+  config.accept_fraction = 0.0015;  // Comfortably inside the budget.
+  CmsFilterResult result = RunCmsFilter(config, 20.0, 1);
+  EXPECT_GT(result.events_seen, 1'500'000);
+  EXPECT_TRUE(result.within_tape_budget);
+  EXPECT_EQ(result.events_dropped_overflow, 0);
+  EXPECT_LT(result.mean_tape_rate, config.tape_limit_bytes_per_sec);
+}
+
+TEST(CmsFilterTest, ExcessiveAcceptanceOverflowsBuffer) {
+  CmsFilterConfig config;
+  config.accept_fraction = 0.01;  // 5x over budget.
+  config.tape_buffer_bytes = 2LL * 1000 * 1000 * 1000;
+  CmsFilterResult result = RunCmsFilter(config, 20.0, 2);
+  EXPECT_FALSE(result.within_tape_budget);
+  EXPECT_GT(result.events_dropped_overflow, 0);
+}
+
+TEST(CmsFilterTest, AcceptanceScalesOutput) {
+  CmsFilterConfig config;
+  config.accept_fraction = 0.001;
+  CmsFilterResult low = RunCmsFilter(config, 10.0, 3);
+  config.accept_fraction = 0.002;
+  CmsFilterResult high = RunCmsFilter(config, 10.0, 3);
+  EXPECT_NEAR(static_cast<double>(high.events_accepted) /
+                  static_cast<double>(low.events_accepted),
+              2.0, 0.3);
+}
+
+TEST(CmsFilterTest, ZeroAcceptanceWritesNothing) {
+  CmsFilterConfig config;
+  config.accept_fraction = 0.0;
+  CmsFilterResult result = RunCmsFilter(config, 5.0, 4);
+  EXPECT_EQ(result.events_accepted, 0);
+  EXPECT_EQ(result.bytes_accepted, 0);
+  EXPECT_TRUE(result.within_tape_budget);
+}
+
+TEST(CmsFilterTest, DeterministicForSeed) {
+  CmsFilterConfig config;
+  CmsFilterResult a = RunCmsFilter(config, 5.0, 99);
+  CmsFilterResult b = RunCmsFilter(config, 5.0, 99);
+  EXPECT_EQ(a.events_seen, b.events_seen);
+  EXPECT_EQ(a.events_accepted, b.events_accepted);
+  EXPECT_EQ(a.bytes_accepted, b.bytes_accepted);
+}
+
+TEST(CmsFilterTest, BufferAbsorbsBursts) {
+  // At exactly the budget, a finite buffer keeps losses at zero while
+  // peak occupancy stays positive (bursts happen).
+  CmsFilterConfig config;
+  config.accept_fraction = 0.0018;  // ~180 MB/s nominal.
+  CmsFilterResult result = RunCmsFilter(config, 30.0, 5);
+  EXPECT_EQ(result.events_dropped_overflow, 0);
+  EXPECT_GT(result.peak_buffer_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace dflow::eventstore

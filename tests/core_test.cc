@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/flow_graph.h"
+#include "core/flow_runner.h"
+#include "core/stage.h"
+#include "sim/simulation.h"
+
+namespace dflow::core {
+namespace {
+
+std::shared_ptr<LambdaStage> PassThrough(const std::string& name,
+                                         double seconds_per_product = 0.0) {
+  return std::make_shared<LambdaStage>(
+      name, StageCosts{seconds_per_product, 0.0},
+      [](const DataProduct& in) -> Result<std::vector<DataProduct>> {
+        return std::vector<DataProduct>{in};
+      });
+}
+
+TEST(FlowGraphTest, AddAndConnect) {
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(PassThrough("a")).ok());
+  ASSERT_TRUE(graph.AddStage(PassThrough("b")).ok());
+  EXPECT_TRUE(graph.AddStage(PassThrough("a")).IsAlreadyExists());
+  ASSERT_TRUE(graph.Connect("a", "b").ok());
+  EXPECT_TRUE(graph.Connect("a", "b").IsAlreadyExists());
+  EXPECT_TRUE(graph.Connect("a", "a").IsInvalidArgument());
+  EXPECT_TRUE(graph.Connect("a", "ghost").IsNotFound());
+  EXPECT_EQ(graph.Successors("a"), (std::vector<std::string>{"b"}));
+  EXPECT_TRUE(graph.Find("b").ok());
+  EXPECT_TRUE(graph.Find("ghost").status().IsNotFound());
+}
+
+TEST(FlowGraphTest, TopologicalOrderRespectsEdges) {
+  FlowGraph graph;
+  for (const char* name : {"d", "c", "b", "a"}) {
+    ASSERT_TRUE(graph.AddStage(PassThrough(name)).ok());
+  }
+  ASSERT_TRUE(graph.Connect("a", "b").ok());
+  ASSERT_TRUE(graph.Connect("b", "c").ok());
+  ASSERT_TRUE(graph.Connect("b", "d").ok());
+  auto order = graph.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  auto position = [&](const std::string& name) {
+    return std::find(order->begin(), order->end(), name) - order->begin();
+  };
+  EXPECT_LT(position("a"), position("b"));
+  EXPECT_LT(position("b"), position("c"));
+  EXPECT_LT(position("b"), position("d"));
+}
+
+TEST(FlowGraphTest, CycleDetected) {
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(PassThrough("a")).ok());
+  ASSERT_TRUE(graph.AddStage(PassThrough("b")).ok());
+  ASSERT_TRUE(graph.Connect("a", "b").ok());
+  ASSERT_TRUE(graph.Connect("b", "a").ok());
+  EXPECT_TRUE(graph.TopologicalOrder().status().IsFailedPrecondition());
+}
+
+TEST(FlowGraphTest, DotExportContainsNodesAndEdges) {
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(PassThrough("acquire")).ok());
+  ASSERT_TRUE(graph.AddStage(PassThrough("process")).ok());
+  ASSERT_TRUE(graph.Connect("acquire", "process").ok());
+  std::string dot = graph.ToDot({{"acquire", "in 14 TB"}});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"acquire\" -> \"process\""), std::string::npos);
+  EXPECT_NE(dot.find("in 14 TB"), std::string::npos);
+}
+
+TEST(FlowRunnerTest, ProductsFlowAndMetricsAccumulate) {
+  sim::Simulation simulation;
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(PassThrough("src")).ok());
+  // Shrinking stage: emits 10% of the input volume.
+  ASSERT_TRUE(graph.AddStage(std::make_shared<LambdaStage>(
+      "shrink", StageCosts{},
+      [](const DataProduct& in) -> Result<std::vector<DataProduct>> {
+        DataProduct out = in;
+        out.bytes = in.bytes / 10;
+        return std::vector<DataProduct>{out};
+      })).ok());
+  ASSERT_TRUE(graph.Connect("src", "shrink").ok());
+
+  FlowRunner runner(&simulation, &graph);
+  for (int i = 0; i < 5; ++i) {
+    DataProduct product;
+    product.name = "p" + std::to_string(i);
+    product.bytes = 1000;
+    ASSERT_TRUE(runner.Inject("src", product, 0.0).ok());
+  }
+  ASSERT_TRUE(runner.Run().ok());
+
+  EXPECT_EQ(runner.MetricsFor("src").products_in, 5);
+  EXPECT_EQ(runner.MetricsFor("src").bytes_in, 5000);
+  EXPECT_EQ(runner.MetricsFor("shrink").bytes_in, 5000);
+  EXPECT_EQ(runner.MetricsFor("shrink").bytes_out, 500);
+  EXPECT_EQ(runner.SinkOutputs("shrink").size(), 5u);
+  EXPECT_TRUE(runner.SinkOutputs("src").empty());
+}
+
+TEST(FlowRunnerTest, WorkerCountControlsThroughput) {
+  auto run_with_workers = [](int workers) {
+    sim::Simulation simulation;
+    FlowGraph graph;
+    EXPECT_TRUE(graph.AddStage(PassThrough("cpu", 10.0)).ok());
+    FlowRunner runner(&simulation, &graph);
+    EXPECT_TRUE(runner.SetWorkers("cpu", workers).ok());
+    for (int i = 0; i < 8; ++i) {
+      DataProduct product;
+      product.name = "p";
+      product.bytes = 1;
+      EXPECT_TRUE(runner.Inject("cpu", product, 0.0).ok());
+    }
+    EXPECT_TRUE(runner.Run().ok());
+    return simulation.Now();
+  };
+  EXPECT_NEAR(run_with_workers(1), 80.0, 1e-6);
+  EXPECT_NEAR(run_with_workers(4), 20.0, 1e-6);
+  EXPECT_NEAR(run_with_workers(8), 10.0, 1e-6);
+}
+
+TEST(FlowRunnerTest, FanOutDeliversToAllSuccessors) {
+  sim::Simulation simulation;
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(PassThrough("src")).ok());
+  ASSERT_TRUE(graph.AddStage(PassThrough("left")).ok());
+  ASSERT_TRUE(graph.AddStage(PassThrough("right")).ok());
+  ASSERT_TRUE(graph.Connect("src", "left").ok());
+  ASSERT_TRUE(graph.Connect("src", "right").ok());
+  FlowRunner runner(&simulation, &graph);
+  DataProduct product;
+  product.name = "p";
+  product.bytes = 100;
+  ASSERT_TRUE(runner.Inject("src", product, 0.0).ok());
+  ASSERT_TRUE(runner.Run().ok());
+  EXPECT_EQ(runner.MetricsFor("left").products_in, 1);
+  EXPECT_EQ(runner.MetricsFor("right").products_in, 1);
+}
+
+TEST(FlowRunnerTest, ProvenanceChainAccumulatesPerStage) {
+  sim::Simulation simulation;
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(PassThrough("acquire")).ok());
+  ASSERT_TRUE(graph.AddStage(PassThrough("reconstruct")).ok());
+  ASSERT_TRUE(graph.Connect("acquire", "reconstruct").ok());
+  FlowRunner runner(&simulation, &graph);
+  ASSERT_TRUE(runner.SetRelease("reconstruct", "Feb13_04_P2").ok());
+  DataProduct product;
+  product.name = "run_1";
+  product.bytes = 10;
+  ASSERT_TRUE(runner.Inject("acquire", product, 0.0).ok());
+  ASSERT_TRUE(runner.Run().ok());
+
+  const auto& outputs = runner.SinkOutputs("reconstruct");
+  ASSERT_EQ(outputs.size(), 1u);
+  const auto& steps = outputs[0].provenance.steps();
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].module, "acquire");
+  EXPECT_EQ(steps[1].module, "reconstruct");
+  EXPECT_EQ(steps[1].version.release, "Feb13_04_P2");
+  EXPECT_EQ(steps[1].input_files[0], "run_1");
+}
+
+TEST(FlowRunnerTest, StageErrorsCountedAndDropped) {
+  sim::Simulation simulation;
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(std::make_shared<LambdaStage>(
+      "flaky", StageCosts{},
+      [](const DataProduct& in) -> Result<std::vector<DataProduct>> {
+        if (in.bytes < 0) {
+          return Status::InvalidArgument("negative product");
+        }
+        return std::vector<DataProduct>{in};
+      })).ok());
+  FlowRunner runner(&simulation, &graph);
+  DataProduct good{"good", 1, {}, {}};
+  DataProduct bad{"bad", -1, {}, {}};
+  ASSERT_TRUE(runner.Inject("flaky", good, 0.0).ok());
+  ASSERT_TRUE(runner.Inject("flaky", bad, 0.0).ok());
+  ASSERT_TRUE(runner.Run().ok());
+  EXPECT_EQ(runner.MetricsFor("flaky").errors, 1);
+  EXPECT_EQ(runner.SinkOutputs("flaky").size(), 1u);
+}
+
+TEST(FlowRunnerTest, ReportAndAnnotatedDot) {
+  sim::Simulation simulation;
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(PassThrough("only")).ok());
+  FlowRunner runner(&simulation, &graph);
+  DataProduct product{"p", 1000, {}, {}};
+  ASSERT_TRUE(runner.Inject("only", product, 0.0).ok());
+  ASSERT_TRUE(runner.Run().ok());
+  EXPECT_NE(runner.Report().find("only"), std::string::npos);
+  EXPECT_NE(runner.AnnotatedDot().find("in 1.00 KB"), std::string::npos);
+}
+
+TEST(FlowRunnerTest, RunFailsOnCyclicGraph) {
+  sim::Simulation simulation;
+  FlowGraph graph;
+  ASSERT_TRUE(graph.AddStage(PassThrough("a")).ok());
+  ASSERT_TRUE(graph.AddStage(PassThrough("b")).ok());
+  ASSERT_TRUE(graph.Connect("a", "b").ok());
+  ASSERT_TRUE(graph.Connect("b", "a").ok());
+  FlowRunner runner(&simulation, &graph);
+  EXPECT_TRUE(runner.Run().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace dflow::core

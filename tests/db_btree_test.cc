@@ -1,0 +1,176 @@
+#include "db/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dflow::db {
+namespace {
+
+RowId Rid(uint32_t page, uint16_t slot = 0) { return RowId{page, slot}; }
+
+TEST(BTreeTest, InsertAndFind) {
+  BTreeIndex index;
+  index.Insert(Value::Int(5), Rid(1));
+  index.Insert(Value::Int(3), Rid(2));
+  index.Insert(Value::Int(8), Rid(3));
+  EXPECT_EQ(index.Find(Value::Int(3)), (std::vector<RowId>{Rid(2)}));
+  EXPECT_TRUE(index.Find(Value::Int(4)).empty());
+  EXPECT_EQ(index.size(), 3);
+}
+
+TEST(BTreeTest, DuplicateKeysAllFound) {
+  BTreeIndex index;
+  for (uint32_t i = 0; i < 100; ++i) {
+    index.Insert(Value::Int(7), Rid(i));
+  }
+  EXPECT_EQ(index.Find(Value::Int(7)).size(), 100u);
+}
+
+TEST(BTreeTest, RemoveSpecificEntry) {
+  BTreeIndex index;
+  index.Insert(Value::Int(1), Rid(10));
+  index.Insert(Value::Int(1), Rid(20));
+  EXPECT_TRUE(index.Remove(Value::Int(1), Rid(10)));
+  EXPECT_EQ(index.Find(Value::Int(1)), (std::vector<RowId>{Rid(20)}));
+  EXPECT_FALSE(index.Remove(Value::Int(1), Rid(10)));  // Already gone.
+  EXPECT_FALSE(index.Remove(Value::Int(99), Rid(0)));  // Never existed.
+  EXPECT_EQ(index.size(), 1);
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTreeIndex index(/*max_keys=*/4);
+  EXPECT_EQ(index.height(), 1);
+  for (int i = 0; i < 100; ++i) {
+    index.Insert(Value::Int(i), Rid(static_cast<uint32_t>(i)));
+  }
+  EXPECT_GT(index.height(), 2);
+  EXPECT_TRUE(index.CheckInvariants());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(index.Find(Value::Int(i)).size(), 1u) << i;
+  }
+}
+
+TEST(BTreeTest, RangeScanOrderedInclusive) {
+  BTreeIndex index(/*max_keys=*/4);
+  for (int i = 0; i < 50; ++i) {
+    index.Insert(Value::Int(i * 2), Rid(static_cast<uint32_t>(i)));
+  }
+  std::vector<int64_t> keys;
+  Value lo = Value::Int(10), hi = Value::Int(20);
+  index.Scan(&lo, true, &hi, true, [&](const Value& key, RowId) {
+    keys.push_back(key.AsInt());
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int64_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST(BTreeTest, RangeScanExclusiveBounds) {
+  BTreeIndex index;
+  for (int i = 0; i < 10; ++i) {
+    index.Insert(Value::Int(i), Rid(static_cast<uint32_t>(i)));
+  }
+  std::vector<int64_t> keys;
+  Value lo = Value::Int(2), hi = Value::Int(5);
+  index.Scan(&lo, false, &hi, false, [&](const Value& key, RowId) {
+    keys.push_back(key.AsInt());
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int64_t>{3, 4}));
+}
+
+TEST(BTreeTest, UnboundedScanVisitsEverythingInOrder) {
+  BTreeIndex index(/*max_keys=*/4);
+  Rng rng(5);
+  std::vector<int64_t> inserted;
+  for (int i = 0; i < 500; ++i) {
+    int64_t key = rng.Uniform(0, 200);
+    inserted.push_back(key);
+    index.Insert(Value::Int(key), Rid(static_cast<uint32_t>(i)));
+  }
+  std::sort(inserted.begin(), inserted.end());
+  std::vector<int64_t> scanned;
+  index.Scan(nullptr, true, nullptr, true, [&](const Value& key, RowId) {
+    scanned.push_back(key.AsInt());
+    return true;
+  });
+  EXPECT_EQ(scanned, inserted);
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  BTreeIndex index;
+  for (int i = 0; i < 20; ++i) {
+    index.Insert(Value::Int(i), Rid(static_cast<uint32_t>(i)));
+  }
+  int visited = 0;
+  index.Scan(nullptr, true, nullptr, true, [&](const Value&, RowId) {
+    return ++visited < 5;
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(BTreeTest, StringKeys) {
+  BTreeIndex index;
+  index.Insert(Value::String("banana"), Rid(1));
+  index.Insert(Value::String("apple"), Rid(2));
+  index.Insert(Value::String("cherry"), Rid(3));
+  std::vector<std::string> keys;
+  index.Scan(nullptr, true, nullptr, true, [&](const Value& key, RowId) {
+    keys.push_back(key.AsString());
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+// Property test: random interleaved inserts and removes checked against a
+// reference multimap, with invariants verified throughout.
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceMultimap) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  BTreeIndex index(/*max_keys=*/8);
+  std::multimap<int64_t, RowId> reference;
+
+  for (int op = 0; op < 2000; ++op) {
+    int64_t key = rng.Uniform(0, 100);
+    if (rng.Bernoulli(0.7) || reference.empty()) {
+      RowId rid = Rid(static_cast<uint32_t>(op));
+      index.Insert(Value::Int(key), rid);
+      reference.emplace(key, rid);
+    } else {
+      // Remove a random existing entry.
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(0, static_cast<int64_t>(
+                                          reference.size()) - 1));
+      EXPECT_TRUE(index.Remove(Value::Int(it->first), it->second));
+      reference.erase(it);
+    }
+  }
+
+  EXPECT_EQ(index.size(), static_cast<int64_t>(reference.size()));
+  EXPECT_TRUE(index.CheckInvariants());
+  // Every key's RowId set matches.
+  for (int64_t key = 0; key <= 100; ++key) {
+    auto [lo, hi] = reference.equal_range(key);
+    std::multiset<std::pair<uint32_t, uint16_t>> expected;
+    for (auto it = lo; it != hi; ++it) {
+      expected.insert({it->second.page, it->second.slot});
+    }
+    std::multiset<std::pair<uint32_t, uint16_t>> actual;
+    for (RowId rid : index.Find(Value::Int(key))) {
+      actual.insert({rid.page, rid.slot});
+    }
+    EXPECT_EQ(actual, expected) << "key=" << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dflow::db

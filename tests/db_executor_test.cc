@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/database.h"
+
+namespace dflow::db {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE files (run INT NOT NULL, data_type TEXT NOT NULL, "
+         "bytes INT NOT NULL, score DOUBLE)");
+    Exec("CREATE INDEX files_by_run ON files (run)");
+    Exec("INSERT INTO files VALUES "
+         "(1, 'raw', 1000, 0.5), "
+         "(1, 'recon', 300, 0.9), "
+         "(2, 'raw', 2000, 0.4), "
+         "(2, 'recon', 700, NULL), "
+         "(3, 'raw', 1500, 0.7), "
+         "(3, 'mc', 1800, 0.2)");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto result = db_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, SelectStar) {
+  QueryResult result = Exec("SELECT * FROM files");
+  EXPECT_EQ(result.rows.size(), 6u);
+  EXPECT_EQ(result.columns.size(), 4u);
+  EXPECT_EQ(result.columns[0], "run");
+}
+
+TEST_F(ExecutorTest, WhereWithIndexEquality) {
+  QueryResult result = Exec("SELECT data_type FROM files WHERE run = 2");
+  EXPECT_EQ(result.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, WhereWithIndexRange) {
+  QueryResult result = Exec("SELECT * FROM files WHERE run >= 2");
+  EXPECT_EQ(result.rows.size(), 4u);
+  result = Exec("SELECT * FROM files WHERE run < 2");
+  EXPECT_EQ(result.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, CompoundPredicate) {
+  QueryResult result = Exec(
+      "SELECT * FROM files WHERE run = 1 AND data_type = 'recon'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][2].AsInt(), 300);
+}
+
+TEST_F(ExecutorTest, NullComparisonExcludesRows) {
+  // score = 0.9 excludes the NULL-score row (three-valued logic).
+  QueryResult result = Exec("SELECT * FROM files WHERE score > 0.3");
+  EXPECT_EQ(result.rows.size(), 4u);
+  result = Exec("SELECT * FROM files WHERE score IS NULL");
+  EXPECT_EQ(result.rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, ProjectionWithExpressionsAndAliases) {
+  QueryResult result =
+      Exec("SELECT run, bytes / 1000 AS kb FROM files WHERE data_type = "
+           "'raw' ORDER BY run");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.columns[1], "kb");
+  EXPECT_DOUBLE_EQ(result.rows[0][1].AsDouble(), 1.0);
+}
+
+TEST_F(ExecutorTest, OrderByDescWithLimit) {
+  QueryResult result =
+      Exec("SELECT bytes FROM files ORDER BY bytes DESC LIMIT 2");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][0].AsInt(), 2000);
+  EXPECT_EQ(result.rows[1][0].AsInt(), 1800);
+}
+
+TEST_F(ExecutorTest, OrderByColumnNotProjected) {
+  QueryResult result =
+      Exec("SELECT data_type FROM files WHERE run = 1 ORDER BY bytes DESC");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][0].AsString(), "raw");
+}
+
+TEST_F(ExecutorTest, AggregatesWithoutGroupBy) {
+  QueryResult result =
+      Exec("SELECT COUNT(*), SUM(bytes), MIN(bytes), MAX(bytes), AVG(bytes) "
+           "FROM files");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsInt(), 6);
+  EXPECT_EQ(result.rows[0][1].AsInt(), 7300);
+  EXPECT_EQ(result.rows[0][2].AsInt(), 300);
+  EXPECT_EQ(result.rows[0][3].AsInt(), 2000);
+  EXPECT_NEAR(result.rows[0][4].AsDouble(), 7300.0 / 6, 1e-9);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyInput) {
+  QueryResult result =
+      Exec("SELECT COUNT(*), SUM(bytes) FROM files WHERE run = 99");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(result.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, GroupBy) {
+  QueryResult result = Exec(
+      "SELECT data_type, COUNT(*) AS n, SUM(bytes) AS total FROM files "
+      "GROUP BY data_type ORDER BY total DESC");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0].AsString(), "raw");
+  EXPECT_EQ(result.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(result.rows[0][2].AsInt(), 4500);
+}
+
+TEST_F(ExecutorTest, AggregatesSkipNulls) {
+  QueryResult result = Exec("SELECT COUNT(score), AVG(score) FROM files");
+  EXPECT_EQ(result.rows[0][0].AsInt(), 5);
+  EXPECT_NEAR(result.rows[0][1].AsDouble(), (0.5 + 0.9 + 0.4 + 0.7 + 0.2) / 5,
+              1e-9);
+}
+
+TEST_F(ExecutorTest, Join) {
+  Exec("CREATE TABLE runs (id INT NOT NULL, quality TEXT)");
+  Exec("INSERT INTO runs VALUES (1, 'good'), (2, 'bad'), (3, 'good')");
+  QueryResult result = Exec(
+      "SELECT runs.id, quality, bytes FROM runs JOIN files ON runs.id = "
+      "files.run WHERE quality = 'good' AND data_type = 'raw' ORDER BY "
+      "runs.id");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(result.rows[0][2].AsInt(), 1000);
+  EXPECT_EQ(result.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, JoinProducesCrossMatchedRows) {
+  Exec("CREATE TABLE tags (run INT NOT NULL, tag TEXT)");
+  Exec("INSERT INTO tags VALUES (1, 'a'), (1, 'b')");
+  QueryResult result = Exec(
+      "SELECT tag, data_type FROM tags JOIN files ON tags.run = files.run");
+  EXPECT_EQ(result.rows.size(), 4u);  // 2 tags x 2 files for run 1.
+}
+
+TEST_F(ExecutorTest, UpdateWithWhere) {
+  QueryResult result =
+      Exec("UPDATE files SET bytes = bytes * 2 WHERE data_type = 'raw'");
+  EXPECT_EQ(result.affected, 3);
+  QueryResult check = Exec("SELECT SUM(bytes) FROM files");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 7300 + 4500);
+}
+
+TEST_F(ExecutorTest, UpdateMaintainsIndex) {
+  Exec("UPDATE files SET run = 10 WHERE run = 1");
+  EXPECT_EQ(Exec("SELECT * FROM files WHERE run = 10").rows.size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM files WHERE run = 1").rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, DeleteWithWhereAndAll) {
+  EXPECT_EQ(Exec("DELETE FROM files WHERE bytes < 1000").affected, 2);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM files").rows[0][0].AsInt(), 4);
+  EXPECT_EQ(Exec("DELETE FROM files").affected, 4);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM files").rows[0][0].AsInt(), 0);
+}
+
+TEST_F(ExecutorTest, InsertNamedColumnsFillsNulls) {
+  Exec("INSERT INTO files (run, data_type, bytes) VALUES (9, 'raw', 5)");
+  QueryResult result = Exec("SELECT score FROM files WHERE run = 9");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(result.rows[0][0].is_null());
+}
+
+TEST_F(ExecutorTest, LikeFilter) {
+  QueryResult result =
+      Exec("SELECT * FROM files WHERE data_type LIKE 'r%'");
+  EXPECT_EQ(result.rows.size(), 5u);
+}
+
+TEST_F(ExecutorTest, LimitOffsetPaginates) {
+  QueryResult page1 =
+      Exec("SELECT bytes FROM files ORDER BY bytes LIMIT 2 OFFSET 0");
+  QueryResult page2 =
+      Exec("SELECT bytes FROM files ORDER BY bytes LIMIT 2 OFFSET 2");
+  QueryResult page3 =
+      Exec("SELECT bytes FROM files ORDER BY bytes LIMIT 2 OFFSET 4");
+  ASSERT_EQ(page1.rows.size(), 2u);
+  EXPECT_EQ(page1.rows[0][0].AsInt(), 300);
+  EXPECT_EQ(page2.rows[0][0].AsInt(), 1000);
+  EXPECT_EQ(page3.rows[1][0].AsInt(), 2000);
+  // Offset past the end yields nothing; bad offset errors.
+  EXPECT_TRUE(
+      Exec("SELECT * FROM files LIMIT 5 OFFSET 100").rows.empty());
+  EXPECT_FALSE(db_.Execute("SELECT * FROM files LIMIT 5 OFFSET x").ok());
+}
+
+TEST_F(ExecutorTest, SelectDistinct) {
+  QueryResult result =
+      Exec("SELECT DISTINCT data_type FROM files ORDER BY data_type");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0].AsString(), "mc");
+  EXPECT_EQ(result.rows[1][0].AsString(), "raw");
+  EXPECT_EQ(result.rows[2][0].AsString(), "recon");
+  // DISTINCT applies before LIMIT.
+  EXPECT_EQ(Exec("SELECT DISTINCT data_type FROM files LIMIT 2").rows.size(),
+            2u);
+  // Multi-column distinctness.
+  EXPECT_EQ(Exec("SELECT DISTINCT run, data_type FROM files").rows.size(),
+            6u);
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  QueryResult result = Exec(
+      "SELECT data_type, COUNT(*) AS n, SUM(bytes) AS total FROM files "
+      "GROUP BY data_type HAVING n >= 2 ORDER BY total DESC");
+  ASSERT_EQ(result.rows.size(), 2u);  // 'mc' has only one file.
+  EXPECT_EQ(result.rows[0][0].AsString(), "raw");
+  EXPECT_EQ(result.rows[1][0].AsString(), "recon");
+
+  // HAVING on an aggregate alias combined with WHERE: per-run non-MC
+  // totals are 1300 / 2700 / 1500, so only run 2 clears 1500.
+  QueryResult filtered = Exec(
+      "SELECT run, SUM(bytes) AS total FROM files WHERE data_type <> 'mc' "
+      "GROUP BY run HAVING total > 1500");
+  ASSERT_EQ(filtered.rows.size(), 1u);
+  EXPECT_EQ(filtered.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, HavingWithoutAggregationRejected) {
+  EXPECT_TRUE(db_.Execute("SELECT run FROM files HAVING run > 1")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ExecutorTest, ErrorsSurfaceAsStatuses) {
+  EXPECT_TRUE(db_.Execute("SELECT * FROM nope").status().IsNotFound());
+  EXPECT_TRUE(db_.Execute("SELECT missing FROM files").status().IsNotFound());
+  EXPECT_TRUE(db_.Execute("INSERT INTO files VALUES (1)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_.Execute("CREATE TABLE files (x INT)")
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(ExecutorTest, QueryResultToStringRenders) {
+  QueryResult result = Exec("SELECT run, data_type FROM files LIMIT 2");
+  std::string rendered = result.ToString();
+  EXPECT_NE(rendered.find("run"), std::string::npos);
+  EXPECT_NE(rendered.find("2 row(s)"), std::string::npos);
+}
+
+TEST(DatabaseTransactionTest, CommitAppliesBufferedMutations) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(db.Execute("BEGIN").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  // Reads inside the transaction see pre-transaction state.
+  EXPECT_EQ(db.Execute("SELECT COUNT(*) FROM t")->rows[0][0].AsInt(), 0);
+  ASSERT_TRUE(db.Execute("COMMIT").ok());
+  EXPECT_EQ(db.Execute("SELECT COUNT(*) FROM t")->rows[0][0].AsInt(), 2);
+}
+
+TEST(DatabaseTransactionTest, RollbackDiscards) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(db.Execute("BEGIN").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(db.Execute("ROLLBACK").ok());
+  EXPECT_EQ(db.Execute("SELECT COUNT(*) FROM t")->rows[0][0].AsInt(), 0);
+}
+
+TEST(DatabaseTransactionTest, NestedBeginRejected) {
+  Database db;
+  ASSERT_TRUE(db.Execute("BEGIN").ok());
+  EXPECT_TRUE(db.Execute("BEGIN").status().IsFailedPrecondition());
+  EXPECT_TRUE(db.Execute("COMMIT").ok());
+  EXPECT_TRUE(db.Execute("COMMIT").status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace dflow::db

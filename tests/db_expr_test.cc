@@ -1,0 +1,160 @@
+#include "db/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::db {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : schema_({{"id", Type::kInt64, false},
+                 {"score", Type::kDouble, true},
+                 {"name", Type::kString, true},
+                 {"active", Type::kBool, true}}),
+        row_{Value::Int(7), Value::Double(2.5), Value::String("alice"),
+             Value::Bool(true)} {}
+
+  Value Eval(ExprPtr e) {
+    EXPECT_TRUE(e->Bind(schema_).ok());
+    auto v = e->Eval(row_);
+    EXPECT_TRUE(v.ok()) << v.status();
+    return *v;
+  }
+
+  Schema schema_;
+  Row row_;
+};
+
+TEST_F(ExprTest, LiteralAndColumnRef) {
+  EXPECT_EQ(Eval(Expr::Literal(Value::Int(3))).AsInt(), 3);
+  EXPECT_EQ(Eval(Expr::ColumnRef("id")).AsInt(), 7);
+  EXPECT_EQ(Eval(Expr::ColumnRef("NAME")).AsString(), "alice");
+}
+
+TEST_F(ExprTest, UnboundColumnFails) {
+  auto e = Expr::ColumnRef("missing");
+  EXPECT_TRUE(e->Bind(schema_).IsNotFound());
+}
+
+TEST_F(ExprTest, Comparisons) {
+  auto cmp = [&](BinOp op, Value lhs, Value rhs) {
+    return Eval(Expr::Binary(op, Expr::Literal(lhs), Expr::Literal(rhs)));
+  };
+  EXPECT_TRUE(cmp(BinOp::kEq, Value::Int(1), Value::Int(1)).AsBool());
+  EXPECT_FALSE(cmp(BinOp::kEq, Value::Int(1), Value::Int(2)).AsBool());
+  EXPECT_TRUE(cmp(BinOp::kNe, Value::Int(1), Value::Int(2)).AsBool());
+  EXPECT_TRUE(cmp(BinOp::kLt, Value::Int(1), Value::Double(1.5)).AsBool());
+  EXPECT_TRUE(cmp(BinOp::kGe, Value::String("b"), Value::String("a"))
+                  .AsBool());
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  auto arith = [&](BinOp op, Value lhs, Value rhs) {
+    return Eval(Expr::Binary(op, Expr::Literal(lhs), Expr::Literal(rhs)));
+  };
+  EXPECT_EQ(arith(BinOp::kAdd, Value::Int(2), Value::Int(3)).AsInt(), 5);
+  EXPECT_EQ(arith(BinOp::kMul, Value::Int(4), Value::Int(5)).AsInt(), 20);
+  EXPECT_EQ(arith(BinOp::kMod, Value::Int(17), Value::Int(5)).AsInt(), 2);
+  // Division always yields double.
+  EXPECT_DOUBLE_EQ(arith(BinOp::kDiv, Value::Int(7), Value::Int(2)).AsDouble(),
+                   3.5);
+  EXPECT_DOUBLE_EQ(
+      arith(BinOp::kAdd, Value::Int(1), Value::Double(0.5)).AsDouble(), 1.5);
+}
+
+TEST_F(ExprTest, DivisionByZeroIsError) {
+  auto e = Expr::Binary(BinOp::kDiv, Expr::Literal(Value::Int(1)),
+                        Expr::Literal(Value::Int(0)));
+  ASSERT_TRUE(e->Bind(schema_).ok());
+  EXPECT_TRUE(e->Eval(row_).status().IsInvalidArgument());
+}
+
+TEST_F(ExprTest, NullPropagatesThroughComparison) {
+  auto e = Expr::Binary(BinOp::kEq, Expr::Literal(Value::Null()),
+                        Expr::Literal(Value::Int(1)));
+  EXPECT_TRUE(Eval(e).is_null());
+}
+
+TEST_F(ExprTest, KleeneAndOr) {
+  auto null = Expr::Literal(Value::Null());
+  auto t = Expr::Literal(Value::Bool(true));
+  auto f = Expr::Literal(Value::Bool(false));
+  EXPECT_FALSE(Eval(Expr::Binary(BinOp::kAnd, null, f)).is_null());
+  EXPECT_FALSE(Eval(Expr::Binary(BinOp::kAnd, null, f)).AsBool());
+  EXPECT_TRUE(Eval(Expr::Binary(BinOp::kAnd, null, t)).is_null());
+  EXPECT_TRUE(Eval(Expr::Binary(BinOp::kOr, null, t)).AsBool());
+  EXPECT_TRUE(Eval(Expr::Binary(BinOp::kOr, null, f)).is_null());
+  // Short-circuit: FALSE AND <error> is fine.
+  auto division_error = Expr::Binary(BinOp::kDiv, Expr::Literal(Value::Int(1)),
+                                     Expr::Literal(Value::Int(0)));
+  EXPECT_FALSE(Eval(Expr::Binary(BinOp::kAnd, f, division_error)).AsBool());
+}
+
+TEST_F(ExprTest, NotAndNegate) {
+  EXPECT_FALSE(Eval(Expr::Unary(UnOp::kNot, Expr::ColumnRef("active")))
+                   .AsBool());
+  EXPECT_EQ(Eval(Expr::Unary(UnOp::kNeg, Expr::ColumnRef("id"))).AsInt(), -7);
+  EXPECT_TRUE(
+      Eval(Expr::Unary(UnOp::kNot, Expr::Literal(Value::Null()))).is_null());
+}
+
+TEST_F(ExprTest, IsNullOperators) {
+  EXPECT_TRUE(
+      Eval(Expr::Unary(UnOp::kIsNull, Expr::Literal(Value::Null()))).AsBool());
+  EXPECT_TRUE(Eval(Expr::Unary(UnOp::kIsNotNull, Expr::ColumnRef("id")))
+                  .AsBool());
+}
+
+TEST_F(ExprTest, MatchSimplePredicate) {
+  std::string column;
+  BinOp op;
+  Value literal;
+  auto e = Expr::Binary(BinOp::kLt, Expr::ColumnRef("id"),
+                        Expr::Literal(Value::Int(10)));
+  ASSERT_TRUE(e->MatchSimplePredicate(&column, &op, &literal));
+  EXPECT_EQ(column, "id");
+  EXPECT_EQ(op, BinOp::kLt);
+  EXPECT_EQ(literal.AsInt(), 10);
+
+  // Reversed form normalizes: 10 < id  ==  id > 10.
+  auto reversed = Expr::Binary(BinOp::kLt, Expr::Literal(Value::Int(10)),
+                               Expr::ColumnRef("id"));
+  ASSERT_TRUE(reversed->MatchSimplePredicate(&column, &op, &literal));
+  EXPECT_EQ(op, BinOp::kGt);
+
+  // Non-simple shapes do not match.
+  auto compound = Expr::Binary(
+      BinOp::kAnd, Expr::Literal(Value::Bool(true)),
+      Expr::Literal(Value::Bool(true)));
+  EXPECT_FALSE(compound->MatchSimplePredicate(&column, &op, &literal));
+}
+
+TEST_F(ExprTest, SplitConjuncts) {
+  auto a = Expr::Binary(BinOp::kEq, Expr::ColumnRef("id"),
+                        Expr::Literal(Value::Int(1)));
+  auto b = Expr::Binary(BinOp::kGt, Expr::ColumnRef("score"),
+                        Expr::Literal(Value::Double(0.5)));
+  auto c = Expr::Unary(UnOp::kIsNotNull, Expr::ColumnRef("name"));
+  auto tree = Expr::Binary(BinOp::kAnd, Expr::Binary(BinOp::kAnd, a, b), c);
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(tree, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "h_llo_"));
+  EXPECT_FALSE(LikeMatch("hello", "world"));
+  EXPECT_TRUE(LikeMatch("a.b.c", "a%c"));
+  EXPECT_TRUE(LikeMatch("site3.example.org", "site%.example.org"));
+  EXPECT_FALSE(LikeMatch("site3.example.com", "site%.example.org"));
+}
+
+}  // namespace
+}  // namespace dflow::db

@@ -1,0 +1,171 @@
+#include "db/page.h"
+
+#include <gtest/gtest.h>
+
+#include "db/heap_table.h"
+
+namespace dflow::db {
+namespace {
+
+TEST(PageTest, InsertAndGet) {
+  Page page;
+  auto slot = page.Insert("hello");
+  ASSERT_TRUE(slot.ok());
+  auto got = page.Get(*slot);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_EQ(page.live_records(), 1);
+}
+
+TEST(PageTest, SlotsAreStableAcrossDeletes) {
+  Page page;
+  uint16_t a = *page.Insert("aaa");
+  uint16_t b = *page.Insert("bbb");
+  uint16_t c = *page.Insert("ccc");
+  ASSERT_TRUE(page.Delete(b).ok());
+  EXPECT_EQ(*page.Get(a), "aaa");
+  EXPECT_EQ(*page.Get(c), "ccc");
+  EXPECT_TRUE(page.Get(b).status().IsNotFound());
+  EXPECT_EQ(page.live_records(), 2);
+}
+
+TEST(PageTest, DoubleDeleteFails) {
+  Page page;
+  uint16_t slot = *page.Insert("x");
+  EXPECT_TRUE(page.Delete(slot).ok());
+  EXPECT_TRUE(page.Delete(slot).IsNotFound());
+}
+
+TEST(PageTest, GetOutOfRangeSlot) {
+  Page page;
+  EXPECT_TRUE(page.Get(0).status().IsNotFound());
+  EXPECT_TRUE(page.Get(99).status().IsNotFound());
+}
+
+TEST(PageTest, FillsUntilExhausted) {
+  Page page;
+  std::string record(100, 'r');
+  int inserted = 0;
+  while (true) {
+    auto slot = page.Insert(record);
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsResourceExhausted());
+      break;
+    }
+    ++inserted;
+  }
+  // 8192 / (100 + 4 slot bytes) ~ 78 records.
+  EXPECT_GT(inserted, 70);
+  EXPECT_LT(inserted, 82);
+}
+
+TEST(PageTest, RecordLargerThanPageRejected) {
+  Page page;
+  std::string huge(kPageSize + 1, 'x');
+  EXPECT_TRUE(page.Insert(huge).status().IsInvalidArgument());
+}
+
+TEST(PageTest, UpdateInPlaceAndGrowing) {
+  Page page;
+  uint16_t slot = *page.Insert("long-initial-record");
+  ASSERT_TRUE(page.Update(slot, "tiny").ok());
+  EXPECT_EQ(*page.Get(slot), "tiny");
+  ASSERT_TRUE(page.Update(slot, "a-much-longer-replacement-record").ok());
+  EXPECT_EQ(*page.Get(slot), "a-much-longer-replacement-record");
+}
+
+TEST(PageTest, CompactReclaimsSpace) {
+  Page page;
+  std::vector<uint16_t> slots;
+  std::string record(500, 'z');
+  while (true) {
+    auto slot = page.Insert(record);
+    if (!slot.ok()) {
+      break;
+    }
+    slots.push_back(*slot);
+  }
+  // Delete every other record, compact, and confirm new space exists.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page.Delete(slots[i]).ok());
+  }
+  size_t before = page.FreeBytes();
+  page.Compact();
+  EXPECT_GT(page.FreeBytes(), before);
+  // Survivors are intact under the same slots.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(*page.Get(slots[i]), record);
+  }
+}
+
+TEST(HeapTableTest, InsertGetDeleteUpdate) {
+  Schema schema({{"id", Type::kInt64, false}, {"name", Type::kString, true}});
+  HeapTable table(schema);
+  auto rid = table.Insert({Value::Int(1), Value::String("one")});
+  ASSERT_TRUE(rid.ok());
+  auto row = table.Get(*rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "one");
+
+  auto new_rid = table.Update(*rid, {Value::Int(1), Value::String("uno")});
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_EQ((*table.Get(*new_rid))[1].AsString(), "uno");
+
+  ASSERT_TRUE(table.Delete(*new_rid).ok());
+  EXPECT_TRUE(table.Get(*new_rid).status().IsNotFound());
+  EXPECT_EQ(table.num_rows(), 0);
+}
+
+TEST(HeapTableTest, SpillsAcrossPages) {
+  Schema schema({{"payload", Type::kString, false}});
+  HeapTable table(schema);
+  std::string payload(1000, 'p');
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table.Insert({Value::String(payload)}).ok());
+  }
+  EXPECT_GT(table.num_pages(), 5u);
+  EXPECT_EQ(table.num_rows(), 50);
+  EXPECT_EQ(table.SizeBytes(),
+            static_cast<int64_t>(table.num_pages() * kPageSize));
+}
+
+TEST(HeapTableTest, ForEachVisitsLiveRowsInOrder) {
+  Schema schema({{"id", Type::kInt64, false}});
+  HeapTable table(schema);
+  std::vector<RowId> rids;
+  for (int i = 0; i < 10; ++i) {
+    rids.push_back(*table.Insert({Value::Int(i)}));
+  }
+  ASSERT_TRUE(table.Delete(rids[3]).ok());
+  ASSERT_TRUE(table.Delete(rids[7]).ok());
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(table.ForEach([&](RowId, const Row& row) {
+    seen.push_back(row[0].AsInt());
+    return true;
+  }).ok());
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 2, 4, 5, 6, 8, 9}));
+}
+
+TEST(HeapTableTest, ForEachEarlyStop) {
+  Schema schema({{"id", Type::kInt64, false}});
+  HeapTable table(schema);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.Insert({Value::Int(i)}).ok());
+  }
+  int visited = 0;
+  ASSERT_TRUE(table.ForEach([&](RowId, const Row&) {
+    return ++visited < 3;
+  }).ok());
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(HeapTableTest, SchemaValidationEnforced) {
+  Schema schema({{"id", Type::kInt64, false}});
+  HeapTable table(schema);
+  EXPECT_TRUE(
+      table.Insert({Value::String("nope")}).status().IsInvalidArgument());
+  EXPECT_TRUE(table.Insert({Value::Null()}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dflow::db

@@ -1,0 +1,159 @@
+#include "db/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::db {
+namespace {
+
+template <typename T>
+T Parse(const std::string& sql) {
+  auto stmt = ParseSql(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status();
+  auto* typed = std::get_if<T>(&*stmt);
+  EXPECT_NE(typed, nullptr) << sql;
+  return *typed;
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parse<CreateTableStmt>(
+      "CREATE TABLE runs (id INT NOT NULL, label TEXT, energy DOUBLE, "
+      "good BOOL)");
+  EXPECT_EQ(stmt.table, "runs");
+  ASSERT_EQ(stmt.columns.size(), 4u);
+  EXPECT_EQ(stmt.columns[0].name, "id");
+  EXPECT_EQ(stmt.columns[0].type, Type::kInt64);
+  EXPECT_FALSE(stmt.columns[0].nullable);
+  EXPECT_EQ(stmt.columns[1].type, Type::kString);
+  EXPECT_TRUE(stmt.columns[1].nullable);
+  EXPECT_EQ(stmt.columns[2].type, Type::kDouble);
+  EXPECT_EQ(stmt.columns[3].type, Type::kBool);
+}
+
+TEST(ParserTest, CreateTableVarcharLength) {
+  auto stmt =
+      Parse<CreateTableStmt>("CREATE TABLE t (name VARCHAR(255) NOT NULL)");
+  EXPECT_EQ(stmt.columns[0].type, Type::kString);
+  EXPECT_FALSE(stmt.columns[0].nullable);
+}
+
+TEST(ParserTest, CreateIndex) {
+  auto stmt =
+      Parse<CreateIndexStmt>("CREATE INDEX idx_run ON files (run)");
+  EXPECT_EQ(stmt.index_name, "idx_run");
+  EXPECT_EQ(stmt.table, "files");
+  EXPECT_EQ(stmt.column, "run");
+}
+
+TEST(ParserTest, DropTable) {
+  EXPECT_FALSE(Parse<DropTableStmt>("DROP TABLE t").if_exists);
+  EXPECT_TRUE(Parse<DropTableStmt>("DROP TABLE IF EXISTS t").if_exists);
+}
+
+TEST(ParserTest, InsertPositionalMultiRow) {
+  auto stmt = Parse<InsertStmt>(
+      "INSERT INTO t VALUES (1, 'a'), (2, 'b''s'), (3, NULL)");
+  EXPECT_EQ(stmt.table, "t");
+  EXPECT_TRUE(stmt.columns.empty());
+  ASSERT_EQ(stmt.rows.size(), 3u);
+  EXPECT_EQ(stmt.rows[0].size(), 2u);
+}
+
+TEST(ParserTest, InsertNamedColumns) {
+  auto stmt = Parse<InsertStmt>("INSERT INTO t (b, a) VALUES (1, 2)");
+  EXPECT_EQ(stmt.columns, (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(ParserTest, SelectBasic) {
+  auto stmt = Parse<SelectStmt>("SELECT * FROM runs");
+  EXPECT_EQ(stmt.table, "runs");
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_TRUE(stmt.items[0].star);
+  EXPECT_EQ(stmt.where, nullptr);
+  EXPECT_EQ(stmt.limit, -1);
+}
+
+TEST(ParserTest, SelectFull) {
+  auto stmt = Parse<SelectStmt>(
+      "SELECT id, bytes * 2 AS doubled FROM files WHERE run >= 5 AND "
+      "data_type = 'recon' ORDER BY bytes DESC, id LIMIT 10");
+  ASSERT_EQ(stmt.items.size(), 2u);
+  EXPECT_EQ(stmt.items[1].alias, "doubled");
+  ASSERT_NE(stmt.where, nullptr);
+  ASSERT_EQ(stmt.order_by.size(), 2u);
+  EXPECT_TRUE(stmt.order_by[0].descending);
+  EXPECT_FALSE(stmt.order_by[1].descending);
+  EXPECT_EQ(stmt.limit, 10);
+}
+
+TEST(ParserTest, SelectAggregates) {
+  auto stmt = Parse<SelectStmt>(
+      "SELECT data_type, COUNT(*), SUM(bytes) AS total, MIN(run), MAX(run), "
+      "AVG(bytes) FROM files GROUP BY data_type");
+  ASSERT_EQ(stmt.items.size(), 6u);
+  EXPECT_EQ(stmt.items[0].agg, AggFunc::kNone);
+  EXPECT_EQ(stmt.items[1].agg, AggFunc::kCount);
+  EXPECT_TRUE(stmt.items[1].star);
+  EXPECT_EQ(stmt.items[2].agg, AggFunc::kSum);
+  EXPECT_EQ(stmt.items[2].alias, "total");
+  EXPECT_EQ(stmt.items[5].agg, AggFunc::kAvg);
+  EXPECT_EQ(stmt.group_by.size(), 1u);
+}
+
+TEST(ParserTest, SelectJoin) {
+  auto stmt = Parse<SelectStmt>(
+      "SELECT runs.id, files.bytes FROM runs JOIN files ON runs.id = "
+      "files.run WHERE files.bytes > 100");
+  ASSERT_TRUE(stmt.join.has_value());
+  EXPECT_EQ(stmt.join->table, "files");
+  ASSERT_NE(stmt.join->on, nullptr);
+  auto inner = Parse<SelectStmt>(
+      "SELECT * FROM a INNER JOIN b ON a.x = b.y");
+  EXPECT_TRUE(inner.join.has_value());
+}
+
+TEST(ParserTest, UpdateAndDelete) {
+  auto update = Parse<UpdateStmt>(
+      "UPDATE files SET bytes = bytes + 1, location = 'tape' WHERE run = 3");
+  EXPECT_EQ(update.table, "files");
+  EXPECT_EQ(update.assignments.size(), 2u);
+  EXPECT_NE(update.where, nullptr);
+
+  auto del = Parse<DeleteStmt>("DELETE FROM files");
+  EXPECT_EQ(del.table, "files");
+  EXPECT_EQ(del.where, nullptr);
+}
+
+TEST(ParserTest, Transactions) {
+  Parse<BeginStmt>("BEGIN");
+  Parse<CommitStmt>("COMMIT;");
+  Parse<RollbackStmt>("rollback");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  Parse<SelectStmt>("select * from t where x is not null");
+  Parse<SelectStmt>("SELECT name FROM t WHERE name LIKE 'a%'");
+}
+
+TEST(ParserTest, NumbersAndLiterals) {
+  auto stmt = Parse<InsertStmt>(
+      "INSERT INTO t VALUES (42, -7, 3.5, 1e3, TRUE, FALSE, NULL, 'str')");
+  EXPECT_EQ(stmt.rows[0].size(), 8u);
+}
+
+TEST(ParserTest, CommentsSkipped) {
+  Parse<SelectStmt>("SELECT * FROM t -- trailing comment\n WHERE x = 1");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELEKT * FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES (1").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (x BLOB)").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t extra tokens").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE name = 'unterminated").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT abc").ok());
+}
+
+}  // namespace
+}  // namespace dflow::db

@@ -1,0 +1,149 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+#include "db/schema.h"
+
+namespace dflow::db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), Type::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, IntWidensToDouble) {
+  EXPECT_DOUBLE_EQ(Value::Int(7).AsDouble(), 7.0);
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.0).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // NULL < bool < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, SerializationRoundTrip) {
+  ByteWriter w;
+  Value::Null().EncodeTo(w);
+  Value::Bool(true).EncodeTo(w);
+  Value::Int(-123456789).EncodeTo(w);
+  Value::Double(6.022e23).EncodeTo(w);
+  Value::String("with \0 byte").EncodeTo(w);
+
+  ByteReader r(w.data());
+  EXPECT_TRUE(Value::DecodeFrom(r)->is_null());
+  EXPECT_EQ(Value::DecodeFrom(r)->AsBool(), true);
+  EXPECT_EQ(Value::DecodeFrom(r)->AsInt(), -123456789);
+  EXPECT_DOUBLE_EQ(Value::DecodeFrom(r)->AsDouble(), 6.022e23);
+  EXPECT_EQ(Value::DecodeFrom(r)->AsString(), "with ");
+}
+
+TEST(ValueTest, HashDistinguishesValues) {
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Bool(true).Hash());
+  EXPECT_NE(Value::String("a").Hash(), Value::String("b").Hash());
+  EXPECT_EQ(Value::String("a").Hash(), Value::String("a").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::String("x").ToString(), "x");
+}
+
+TEST(SchemaTest, IndexOfCaseInsensitive) {
+  Schema schema({{"Run", Type::kInt64, false}, {"name", Type::kString, true}});
+  EXPECT_EQ(*schema.IndexOf("run"), 0u);
+  EXPECT_EQ(*schema.IndexOf("NAME"), 1u);
+  EXPECT_TRUE(schema.IndexOf("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, QualifiedNameFallbacks) {
+  Schema joined({{"runs.id", Type::kInt64, false},
+                 {"files.id", Type::kInt64, false},
+                 {"bytes", Type::kInt64, false}});
+  // Unqualified "id" is ambiguous; qualified forms resolve.
+  EXPECT_TRUE(joined.IndexOf("id").status().IsInvalidArgument());
+  EXPECT_EQ(*joined.IndexOf("runs.id"), 0u);
+  EXPECT_EQ(*joined.IndexOf("files.id"), 1u);
+  // Qualified query against unqualified schema name.
+  EXPECT_EQ(*joined.IndexOf("t.bytes"), 2u);
+}
+
+TEST(SchemaTest, ValidateRowArityAndTypes) {
+  Schema schema({{"a", Type::kInt64, false}, {"b", Type::kDouble, true}});
+  auto ok = schema.ValidateRow({Value::Int(1), Value::Double(2.0)});
+  ASSERT_TRUE(ok.ok());
+
+  EXPECT_TRUE(schema.ValidateRow({Value::Int(1)}).status().IsInvalidArgument());
+  EXPECT_TRUE(schema.ValidateRow({Value::String("x"), Value::Double(1.0)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRowWidensIntToDouble) {
+  Schema schema({{"x", Type::kDouble, false}});
+  auto row = schema.ValidateRow({Value::Int(3)});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].type(), Type::kDouble);
+  EXPECT_DOUBLE_EQ((*row)[0].AsDouble(), 3.0);
+}
+
+TEST(SchemaTest, ValidateRowNullability) {
+  Schema schema({{"a", Type::kInt64, false}, {"b", Type::kInt64, true}});
+  EXPECT_TRUE(schema.ValidateRow({Value::Null(), Value::Int(1)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(schema.ValidateRow({Value::Int(1), Value::Null()}).ok());
+}
+
+TEST(SchemaTest, SerializationRoundTrip) {
+  Schema schema({{"a", Type::kInt64, false},
+                 {"b", Type::kString, true},
+                 {"c", Type::kDouble, true}});
+  ByteWriter w;
+  schema.EncodeTo(w);
+  ByteReader r(w.data());
+  auto decoded = Schema::DecodeFrom(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->NumColumns(), 3u);
+  EXPECT_EQ(decoded->ColumnAt(0).name, "a");
+  EXPECT_EQ(decoded->ColumnAt(0).type, Type::kInt64);
+  EXPECT_FALSE(decoded->ColumnAt(0).nullable);
+  EXPECT_EQ(decoded->ColumnAt(1).type, Type::kString);
+}
+
+TEST(SchemaTest, RowSerializationRoundTrip) {
+  Row row = {Value::Int(1), Value::String("x"), Value::Null()};
+  ByteWriter w;
+  EncodeRow(row, w);
+  ByteReader r(w.data());
+  auto decoded = DecodeRow(r);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].AsInt(), 1);
+  EXPECT_EQ((*decoded)[1].AsString(), "x");
+  EXPECT_TRUE((*decoded)[2].is_null());
+}
+
+}  // namespace
+}  // namespace dflow::db

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "eventstore/event_model.h"
+#include "eventstore/passes.h"
+#include "util/units.h"
+
+namespace dflow::eventstore {
+namespace {
+
+// gtest's Test::Run() shadows eventstore::Run inside test bodies.
+using DataRun = ::dflow::eventstore::Run;
+
+TEST(CollisionGeneratorTest, RunsMatchPaperDistributions) {
+  CollisionGeneratorConfig config;
+  CollisionGenerator generator(config, 42);
+  for (int i = 0; i < 50; ++i) {
+    DataRun run = generator.NextRun(static_cast<double>(i) * 4000.0);
+    EXPECT_EQ(run.run_number, i + 1);
+    // "typically between 45 and 60 minutes".
+    EXPECT_GE(run.duration_sec, 45 * kMinute);
+    EXPECT_LE(run.duration_sec, 60 * kMinute);
+    // "between 15K and 300K particle collision events".
+    EXPECT_GE(run.num_events, 15'000);
+    EXPECT_LE(run.num_events, 300'000);
+    EXPECT_EQ(run.events.size(),
+              static_cast<size_t>(config.payload_events_per_run));
+  }
+}
+
+TEST(CollisionGeneratorTest, EventsCarryRawAsus) {
+  CollisionGenerator generator(CollisionGeneratorConfig{}, 7);
+  DataRun run = generator.NextRun(0.0);
+  for (const Event& event : run.events) {
+    EXPECT_GT(event.GroupBytes("raw_hits"), 0);
+    EXPECT_EQ(event.GroupBytes("trigger"), 64);
+    EXPECT_EQ(event.asus.size(), 2u);
+  }
+  EXPECT_GT(run.AccountedBytes(), run.PayloadBytes());
+}
+
+TEST(CollisionGeneratorTest, DeterministicForSeed) {
+  CollisionGenerator a(CollisionGeneratorConfig{}, 9);
+  CollisionGenerator b(CollisionGeneratorConfig{}, 9);
+  DataRun run_a = a.NextRun(0.0);
+  DataRun run_b = b.NextRun(0.0);
+  EXPECT_EQ(run_a.num_events, run_b.num_events);
+  EXPECT_EQ(run_a.PayloadBytes(), run_b.PayloadBytes());
+}
+
+TEST(MonteCarloGeneratorTest, MirrorsDataRun) {
+  CollisionGeneratorConfig config;
+  CollisionGenerator generator(config, 11);
+  MonteCarloGenerator mc(config, 12);
+  DataRun data = generator.NextRun(0.0);
+  DataRun simulated = mc.Simulate(data);
+  EXPECT_EQ(simulated.run_number, data.run_number);
+  EXPECT_EQ(simulated.num_events, data.num_events);
+  EXPECT_EQ(simulated.events.size(), data.events.size());
+  for (const Event& event : simulated.events) {
+    EXPECT_GT(event.GroupBytes("mc_raw_hits"), 0);
+    EXPECT_EQ(event.GroupBytes("mc_truth"), 512);
+  }
+}
+
+TEST(ReconstructionPassTest, DerivesTrackObjects) {
+  CollisionGenerator generator(CollisionGeneratorConfig{}, 13);
+  DataRun raw = generator.NextRun(0.0);
+  ReconstructionPass recon("Feb13_04_P2", "cal_2004_03", 1079049600);
+  auto output = recon.Process(raw);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->run.run_number, raw.run_number);
+  EXPECT_EQ(output->run.num_events, raw.num_events);
+  for (const Event& event : output->run.events) {
+    EXPECT_GT(event.GroupBytes("tracks"), 0);
+    EXPECT_GT(event.GroupBytes("showers"), 0);
+    EXPECT_GT(event.GroupBytes("vertices"), 0);
+    EXPECT_EQ(event.GroupBytes("raw_hits"), 0);  // Raw not carried forward.
+  }
+  // Reconstruction output is smaller than raw (derived objects).
+  EXPECT_LT(output->run.PayloadBytes(), raw.PayloadBytes());
+  EXPECT_EQ(output->step.version.release, "Feb13_04_P2");
+  EXPECT_EQ(output->step.parameters[0].second, "cal_2004_03");
+}
+
+TEST(ReconstructionPassTest, EmptyRunRejected) {
+  DataRun empty;
+  empty.run_number = 1;
+  ReconstructionPass recon("R", "c", 0);
+  EXPECT_TRUE(recon.Process(empty).status().IsInvalidArgument());
+}
+
+TEST(PostReconPassTest, DozenAsusPerEvent) {
+  CollisionGenerator generator(CollisionGeneratorConfig{}, 17);
+  DataRun raw = generator.NextRun(0.0);
+  ReconstructionPass recon("R1", "cal", 100);
+  auto recon_out = recon.Process(raw);
+  ASSERT_TRUE(recon_out.ok());
+  PostReconPass post("P1", 200);
+  auto post_out = post.Process(recon_out->run);
+  ASSERT_TRUE(post_out.ok());
+  for (const Event& event : post_out->run.events) {
+    // "typically a dozen ASUs per event in the post-reconstruction data".
+    EXPECT_EQ(event.asus.size(), 12u);
+    EXPECT_GT(event.GroupBytes("pr0"), 0);
+  }
+  // Post-recon ASUs are small ("hot data ... typically small").
+  EXPECT_LT(post_out->run.PayloadBytes(), recon_out->run.PayloadBytes());
+}
+
+TEST(PostReconPassTest, RequiresReconstructedInput) {
+  CollisionGenerator generator(CollisionGeneratorConfig{}, 19);
+  DataRun raw = generator.NextRun(0.0);  // Has raw_hits, no tracks.
+  PostReconPass post("P1", 200);
+  EXPECT_TRUE(post.Process(raw).status().IsFailedPrecondition());
+}
+
+TEST(PassesTest, ProvenanceChainThroughBothPasses) {
+  CollisionGenerator generator(CollisionGeneratorConfig{}, 23);
+  DataRun raw = generator.NextRun(0.0);
+  ReconstructionPass recon("R1", "cal", 100);
+  PostReconPass post("P1", 200);
+  auto recon_out = recon.Process(raw);
+  ASSERT_TRUE(recon_out.ok());
+  auto post_out = post.Process(recon_out->run);
+  ASSERT_TRUE(post_out.ok());
+
+  prov::ProvenanceRecord record;
+  record.AddStep(recon_out->step);
+  record.AddStep(post_out->step);
+  EXPECT_EQ(record.steps().size(), 2u);
+  // Re-running with a different calibration changes the summary hash.
+  ReconstructionPass recalibrated("R1", "cal_NEW", 100);
+  auto recon2 = recalibrated.Process(raw);
+  prov::ProvenanceRecord record2;
+  record2.AddStep(recon2->step);
+  record2.AddStep(post_out->step);
+  EXPECT_FALSE(record.ConsistentWith(record2));
+}
+
+}  // namespace
+}  // namespace dflow::eventstore

@@ -1,0 +1,240 @@
+#include "eventstore/event_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace dflow::eventstore {
+namespace {
+
+FileEntry MakeFile(int64_t run, const std::string& data_type,
+                   const std::string& version, int64_t registered_at,
+                   int64_t bytes = 1000) {
+  FileEntry entry;
+  entry.run = run;
+  entry.data_type = data_type;
+  entry.version = version;
+  entry.registered_at = registered_at;
+  entry.bytes = bytes;
+  entry.location = "/hsm/" + data_type + "/" + std::to_string(run);
+  return entry;
+}
+
+class EventStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = EventStore::Create(StoreScale::kCollaboration);
+    ASSERT_TRUE(store.ok());
+    store_ = *std::move(store);
+  }
+
+  std::unique_ptr<EventStore> store_;
+};
+
+TEST_F(EventStoreTest, RegisterAndGet) {
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(1, "recon", "R1", 100)).ok());
+  EXPECT_TRUE(store_->RegisterFile(MakeFile(1, "recon", "R1", 100))
+                  .IsAlreadyExists());
+  auto file = store_->GetFile(1, "recon", "R1");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->bytes, 1000);
+  EXPECT_TRUE(store_->GetFile(1, "recon", "R2").status().IsNotFound());
+  EXPECT_EQ(store_->NumFiles(), 1);
+  EXPECT_EQ(store_->TotalBytes(), 1000);
+}
+
+TEST_F(EventStoreTest, VersionsSortedByRegistration) {
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(5, "recon", "R2", 200)).ok());
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(5, "recon", "R1", 100)).ok());
+  EXPECT_EQ(store_->Versions(5, "recon"),
+            (std::vector<std::string>{"R1", "R2"}));
+  EXPECT_TRUE(store_->Versions(5, "mc").empty());
+}
+
+TEST_F(EventStoreTest, SnapshotResolutionByTimestamp) {
+  // Runs 1-10 reconstructed twice; grade moves to R2 at ts=500.
+  for (int64_t run = 1; run <= 10; ++run) {
+    ASSERT_TRUE(store_->RegisterFile(MakeFile(run, "recon", "R1", 100)).ok());
+    ASSERT_TRUE(store_->RegisterFile(MakeFile(run, "recon", "R2", 450)).ok());
+  }
+  ASSERT_TRUE(
+      store_->AssignGrade("physics", 200, {1, 10}, "recon", "R1").ok());
+  ASSERT_TRUE(
+      store_->AssignGrade("physics", 500, {1, 10}, "recon", "R2").ok());
+
+  // Analysis started at ts=300 sees R1 -- and *still* sees R1 when
+  // resolved again much later (reproducibility).
+  auto early = store_->Resolve("physics", 300);
+  ASSERT_TRUE(early.ok());
+  ASSERT_EQ(early->size(), 10u);
+  for (const FileEntry& file : *early) {
+    EXPECT_EQ(file.version, "R1");
+  }
+  // Analysis started after the upgrade sees R2.
+  auto late = store_->Resolve("physics", 600);
+  ASSERT_TRUE(late.ok());
+  for (const FileEntry& file : *late) {
+    EXPECT_EQ(file.version, "R2");
+  }
+  // "the date specified is not limited to a set of magic values": any
+  // timestamp between snapshots resolves to the most recent prior one.
+  auto between = store_->Resolve("physics", 499);
+  for (const FileEntry& file : *between) {
+    EXPECT_EQ(file.version, "R1");
+  }
+}
+
+TEST_F(EventStoreTest, AnalysisBeforeAnySnapshotSeesOnlyFirstTimeData) {
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(1, "recon", "R1", 100)).ok());
+  ASSERT_TRUE(store_->AssignGrade("physics", 200, {1, 1}, "recon", "R1").ok());
+  // Timestamp before the first snapshot: the grade mapping doesn't apply,
+  // but run 1 recon has a single version ever -> first-time rule admits it.
+  auto resolved = store_->Resolve("physics", 50);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->size(), 1u);
+}
+
+TEST_F(EventStoreTest, FirstTimeDataAppearsWithoutTimestampChange) {
+  // Analysis pinned at ts=300 with runs 1-5 on R1.
+  for (int64_t run = 1; run <= 5; ++run) {
+    ASSERT_TRUE(store_->RegisterFile(MakeFile(run, "recon", "R1", 100)).ok());
+  }
+  ASSERT_TRUE(store_->AssignGrade("physics", 200, {1, 5}, "recon", "R1").ok());
+  auto before = store_->Resolve("physics", 300);
+  EXPECT_EQ(before->size(), 5u);
+
+  // New runs 6-7 taken and reconstructed for the first time at ts=900.
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(6, "recon", "R1", 900)).ok());
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(7, "recon", "R1", 900)).ok());
+  // They appear in the old snapshot without changing the timestamp.
+  auto after = store_->Resolve("physics", 300);
+  EXPECT_EQ(after->size(), 7u);
+
+  // But a *second* version of run 6 makes it ambiguous: the pinned
+  // snapshot no longer includes run 6 until a grade assignment covers it.
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(6, "recon", "R2", 950)).ok());
+  auto ambiguous = store_->Resolve("physics", 300);
+  EXPECT_EQ(ambiguous->size(), 6u);
+}
+
+TEST_F(EventStoreTest, GradesAreIndependent) {
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(1, "recon", "R1", 100)).ok());
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(1, "recon", "R2", 150)).ok());
+  ASSERT_TRUE(store_->AssignGrade("physics", 200, {1, 1}, "recon", "R1").ok());
+  ASSERT_TRUE(
+      store_->AssignGrade("preliminary", 200, {1, 1}, "recon", "R2").ok());
+  EXPECT_EQ((*store_->Resolve("physics", 300))[0].version, "R1");
+  EXPECT_EQ((*store_->Resolve("preliminary", 300))[0].version, "R2");
+}
+
+TEST_F(EventStoreTest, RunRangesScopeAssignments) {
+  for (int64_t run = 1; run <= 10; ++run) {
+    ASSERT_TRUE(store_->RegisterFile(MakeFile(run, "recon", "R1", 100)).ok());
+    ASSERT_TRUE(store_->RegisterFile(MakeFile(run, "recon", "R2", 150)).ok());
+  }
+  // Only runs 1-5 upgraded to R2.
+  ASSERT_TRUE(store_->AssignGrade("physics", 200, {1, 10}, "recon", "R1").ok());
+  ASSERT_TRUE(store_->AssignGrade("physics", 300, {1, 5}, "recon", "R2").ok());
+  auto resolved = store_->Resolve("physics", 400);
+  ASSERT_EQ(resolved->size(), 10u);
+  for (const FileEntry& file : *resolved) {
+    EXPECT_EQ(file.version, file.run <= 5 ? "R2" : "R1") << file.run;
+  }
+}
+
+TEST_F(EventStoreTest, GradeHistoryRecordsEvolution) {
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(1, "recon", "R1", 100)).ok());
+  ASSERT_TRUE(store_->AssignGrade("physics", 300, {1, 5}, "recon", "R2").ok());
+  ASSERT_TRUE(store_->AssignGrade("physics", 100, {1, 9}, "recon", "R1").ok());
+  ASSERT_TRUE(store_->AssignGrade("prelim", 200, {1, 9}, "recon", "R1").ok());
+
+  auto history = store_->GradeHistory("physics");
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 2u);
+  // Ascending by timestamp.
+  EXPECT_EQ((*history)[0].timestamp, 100);
+  EXPECT_EQ((*history)[0].version, "R1");
+  EXPECT_EQ((*history)[0].range.last, 9);
+  EXPECT_EQ((*history)[1].timestamp, 300);
+  EXPECT_EQ((*history)[1].version, "R2");
+
+  EXPECT_TRUE(store_->GradeHistory("ghost")->empty());
+  EXPECT_EQ(store_->GradeNames(),
+            (std::vector<std::string>{"physics", "prelim"}));
+}
+
+TEST_F(EventStoreTest, InvalidRangeRejected) {
+  EXPECT_TRUE(store_->AssignGrade("physics", 100, {5, 2}, "recon", "R1")
+                  .IsInvalidArgument());
+}
+
+TEST_F(EventStoreTest, MergePersonalIntoCollaboration) {
+  // The paper's workflow: an offsite job fills a personal store, ships
+  // it, and the collaboration store merges it in one transaction.
+  auto personal_or = EventStore::Create(StoreScale::kPersonal);
+  ASSERT_TRUE(personal_or.ok());
+  EventStore& personal = **personal_or;
+  EXPECT_EQ(personal.CommandPrefix(), "personal");
+  EXPECT_EQ(store_->CommandPrefix(), "collaboration");
+
+  prov::ProcessingStep step;
+  step.module = "mc_generation";
+  step.version = prov::VersionTag{"MC", "Gen_05A", 1100000000};
+  for (int64_t run = 100; run < 110; ++run) {
+    FileEntry entry = MakeFile(run, "mc", "MC_Gen_05A", 1000, 5000);
+    entry.provenance.AddStep(step);
+    ASSERT_TRUE(personal.RegisterFile(entry).ok());
+  }
+  ASSERT_TRUE(
+      personal.AssignGrade("mc_prod", 1100, {100, 109}, "mc", "MC_Gen_05A")
+          .ok());
+
+  // Pre-existing collaboration content is untouched by the merge.
+  ASSERT_TRUE(store_->RegisterFile(MakeFile(1, "recon", "R1", 100)).ok());
+  ASSERT_TRUE(store_->Merge(personal).ok());
+  EXPECT_EQ(store_->NumFiles(), 11);
+  auto merged = store_->GetFile(105, "mc", "MC_Gen_05A");
+  ASSERT_TRUE(merged.ok());
+  // Provenance travelled with the file.
+  ASSERT_EQ(merged->provenance.steps().size(), 1u);
+  EXPECT_EQ(merged->provenance.steps()[0].module, "mc_generation");
+  // Grade assignments merged too.
+  auto resolved = store_->Resolve("mc_prod", 1200);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->size(), 10u);
+
+  // Merging again is idempotent.
+  ASSERT_TRUE(store_->Merge(personal).ok());
+  EXPECT_EQ(store_->NumFiles(), 11);
+}
+
+TEST_F(EventStoreTest, PersonalStoreCannotBeDurable) {
+  EXPECT_TRUE(EventStore::Create(StoreScale::kPersonal, "/tmp/nope.wal")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EventStoreDurabilityTest, CollaborationStoreSurvivesReopen) {
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "dflow_es_test.wal";
+  std::filesystem::remove(path);
+  {
+    auto store = EventStore::Create(StoreScale::kCollaboration, path.string());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        (*store)->RegisterFile(MakeFile(1, "recon", "R1", 100)).ok());
+    ASSERT_TRUE(
+        (*store)->AssignGrade("physics", 200, {1, 1}, "recon", "R1").ok());
+  }
+  auto reopened = EventStore::Create(StoreScale::kCollaboration,
+                                     path.string());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->NumFiles(), 1);
+  auto resolved = (*reopened)->Resolve("physics", 300);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->size(), 1u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dflow::eventstore

@@ -1,0 +1,217 @@
+// Cross-module integration scenarios exercising whole case-study flows.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "arecibo/survey.h"
+#include "arecibo/votable.h"
+#include "db/database.h"
+#include "eventstore/event_model.h"
+#include "eventstore/event_store.h"
+#include "eventstore/passes.h"
+#include "net/network_link.h"
+#include "net/shipment.h"
+#include "net/transfer.h"
+#include "sim/simulation.h"
+#include "storage/hsm.h"
+#include "util/crc32.h"
+#include "util/units.h"
+
+namespace dflow {
+namespace {
+
+// Arecibo end to end: observe -> search -> candidates shipped on disks to
+// the CTC -> archived to tape -> loaded into the candidate database ->
+// queried -> exported as a VOTable for the NVO.
+TEST(IntegrationTest, AreciboObservationToNvoExport) {
+  arecibo::SurveyConfig config;
+  config.num_channels = 48;
+  config.num_samples = 1 << 12;
+  config.sample_time_sec = 1e-3;
+  config.num_dm_trials = 12;
+  config.dm_max = 200.0;
+  arecibo::SurveyPipeline pipeline(config);
+
+  // Two pointings: one with a pulsar, one empty.
+  arecibo::InjectedPulsar pulsar;
+  pulsar.beam = 1;
+  pulsar.params.period_sec = 0.2;
+  pulsar.params.dm = 80.0;
+  pulsar.params.pulse_amplitude = 5.0;
+  std::vector<arecibo::PointingResult> results;
+  results.push_back(pipeline.ProcessPointing(1, {pulsar}, {}));
+  results.push_back(pipeline.ProcessPointing(2, {}, {}));
+
+  // Ship candidate products from the observatory on physical disks,
+  // verified against a manifest, with faults + retries.
+  sim::Simulation simulation;
+  net::ShipmentConfig ship_config;
+  ship_config.file_corruption_probability = 0.05;
+  ship_config.disk_damage_probability = 0.0;
+  net::ShipmentChannel channel(&simulation, "arecibo_to_ctc", ship_config,
+                               /*seed=*/3);
+  net::TransferScheduler scheduler(&simulation, &channel, /*max_retries=*/10);
+
+  std::vector<net::TransferItem> items;
+  for (const auto& result : results) {
+    std::string payload =
+        arecibo::CandidatesToVoTable(result.candidates, "PALFA");
+    items.push_back(net::TransferItem{
+        "pointing_" + std::to_string(result.pointing) + ".candidates",
+        static_cast<int64_t>(payload.size()), Crc32::Of(payload)});
+  }
+  bool delivered = false;
+  ASSERT_TRUE(scheduler.SendAll(items, [&] { delivered = true; }).ok());
+
+  // Raw data of each pointing lands in the CTC HSM (tape-backed).
+  storage::DiskVolume cache("ctc_cache", 100 * kGB, 400.0e6, 0.005);
+  storage::TapeLibrary tape(&simulation, "ctc_tape",
+                            storage::TapeLibraryConfig{});
+  storage::HsmCache hsm(&simulation, &cache, &tape);
+  for (const auto& result : results) {
+    ASSERT_TRUE(hsm.Put("raw_pointing_" + std::to_string(result.pointing),
+                        result.raw_payload_bytes, nullptr)
+                    .ok());
+  }
+  simulation.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(scheduler.failures(), 0);
+  EXPECT_EQ(tape.files_stored(), 2);
+
+  // Candidate lists load into the relational metadata DB at the CTC.
+  db::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE candidates (pointing INT, beam INT, "
+                         "freq DOUBLE, dm DOUBLE, snr DOUBLE, rfi BOOL)")
+                  .ok());
+  for (const auto& result : results) {
+    for (const auto& candidate : result.candidates) {
+      ASSERT_TRUE(db.Insert("candidates",
+                            {db::Value::Int(candidate.pointing),
+                             db::Value::Int(candidate.beam),
+                             db::Value::Double(candidate.freq_hz),
+                             db::Value::Double(candidate.dm),
+                             db::Value::Double(candidate.snr),
+                             db::Value::Bool(candidate.rfi_flag)})
+                      .ok());
+    }
+  }
+  // The meta-analysis query: strongest non-RFI candidates.
+  auto top = db.Execute(
+      "SELECT pointing, freq, snr FROM candidates WHERE rfi = FALSE "
+      "ORDER BY snr DESC LIMIT 5");
+  ASSERT_TRUE(top.ok());
+  ASSERT_FALSE(top->rows.empty());
+  // The injected 5 Hz pulsar (or a harmonic) tops the list from pointing 1.
+  EXPECT_EQ(top->rows[0][0].AsInt(), 1);
+  double ratio = top->rows[0][1].AsDouble() / 5.0;
+  EXPECT_NEAR(ratio, std::round(ratio), 0.05);
+
+  // NVO linkage: full VOTable export/import round trip.
+  std::string xml =
+      arecibo::CandidatesToVoTable(results[0].candidates, "PALFA");
+  auto round = arecibo::VoTableToCandidates(xml);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->size(), results[0].candidates.size());
+}
+
+// CLEO end to end: runs acquired -> reconstruction -> post-recon ->
+// registered in an offsite personal EventStore with provenance -> merged
+// into the durable collaboration store -> resolved by grade+timestamp.
+TEST(IntegrationTest, CleoRunsToCollaborationStore) {
+  std::filesystem::path wal =
+      std::filesystem::temp_directory_path() / "dflow_integration_cleo.wal";
+  std::filesystem::remove(wal);
+
+  eventstore::CollisionGeneratorConfig generator_config;
+  generator_config.payload_events_per_run = 50;
+  eventstore::CollisionGenerator generator(generator_config, 99);
+  eventstore::ReconstructionPass recon("Feb13_04_P2", "cal_2004_03", 1000);
+  eventstore::PostReconPass post("Mar12_04", 2000);
+
+  auto personal = eventstore::EventStore::Create(
+      eventstore::StoreScale::kPersonal);
+  ASSERT_TRUE(personal.ok());
+
+  for (int i = 0; i < 5; ++i) {
+    eventstore::Run raw = generator.NextRun(i * 4000.0);
+    auto recon_out = recon.Process(raw);
+    ASSERT_TRUE(recon_out.ok());
+    auto post_out = post.Process(recon_out->run);
+    ASSERT_TRUE(post_out.ok());
+
+    prov::ProvenanceRecord recon_prov;
+    recon_prov.AddStep(recon_out->step);
+    prov::ProvenanceRecord post_prov = recon_prov;
+    post_prov.AddStep(post_out->step);
+
+    eventstore::FileEntry recon_file;
+    recon_file.run = raw.run_number;
+    recon_file.data_type = "recon";
+    recon_file.version = recon_out->step.version.ToString();
+    recon_file.registered_at = 3000 + i;
+    recon_file.bytes = recon_out->run.AccountedBytes();
+    recon_file.provenance = recon_prov;
+    ASSERT_TRUE((*personal)->RegisterFile(recon_file).ok());
+
+    eventstore::FileEntry post_file = recon_file;
+    post_file.data_type = "postrecon";
+    post_file.version = post_out->step.version.ToString();
+    post_file.bytes = post_out->run.AccountedBytes();
+    post_file.provenance = post_prov;
+    ASSERT_TRUE((*personal)->RegisterFile(post_file).ok());
+  }
+  ASSERT_TRUE((*personal)
+                  ->AssignGrade("physics", 5000, {1, 5}, "recon",
+                                recon.release().empty()
+                                    ? "?"
+                                    : "Recon_Feb13_04_P2@1000")
+                  .ok());
+
+  // Merge into the durable collaboration store (the USB-disk import).
+  {
+    auto collab = eventstore::EventStore::Create(
+        eventstore::StoreScale::kCollaboration, wal.string());
+    ASSERT_TRUE(collab.ok());
+    ASSERT_TRUE((*collab)->Merge(**personal).ok());
+    EXPECT_EQ((*collab)->NumFiles(), 10);
+  }
+
+  // Reopen (recovery path) and resolve the physics grade.
+  auto reopened = eventstore::EventStore::Create(
+      eventstore::StoreScale::kCollaboration, wal.string());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->NumFiles(), 10);
+  auto resolved = (*reopened)->Resolve("physics", 6000);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->size(), 5u);  // The 5 recon files.
+
+  // Provenance survived the merge + WAL round trip and verifies.
+  for (const auto& file : *resolved) {
+    ASSERT_FALSE(file.provenance.steps().empty());
+    EXPECT_EQ(file.provenance.steps()[0].module, "reconstruction");
+    EXPECT_EQ(file.provenance.steps()[0].parameters[0].second,
+              "cal_2004_03");
+  }
+  std::filesystem::remove(wal);
+}
+
+// Transport comparison the paper's §5 summary makes: for Arecibo's data
+// rate the disk shipments sustain the flow while the thin WAN cannot.
+TEST(IntegrationTest, AreciboTransportChoiceIsSound) {
+  arecibo::SurveyPipeline pipeline{arecibo::SurveyConfig{}};
+  double required_rate = pipeline.MeanRawRate();  // ~6.3 MB/s sustained.
+
+  sim::Simulation simulation;
+  net::ShipmentChannel shipments(&simulation, "disks", net::ShipmentConfig{});
+  net::NetworkLinkConfig wan_config;
+  wan_config.bandwidth_bits_per_sec = 20.0e6;  // Island uplink.
+  net::NetworkLink wan(&simulation, "wan", wan_config);
+
+  EXPECT_GT(shipments.NominalBandwidth(), required_rate);
+  EXPECT_LT(wan.NominalBandwidth(), required_rate);
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,119 @@
+#include "arecibo/nvo_federation.h"
+
+#include <gtest/gtest.h>
+
+#include "arecibo/votable.h"
+
+namespace dflow::arecibo {
+namespace {
+
+Candidate MakeCandidate(double freq, double dm, double snr,
+                        bool rfi = false) {
+  Candidate candidate;
+  candidate.freq_hz = freq;
+  candidate.period_sec = 1.0 / freq;
+  candidate.dm = dm;
+  candidate.snr = snr;
+  candidate.rfi_flag = rfi;
+  return candidate;
+}
+
+TEST(NvoFederationTest, ContributeAndSpanningQuery) {
+  NvoFederation federation;
+  ASSERT_TRUE(federation
+                  .Contribute("PALFA", CandidatesToVoTable(
+                                           {MakeCandidate(4.0, 90.0, 20.0),
+                                            MakeCandidate(7.0, 40.0, 9.0),
+                                            MakeCandidate(60.0, 1.0, 30.0,
+                                                          /*rfi=*/true)},
+                                           "PALFA"))
+                  .ok());
+  ASSERT_TRUE(federation
+                  .Contribute("ParkesMB",
+                              CandidatesToVoTable(
+                                  {MakeCandidate(4.002, 95.0, 15.0),
+                                   MakeCandidate(12.0, 200.0, 11.0)},
+                                  "ParkesMB"))
+                  .ok());
+
+  EXPECT_EQ(federation.Surveys(),
+            (std::vector<std::string>{"PALFA", "ParkesMB"}));
+  EXPECT_EQ(federation.NumCandidates(), 5);
+
+  // Spanning query crosses contributors, drops RFI, orders by SNR.
+  auto spanning = federation.SpanningQuery(10.0);
+  ASSERT_EQ(spanning.size(), 3u);
+  EXPECT_EQ(spanning[0].survey, "PALFA");
+  EXPECT_DOUBLE_EQ(spanning[0].candidate.snr, 20.0);
+  EXPECT_EQ(spanning[1].survey, "ParkesMB");
+  EXPECT_DOUBLE_EQ(spanning[2].candidate.snr, 11.0);
+}
+
+TEST(NvoFederationTest, CrossMatchFindsSharedObject) {
+  NvoFederation federation;
+  ASSERT_TRUE(federation
+                  .Contribute("PALFA", CandidatesToVoTable(
+                                           {MakeCandidate(4.0, 90.0, 20.0),
+                                            MakeCandidate(7.0, 40.0, 9.0)},
+                                           "PALFA"))
+                  .ok());
+  ASSERT_TRUE(federation
+                  .Contribute("ParkesMB",
+                              CandidatesToVoTable(
+                                  {MakeCandidate(4.002, 95.0, 15.0),
+                                   MakeCandidate(12.0, 200.0, 11.0)},
+                                  "ParkesMB"))
+                  .ok());
+  auto matches = federation.CrossMatches();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_NE(matches[0].a.survey, matches[0].b.survey);
+  EXPECT_NEAR(matches[0].a.candidate.freq_hz, 4.0, 0.01);
+
+  // Same-survey near-duplicates never cross-match.
+  NvoFederation single;
+  ASSERT_TRUE(single
+                  .Contribute("PALFA", CandidatesToVoTable(
+                                           {MakeCandidate(4.0, 90.0, 20.0),
+                                            MakeCandidate(4.001, 91.0, 18.0)},
+                                           "PALFA"))
+                  .ok());
+  EXPECT_TRUE(single.CrossMatches().empty());
+}
+
+TEST(NvoFederationTest, RepeatContributionsAppend) {
+  NvoFederation federation;
+  std::string xml =
+      CandidatesToVoTable({MakeCandidate(4.0, 90.0, 20.0)}, "PALFA");
+  ASSERT_TRUE(federation.Contribute("PALFA", xml).ok());
+  ASSERT_TRUE(federation.Contribute("PALFA", xml).ok());
+  EXPECT_EQ(federation.NumCandidates(), 2);
+  EXPECT_EQ(federation.Surveys().size(), 1u);
+}
+
+TEST(NvoFederationTest, MalformedContributionRejected) {
+  NvoFederation federation;
+  EXPECT_TRUE(federation.Contribute("X", "not xml").IsInvalidArgument());
+  EXPECT_TRUE(federation
+                  .Contribute("", CandidatesToVoTable({}, "Y"))
+                  .IsInvalidArgument());
+  EXPECT_EQ(federation.NumCandidates(), 0);
+}
+
+TEST(NvoFederationTest, ExportRoundTrips) {
+  NvoFederation federation;
+  ASSERT_TRUE(federation
+                  .Contribute("A", CandidatesToVoTable(
+                                       {MakeCandidate(4.0, 90.0, 20.0)},
+                                       "A"))
+                  .ok());
+  ASSERT_TRUE(federation
+                  .Contribute("B", CandidatesToVoTable(
+                                       {MakeCandidate(9.0, 10.0, 8.0)}, "B"))
+                  .ok());
+  auto parsed = VoTableToCandidates(federation.ExportVoTable());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+}  // namespace
+}  // namespace dflow::arecibo

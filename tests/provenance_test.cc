@@ -1,0 +1,165 @@
+#include "provenance/provenance.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::prov {
+namespace {
+
+ProcessingStep ReconStep() {
+  ProcessingStep step;
+  step.module = "reconstruction";
+  step.version = VersionTag{"Recon", "Feb13_04_P2", 1079049600};
+  step.parameters = {{"calibration", "cal_2004_03"}, {"threshold", "0.5"}};
+  step.input_files = {"raw_run_42"};
+  return step;
+}
+
+TEST(VersionTagTest, RoundTrip) {
+  VersionTag tag{"Recon", "Feb13_04_P2", 1079049600};
+  std::string s = tag.ToString();
+  EXPECT_EQ(s, "Recon_Feb13_04_P2@1079049600");
+  auto parsed = VersionTag::Parse(s);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, tag);
+}
+
+TEST(VersionTagTest, ParseErrors) {
+  EXPECT_FALSE(VersionTag::Parse("no-at-sign").ok());
+  EXPECT_FALSE(VersionTag::Parse("noprocess@123x").ok());
+  EXPECT_FALSE(VersionTag::Parse("Recon_X@notanumber").ok());
+}
+
+TEST(ProcessingStepTest, CanonicalStringIsParameterOrderInvariant) {
+  ProcessingStep a = ReconStep();
+  ProcessingStep b = ReconStep();
+  std::swap(b.parameters[0], b.parameters[1]);
+  EXPECT_EQ(a.CanonicalString(), b.CanonicalString());
+}
+
+TEST(ProcessingStepTest, CanonicalStringSensitiveToInputs) {
+  ProcessingStep a = ReconStep();
+  ProcessingStep b = ReconStep();
+  b.input_files[0] = "raw_run_43";
+  EXPECT_NE(a.CanonicalString(), b.CanonicalString());
+}
+
+TEST(ProcessingStepTest, SiteTaggedAndHashed) {
+  // Section 2.2: products are tagged with "processing code and processing
+  // site"; the same code run at two PALFA sites is a detectable
+  // discrepancy.
+  ProcessingStep at_ctc = ReconStep();
+  at_ctc.site = "CTC";
+  ProcessingStep at_mcgill = ReconStep();
+  at_mcgill.site = "McGill";
+  EXPECT_NE(at_ctc.CanonicalString(), at_mcgill.CanonicalString());
+
+  ProvenanceRecord a, b;
+  a.AddStep(at_ctc);
+  b.AddStep(at_mcgill);
+  EXPECT_FALSE(a.ConsistentWith(b));
+  auto diff = ProvenanceRecord::Diff(a, b);
+  bool saw_site = false;
+  for (const std::string& line : diff) {
+    if (line.find("site") != std::string::npos) {
+      saw_site = true;
+    }
+  }
+  EXPECT_TRUE(saw_site);
+
+  // Site survives serialization.
+  ByteWriter w;
+  a.EncodeTo(w);
+  ByteReader r(w.data());
+  auto decoded = ProvenanceRecord::DecodeFrom(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->steps()[0].site, "CTC");
+}
+
+TEST(ProvenanceRecordTest, HashStableAndSensitive) {
+  ProvenanceRecord a, b;
+  a.AddStep(ReconStep());
+  b.AddStep(ReconStep());
+  EXPECT_TRUE(a.ConsistentWith(b));
+  EXPECT_EQ(a.SummaryHash().size(), 32u);
+
+  // Any parameter change flips the hash -- this is how "the majority of
+  // usage discrepancies" are detected.
+  ProcessingStep changed = ReconStep();
+  changed.parameters[1].second = "0.6";
+  ProvenanceRecord c;
+  c.AddStep(changed);
+  EXPECT_FALSE(a.ConsistentWith(c));
+}
+
+TEST(ProvenanceRecordTest, ChainAccumulates) {
+  ProvenanceRecord record;
+  record.AddStep(ReconStep());
+  ProcessingStep post;
+  post.module = "post_reconstruction";
+  post.version = VersionTag{"PostRecon", "Mar12_04", 1081000000};
+  post.input_files = {"recon_run_42"};
+  record.AddStep(post);
+  EXPECT_EQ(record.steps().size(), 2u);
+  // A single-step record is inconsistent with the two-step chain.
+  ProvenanceRecord single;
+  single.AddStep(ReconStep());
+  EXPECT_FALSE(record.ConsistentWith(single));
+}
+
+TEST(ProvenanceRecordTest, DiffExplainsDiscrepancy) {
+  ProvenanceRecord a, b;
+  a.AddStep(ReconStep());
+  ProcessingStep other = ReconStep();
+  other.version.release = "Feb20_04_P1";
+  other.parameters[0].second = "cal_2004_04";
+  b.AddStep(other);
+  std::vector<std::string> diff = ProvenanceRecord::Diff(a, b);
+  ASSERT_GE(diff.size(), 2u);
+  bool saw_version = false, saw_params = false;
+  for (const std::string& line : diff) {
+    if (line.find("version") != std::string::npos) {
+      saw_version = true;
+    }
+    if (line.find("parameters") != std::string::npos) {
+      saw_params = true;
+    }
+  }
+  EXPECT_TRUE(saw_version);
+  EXPECT_TRUE(saw_params);
+  EXPECT_TRUE(ProvenanceRecord::Diff(a, a).empty());
+}
+
+TEST(ProvenanceRecordTest, SerializationRoundTrip) {
+  ProvenanceRecord record;
+  record.AddStep(ReconStep());
+  ByteWriter w;
+  record.EncodeTo(w);
+  ByteReader r(w.data());
+  auto decoded = ProvenanceRecord::DecodeFrom(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(record.ConsistentWith(*decoded));
+  EXPECT_EQ(decoded->steps()[0].parameters.size(), 2u);
+}
+
+TEST(ProvenanceRecordTest, TamperedChainDetectedOnDecode) {
+  ProvenanceRecord record;
+  record.AddStep(ReconStep());
+  ByteWriter w;
+  record.EncodeTo(w);
+  std::string bytes = w.Take();
+  // Flip a byte inside the module name region.
+  bytes[5] ^= 0x7;
+  ByteReader r(bytes);
+  auto decoded = ProvenanceRecord::DecodeFrom(r);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ProvenanceRecordTest, EmptyRecordHashIsDefined) {
+  ProvenanceRecord empty;
+  EXPECT_EQ(empty.SummaryHash().size(), 32u);
+  ProvenanceRecord also_empty;
+  EXPECT_TRUE(empty.ConsistentWith(also_empty));
+}
+
+}  // namespace
+}  // namespace dflow::prov

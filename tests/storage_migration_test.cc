@@ -1,0 +1,141 @@
+#include "storage/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace dflow::storage {
+namespace {
+
+/// Fills `tape` with `n` files of `bytes` each and drains the simulation.
+void Populate(sim::Simulation* simulation, TapeLibrary* tape, int n,
+              int64_t bytes) {
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        tape->Write("file_" + std::to_string(i), bytes, nullptr).ok());
+  }
+  simulation->Run();
+}
+
+TEST(MediaMigrationTest, CleanMigrationMovesEverything) {
+  sim::Simulation simulation;
+  TapeLibrary old_library(&simulation, "gen1", TapeLibraryConfig{});
+  TapeLibraryConfig new_config;
+  new_config.stream_bytes_per_sec = 300.0e6;  // Newer, faster generation.
+  TapeLibrary new_library(&simulation, "gen2", new_config);
+  Populate(&simulation, &old_library, 20, 10 * kGB);
+
+  MediaMigration migration(&simulation, &old_library, &new_library,
+                           MigrationConfig{});
+  bool done = false;
+  MigrationReport final_report;
+  ASSERT_TRUE(migration.Run([&](const MigrationReport& report) {
+    done = true;
+    final_report = report;
+  }).ok());
+  simulation.Run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(final_report.files_total, 20);
+  EXPECT_EQ(final_report.files_migrated, 20);
+  EXPECT_EQ(final_report.files_lost, 0);
+  EXPECT_EQ(final_report.bytes_migrated, 20 * 10 * kGB);
+  EXPECT_GT(final_report.virtual_seconds, 0.0);
+  EXPECT_TRUE(migration.Verify().ok());
+  EXPECT_EQ(new_library.used_bytes(), old_library.used_bytes());
+}
+
+TEST(MediaMigrationTest, ReadErrorsAreRetried) {
+  sim::Simulation simulation;
+  TapeLibrary old_library(&simulation, "gen1", TapeLibraryConfig{});
+  TapeLibrary new_library(&simulation, "gen2", TapeLibraryConfig{});
+  Populate(&simulation, &old_library, 30, kGB);
+
+  MigrationConfig config;
+  config.read_error_probability = 0.3;
+  config.max_retries = 20;
+  MediaMigration migration(&simulation, &old_library, &new_library, config,
+                           7);
+  ASSERT_TRUE(migration.Run(nullptr).ok());
+  simulation.Run();
+  EXPECT_EQ(migration.report().files_migrated, 30);
+  EXPECT_EQ(migration.report().files_lost, 0);
+  EXPECT_GT(migration.report().retries, 0);
+  EXPECT_TRUE(migration.Verify().ok());
+}
+
+TEST(MediaMigrationTest, ExhaustedRetriesCountAsLoss) {
+  sim::Simulation simulation;
+  TapeLibrary old_library(&simulation, "dying", TapeLibraryConfig{});
+  TapeLibrary new_library(&simulation, "gen2", TapeLibraryConfig{});
+  Populate(&simulation, &old_library, 40, kGB);
+
+  MigrationConfig config;
+  config.read_error_probability = 0.7;  // Badly degraded media.
+  config.max_retries = 1;
+  MediaMigration migration(&simulation, &old_library, &new_library, config,
+                           11);
+  ASSERT_TRUE(migration.Run(nullptr).ok());
+  simulation.Run();
+  EXPECT_GT(migration.report().files_lost, 0);
+  EXPECT_EQ(migration.report().files_migrated +
+                migration.report().files_lost,
+            40);
+  // Verify reports the loss.
+  EXPECT_TRUE(migration.Verify().IsCorruption());
+}
+
+TEST(MediaMigrationTest, ParallelStreamsFinishSooner) {
+  auto run_with_streams = [](int streams) {
+    sim::Simulation simulation;
+    TapeLibraryConfig many_drives;
+    many_drives.num_drives = 8;
+    TapeLibrary old_library(&simulation, "gen1", many_drives);
+    TapeLibrary new_library(&simulation, "gen2", many_drives);
+    for (int i = 0; i < 24; ++i) {
+      EXPECT_TRUE(
+          old_library.Write("f" + std::to_string(i), 10 * kGB, nullptr)
+              .ok());
+    }
+    simulation.Run();
+    MigrationConfig config;
+    config.parallel_streams = streams;
+    MediaMigration migration(&simulation, &old_library, &new_library,
+                             config);
+    EXPECT_TRUE(migration.Run(nullptr).ok());
+    simulation.Run();
+    EXPECT_EQ(migration.report().files_migrated, 24);
+    return migration.report().virtual_seconds;
+  };
+  double serial = run_with_streams(1);
+  double parallel = run_with_streams(4);
+  EXPECT_LT(parallel, serial * 0.6);
+}
+
+TEST(MediaMigrationTest, EmptySourceCompletesImmediately) {
+  sim::Simulation simulation;
+  TapeLibrary old_library(&simulation, "gen1", TapeLibraryConfig{});
+  TapeLibrary new_library(&simulation, "gen2", TapeLibraryConfig{});
+  MediaMigration migration(&simulation, &old_library, &new_library,
+                           MigrationConfig{});
+  bool done = false;
+  ASSERT_TRUE(migration.Run([&](const MigrationReport&) { done = true; })
+                  .ok());
+  simulation.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(migration.report().files_total, 0);
+}
+
+TEST(MediaMigrationTest, DoubleRunRejected) {
+  sim::Simulation simulation;
+  TapeLibrary old_library(&simulation, "gen1", TapeLibraryConfig{});
+  TapeLibrary new_library(&simulation, "gen2", TapeLibraryConfig{});
+  MediaMigration migration(&simulation, &old_library, &new_library,
+                           MigrationConfig{});
+  ASSERT_TRUE(migration.Run(nullptr).ok());
+  EXPECT_TRUE(migration.Run(nullptr).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace dflow::storage

@@ -1,0 +1,105 @@
+#include "util/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dflow {
+namespace {
+
+TEST(ByteBufferTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefull);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteBufferTest, VarintRoundTrip) {
+  ByteWriter w;
+  std::vector<uint64_t> values = {0,   1,   127,  128,   16383, 16384,
+                                  1u << 20, 1ull << 40,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    w.PutVarint(v);
+  }
+  ByteReader r(w.data());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteBufferTest, VarintEncodingIsCompact) {
+  ByteWriter w;
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.PutVarint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(ByteBufferTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string("bin\0ary", 7));
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(*r.GetString(), std::string("bin\0ary", 7));
+}
+
+TEST(ByteBufferTest, UnderflowIsCorruption) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+TEST(ByteBufferTest, TruncatedVarintIsCorruption) {
+  std::string bad("\x80", 1);  // Continuation bit with no next byte.
+  ByteReader r(bad);
+  EXPECT_TRUE(r.GetVarint().status().IsCorruption());
+}
+
+TEST(ByteBufferTest, TruncatedStringIsCorruption) {
+  ByteWriter w;
+  w.PutVarint(100);  // Claims 100 bytes follow.
+  w.PutRaw("short", 5);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(ByteBufferTest, OverlongVarintRejected) {
+  std::string bad(11, '\x80');  // 11 continuation bytes > max 10.
+  ByteReader r(bad);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(ByteBufferTest, RemainingAndPosition) {
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_EQ(r.position(), 4u);
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,109 @@
+#include "util/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace dflow {
+namespace {
+
+TEST(WlzTest, EmptyRoundTrip) {
+  std::string compressed = WlzCompress("");
+  auto out = WlzDecompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "");
+}
+
+TEST(WlzTest, ShortLiteralRoundTrip) {
+  std::string input = "abc";
+  auto out = WlzDecompress(WlzCompress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(WlzTest, RepetitiveInputCompressesWell) {
+  std::string input;
+  for (int i = 0; i < 500; ++i) {
+    input += "the quick brown fox jumps over the lazy dog ";
+  }
+  std::string compressed = WlzCompress(input);
+  EXPECT_LT(compressed.size(), input.size() / 5);
+  auto out = WlzDecompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(WlzTest, OverlappingMatchRunLength) {
+  // "aaaa..." forces matches with distance < length.
+  std::string input(10000, 'a');
+  std::string compressed = WlzCompress(input);
+  EXPECT_LT(compressed.size(), 200u);
+  auto out = WlzDecompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(WlzTest, IncompressibleInputSurvives) {
+  Rng rng(99);
+  std::string input;
+  input.reserve(50000);
+  for (int i = 0; i < 50000; ++i) {
+    input.push_back(static_cast<char>(rng.Uniform(0, 255)));
+  }
+  auto out = WlzDecompress(WlzCompress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(WlzTest, BadMagicRejected) {
+  std::string compressed = WlzCompress("hello world");
+  compressed[0] = 'X';
+  EXPECT_TRUE(WlzDecompress(compressed).status().IsCorruption());
+}
+
+TEST(WlzTest, TruncationDetected) {
+  std::string input(1000, 'q');
+  std::string compressed = WlzCompress(input);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_FALSE(WlzDecompress(compressed).ok());
+}
+
+TEST(WlzTest, PayloadCorruptionCaughtByChecksum) {
+  std::string input = "some moderately long string with repeats repeats "
+                      "repeats repeats to get matches going";
+  std::string compressed = WlzCompress(input);
+  // Flip a byte near the end (likely inside a literal run).
+  compressed[compressed.size() - 3] ^= 0x01;
+  EXPECT_FALSE(WlzDecompress(compressed).ok());
+}
+
+// Property sweep: random texts with tunable repetitiveness all round-trip.
+class WlzPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WlzPropertyTest, RandomTextRoundTrip) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  // Build text from a small word pool (repetitive) mixed with noise.
+  static const char* kWords[] = {"data", "flow", "pulsar", "event",
+                                 "crawl", "grid", "tape",   "archive"};
+  std::string input;
+  int words = 200 + GetParam() * 137;
+  for (int i = 0; i < words; ++i) {
+    if (rng.Bernoulli(0.2)) {
+      input.push_back(static_cast<char>(rng.Uniform(32, 126)));
+    } else {
+      input += kWords[rng.Uniform(0, 7)];
+      input += ' ';
+    }
+  }
+  std::string compressed = WlzCompress(input);
+  auto out = WlzDecompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WlzPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace dflow

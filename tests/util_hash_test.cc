@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/crc32.h"
+#include "util/md5.h"
+
+namespace dflow {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::HexOf(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::HexOf("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::HexOf("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::HexOf("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::HexOf("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::HexOf("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                       "0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::HexOf("1234567890123456789012345678901234567890123456789012"
+                       "3456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalUpdateMatchesOneShot) {
+  Md5 incremental;
+  incremental.Update("hello ");
+  incremental.Update("world, ");
+  incremental.Update("this crosses block boundaries when repeated long "
+                     "enough to exceed sixty-four bytes of input data");
+  std::string all =
+      "hello world, this crosses block boundaries when repeated long "
+      "enough to exceed sixty-four bytes of input data";
+  EXPECT_EQ(incremental.HexDigest(), Md5::HexOf(all));
+}
+
+TEST(Md5Test, BlockBoundaryLengths) {
+  // Lengths straddling the 56-byte padding threshold and 64-byte blocks.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    std::string input(len, 'x');
+    Md5 one;
+    one.Update(input);
+    Md5 two;
+    two.Update(input.substr(0, len / 2));
+    two.Update(input.substr(len / 2));
+    EXPECT_EQ(one.HexDigest(), two.HexDigest()) << "len=" << len;
+  }
+}
+
+TEST(Md5Test, DifferentInputsDifferentDigests) {
+  EXPECT_NE(Md5::HexOf("foo"), Md5::HexOf("fop"));
+  EXPECT_NE(Md5::HexOf("foo"), Md5::HexOf("foo "));
+}
+
+// The zlib/gzip CRC-32 of "123456789" is the classic check value.
+TEST(Crc32Test, KnownCheckValue) {
+  EXPECT_EQ(Crc32::Of("123456789"), 0xcbf43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32::Of(""), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  Crc32 crc;
+  crc.Update("hello ");
+  crc.Update("world");
+  EXPECT_EQ(crc.Value(), Crc32::Of("hello world"));
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string data(1000, 'a');
+  uint32_t base = Crc32::Of(data);
+  data[500] = 'b';
+  EXPECT_NE(Crc32::Of(data), base);
+}
+
+}  // namespace
+}  // namespace dflow

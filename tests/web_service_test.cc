@@ -1,0 +1,196 @@
+// The Web-Services dissemination layer: the registry plus the three
+// project services (the paper's Section-5 "next step": "extend the
+// functionality of their dissemination Web Services to enable full access
+// to data and analysis functionality").
+
+#include <gtest/gtest.h>
+
+#include "arecibo/candidate_service.h"
+#include "core/web_service.h"
+#include "util/strings.h"
+#include "eventstore/event_store.h"
+#include "eventstore/eventstore_service.h"
+#include "weblab/crawler.h"
+#include "weblab/preload.h"
+#include "weblab/weblab_service.h"
+
+namespace dflow {
+namespace {
+
+using core::ServiceRegistry;
+using core::ServiceRequest;
+
+ServiceRequest Req(const std::string& path,
+                   std::map<std::string, std::string> params = {}) {
+  ServiceRequest request;
+  request.path = path;
+  request.params = std::move(params);
+  return request;
+}
+
+TEST(ServiceRegistryTest, RoutesByPrefix) {
+  ServiceRegistry registry;
+  db::Database db;
+  auto service = arecibo::CandidateService::Create(&db);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(registry.Mount("arecibo", std::move(*service)).ok());
+  EXPECT_TRUE(registry.Mount("arecibo", nullptr).IsInvalidArgument());
+
+  auto ok = registry.Handle(Req("arecibo/count"));
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(registry.Handle(Req("nope/count")).status().IsNotFound());
+  EXPECT_TRUE(
+      registry.Handle(Req("arecibo/bogus")).status().IsNotFound());
+
+  auto endpoints = registry.Endpoints();
+  EXPECT_EQ(endpoints.size(), 4u);
+  EXPECT_EQ(endpoints[0].substr(0, 8), "arecibo/");
+}
+
+TEST(CandidateServiceTest, TopCountAndVoTable) {
+  db::Database db;
+  auto service_or = arecibo::CandidateService::Create(&db);
+  ASSERT_TRUE(service_or.ok());
+  arecibo::CandidateService& service = **service_or;
+
+  std::vector<arecibo::Candidate> batch;
+  for (int i = 0; i < 10; ++i) {
+    arecibo::Candidate candidate;
+    candidate.pointing = i / 5;
+    candidate.beam = i % 7;
+    candidate.freq_hz = 4.0 + i;
+    candidate.dm = 60.0;
+    candidate.snr = 10.0 + i;
+    candidate.rfi_flag = (i % 3 == 0);
+    batch.push_back(candidate);
+  }
+  ASSERT_TRUE(service.Load(batch).ok());
+
+  auto top = service.Handle(Req("top", {{"limit", "3"}}));
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->content_type, "text/tab-separated-values");
+  // Header + 3 rows, strongest (snr=19 has i=9, rfi) -- excluded; i=8
+  // snr=18 leads.
+  auto lines = Split(top->body, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_NE(lines[1].find("18"), std::string::npos);
+
+  auto with_rfi =
+      service.Handle(Req("top", {{"limit", "20"}, {"include_rfi", "1"}}));
+  EXPECT_GT(with_rfi->body.size(), top->body.size());
+
+  auto count = service.Handle(Req("count"));
+  ASSERT_TRUE(count.ok());
+  EXPECT_NE(count->body.find("rfi\t4"), std::string::npos);
+  EXPECT_NE(count->body.find("astrophysical\t6"), std::string::npos);
+
+  auto votable = service.Handle(Req("votable", {{"pointing", "0"}}));
+  ASSERT_TRUE(votable.ok());
+  EXPECT_EQ(votable->content_type, "text/xml");
+  EXPECT_NE(votable->body.find("<VOTABLE"), std::string::npos);
+
+  auto pointings = service.Handle(Req("pointings"));
+  EXPECT_EQ(pointings->body, "0\n1\n");
+
+  EXPECT_TRUE(service.Handle(Req("top", {{"limit", "abc"}}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EventStoreServiceTest, ResolveGradesHistorySummary) {
+  auto store_or = eventstore::EventStore::Create(
+      eventstore::StoreScale::kCollaboration);
+  ASSERT_TRUE(store_or.ok());
+  eventstore::EventStore& store = **store_or;
+  for (int64_t run = 1; run <= 3; ++run) {
+    ASSERT_TRUE(store
+                    .RegisterFile({run, "recon", "R1", 100, 1000,
+                                   "/hsm/" + std::to_string(run), {}})
+                    .ok());
+  }
+  ASSERT_TRUE(store.AssignGrade("physics", 200, {1, 3}, "recon", "R1").ok());
+
+  eventstore::EventStoreService service(&store);
+  auto resolve = service.Handle(
+      Req("resolve", {{"grade", "physics"}, {"ts", "300"}}));
+  ASSERT_TRUE(resolve.ok());
+  auto lines = Split(resolve->body, '\n');
+  EXPECT_EQ(lines.size(), 5u);  // Header + 3 files + trailing empty.
+  EXPECT_NE(resolve->body.find("recon\tR1\t1000"), std::string::npos);
+
+  EXPECT_EQ(service.Handle(Req("grades"))->body, "physics\n");
+  auto history = service.Handle(Req("history", {{"grade", "physics"}}));
+  EXPECT_NE(history->body.find("200\t1\t3\trecon\tR1"), std::string::npos);
+  auto versions = service.Handle(
+      Req("versions", {{"run", "2"}, {"data_type", "recon"}}));
+  EXPECT_EQ(versions->body, "R1\n");
+  auto summary = service.Handle(Req("summary"));
+  EXPECT_NE(summary->body.find("recon\t3\t3000"), std::string::npos);
+
+  EXPECT_TRUE(service.Handle(Req("resolve")).status().IsInvalidArgument());
+  EXPECT_TRUE(service.Handle(Req("nothing")).status().IsNotFound());
+}
+
+TEST(WebLabServiceTest, RetroSearchPagesExtract) {
+  weblab::CrawlerConfig config;
+  config.initial_pages = 300;
+  weblab::SyntheticCrawler crawler(config);
+  weblab::Crawl crawl = crawler.NextCrawl();
+
+  db::Database db;
+  weblab::PageStore page_store;
+  weblab::PreloadSubsystem preload(weblab::PreloadConfig{}, &db, &page_store);
+  ASSERT_TRUE(
+      preload.LoadArcFiles({weblab::WriteArcFile(crawl.pages)}).ok());
+  ASSERT_TRUE(
+      preload.LoadDatFiles({weblab::WriteDatFile(crawl.pages)}).ok());
+  weblab::InvertedIndex index;
+  for (const auto& page : crawl.pages) {
+    index.AddPage(page.url, page.content);
+  }
+
+  weblab::WebLabService service(&page_store, &db, &index);
+
+  const std::string url = crawl.pages[100].url;
+  auto retro = service.Handle(
+      Req("retro", {{"url", url},
+                    {"date", std::to_string(crawl.crawl_time + 5)}}));
+  ASSERT_TRUE(retro.ok());
+  EXPECT_EQ(retro->body, crawl.pages[100].content);
+  auto links = service.Handle(
+      Req("links", {{"url", url},
+                    {"date", std::to_string(crawl.crawl_time + 5)}}));
+  ASSERT_TRUE(links.ok());
+  EXPECT_EQ(Split(links->body, '\n').size() - 1,
+            crawl.pages[100].links.size());
+
+  // Full-text search: the Zipf rank-1 word matches many pages.
+  auto search = service.Handle(Req("search", {{"q", "w1"}}));
+  ASSERT_TRUE(search.ok());
+  EXPECT_GT(Split(search->body, '\n').size(), 100u);
+
+  auto pages = service.Handle(Req("pages", {{"limit", "10"}}));
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(Split(pages->body, '\n').size(), 12u);  // Header + 10 + tail.
+
+  auto extract = service.Handle(Req(
+      "extract",
+      {{"name", "big"},
+       {"sql", "SELECT url, bytes FROM pages WHERE bytes > 2000"}}));
+  ASSERT_TRUE(extract.ok());
+  EXPECT_TRUE(db.Execute("SELECT COUNT(*) FROM big").ok());
+
+  // A federation registry spanning all three projects resolves paths.
+  core::ServiceRegistry registry;
+  auto candidates = arecibo::CandidateService::Create(&db);
+  ASSERT_TRUE(registry
+                  .Mount("weblab", std::make_shared<weblab::WebLabService>(
+                                       &page_store, &db, &index))
+                  .ok());
+  ASSERT_TRUE(registry.Mount("arecibo", std::move(*candidates)).ok());
+  EXPECT_TRUE(registry.Handle(Req("weblab/pages")).ok());
+  EXPECT_TRUE(registry.Handle(Req("arecibo/count")).ok());
+}
+
+}  // namespace
+}  // namespace dflow

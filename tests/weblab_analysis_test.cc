@@ -1,0 +1,146 @@
+#include "weblab/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "weblab/crawler.h"
+
+namespace dflow::weblab {
+namespace {
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("Hello, World! 123"),
+            (std::vector<std::string>{"hello", "world", "123"}));
+  EXPECT_TRUE(Tokenize("...").empty());
+  EXPECT_EQ(Tokenize("a-b_c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DomainOfTest, ExtractsHost) {
+  EXPECT_EQ(DomainOf("http://site3.example.org/page7.html"),
+            "site3.example.org");
+  EXPECT_EQ(DomainOf("site3.example.org/page"), "site3.example.org");
+  EXPECT_EQ(DomainOf("http://host"), "host");
+}
+
+TEST(BurstDetectorTest, DetectsInjectedBurst) {
+  CrawlerConfig config;
+  config.initial_pages = 400;
+  config.burst_word = "election";
+  config.burst_start_crawl = 3;
+  config.burst_end_crawl = 3;
+  SyntheticCrawler crawler(config);
+
+  BurstDetector detector(/*min_count=*/10, /*score_threshold=*/3.0);
+  for (int crawl_index = 1; crawl_index <= 4; ++crawl_index) {
+    Crawl crawl = crawler.NextCrawl();
+    detector.AddCrawl(crawl.crawl_index, crawl.pages);
+  }
+  std::vector<Burst> bursts = detector.FindBursts();
+  ASSERT_FALSE(bursts.empty());
+  bool found = false;
+  for (const Burst& burst : bursts) {
+    if (burst.term == "election" && burst.crawl_index == 3) {
+      found = true;
+      EXPECT_GT(burst.score, 3.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  // The everyday Zipf vocabulary should not dominate the burst list: the
+  // top burst is the injected term.
+  EXPECT_EQ(bursts[0].term, "election");
+}
+
+TEST(BurstDetectorTest, NeedsTwoCrawls) {
+  BurstDetector detector;
+  EXPECT_TRUE(detector.FindBursts().empty());
+  WebPage page;
+  page.content = "word word word";
+  detector.AddCrawl(1, {page});
+  EXPECT_TRUE(detector.FindBursts().empty());
+}
+
+TEST(StratifiedSampleTest, CoversEveryDomain) {
+  std::vector<PageMetadata> pages;
+  for (int domain = 0; domain < 10; ++domain) {
+    for (int i = 0; i < 30; ++i) {
+      PageMetadata meta;
+      meta.url = "http://site" + std::to_string(domain) +
+                 ".example.org/p" + std::to_string(i);
+      pages.push_back(std::move(meta));
+    }
+  }
+  auto sample = StratifiedSampleByDomain(pages, 5, 42);
+  EXPECT_EQ(sample.size(), 50u);
+  std::map<std::string, int> per_domain;
+  for (const PageMetadata& meta : sample) {
+    ++per_domain[DomainOf(meta.url)];
+  }
+  EXPECT_EQ(per_domain.size(), 10u);
+  for (const auto& [domain, count] : per_domain) {
+    EXPECT_EQ(count, 5);
+  }
+}
+
+TEST(StratifiedSampleTest, SmallStrataTakenWhole) {
+  std::vector<PageMetadata> pages(2);
+  pages[0].url = "http://only.example.org/a";
+  pages[1].url = "http://only.example.org/b";
+  auto sample = StratifiedSampleByDomain(pages, 10, 1);
+  EXPECT_EQ(sample.size(), 2u);
+}
+
+TEST(StratifiedSampleTest, DeterministicForSeed) {
+  std::vector<PageMetadata> pages;
+  for (int i = 0; i < 100; ++i) {
+    PageMetadata meta;
+    meta.url = "http://s.example.org/p" + std::to_string(i);
+    pages.push_back(std::move(meta));
+  }
+  auto a = StratifiedSampleByDomain(pages, 7, 99);
+  auto b = StratifiedSampleByDomain(pages, 7, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, b[i].url);
+  }
+}
+
+TEST(InvertedIndexTest, LookupAndConjunction) {
+  InvertedIndex index;
+  index.AddPage("u1", "apple banana cherry");
+  index.AddPage("u2", "banana cherry");
+  index.AddPage("u3", "cherry date");
+
+  EXPECT_EQ(index.Lookup("banana"), (std::vector<std::string>{"u1", "u2"}));
+  EXPECT_TRUE(index.Lookup("missing").empty());
+  EXPECT_EQ(index.LookupAll({"banana", "cherry"}),
+            (std::vector<std::string>{"u1", "u2"}));
+  EXPECT_EQ(index.LookupAll({"apple", "date"}).size(), 0u);
+  EXPECT_TRUE(index.LookupAll({}).empty());
+  EXPECT_EQ(index.num_terms(), 4);
+  EXPECT_EQ(index.num_postings(), 3 + 2 + 2);  // Unique terms per doc.
+}
+
+TEST(InvertedIndexTest, DuplicateTermsInDocCountedOnce) {
+  InvertedIndex index;
+  index.AddPage("u1", "word word word");
+  EXPECT_EQ(index.num_postings(), 1);
+  EXPECT_EQ(index.Lookup("word").size(), 1u);
+}
+
+TEST(InvertedIndexTest, ScalesToSyntheticCrawl) {
+  CrawlerConfig config;
+  config.initial_pages = 300;
+  SyntheticCrawler crawler(config);
+  Crawl crawl = crawler.NextCrawl();
+  InvertedIndex index;
+  for (const WebPage& page : crawl.pages) {
+    index.AddPage(page.url, page.content);
+  }
+  // Zipf rank-1 word appears on essentially every page.
+  auto hits = index.Lookup("w1");
+  EXPECT_GT(hits.size(), 250u);
+}
+
+}  // namespace
+}  // namespace dflow::weblab

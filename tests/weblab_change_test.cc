@@ -1,0 +1,154 @@
+#include "weblab/change_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "weblab/crawler.h"
+#include "weblab/web_graph.h"
+
+namespace dflow::weblab {
+namespace {
+
+WebPage Page(const std::string& url, const std::string& content) {
+  WebPage page;
+  page.url = url;
+  page.content = content;
+  return page;
+}
+
+TEST(DiffCrawlsTest, CountsAddsRemovalsChanges) {
+  std::vector<WebPage> before = {Page("http://a.org/1", "one"),
+                                 Page("http://a.org/2", "two"),
+                                 Page("http://a.org/3", "three")};
+  std::vector<WebPage> after = {Page("http://a.org/1", "one"),
+                                Page("http://a.org/2", "two CHANGED"),
+                                Page("http://a.org/4", "four")};
+  CrawlDelta delta = DiffCrawls(before, after);
+  EXPECT_EQ(delta.pages_before, 3);
+  EXPECT_EQ(delta.pages_after, 3);
+  EXPECT_EQ(delta.pages_added, 1);
+  EXPECT_EQ(delta.pages_removed, 1);
+  EXPECT_EQ(delta.pages_changed, 1);
+  EXPECT_EQ(delta.pages_unchanged, 1);
+  EXPECT_DOUBLE_EQ(delta.ChangeRate(), 0.5);
+}
+
+TEST(DiffCrawlsTest, EmptyCrawls) {
+  CrawlDelta delta = DiffCrawls({}, {});
+  EXPECT_EQ(delta.pages_before, 0);
+  EXPECT_DOUBLE_EQ(delta.ChangeRate(), 0.0);
+}
+
+TEST(DiffCrawlsTest, SyntheticCrawlChangeRateMatchesConfig) {
+  CrawlerConfig config;
+  config.initial_pages = 800;
+  config.new_pages_per_crawl = 100;
+  config.page_change_probability = 0.25;
+  SyntheticCrawler crawler(config);
+  Crawl first = crawler.NextCrawl();
+  Crawl second = crawler.NextCrawl();
+  CrawlDelta delta = DiffCrawls(first.pages, second.pages);
+  EXPECT_EQ(delta.pages_added, 100);
+  EXPECT_EQ(delta.pages_removed, 0);
+  EXPECT_NEAR(delta.ChangeRate(), 0.25, 0.06);
+}
+
+TEST(ShingleSimilarityTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(ShingleSimilarity("the quick brown fox jumps",
+                                     "the quick brown fox jumps"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      ShingleSimilarity("alpha beta gamma delta", "one two three four"),
+      0.0);
+  EXPECT_DOUBLE_EQ(ShingleSimilarity("", ""), 1.0);
+}
+
+TEST(ShingleSimilarityTest, SmallEditScoresHigh) {
+  std::string base =
+      "the arecibo telescope in puerto rico is the largest radio aperture "
+      "and the source of data for several astronomical surveys of pulsars";
+  std::string edited = base + " updated today";
+  double similar = ShingleSimilarity(base, edited);
+  EXPECT_GT(similar, 0.8);
+  double rewritten = ShingleSimilarity(
+      base, "completely different text about web archives and crawls "
+            "preloaded into relational databases for social science");
+  EXPECT_LT(rewritten, 0.1);
+  EXPECT_GT(similar, rewritten);
+}
+
+TEST(PerDomainDeltasTest, IsolatesChangingDomain) {
+  std::vector<WebPage> before = {Page("http://hot.org/1", "x"),
+                                 Page("http://hot.org/2", "y"),
+                                 Page("http://cold.org/1", "z")};
+  std::vector<WebPage> after = {Page("http://hot.org/1", "x CHANGED"),
+                                Page("http://hot.org/2", "y CHANGED"),
+                                Page("http://cold.org/1", "z")};
+  auto deltas = PerDomainDeltas(before, after);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_DOUBLE_EQ(deltas["hot.org"].ChangeRate(), 1.0);
+  EXPECT_DOUBLE_EQ(deltas["cold.org"].ChangeRate(), 0.0);
+}
+
+TEST(SccTest, CycleAndTendrils) {
+  // a -> b -> c -> a is one SCC; d -> a is a tendril; e isolated via edge
+  // to frontier node f.
+  WebGraph graph = WebGraph::Build({{"a", "b"},
+                                    {"b", "c"},
+                                    {"c", "a"},
+                                    {"d", "a"},
+                                    {"e", "f"}});
+  auto [component, count] = graph.StronglyConnectedComponents();
+  EXPECT_EQ(count, 4);  // {a,b,c}, {d}, {e}, {f}.
+  int a = component[static_cast<size_t>(*graph.NodeOf("a"))];
+  EXPECT_EQ(component[static_cast<size_t>(*graph.NodeOf("b"))], a);
+  EXPECT_EQ(component[static_cast<size_t>(*graph.NodeOf("c"))], a);
+  EXPECT_NE(component[static_cast<size_t>(*graph.NodeOf("d"))], a);
+  EXPECT_NE(component[static_cast<size_t>(*graph.NodeOf("e"))],
+            component[static_cast<size_t>(*graph.NodeOf("f"))]);
+}
+
+TEST(SccTest, SccRefinesWcc) {
+  // Property: on a random crawl graph, every SCC lies inside one WCC, and
+  // there are at least as many SCCs as WCCs.
+  CrawlerConfig config;
+  config.initial_pages = 600;
+  SyntheticCrawler crawler(config);
+  Crawl crawl = crawler.NextCrawl();
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const WebPage& page : crawl.pages) {
+    for (const std::string& link : page.links) {
+      edges.emplace_back(page.url, link);
+    }
+  }
+  WebGraph graph = WebGraph::Build(edges);
+  auto [scc, num_scc] = graph.StronglyConnectedComponents();
+  auto [wcc, num_wcc] = graph.WeaklyConnectedComponents();
+  EXPECT_GE(num_scc, num_wcc);
+  // Map each SCC to the WCC of its first member; every member must agree.
+  std::map<int, int> scc_to_wcc;
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    auto [it, inserted] = scc_to_wcc.try_emplace(
+        scc[static_cast<size_t>(node)], wcc[static_cast<size_t>(node)]);
+    EXPECT_EQ(it->second, wcc[static_cast<size_t>(node)]) << node;
+  }
+  // Every node got a component id.
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    EXPECT_GE(scc[static_cast<size_t>(node)], 0);
+    EXPECT_LT(scc[static_cast<size_t>(node)], num_scc);
+  }
+}
+
+TEST(SccTest, DeepChainDoesNotOverflow) {
+  // 50k-node path: recursion would blow the stack; the iterative Tarjan
+  // must handle it.
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (int i = 0; i < 50000; ++i) {
+    edges.emplace_back("n" + std::to_string(i), "n" + std::to_string(i + 1));
+  }
+  WebGraph graph = WebGraph::Build(edges);
+  auto [component, count] = graph.StronglyConnectedComponents();
+  EXPECT_EQ(count, 50001);  // Every node its own SCC.
+}
+
+}  // namespace
+}  // namespace dflow::weblab

@@ -1,0 +1,168 @@
+#include "weblab/arc_format.h"
+
+#include <gtest/gtest.h>
+
+#include "weblab/crawler.h"
+
+namespace dflow::weblab {
+namespace {
+
+std::vector<WebPage> SamplePages() {
+  std::vector<WebPage> pages;
+  for (int i = 0; i < 20; ++i) {
+    WebPage page;
+    page.url = "http://site" + std::to_string(i % 3) +
+               ".example.org/page" + std::to_string(i) + ".html";
+    page.ip = "10.0.0." + std::to_string(i);
+    page.crawl_time = 850000000 + i;
+    page.content = "the quick brown fox " + std::to_string(i) +
+                   " jumps over the lazy dog and the lazy dog sleeps";
+    page.links = {"http://site0.example.org/page0.html",
+                  "http://site1.example.org/page1.html"};
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+TEST(ArcFormatTest, ArcRoundTrip) {
+  std::vector<WebPage> pages = SamplePages();
+  std::string blob = WriteArcFile(pages);
+  auto decoded = ReadArcFile(blob);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].url, pages[i].url);
+    EXPECT_EQ((*decoded)[i].ip, pages[i].ip);
+    EXPECT_EQ((*decoded)[i].crawl_time, pages[i].crawl_time);
+    EXPECT_EQ((*decoded)[i].content, pages[i].content);
+    EXPECT_EQ((*decoded)[i].links, pages[i].links);
+  }
+}
+
+TEST(ArcFormatTest, DatRoundTripCarriesMetadataOnly) {
+  std::vector<WebPage> pages = SamplePages();
+  std::string blob = WriteDatFile(pages);
+  auto decoded = ReadDatFile(blob);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].url, pages[i].url);
+    EXPECT_EQ((*decoded)[i].content_bytes,
+              static_cast<int64_t>(pages[i].content.size()));
+    EXPECT_EQ((*decoded)[i].links, pages[i].links);
+  }
+  // DAT is much smaller than ARC (the paper: 15 MB vs 100 MB).
+  EXPECT_LT(blob.size(), WriteArcFile(pages).size());
+}
+
+TEST(ArcFormatTest, CompressionShrinksRedundantText) {
+  std::vector<WebPage> pages = SamplePages();
+  int64_t raw = 0;
+  for (const WebPage& page : pages) {
+    raw += static_cast<int64_t>(page.content.size());
+  }
+  std::string blob = WriteArcFile(pages);
+  EXPECT_LT(static_cast<int64_t>(blob.size()), raw);
+}
+
+TEST(ArcFormatTest, WrongContainerTypeRejected) {
+  std::vector<WebPage> pages = SamplePages();
+  EXPECT_TRUE(ReadArcFile(WriteDatFile(pages)).status().IsCorruption());
+  EXPECT_TRUE(ReadDatFile(WriteArcFile(pages)).status().IsCorruption());
+}
+
+TEST(ArcFormatTest, CorruptBlobRejected) {
+  std::string blob = WriteArcFile(SamplePages());
+  blob[blob.size() / 2] ^= 0x5a;
+  EXPECT_FALSE(ReadArcFile(blob).ok());
+  EXPECT_FALSE(ReadArcFile("garbage").ok());
+}
+
+TEST(ArcFormatTest, EmptyFileRoundTrip) {
+  std::string blob = WriteArcFile({});
+  auto decoded = ReadArcFile(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(CrawlerTest, CrawlsGrowAndEvolve) {
+  CrawlerConfig config;
+  config.initial_pages = 300;
+  config.new_pages_per_crawl = 50;
+  SyntheticCrawler crawler(config);
+  Crawl first = crawler.NextCrawl();
+  Crawl second = crawler.NextCrawl();
+  EXPECT_EQ(first.pages.size(), 300u);
+  EXPECT_EQ(second.pages.size(), 350u);
+  EXPECT_GT(second.crawl_time, first.crawl_time);
+  // Some page changed content between crawls.
+  int changed = 0;
+  for (size_t i = 0; i < first.pages.size(); ++i) {
+    if (second.pages[i].content != first.pages[i].content) {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 30);  // ~25% change probability.
+  EXPECT_LT(changed, 150);
+}
+
+TEST(CrawlerTest, PreferentialAttachmentSkewsInDegree) {
+  CrawlerConfig config;
+  config.initial_pages = 1500;
+  SyntheticCrawler crawler(config);
+  Crawl crawl = crawler.NextCrawl();
+  // Count in-links.
+  std::map<std::string, int> in_degree;
+  for (const WebPage& page : crawl.pages) {
+    for (const std::string& link : page.links) {
+      ++in_degree[link];
+    }
+  }
+  int max_in = 0;
+  int64_t total = 0;
+  for (const auto& [url, degree] : in_degree) {
+    max_in = std::max(max_in, degree);
+    total += degree;
+  }
+  double mean = static_cast<double>(total) /
+                static_cast<double>(crawl.pages.size());
+  // Scale-free-ish: the hub collects far more than the mean.
+  EXPECT_GT(max_in, mean * 10);
+}
+
+TEST(CrawlerTest, DeterministicForSeed) {
+  CrawlerConfig config;
+  config.initial_pages = 100;
+  SyntheticCrawler a(config), b(config);
+  Crawl ca = a.NextCrawl(), cb = b.NextCrawl();
+  ASSERT_EQ(ca.pages.size(), cb.pages.size());
+  for (size_t i = 0; i < ca.pages.size(); ++i) {
+    EXPECT_EQ(ca.pages[i].content, cb.pages[i].content);
+  }
+}
+
+TEST(CrawlerTest, BurstWordOverrepresentedDuringBurst) {
+  CrawlerConfig config;
+  config.initial_pages = 400;
+  config.burst_start_crawl = 2;
+  config.burst_end_crawl = 3;
+  config.burst_word = "election";
+  SyntheticCrawler crawler(config);
+  auto count_word = [&](const Crawl& crawl) {
+    int64_t count = 0;
+    for (const WebPage& page : crawl.pages) {
+      for (size_t pos = page.content.find("election");
+           pos != std::string::npos;
+           pos = page.content.find("election", pos + 1)) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  Crawl c1 = crawler.NextCrawl();
+  Crawl c2 = crawler.NextCrawl();  // In burst.
+  EXPECT_GT(count_word(c2), count_word(c1) * 3 + 10);
+}
+
+}  // namespace
+}  // namespace dflow::weblab

@@ -1,0 +1,160 @@
+#include "weblab/web_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "weblab/cluster_model.h"
+#include "weblab/crawler.h"
+
+namespace dflow::weblab {
+namespace {
+
+WebGraph Triangle() {
+  // a -> b, b -> c, c -> a.
+  return WebGraph::Build({{"a", "b"}, {"b", "c"}, {"c", "a"}});
+}
+
+TEST(WebGraphTest, BuildCsr) {
+  WebGraph graph = Triangle();
+  EXPECT_EQ(graph.num_nodes(), 3);
+  EXPECT_EQ(graph.num_edges(), 3);
+  int a = *graph.NodeOf("a");
+  EXPECT_EQ(graph.OutDegree(a), 1);
+  EXPECT_EQ(graph.InDegree(a), 1);
+  auto [begin, end] = graph.OutLinks(a);
+  ASSERT_EQ(end - begin, 1);
+  EXPECT_EQ(graph.UrlOf(*begin), "b");
+  EXPECT_TRUE(graph.NodeOf("ghost").status().IsNotFound());
+}
+
+TEST(WebGraphTest, FrontierUrlsBecomeNodes) {
+  WebGraph graph = WebGraph::Build({{"a", "external"}});
+  EXPECT_EQ(graph.num_nodes(), 2);
+  int ext = *graph.NodeOf("external");
+  EXPECT_EQ(graph.OutDegree(ext), 0);
+  EXPECT_EQ(graph.InDegree(ext), 1);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  WebGraph graph = Triangle();
+  std::vector<double> rank = graph.PageRank(50);
+  ASSERT_EQ(rank.size(), 3u);
+  for (double r : rank) {
+    EXPECT_NEAR(r, 1.0 / 3.0, 1e-9);
+  }
+}
+
+TEST(PageRankTest, SumsToOne) {
+  CrawlerConfig config;
+  config.initial_pages = 500;
+  SyntheticCrawler crawler(config);
+  WebGraph graph = WebGraph::FromMetadata([&] {
+    Crawl crawl = crawler.NextCrawl();
+    std::vector<PageMetadata> records;
+    for (const WebPage& page : crawl.pages) {
+      PageMetadata meta;
+      meta.url = page.url;
+      meta.links = page.links;
+      records.push_back(std::move(meta));
+    }
+    return records;
+  }());
+  std::vector<double> rank = graph.PageRank(30);
+  double sum = 0.0;
+  for (double r : rank) {
+    sum += r;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, HubOutranksLeaf) {
+  // Everything points at "hub"; hub points at one leaf.
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (int i = 0; i < 20; ++i) {
+    edges.emplace_back("n" + std::to_string(i), "hub");
+  }
+  edges.emplace_back("hub", "n0");
+  WebGraph graph = WebGraph::Build(edges);
+  std::vector<double> rank = graph.PageRank(40);
+  int hub = *graph.NodeOf("hub");
+  int leaf = *graph.NodeOf("n5");
+  EXPECT_GT(rank[static_cast<size_t>(hub)],
+            5 * rank[static_cast<size_t>(leaf)]);
+}
+
+TEST(WccTest, ComponentsCounted) {
+  WebGraph graph = WebGraph::Build(
+      {{"a", "b"}, {"b", "c"}, {"x", "y"}, {"lonely", "lonely2"}});
+  auto [component, count] = graph.WeaklyConnectedComponents();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(component[static_cast<size_t>(*graph.NodeOf("a"))],
+            component[static_cast<size_t>(*graph.NodeOf("c"))]);
+  EXPECT_NE(component[static_cast<size_t>(*graph.NodeOf("a"))],
+            component[static_cast<size_t>(*graph.NodeOf("x"))]);
+}
+
+TEST(WebGraphTest, InDegreeHistogram) {
+  WebGraph graph = WebGraph::Build(
+      {{"a", "hub"}, {"b", "hub"}, {"c", "hub"}, {"hub", "a"}});
+  auto hist = graph.InDegreeHistogram(10);
+  EXPECT_EQ(hist[0], 2);  // b, c have in-degree 0.
+  EXPECT_EQ(hist[1], 1);  // a.
+  EXPECT_EQ(hist[3], 1);  // hub.
+}
+
+TEST(WebGraphTest, MemoryEstimatePositiveAndMonotonic) {
+  WebGraph small = Triangle();
+  CrawlerConfig config;
+  config.initial_pages = 1000;
+  SyntheticCrawler crawler(config);
+  Crawl crawl = crawler.NextCrawl();
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const WebPage& page : crawl.pages) {
+    for (const std::string& link : page.links) {
+      edges.emplace_back(page.url, link);
+    }
+  }
+  WebGraph big = WebGraph::Build(edges);
+  EXPECT_GT(small.MemoryBytes(), 0);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(ClusterModelTest, TraversalFavoursSingleBigMachine) {
+  // The paper's §4.2 claim: latency-bound graph traversal is far faster
+  // in one shared memory than across a commodity cluster.
+  BigMemoryMachine es7000;
+  CommodityCluster cluster;
+  int64_t walk_edges = 10'000'000;
+  double single = TraversalTimeSingle(es7000, walk_edges);
+  double clustered = TraversalTimeCluster(cluster, walk_edges);
+  EXPECT_GT(clustered, 100 * single);
+}
+
+TEST(ClusterModelTest, BatchWorkloadFavoursCluster) {
+  BigMemoryMachine es7000;
+  CommodityCluster cluster;
+  cluster.nodes = 64;
+  int64_t edges = 20'000'000'000;  // Billions of links.
+  double single = BatchIterationTimeSingle(es7000, edges);
+  double clustered = BatchIterationTimeCluster(cluster, edges);
+  EXPECT_LT(clustered, single);
+}
+
+TEST(ClusterModelTest, CrossPartitionFraction) {
+  EXPECT_DOUBLE_EQ(CrossPartitionFraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(CrossPartitionFraction(2), 0.5);
+  EXPECT_NEAR(CrossPartitionFraction(64), 0.984, 0.001);
+}
+
+TEST(ClusterModelTest, MemoryFitRules) {
+  BigMemoryMachine machine;  // 64 GB.
+  EXPECT_TRUE(FitsSingleMachine(machine, 50LL * 1000 * 1000 * 1000));
+  EXPECT_FALSE(FitsSingleMachine(machine, 100LL * 1000 * 1000 * 1000));
+  CommodityCluster cluster;  // 64 x 2 GB.
+  EXPECT_TRUE(FitsCluster(cluster, 50LL * 1000 * 1000 * 1000));
+  EXPECT_FALSE(FitsCluster(cluster, 80LL * 1000 * 1000 * 1000));
+}
+
+}  // namespace
+}  // namespace dflow::weblab
