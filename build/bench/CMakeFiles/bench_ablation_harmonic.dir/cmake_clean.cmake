@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_harmonic.dir/bench_ablation_harmonic.cc.o"
+  "CMakeFiles/bench_ablation_harmonic.dir/bench_ablation_harmonic.cc.o.d"
+  "bench_ablation_harmonic"
+  "bench_ablation_harmonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_harmonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arecibo_processors.dir/bench_arecibo_processors.cc.o"
+  "CMakeFiles/bench_arecibo_processors.dir/bench_arecibo_processors.cc.o.d"
+  "bench_arecibo_processors"
+  "bench_arecibo_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arecibo_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

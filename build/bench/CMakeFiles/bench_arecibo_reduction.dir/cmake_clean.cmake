@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arecibo_reduction.dir/bench_arecibo_reduction.cc.o"
+  "CMakeFiles/bench_arecibo_reduction.dir/bench_arecibo_reduction.cc.o.d"
+  "bench_arecibo_reduction"
+  "bench_arecibo_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arecibo_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arecibo_storage.dir/bench_arecibo_storage.cc.o"
+  "CMakeFiles/bench_arecibo_storage.dir/bench_arecibo_storage.cc.o.d"
+  "bench_arecibo_storage"
+  "bench_arecibo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arecibo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cleo_merge.dir/bench_cleo_merge.cc.o"
+  "CMakeFiles/bench_cleo_merge.dir/bench_cleo_merge.cc.o.d"
+  "bench_cleo_merge"
+  "bench_cleo_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cleo_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

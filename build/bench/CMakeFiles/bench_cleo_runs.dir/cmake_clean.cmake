@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cleo_runs.dir/bench_cleo_runs.cc.o"
+  "CMakeFiles/bench_cleo_runs.dir/bench_cleo_runs.cc.o.d"
+  "bench_cleo_runs"
+  "bench_cleo_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cleo_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cleo_snapshots.dir/bench_cleo_snapshots.cc.o"
+  "CMakeFiles/bench_cleo_snapshots.dir/bench_cleo_snapshots.cc.o.d"
+  "bench_cleo_snapshots"
+  "bench_cleo_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cleo_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

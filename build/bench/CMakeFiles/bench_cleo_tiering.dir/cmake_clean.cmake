@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cleo_tiering.dir/bench_cleo_tiering.cc.o"
+  "CMakeFiles/bench_cleo_tiering.dir/bench_cleo_tiering.cc.o.d"
+  "bench_cleo_tiering"
+  "bench_cleo_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cleo_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cms_filter.dir/bench_cms_filter.cc.o"
+  "CMakeFiles/bench_cms_filter.dir/bench_cms_filter.cc.o.d"
+  "bench_cms_filter"
+  "bench_cms_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cms_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

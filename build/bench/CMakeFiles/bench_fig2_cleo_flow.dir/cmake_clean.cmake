@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cleo_flow.dir/bench_fig2_cleo_flow.cc.o"
+  "CMakeFiles/bench_fig2_cleo_flow.dir/bench_fig2_cleo_flow.cc.o.d"
+  "bench_fig2_cleo_flow"
+  "bench_fig2_cleo_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cleo_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

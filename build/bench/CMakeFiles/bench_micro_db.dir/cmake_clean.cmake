@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_db.dir/bench_micro_db.cc.o"
+  "CMakeFiles/bench_micro_db.dir/bench_micro_db.cc.o.d"
+  "bench_micro_db"
+  "bench_micro_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

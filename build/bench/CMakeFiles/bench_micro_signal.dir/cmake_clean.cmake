@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_signal.dir/bench_micro_signal.cc.o"
+  "CMakeFiles/bench_micro_signal.dir/bench_micro_signal.cc.o.d"
+  "bench_micro_signal"
+  "bench_micro_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

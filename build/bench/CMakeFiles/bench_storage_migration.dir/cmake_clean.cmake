@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_migration.dir/bench_storage_migration.cc.o"
+  "CMakeFiles/bench_storage_migration.dir/bench_storage_migration.cc.o.d"
+  "bench_storage_migration"
+  "bench_storage_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

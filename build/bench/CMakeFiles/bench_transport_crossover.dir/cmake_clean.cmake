@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transport_crossover.dir/bench_transport_crossover.cc.o"
+  "CMakeFiles/bench_transport_crossover.dir/bench_transport_crossover.cc.o.d"
+  "bench_transport_crossover"
+  "bench_transport_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transport_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weblab_formats.dir/bench_weblab_formats.cc.o"
+  "CMakeFiles/bench_weblab_formats.dir/bench_weblab_formats.cc.o.d"
+  "bench_weblab_formats"
+  "bench_weblab_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weblab_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weblab_graph.dir/bench_weblab_graph.cc.o"
+  "CMakeFiles/bench_weblab_graph.dir/bench_weblab_graph.cc.o.d"
+  "bench_weblab_graph"
+  "bench_weblab_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weblab_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

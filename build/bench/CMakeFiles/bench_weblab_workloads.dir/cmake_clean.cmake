@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weblab_workloads.dir/bench_weblab_workloads.cc.o"
+  "CMakeFiles/bench_weblab_workloads.dir/bench_weblab_workloads.cc.o.d"
+  "bench_weblab_workloads"
+  "bench_weblab_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weblab_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

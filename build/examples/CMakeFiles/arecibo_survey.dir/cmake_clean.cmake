@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arecibo_survey.dir/arecibo_survey.cpp.o"
+  "CMakeFiles/arecibo_survey.dir/arecibo_survey.cpp.o.d"
+  "arecibo_survey"
+  "arecibo_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arecibo_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

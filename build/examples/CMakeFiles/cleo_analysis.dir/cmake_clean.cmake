@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleo_analysis.dir/cleo_analysis.cpp.o"
+  "CMakeFiles/cleo_analysis.dir/cleo_analysis.cpp.o.d"
+  "cleo_analysis"
+  "cleo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

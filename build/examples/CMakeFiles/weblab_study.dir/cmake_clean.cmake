@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblab_study.dir/weblab_study.cpp.o"
+  "CMakeFiles/weblab_study.dir/weblab_study.cpp.o.d"
+  "weblab_study"
+  "weblab_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblab_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arecibo/candidate_service.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/candidate_service.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/candidate_service.cc.o.d"
+  "/root/repo/src/arecibo/dedisperse.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/dedisperse.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/dedisperse.cc.o.d"
+  "/root/repo/src/arecibo/fft.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/fft.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/fft.cc.o.d"
+  "/root/repo/src/arecibo/flow.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/flow.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/flow.cc.o.d"
+  "/root/repo/src/arecibo/nvo_federation.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/nvo_federation.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/nvo_federation.cc.o.d"
+  "/root/repo/src/arecibo/search.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/search.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/search.cc.o.d"
+  "/root/repo/src/arecibo/sifter.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/sifter.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/sifter.cc.o.d"
+  "/root/repo/src/arecibo/single_pulse.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/single_pulse.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/single_pulse.cc.o.d"
+  "/root/repo/src/arecibo/spectrometer.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/spectrometer.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/spectrometer.cc.o.d"
+  "/root/repo/src/arecibo/survey.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/survey.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/survey.cc.o.d"
+  "/root/repo/src/arecibo/votable.cc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/votable.cc.o" "gcc" "src/arecibo/CMakeFiles/dflow_arecibo.dir/votable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dflow_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dflow_provenance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_arecibo.dir/candidate_service.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/candidate_service.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/dedisperse.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/dedisperse.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/fft.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/fft.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/flow.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/flow.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/nvo_federation.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/nvo_federation.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/search.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/search.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/sifter.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/sifter.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/single_pulse.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/single_pulse.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/spectrometer.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/spectrometer.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/survey.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/survey.cc.o.d"
+  "CMakeFiles/dflow_arecibo.dir/votable.cc.o"
+  "CMakeFiles/dflow_arecibo.dir/votable.cc.o.d"
+  "libdflow_arecibo.a"
+  "libdflow_arecibo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_arecibo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flow_graph.cc" "src/core/CMakeFiles/dflow_core.dir/flow_graph.cc.o" "gcc" "src/core/CMakeFiles/dflow_core.dir/flow_graph.cc.o.d"
+  "/root/repo/src/core/flow_runner.cc" "src/core/CMakeFiles/dflow_core.dir/flow_runner.cc.o" "gcc" "src/core/CMakeFiles/dflow_core.dir/flow_runner.cc.o.d"
+  "/root/repo/src/core/web_service.cc" "src/core/CMakeFiles/dflow_core.dir/web_service.cc.o" "gcc" "src/core/CMakeFiles/dflow_core.dir/web_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dflow_provenance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_core.dir/flow_graph.cc.o"
+  "CMakeFiles/dflow_core.dir/flow_graph.cc.o.d"
+  "CMakeFiles/dflow_core.dir/flow_runner.cc.o"
+  "CMakeFiles/dflow_core.dir/flow_runner.cc.o.d"
+  "CMakeFiles/dflow_core.dir/web_service.cc.o"
+  "CMakeFiles/dflow_core.dir/web_service.cc.o.d"
+  "libdflow_core.a"
+  "libdflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/btree.cc" "src/db/CMakeFiles/dflow_db.dir/btree.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/btree.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/db/CMakeFiles/dflow_db.dir/catalog.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/catalog.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/dflow_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/database.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/db/CMakeFiles/dflow_db.dir/executor.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/executor.cc.o.d"
+  "/root/repo/src/db/expr.cc" "src/db/CMakeFiles/dflow_db.dir/expr.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/expr.cc.o.d"
+  "/root/repo/src/db/heap_table.cc" "src/db/CMakeFiles/dflow_db.dir/heap_table.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/heap_table.cc.o.d"
+  "/root/repo/src/db/page.cc" "src/db/CMakeFiles/dflow_db.dir/page.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/page.cc.o.d"
+  "/root/repo/src/db/parser.cc" "src/db/CMakeFiles/dflow_db.dir/parser.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/parser.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/db/CMakeFiles/dflow_db.dir/schema.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/schema.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/dflow_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/value.cc.o.d"
+  "/root/repo/src/db/wal.cc" "src/db/CMakeFiles/dflow_db.dir/wal.cc.o" "gcc" "src/db/CMakeFiles/dflow_db.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

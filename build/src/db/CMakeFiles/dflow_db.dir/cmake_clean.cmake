@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_db.dir/btree.cc.o"
+  "CMakeFiles/dflow_db.dir/btree.cc.o.d"
+  "CMakeFiles/dflow_db.dir/catalog.cc.o"
+  "CMakeFiles/dflow_db.dir/catalog.cc.o.d"
+  "CMakeFiles/dflow_db.dir/database.cc.o"
+  "CMakeFiles/dflow_db.dir/database.cc.o.d"
+  "CMakeFiles/dflow_db.dir/executor.cc.o"
+  "CMakeFiles/dflow_db.dir/executor.cc.o.d"
+  "CMakeFiles/dflow_db.dir/expr.cc.o"
+  "CMakeFiles/dflow_db.dir/expr.cc.o.d"
+  "CMakeFiles/dflow_db.dir/heap_table.cc.o"
+  "CMakeFiles/dflow_db.dir/heap_table.cc.o.d"
+  "CMakeFiles/dflow_db.dir/page.cc.o"
+  "CMakeFiles/dflow_db.dir/page.cc.o.d"
+  "CMakeFiles/dflow_db.dir/parser.cc.o"
+  "CMakeFiles/dflow_db.dir/parser.cc.o.d"
+  "CMakeFiles/dflow_db.dir/schema.cc.o"
+  "CMakeFiles/dflow_db.dir/schema.cc.o.d"
+  "CMakeFiles/dflow_db.dir/value.cc.o"
+  "CMakeFiles/dflow_db.dir/value.cc.o.d"
+  "CMakeFiles/dflow_db.dir/wal.cc.o"
+  "CMakeFiles/dflow_db.dir/wal.cc.o.d"
+  "libdflow_db.a"
+  "libdflow_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

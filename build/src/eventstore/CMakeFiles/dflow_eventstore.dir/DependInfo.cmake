@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eventstore/cms_filter.cc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/cms_filter.cc.o" "gcc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/cms_filter.cc.o.d"
+  "/root/repo/src/eventstore/event_model.cc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/event_model.cc.o" "gcc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/event_model.cc.o.d"
+  "/root/repo/src/eventstore/event_store.cc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/event_store.cc.o" "gcc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/event_store.cc.o.d"
+  "/root/repo/src/eventstore/eventstore_service.cc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/eventstore_service.cc.o" "gcc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/eventstore_service.cc.o.d"
+  "/root/repo/src/eventstore/flow.cc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/flow.cc.o" "gcc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/flow.cc.o.d"
+  "/root/repo/src/eventstore/passes.cc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/passes.cc.o" "gcc" "src/eventstore/CMakeFiles/dflow_eventstore.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dflow_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dflow_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

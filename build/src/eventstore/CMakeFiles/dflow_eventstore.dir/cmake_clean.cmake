@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_eventstore.dir/cms_filter.cc.o"
+  "CMakeFiles/dflow_eventstore.dir/cms_filter.cc.o.d"
+  "CMakeFiles/dflow_eventstore.dir/event_model.cc.o"
+  "CMakeFiles/dflow_eventstore.dir/event_model.cc.o.d"
+  "CMakeFiles/dflow_eventstore.dir/event_store.cc.o"
+  "CMakeFiles/dflow_eventstore.dir/event_store.cc.o.d"
+  "CMakeFiles/dflow_eventstore.dir/eventstore_service.cc.o"
+  "CMakeFiles/dflow_eventstore.dir/eventstore_service.cc.o.d"
+  "CMakeFiles/dflow_eventstore.dir/flow.cc.o"
+  "CMakeFiles/dflow_eventstore.dir/flow.cc.o.d"
+  "CMakeFiles/dflow_eventstore.dir/passes.cc.o"
+  "CMakeFiles/dflow_eventstore.dir/passes.cc.o.d"
+  "libdflow_eventstore.a"
+  "libdflow_eventstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_eventstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network_link.cc" "src/net/CMakeFiles/dflow_net.dir/network_link.cc.o" "gcc" "src/net/CMakeFiles/dflow_net.dir/network_link.cc.o.d"
+  "/root/repo/src/net/shipment.cc" "src/net/CMakeFiles/dflow_net.dir/shipment.cc.o" "gcc" "src/net/CMakeFiles/dflow_net.dir/shipment.cc.o.d"
+  "/root/repo/src/net/transfer.cc" "src/net/CMakeFiles/dflow_net.dir/transfer.cc.o" "gcc" "src/net/CMakeFiles/dflow_net.dir/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_net.dir/network_link.cc.o"
+  "CMakeFiles/dflow_net.dir/network_link.cc.o.d"
+  "CMakeFiles/dflow_net.dir/shipment.cc.o"
+  "CMakeFiles/dflow_net.dir/shipment.cc.o.d"
+  "CMakeFiles/dflow_net.dir/transfer.cc.o"
+  "CMakeFiles/dflow_net.dir/transfer.cc.o.d"
+  "libdflow_net.a"
+  "libdflow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

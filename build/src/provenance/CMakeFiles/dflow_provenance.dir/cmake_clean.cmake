@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_provenance.dir/provenance.cc.o"
+  "CMakeFiles/dflow_provenance.dir/provenance.cc.o.d"
+  "libdflow_provenance.a"
+  "libdflow_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_sim.dir/resource.cc.o"
+  "CMakeFiles/dflow_sim.dir/resource.cc.o.d"
+  "CMakeFiles/dflow_sim.dir/simulation.cc.o"
+  "CMakeFiles/dflow_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/dflow_sim.dir/stats.cc.o"
+  "CMakeFiles/dflow_sim.dir/stats.cc.o.d"
+  "libdflow_sim.a"
+  "libdflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

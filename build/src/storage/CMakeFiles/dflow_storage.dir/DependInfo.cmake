@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/dflow_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/dflow_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/file_catalog.cc" "src/storage/CMakeFiles/dflow_storage.dir/file_catalog.cc.o" "gcc" "src/storage/CMakeFiles/dflow_storage.dir/file_catalog.cc.o.d"
+  "/root/repo/src/storage/hsm.cc" "src/storage/CMakeFiles/dflow_storage.dir/hsm.cc.o" "gcc" "src/storage/CMakeFiles/dflow_storage.dir/hsm.cc.o.d"
+  "/root/repo/src/storage/migration.cc" "src/storage/CMakeFiles/dflow_storage.dir/migration.cc.o" "gcc" "src/storage/CMakeFiles/dflow_storage.dir/migration.cc.o.d"
+  "/root/repo/src/storage/tape.cc" "src/storage/CMakeFiles/dflow_storage.dir/tape.cc.o" "gcc" "src/storage/CMakeFiles/dflow_storage.dir/tape.cc.o.d"
+  "/root/repo/src/storage/tier_store.cc" "src/storage/CMakeFiles/dflow_storage.dir/tier_store.cc.o" "gcc" "src/storage/CMakeFiles/dflow_storage.dir/tier_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_storage.dir/disk.cc.o"
+  "CMakeFiles/dflow_storage.dir/disk.cc.o.d"
+  "CMakeFiles/dflow_storage.dir/file_catalog.cc.o"
+  "CMakeFiles/dflow_storage.dir/file_catalog.cc.o.d"
+  "CMakeFiles/dflow_storage.dir/hsm.cc.o"
+  "CMakeFiles/dflow_storage.dir/hsm.cc.o.d"
+  "CMakeFiles/dflow_storage.dir/migration.cc.o"
+  "CMakeFiles/dflow_storage.dir/migration.cc.o.d"
+  "CMakeFiles/dflow_storage.dir/tape.cc.o"
+  "CMakeFiles/dflow_storage.dir/tape.cc.o.d"
+  "CMakeFiles/dflow_storage.dir/tier_store.cc.o"
+  "CMakeFiles/dflow_storage.dir/tier_store.cc.o.d"
+  "libdflow_storage.a"
+  "libdflow_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

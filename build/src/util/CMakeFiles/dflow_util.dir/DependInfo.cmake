@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byte_buffer.cc" "src/util/CMakeFiles/dflow_util.dir/byte_buffer.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/byte_buffer.cc.o.d"
+  "/root/repo/src/util/compress.cc" "src/util/CMakeFiles/dflow_util.dir/compress.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/compress.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "src/util/CMakeFiles/dflow_util.dir/crc32.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/crc32.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/dflow_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/md5.cc" "src/util/CMakeFiles/dflow_util.dir/md5.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/md5.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/dflow_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/dflow_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/dflow_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/strings.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/dflow_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/thread_pool.cc.o.d"
+  "/root/repo/src/util/units.cc" "src/util/CMakeFiles/dflow_util.dir/units.cc.o" "gcc" "src/util/CMakeFiles/dflow_util.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_util.dir/byte_buffer.cc.o"
+  "CMakeFiles/dflow_util.dir/byte_buffer.cc.o.d"
+  "CMakeFiles/dflow_util.dir/compress.cc.o"
+  "CMakeFiles/dflow_util.dir/compress.cc.o.d"
+  "CMakeFiles/dflow_util.dir/crc32.cc.o"
+  "CMakeFiles/dflow_util.dir/crc32.cc.o.d"
+  "CMakeFiles/dflow_util.dir/logging.cc.o"
+  "CMakeFiles/dflow_util.dir/logging.cc.o.d"
+  "CMakeFiles/dflow_util.dir/md5.cc.o"
+  "CMakeFiles/dflow_util.dir/md5.cc.o.d"
+  "CMakeFiles/dflow_util.dir/rng.cc.o"
+  "CMakeFiles/dflow_util.dir/rng.cc.o.d"
+  "CMakeFiles/dflow_util.dir/status.cc.o"
+  "CMakeFiles/dflow_util.dir/status.cc.o.d"
+  "CMakeFiles/dflow_util.dir/strings.cc.o"
+  "CMakeFiles/dflow_util.dir/strings.cc.o.d"
+  "CMakeFiles/dflow_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dflow_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/dflow_util.dir/units.cc.o"
+  "CMakeFiles/dflow_util.dir/units.cc.o.d"
+  "libdflow_util.a"
+  "libdflow_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

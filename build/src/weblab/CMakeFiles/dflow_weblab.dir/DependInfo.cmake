@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/weblab/analysis.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/analysis.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/analysis.cc.o.d"
+  "/root/repo/src/weblab/arc_format.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/arc_format.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/arc_format.cc.o.d"
+  "/root/repo/src/weblab/change_analysis.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/change_analysis.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/change_analysis.cc.o.d"
+  "/root/repo/src/weblab/cluster_model.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/cluster_model.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/cluster_model.cc.o.d"
+  "/root/repo/src/weblab/crawler.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/crawler.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/crawler.cc.o.d"
+  "/root/repo/src/weblab/page_store.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/page_store.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/page_store.cc.o.d"
+  "/root/repo/src/weblab/preload.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/preload.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/preload.cc.o.d"
+  "/root/repo/src/weblab/retro_browser.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/retro_browser.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/retro_browser.cc.o.d"
+  "/root/repo/src/weblab/subsets.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/subsets.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/subsets.cc.o.d"
+  "/root/repo/src/weblab/web_graph.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/web_graph.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/web_graph.cc.o.d"
+  "/root/repo/src/weblab/weblab_service.cc" "src/weblab/CMakeFiles/dflow_weblab.dir/weblab_service.cc.o" "gcc" "src/weblab/CMakeFiles/dflow_weblab.dir/weblab_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dflow_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dflow_provenance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

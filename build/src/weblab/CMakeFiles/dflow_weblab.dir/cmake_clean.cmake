@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dflow_weblab.dir/analysis.cc.o"
+  "CMakeFiles/dflow_weblab.dir/analysis.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/arc_format.cc.o"
+  "CMakeFiles/dflow_weblab.dir/arc_format.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/change_analysis.cc.o"
+  "CMakeFiles/dflow_weblab.dir/change_analysis.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/cluster_model.cc.o"
+  "CMakeFiles/dflow_weblab.dir/cluster_model.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/crawler.cc.o"
+  "CMakeFiles/dflow_weblab.dir/crawler.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/page_store.cc.o"
+  "CMakeFiles/dflow_weblab.dir/page_store.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/preload.cc.o"
+  "CMakeFiles/dflow_weblab.dir/preload.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/retro_browser.cc.o"
+  "CMakeFiles/dflow_weblab.dir/retro_browser.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/subsets.cc.o"
+  "CMakeFiles/dflow_weblab.dir/subsets.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/web_graph.cc.o"
+  "CMakeFiles/dflow_weblab.dir/web_graph.cc.o.d"
+  "CMakeFiles/dflow_weblab.dir/weblab_service.cc.o"
+  "CMakeFiles/dflow_weblab.dir/weblab_service.cc.o.d"
+  "libdflow_weblab.a"
+  "libdflow_weblab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dflow_weblab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

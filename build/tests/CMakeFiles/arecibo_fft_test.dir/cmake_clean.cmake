@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arecibo_fft_test.dir/arecibo_fft_test.cc.o"
+  "CMakeFiles/arecibo_fft_test.dir/arecibo_fft_test.cc.o.d"
+  "arecibo_fft_test"
+  "arecibo_fft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arecibo_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

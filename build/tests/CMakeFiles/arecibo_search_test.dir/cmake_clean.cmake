@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arecibo_search_test.dir/arecibo_search_test.cc.o"
+  "CMakeFiles/arecibo_search_test.dir/arecibo_search_test.cc.o.d"
+  "arecibo_search_test"
+  "arecibo_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arecibo_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

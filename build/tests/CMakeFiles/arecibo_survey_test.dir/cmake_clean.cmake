@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arecibo_survey_test.dir/arecibo_survey_test.cc.o"
+  "CMakeFiles/arecibo_survey_test.dir/arecibo_survey_test.cc.o.d"
+  "arecibo_survey_test"
+  "arecibo_survey_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arecibo_survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

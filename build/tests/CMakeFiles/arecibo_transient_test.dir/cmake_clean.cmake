@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arecibo_transient_test.dir/arecibo_transient_test.cc.o"
+  "CMakeFiles/arecibo_transient_test.dir/arecibo_transient_test.cc.o.d"
+  "arecibo_transient_test"
+  "arecibo_transient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arecibo_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

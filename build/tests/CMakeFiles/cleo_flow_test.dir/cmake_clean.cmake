@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleo_flow_test.dir/cleo_flow_test.cc.o"
+  "CMakeFiles/cleo_flow_test.dir/cleo_flow_test.cc.o.d"
+  "cleo_flow_test"
+  "cleo_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleo_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cms_filter_test.dir/cms_filter_test.cc.o"
+  "CMakeFiles/cms_filter_test.dir/cms_filter_test.cc.o.d"
+  "cms_filter_test"
+  "cms_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cms_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_crash_recovery_test.dir/db_crash_recovery_test.cc.o"
+  "CMakeFiles/db_crash_recovery_test.dir/db_crash_recovery_test.cc.o.d"
+  "db_crash_recovery_test"
+  "db_crash_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_crash_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_differential_test.dir/db_differential_test.cc.o"
+  "CMakeFiles/db_differential_test.dir/db_differential_test.cc.o.d"
+  "db_differential_test"
+  "db_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_executor_test.dir/db_executor_test.cc.o"
+  "CMakeFiles/db_executor_test.dir/db_executor_test.cc.o.d"
+  "db_executor_test"
+  "db_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

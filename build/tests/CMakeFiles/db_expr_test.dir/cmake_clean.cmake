@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_expr_test.dir/db_expr_test.cc.o"
+  "CMakeFiles/db_expr_test.dir/db_expr_test.cc.o.d"
+  "db_expr_test"
+  "db_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

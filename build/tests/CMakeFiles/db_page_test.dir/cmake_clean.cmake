@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_page_test.dir/db_page_test.cc.o"
+  "CMakeFiles/db_page_test.dir/db_page_test.cc.o.d"
+  "db_page_test"
+  "db_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

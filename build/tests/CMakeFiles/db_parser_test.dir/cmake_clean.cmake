@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_parser_test.dir/db_parser_test.cc.o"
+  "CMakeFiles/db_parser_test.dir/db_parser_test.cc.o.d"
+  "db_parser_test"
+  "db_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventstore_model_test.dir/eventstore_model_test.cc.o"
+  "CMakeFiles/eventstore_model_test.dir/eventstore_model_test.cc.o.d"
+  "eventstore_model_test"
+  "eventstore_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventstore_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventstore_store_test.dir/eventstore_store_test.cc.o"
+  "CMakeFiles/eventstore_store_test.dir/eventstore_store_test.cc.o.d"
+  "eventstore_store_test"
+  "eventstore_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventstore_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

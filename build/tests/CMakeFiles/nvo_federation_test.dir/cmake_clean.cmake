@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_federation_test.dir/nvo_federation_test.cc.o"
+  "CMakeFiles/nvo_federation_test.dir/nvo_federation_test.cc.o.d"
+  "nvo_federation_test"
+  "nvo_federation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_migration_test.dir/storage_migration_test.cc.o"
+  "CMakeFiles/storage_migration_test.dir/storage_migration_test.cc.o.d"
+  "storage_migration_test"
+  "storage_migration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

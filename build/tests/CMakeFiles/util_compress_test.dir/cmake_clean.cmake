@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_compress_test.dir/util_compress_test.cc.o"
+  "CMakeFiles/util_compress_test.dir/util_compress_test.cc.o.d"
+  "util_compress_test"
+  "util_compress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

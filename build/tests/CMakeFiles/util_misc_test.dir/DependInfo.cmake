@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_misc_test.cc" "tests/CMakeFiles/util_misc_test.dir/util_misc_test.cc.o" "gcc" "tests/CMakeFiles/util_misc_test.dir/util_misc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arecibo/CMakeFiles/dflow_arecibo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dflow_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventstore/CMakeFiles/dflow_eventstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dflow_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dflow_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/weblab/CMakeFiles/dflow_weblab.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

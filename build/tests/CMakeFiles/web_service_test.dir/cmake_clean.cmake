@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_service_test.dir/web_service_test.cc.o"
+  "CMakeFiles/web_service_test.dir/web_service_test.cc.o.d"
+  "web_service_test"
+  "web_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblab_analysis_test.dir/weblab_analysis_test.cc.o"
+  "CMakeFiles/weblab_analysis_test.dir/weblab_analysis_test.cc.o.d"
+  "weblab_analysis_test"
+  "weblab_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblab_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

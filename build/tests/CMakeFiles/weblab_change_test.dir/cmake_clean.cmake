@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblab_change_test.dir/weblab_change_test.cc.o"
+  "CMakeFiles/weblab_change_test.dir/weblab_change_test.cc.o.d"
+  "weblab_change_test"
+  "weblab_change_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblab_change_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblab_format_test.dir/weblab_format_test.cc.o"
+  "CMakeFiles/weblab_format_test.dir/weblab_format_test.cc.o.d"
+  "weblab_format_test"
+  "weblab_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblab_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

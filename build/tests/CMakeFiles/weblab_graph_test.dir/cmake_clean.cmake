@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblab_graph_test.dir/weblab_graph_test.cc.o"
+  "CMakeFiles/weblab_graph_test.dir/weblab_graph_test.cc.o.d"
+  "weblab_graph_test"
+  "weblab_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblab_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblab_preload_test.dir/weblab_preload_test.cc.o"
+  "CMakeFiles/weblab_preload_test.dir/weblab_preload_test.cc.o.d"
+  "weblab_preload_test"
+  "weblab_preload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblab_preload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblab_subsets_test.dir/weblab_subsets_test.cc.o"
+  "CMakeFiles/weblab_subsets_test.dir/weblab_subsets_test.cc.o.d"
+  "weblab_subsets_test"
+  "weblab_subsets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblab_subsets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
