@@ -1,5 +1,6 @@
 #include "core/flow_runner.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -8,14 +9,24 @@
 
 namespace dflow::core {
 
-FlowRunner::FlowRunner(sim::Simulation* simulation, FlowGraph* graph)
-    : simulation_(simulation), graph_(graph) {
+FlowRunner::FlowRunner(sim::Simulation* simulation, FlowGraph* graph,
+                       uint64_t retry_seed)
+    : simulation_(simulation), graph_(graph), retry_rng_(retry_seed) {
   DFLOW_CHECK(simulation_ != nullptr);
   DFLOW_CHECK(graph_ != nullptr);
 }
 
 FlowRunner::StageState& FlowRunner::StateOf(const std::string& stage) {
   return states_[stage];
+}
+
+sim::Resource* FlowRunner::ResourceOf(const std::string& stage_name,
+                                      StageState& state) {
+  if (state.resource == nullptr) {
+    state.resource = std::make_unique<sim::Resource>(simulation_, stage_name,
+                                                     state.workers);
+  }
+  return state.resource.get();
 }
 
 Status FlowRunner::SetWorkers(const std::string& stage, int workers) {
@@ -45,6 +56,53 @@ Status FlowRunner::SetSite(const std::string& stage, std::string site) {
   return Status::OK();
 }
 
+Status FlowRunner::SetRetryPolicy(const std::string& stage,
+                                  RetryPolicy policy) {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  if (policy.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (policy.backoff_initial_sec < 0.0 || policy.backoff_max_sec < 0.0 ||
+      policy.backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("invalid backoff parameters");
+  }
+  if (policy.jitter_fraction < 0.0 || policy.jitter_fraction >= 1.0) {
+    return Status::InvalidArgument("jitter_fraction must be in [0, 1)");
+  }
+  StateOf(stage).retry = policy;
+  return Status::OK();
+}
+
+Status FlowRunner::InjectTransientErrors(const std::string& stage,
+                                         int64_t count) {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  if (count < 0) {
+    return Status::InvalidArgument("count must be >= 0");
+  }
+  StateOf(stage).forced_failures += count;
+  return Status::OK();
+}
+
+Status FlowRunner::InjectDowntime(const std::string& stage, double seconds) {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  if (seconds < 0.0) {
+    return Status::InvalidArgument("downtime must be >= 0");
+  }
+  StageState& state = StateOf(stage);
+  sim::Resource* resource = ResourceOf(stage, state);
+  // A restart ticket per worker: queued products wait behind them, which
+  // is exactly what a crashed stage looks like from upstream.
+  for (int i = 0; i < state.workers; ++i) {
+    resource->Submit(seconds, nullptr);
+  }
+  DFLOW_LOG(Warning) << "stage '" << stage << "' down for " << seconds
+                     << "s at t=" << simulation_->Now();
+  return Status::OK();
+}
+
 Status FlowRunner::Inject(const std::string& stage, DataProduct product,
                           double at) {
   DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
@@ -58,54 +116,104 @@ Status FlowRunner::Inject(const std::string& stage, DataProduct product,
   return Status::OK();
 }
 
+double FlowRunner::BackoffDelay(const RetryPolicy& policy, int next_attempt) {
+  // next_attempt is 1-based over retries: the first retry waits
+  // backoff_initial_sec.
+  double delay = policy.backoff_initial_sec;
+  for (int i = 1; i < next_attempt; ++i) {
+    delay *= policy.backoff_multiplier;
+    if (delay >= policy.backoff_max_sec) {
+      break;
+    }
+  }
+  delay = std::min(delay, policy.backoff_max_sec);
+  if (policy.jitter_fraction > 0.0) {
+    double swing = policy.jitter_fraction *
+                   (2.0 * retry_rng_.NextDouble() - 1.0);
+    delay *= 1.0 + swing;
+  }
+  return delay;
+}
+
 void FlowRunner::Deliver(const std::string& stage_name, DataProduct product) {
+  StageState& state = StateOf(stage_name);
+  state.metrics.products_in += 1;
+  state.metrics.bytes_in += product.bytes;
+  Enqueue(stage_name, std::move(product), 0);
+}
+
+void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
+                         int attempt) {
   auto stage_or = graph_->Find(stage_name);
   DFLOW_CHECK(stage_or.ok());
   Stage* stage = *stage_or;
   StageState& state = StateOf(stage_name);
-  if (state.resource == nullptr) {
-    state.resource = std::make_unique<sim::Resource>(simulation_, stage_name,
-                                                     state.workers);
-  }
-  state.metrics.products_in += 1;
-  state.metrics.bytes_in += product.bytes;
+  sim::Resource* resource = ResourceOf(stage_name, state);
 
   double service_time = stage->ServiceTime(product);
-  state.resource->Submit(
-      service_time, [this, stage, stage_name, product = std::move(product)] {
-        StageState& state = StateOf(stage_name);
-        auto outputs = stage->Process(product);
-        if (!outputs.ok()) {
-          state.metrics.errors += 1;
-          DFLOW_LOG(Warning) << "stage '" << stage_name
-                             << "' failed: " << outputs.status().ToString();
-          return;
+  resource->Submit(service_time, [this, stage, stage_name, attempt,
+                                  product = std::move(product)] {
+    StageState& state = StateOf(stage_name);
+    bool injected_failure = false;
+    Result<std::vector<DataProduct>> outputs =
+        Status::Internal("unprocessed");
+    if (state.forced_failures > 0) {
+      --state.forced_failures;
+      injected_failure = true;
+      outputs = Status::Internal("injected transient error");
+    } else {
+      outputs = stage->Process(product);
+    }
+    if (!outputs.ok()) {
+      state.metrics.errors += 1;
+      const RetryPolicy& policy = state.retry;
+      if (attempt + 1 < policy.max_attempts) {
+        state.metrics.retries += 1;
+        double delay = BackoffDelay(policy, attempt + 1);
+        DFLOW_LOG(Warning)
+            << "stage '" << stage_name << "' attempt " << (attempt + 1)
+            << " failed (" << outputs.status().ToString() << "); retry in "
+            << delay << "s";
+        simulation_->Schedule(delay, [this, stage_name, attempt,
+                                      product]() mutable {
+          Enqueue(stage_name, std::move(product), attempt + 1);
+        });
+        return;
+      }
+      state.metrics.dead_lettered += 1;
+      dead_letters_.push_back(DeadLetter{stage_name, product,
+                                         outputs.status().ToString(),
+                                         simulation_->Now()});
+      DFLOW_LOG(Warning) << "stage '" << stage_name << "' dead-lettered '"
+                         << product.name << "' after " << (attempt + 1)
+                         << " attempt(s): " << outputs.status().ToString()
+                         << (injected_failure ? " [injected]" : "");
+      return;
+    }
+    const std::vector<std::string>& successors =
+        graph_->Successors(stage_name);
+    for (DataProduct& output : *outputs) {
+      state.metrics.products_out += 1;
+      state.metrics.bytes_out += output.bytes;
+      // Accumulate the provenance chain.
+      prov::ProcessingStep step;
+      step.module = stage_name;
+      step.version.process = stage_name;
+      step.version.release = state.release;
+      step.version.change_date = static_cast<int64_t>(simulation_->Now());
+      step.site = state.site;
+      step.input_files.push_back(product.name);
+      output.provenance = product.provenance;
+      output.provenance.AddStep(std::move(step));
+      if (successors.empty()) {
+        state.sink_outputs.push_back(std::move(output));
+      } else {
+        for (const std::string& next : successors) {
+          Deliver(next, output);
         }
-        const std::vector<std::string>& successors =
-            graph_->Successors(stage_name);
-        for (DataProduct& output : *outputs) {
-          state.metrics.products_out += 1;
-          state.metrics.bytes_out += output.bytes;
-          // Accumulate the provenance chain.
-          prov::ProcessingStep step;
-          step.module = stage_name;
-          step.version.process = stage_name;
-          step.version.release = state.release;
-          step.version.change_date =
-              static_cast<int64_t>(simulation_->Now());
-          step.site = state.site;
-          step.input_files.push_back(product.name);
-          output.provenance = product.provenance;
-          output.provenance.AddStep(std::move(step));
-          if (successors.empty()) {
-            state.sink_outputs.push_back(std::move(output));
-          } else {
-            for (const std::string& next : successors) {
-              Deliver(next, output);
-            }
-          }
-        }
-      });
+      }
+    }
+  });
 }
 
 Status FlowRunner::Run() {
@@ -119,7 +227,22 @@ Status FlowRunner::Run() {
 const StageMetrics& FlowRunner::MetricsFor(const std::string& stage) const {
   static const StageMetrics& kEmpty = *new StageMetrics();
   auto it = states_.find(stage);
-  return it == states_.end() ? kEmpty : it->second.metrics;
+  if (it != states_.end()) {
+    return it->second.metrics;
+  }
+  if (!graph_->Find(stage).ok()) {
+    DFLOW_LOG(Warning) << "MetricsFor: no stage named '" << stage
+                       << "' in the graph; returning empty metrics";
+  }
+  return kEmpty;
+}
+
+Result<StageMetrics> FlowRunner::CheckedMetricsFor(
+    const std::string& stage) const {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  auto it = states_.find(stage);
+  return it == states_.end() ? StageMetrics{} : it->second.metrics;
 }
 
 const std::vector<DataProduct>& FlowRunner::SinkOutputs(
@@ -127,7 +250,23 @@ const std::vector<DataProduct>& FlowRunner::SinkOutputs(
   static const std::vector<DataProduct>& kEmpty =
       *new std::vector<DataProduct>();
   auto it = states_.find(stage);
-  return it == states_.end() ? kEmpty : it->second.sink_outputs;
+  if (it != states_.end()) {
+    return it->second.sink_outputs;
+  }
+  if (!graph_->Find(stage).ok()) {
+    DFLOW_LOG(Warning) << "SinkOutputs: no stage named '" << stage
+                       << "' in the graph; returning no outputs";
+  }
+  return kEmpty;
+}
+
+Result<std::vector<DataProduct>> FlowRunner::CheckedSinkOutputs(
+    const std::string& stage) const {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  auto it = states_.find(stage);
+  return it == states_.end() ? std::vector<DataProduct>{}
+                             : it->second.sink_outputs;
 }
 
 double FlowRunner::UtilizationOf(const std::string& stage) const {
@@ -138,18 +277,44 @@ double FlowRunner::UtilizationOf(const std::string& stage) const {
   return it->second.resource->Utilization();
 }
 
+int64_t FlowRunner::total_retries() const {
+  int64_t total = 0;
+  for (const auto& [name, state] : states_) {
+    total += state.metrics.retries;
+  }
+  return total;
+}
+
+int64_t FlowRunner::total_errors() const {
+  int64_t total = 0;
+  for (const auto& [name, state] : states_) {
+    total += state.metrics.errors;
+  }
+  return total;
+}
+
 std::string FlowRunner::Report() const {
   std::ostringstream os;
   os << std::left << std::setw(28) << "stage" << std::right << std::setw(10)
      << "in" << std::setw(12) << "bytes_in" << std::setw(10) << "out"
-     << std::setw(12) << "bytes_out" << std::setw(8) << "util" << "\n";
+     << std::setw(12) << "bytes_out" << std::setw(7) << "err" << std::setw(7)
+     << "retry" << std::setw(6) << "dead" << std::setw(8) << "util" << "\n";
   for (const std::string& name : graph_->StageNames()) {
     const StageMetrics& m = MetricsFor(name);
     os << std::left << std::setw(28) << name << std::right << std::setw(10)
        << m.products_in << std::setw(12) << FormatBytes(m.bytes_in)
        << std::setw(10) << m.products_out << std::setw(12)
-       << FormatBytes(m.bytes_out) << std::setw(8) << std::fixed
-       << std::setprecision(2) << UtilizationOf(name) << "\n";
+       << FormatBytes(m.bytes_out) << std::setw(7) << m.errors << std::setw(7)
+       << m.retries << std::setw(6) << m.dead_lettered << std::setw(8)
+       << std::fixed << std::setprecision(2) << UtilizationOf(name) << "\n";
+  }
+  if (!dead_letters_.empty()) {
+    os << "dead letters: " << dead_letters_.size() << "\n";
+    for (const DeadLetter& letter : dead_letters_) {
+      os << "  t=" << std::fixed << std::setprecision(2) << letter.time_sec
+         << " " << letter.stage << " '" << letter.product.name << "': "
+         << letter.error << "\n";
+    }
   }
   return os.str();
 }
@@ -158,8 +323,15 @@ std::string FlowRunner::AnnotatedDot() const {
   std::map<std::string, std::string> annotations;
   for (const std::string& name : graph_->StageNames()) {
     const StageMetrics& m = MetricsFor(name);
-    annotations[name] =
+    std::string label =
         "in " + FormatBytes(m.bytes_in) + " / out " + FormatBytes(m.bytes_out);
+    if (m.errors > 0) {
+      label += " / err " + std::to_string(m.errors);
+    }
+    if (m.dead_lettered > 0) {
+      label += " / dead " + std::to_string(m.dead_lettered);
+    }
+    annotations[name] = label;
   }
   return graph_->ToDot(annotations);
 }

@@ -10,6 +10,7 @@
 #include "sim/resource.h"
 #include "sim/simulation.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace dflow::core {
 
@@ -19,7 +20,32 @@ struct StageMetrics {
   int64_t products_out = 0;
   int64_t bytes_in = 0;
   int64_t bytes_out = 0;
-  int64_t errors = 0;
+  int64_t errors = 0;         // Failed Process() calls (incl. injected).
+  int64_t retries = 0;        // Re-deliveries after a failure.
+  int64_t dead_lettered = 0;  // Products that exhausted every attempt.
+};
+
+/// Per-stage retry discipline. `max_attempts` counts the first try: 1
+/// means fail-fast (the seed behavior). Backoff for retry k (k >= 1) is
+///   min(backoff_initial_sec * backoff_multiplier^(k-1), backoff_max_sec)
+/// optionally jittered by +/- jitter_fraction drawn from the runner's
+/// seeded RNG — so backoff timing replays exactly from one seed.
+struct RetryPolicy {
+  int max_attempts = 1;
+  double backoff_initial_sec = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_sec = 3600.0;
+  double jitter_fraction = 0.0;  // In [0, 1).
+};
+
+/// A product that exhausted its stage's retry budget, parked for operator
+/// triage instead of vanishing — the paper's operations staff would grep
+/// exactly this list each morning.
+struct DeadLetter {
+  std::string stage;
+  DataProduct product;
+  std::string error;
+  double time_sec = 0.0;
 };
 
 /// Executes a FlowGraph over the discrete-event simulation. Each stage is
@@ -28,13 +54,19 @@ struct StageMetrics {
 /// time, then fan out to every successor. Products leaving a stage with no
 /// successors accumulate as that sink's outputs.
 ///
+/// Failures are first-class: a stage whose Process() fails (or that takes
+/// an injected fault) is retried per its RetryPolicy with exponential
+/// backoff in virtual time; products that exhaust the budget land in the
+/// dead-letter sink and are counted per stage.
+///
 /// The runner also stamps provenance: every product leaving a stage
 /// carries one more ProcessingStep naming the stage, its software version,
 /// and the input product — giving every final data product the
 /// accumulated version chain that §3.2 describes.
 class FlowRunner {
  public:
-  FlowRunner(sim::Simulation* simulation, FlowGraph* graph);
+  FlowRunner(sim::Simulation* simulation, FlowGraph* graph,
+             uint64_t retry_seed = 42);
 
   /// Sets the worker count of a stage (default 1). Must be called before
   /// Run().
@@ -49,6 +81,17 @@ class FlowRunner {
   /// empty.
   Status SetSite(const std::string& stage, std::string site);
 
+  /// Sets the retry discipline of a stage (default: fail-fast).
+  Status SetRetryPolicy(const std::string& stage, RetryPolicy policy);
+
+  /// Fault hook: the next `count` products serviced by `stage` fail once
+  /// each (a transient error — cosmic ray, NFS hiccup, OOM kill).
+  Status InjectTransientErrors(const std::string& stage, int64_t count);
+
+  /// Fault hook: `stage` crashes and restarts — all of its workers are
+  /// occupied for `seconds` (queued products wait it out).
+  Status InjectDowntime(const std::string& stage, double seconds);
+
   /// Queues an initial product for delivery to `stage` at virtual time
   /// `at` (>= 0, relative to simulation start).
   Status Inject(const std::string& stage, DataProduct product, double at);
@@ -56,16 +99,30 @@ class FlowRunner {
   /// Validates the graph and runs the simulation to completion.
   Status Run();
 
+  /// Metrics / sink accessors. The unchecked forms log a warning and
+  /// return an empty object for a stage name that never existed; the
+  /// Checked forms return NotFound so callers can distinguish "idle
+  /// stage" from "typo".
   const StageMetrics& MetricsFor(const std::string& stage) const;
+  Result<StageMetrics> CheckedMetricsFor(const std::string& stage) const;
   /// Products emitted by `stage` that had no downstream consumer.
   const std::vector<DataProduct>& SinkOutputs(const std::string& stage) const;
+  Result<std::vector<DataProduct>> CheckedSinkOutputs(
+      const std::string& stage) const;
   /// Utilization of the stage's workers over the whole run.
   double UtilizationOf(const std::string& stage) const;
 
-  /// Human-readable per-stage table (the textual form of Figures 1/2).
+  /// Every product that exhausted its retries, in failure order.
+  const std::vector<DeadLetter>& dead_letters() const { return dead_letters_; }
+  int64_t total_retries() const;
+  int64_t total_errors() const;
+
+  /// Human-readable per-stage table (the textual form of Figures 1/2),
+  /// now including err/retry/dead columns.
   std::string Report() const;
 
-  /// DOT rendering annotated with measured in/out volumes.
+  /// DOT rendering annotated with measured in/out volumes (and error
+  /// counts where nonzero).
   std::string AnnotatedDot() const;
 
   sim::Simulation* simulation() const { return simulation_; }
@@ -76,16 +133,24 @@ class FlowRunner {
     int workers = 1;
     std::string release = "v1";
     std::string site;
+    RetryPolicy retry;
+    int64_t forced_failures = 0;
     StageMetrics metrics;
     std::vector<DataProduct> sink_outputs;
   };
 
   void Deliver(const std::string& stage_name, DataProduct product);
+  void Enqueue(const std::string& stage_name, DataProduct product,
+               int attempt);
+  double BackoffDelay(const RetryPolicy& policy, int next_attempt);
   StageState& StateOf(const std::string& stage);
+  sim::Resource* ResourceOf(const std::string& stage_name, StageState& state);
 
   sim::Simulation* simulation_;
   FlowGraph* graph_;
+  Rng retry_rng_;
   std::map<std::string, StageState> states_;
+  std::vector<DeadLetter> dead_letters_;
   bool ran_ = false;
 };
 

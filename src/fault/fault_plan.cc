@@ -1,0 +1,104 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/md5.h"
+#include "util/rng.h"
+
+namespace dflow::fault {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkFlap:
+      return "link_flap";
+    case FaultKind::kTransferCorruption:
+      return "transfer_corruption";
+    case FaultKind::kShipmentLoss:
+      return "shipment_loss";
+    case FaultKind::kShipmentDelay:
+      return "shipment_delay";
+    case FaultKind::kDriveFailure:
+      return "drive_failure";
+    case FaultKind::kBadBlock:
+      return "bad_block";
+    case FaultKind::kStageCrash:
+      return "stage_crash";
+    case FaultKind::kTransientStageError:
+      return "transient_stage_error";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream os;
+  os << "t=" << time_sec << " " << FaultKindName(kind) << " @" << target
+     << " dur=" << duration_sec << " n=" << count;
+  return os.str();
+}
+
+Result<FaultPlan> FaultPlan::Generate(uint64_t seed,
+                                      const FaultPlanConfig& config) {
+  if (config.horizon_sec < 0.0) {
+    return Status::InvalidArgument("fault plan horizon must be >= 0");
+  }
+  for (const FaultProcess& process : config.processes) {
+    if (process.rate_per_sec < 0.0) {
+      return Status::InvalidArgument("fault rate must be >= 0 for target '" +
+                                     process.target + "'");
+    }
+    if (process.mean_duration_sec < 0.0) {
+      return Status::InvalidArgument(
+          "fault mean duration must be >= 0 for target '" + process.target +
+          "'");
+    }
+  }
+  FaultPlan plan;
+  plan.seed_ = seed;
+  Rng base(seed);
+  for (const FaultProcess& process : config.processes) {
+    // Every process forks its stream unconditionally so that toggling one
+    // process's rate does not shift any other process's arrivals.
+    Rng stream = base.Fork();
+    if (process.rate_per_sec == 0.0 || config.horizon_sec == 0.0) {
+      continue;
+    }
+    double t = 0.0;
+    while (true) {
+      t += stream.Exponential(process.rate_per_sec);
+      if (t >= config.horizon_sec) {
+        break;
+      }
+      FaultEvent event;
+      event.time_sec = t;
+      event.kind = process.kind;
+      event.target = process.target;
+      event.duration_sec = process.mean_duration_sec > 0.0
+                               ? stream.Exponential(1.0 /
+                                                    process.mean_duration_sec)
+                               : 0.0;
+      event.count = process.count;
+      plan.events_.push_back(std::move(event));
+    }
+  }
+  // Stable sort: ties between processes keep config order, so the schedule
+  // is a pure function of (seed, config).
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_sec < b.time_sec;
+                   });
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "FaultPlan seed=" << seed_ << " events=" << events_.size() << "\n";
+  for (const FaultEvent& event : events_) {
+    os << "  " << event.ToString() << "\n";
+  }
+  return os.str();
+}
+
+std::string FaultPlan::Fingerprint() const { return Md5::HexOf(ToString()); }
+
+}  // namespace dflow::fault

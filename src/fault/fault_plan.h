@@ -1,0 +1,95 @@
+#ifndef DFLOW_FAULT_FAULT_PLAN_H_
+#define DFLOW_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::fault {
+
+/// Taxonomy of operational faults drawn from the paper's anecdotes:
+/// CLEO's robotic tape library loses drives, Arecibo's couriered disks
+/// arrive late or damaged, WebLab's Internet Archive feed stalls
+/// mid-transfer, and long-running reduction jobs crash or hiccup.
+enum class FaultKind {
+  kLinkFlap = 0,        // Network session drops for `duration_sec`.
+  kTransferCorruption,  // The next `count` files cross the channel bit-flipped.
+  kShipmentLoss,        // An entire disk shipment is destroyed in transit.
+  kShipmentDelay,       // A shipment is held up an extra `duration_sec`.
+  kDriveFailure,        // A tape drive goes down for `duration_sec` of repair.
+  kBadBlock,            // An archived file develops an unreadable block.
+  kStageCrash,          // A workflow stage's workers restart (`duration_sec`).
+  kTransientStageError, // The next `count` products at a stage fail once.
+};
+
+/// Stable lowercase name for `kind` (used in fingerprints and reports).
+std::string_view FaultKindName(FaultKind kind);
+
+/// One scheduled fault occurrence. `target` names the component it strikes
+/// (a channel, tape library, or stage name); `duration_sec` and `count`
+/// carry the kind-specific magnitude (exactly one is meaningful per kind).
+struct FaultEvent {
+  double time_sec = 0.0;
+  FaultKind kind = FaultKind::kLinkFlap;
+  std::string target;
+  double duration_sec = 0.0;
+  int64_t count = 1;
+
+  /// "t=<time> <kind> @<target> dur=<d> n=<count>".
+  std::string ToString() const;
+};
+
+/// A Poisson arrival process for one (kind, target) pair.
+struct FaultProcess {
+  FaultKind kind = FaultKind::kLinkFlap;
+  std::string target;
+  /// Mean arrivals per virtual second. Zero disables the process.
+  double rate_per_sec = 0.0;
+  /// Mean of the exponentially distributed duration (for duration kinds).
+  double mean_duration_sec = 60.0;
+  /// Fixed count payload (for count kinds: corruption bursts, transient
+  /// stage errors).
+  int64_t count = 1;
+};
+
+struct FaultPlanConfig {
+  /// Events are generated over virtual time [0, horizon_sec).
+  double horizon_sec = 0.0;
+  std::vector<FaultProcess> processes;
+};
+
+/// A deterministic, replayable schedule of fault events: the full schedule
+/// is materialised up front from one seed, so the same (seed, config) pair
+/// yields a bit-identical event list on every run — every fault scenario
+/// is a regression test. Each process draws from its own forked RNG
+/// stream, so adding a process never perturbs the arrivals of the others.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Generates the schedule. InvalidArgument on negative horizon or rate.
+  static Result<FaultPlan> Generate(uint64_t seed,
+                                    const FaultPlanConfig& config);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  uint64_t seed() const { return seed_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// Multi-line listing of every event (debugging / golden files).
+  std::string ToString() const;
+
+  /// MD5 of the serialized schedule: two plans with equal fingerprints
+  /// inject byte-identical fault sequences.
+  std::string Fingerprint() const;
+
+ private:
+  uint64_t seed_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace dflow::fault
+
+#endif  // DFLOW_FAULT_FAULT_PLAN_H_

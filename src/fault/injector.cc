@@ -1,0 +1,52 @@
+#include "fault/injector.h"
+
+#include "util/logging.h"
+
+namespace dflow::fault {
+
+Injector::Injector(sim::Simulation* simulation, FaultPlan plan)
+    : simulation_(simulation), plan_(std::move(plan)) {
+  DFLOW_CHECK(simulation_ != nullptr);
+}
+
+Status Injector::Register(FaultKind kind, const std::string& target,
+                          Handler handler) {
+  if (armed_) {
+    return Status::FailedPrecondition("injector already armed");
+  }
+  if (!handler) {
+    return Status::InvalidArgument("null fault handler for target '" + target +
+                                   "'");
+  }
+  auto key = std::make_pair(kind, target);
+  if (handlers_.count(key) > 0) {
+    return Status::AlreadyExists("handler for (" +
+                                 std::string(FaultKindName(kind)) + ", " +
+                                 target + ") already registered");
+  }
+  handlers_[key] = std::move(handler);
+  return Status::OK();
+}
+
+Status Injector::Arm() {
+  if (armed_) {
+    return Status::FailedPrecondition("injector already armed");
+  }
+  armed_ = true;
+  for (const FaultEvent& event : plan_.events()) {
+    simulation_->ScheduleAt(event.time_sec, [this, &event] {
+      auto it = handlers_.find(std::make_pair(event.kind, event.target));
+      if (it == handlers_.end()) {
+        ++unmatched_;
+        DFLOW_LOG(Warning) << "fault with no registered target: "
+                           << event.ToString();
+        return;
+      }
+      ++injected_;
+      it->second(event);
+    });
+  }
+  return Status::OK();
+}
+
+}  // namespace dflow::fault

@@ -1,0 +1,54 @@
+#ifndef DFLOW_FAULT_INJECTOR_H_
+#define DFLOW_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "fault/fault_plan.h"
+#include "sim/simulation.h"
+#include "util/status.h"
+
+namespace dflow::fault {
+
+/// Replays a FaultPlan against live components under the discrete-event
+/// clock. Components (or the adapter helpers in fault/adapters.h) register
+/// a handler per (kind, target); Arm() schedules one simulation event per
+/// planned fault, which dispatches to the matching handler at its virtual
+/// time. Faults whose target registered no handler are counted as
+/// unmatched rather than dropped silently, so a typo'd target name shows
+/// up in the run report instead of silently weakening the scenario.
+class Injector {
+ public:
+  using Handler = std::function<void(const FaultEvent&)>;
+
+  Injector(sim::Simulation* simulation, FaultPlan plan);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Registers `handler` for faults of `kind` aimed at `target`.
+  /// AlreadyExists if that pair is taken; FailedPrecondition after Arm().
+  Status Register(FaultKind kind, const std::string& target, Handler handler);
+
+  /// Schedules every planned event on the simulation. Call once, before
+  /// sim::Simulation::Run(). FailedPrecondition on a second call.
+  Status Arm();
+
+  int64_t injected() const { return injected_; }
+  int64_t unmatched() const { return unmatched_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  sim::Simulation* simulation_;
+  FaultPlan plan_;
+  std::map<std::pair<FaultKind, std::string>, Handler> handlers_;
+  bool armed_ = false;
+  int64_t injected_ = 0;
+  int64_t unmatched_ = 0;
+};
+
+}  // namespace dflow::fault
+
+#endif  // DFLOW_FAULT_INJECTOR_H_

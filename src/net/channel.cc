@@ -1,0 +1,31 @@
+#include "net/channel.h"
+
+#include <utility>
+
+#include "util/crc32.h"
+
+namespace dflow::net {
+
+TransferItem MakePayloadItem(std::string name, std::string payload,
+                             int64_t scale_bytes) {
+  TransferItem item;
+  item.name = std::move(name);
+  item.crc32 = Crc32::Of(payload);
+  item.bytes = scale_bytes >= 0 ? scale_bytes
+                                : static_cast<int64_t>(payload.size());
+  item.payload = std::move(payload);
+  return item;
+}
+
+Status VerifyPayload(const TransferItem& item) {
+  if (item.payload.empty()) {
+    return Status::OK();
+  }
+  if (Crc32::Of(item.payload) != item.crc32) {
+    return Status::Corruption("payload of '" + item.name +
+                              "' fails its CRC-32 check");
+  }
+  return Status::OK();
+}
+
+}  // namespace dflow::net

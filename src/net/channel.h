@@ -16,12 +16,29 @@ enum class DeliveryOutcome {
   kLost,       // Never arrived (shipment damaged, link failure).
 };
 
-/// A single file (or file bundle) in flight.
+/// A single file (or file bundle) in flight. `bytes` is the paper-scale
+/// size used for all bandwidth arithmetic; `payload` optionally carries a
+/// real laptop-scale body whose CRC-32 must match `crc32`. Channels that
+/// corrupt a payload-carrying item flip bytes in the payload and deliver
+/// it as if intact — only the receiver's checksum verification catches it,
+/// which is exactly the "assessment and maintenance of data integrity"
+/// loop of §2.2.
 struct TransferItem {
   std::string name;
   int64_t bytes = 0;
   uint32_t crc32 = 0;
+  std::string payload;
 };
+
+/// Builds a payload-carrying item: crc32 is computed from `payload`, and
+/// `scale_bytes` (when >= 0) overrides the accounted size so a small real
+/// payload can stand in for a paper-scale file.
+TransferItem MakePayloadItem(std::string name, std::string payload,
+                             int64_t scale_bytes = -1);
+
+/// OK if the item carries no payload or the payload matches its crc32;
+/// Corruption otherwise.
+Status VerifyPayload(const TransferItem& item);
 
 /// Abstract data-movement channel. The paper's central transport contrast
 /// — Arecibo's physical ATA-disk shipments vs WebLab's dedicated

@@ -1,5 +1,6 @@
 #include "net/network_link.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -14,23 +15,64 @@ NetworkLink::NetworkLink(sim::Simulation* simulation, std::string name,
   DFLOW_CHECK(config_.utilization_cap > 0.0 && config_.utilization_cap <= 1.0);
 }
 
+bool NetworkLink::IsDown() const { return simulation_->Now() < down_until_; }
+
+void NetworkLink::InjectOutage(double duration_sec) {
+  if (duration_sec <= 0.0) {
+    return;
+  }
+  ++outages_;
+  down_until_ = std::max(down_until_, simulation_->Now() + duration_sec);
+  DFLOW_LOG(Info) << "link '" << name_ << "' down for " << duration_sec
+                  << "s at t=" << simulation_->Now();
+}
+
+void NetworkLink::InjectCorruptNext(int64_t n) {
+  if (n > 0) {
+    corrupt_next_ += n;
+  }
+}
+
 Status NetworkLink::Send(TransferItem item, DeliveryCallback on_delivery) {
   if (item.bytes < 0) {
     return Status::InvalidArgument("negative transfer size");
   }
   double stream_time = static_cast<double>(item.bytes) / NominalBandwidth();
+  // Draw the per-file fate unconditionally so the RNG stream consumed per
+  // Send() is fixed: injected faults never shift the background fault
+  // sequence, keeping seeded runs replayable event for event.
+  bool random_loss = rng_.Bernoulli(config_.failure_probability);
+  bool random_corruption = rng_.Bernoulli(config_.corruption_probability);
   DeliveryOutcome outcome = DeliveryOutcome::kDelivered;
-  if (rng_.Bernoulli(config_.failure_probability)) {
+  if (random_loss) {
     outcome = DeliveryOutcome::kLost;
-  } else if (rng_.Bernoulli(config_.corruption_probability)) {
+  } else if (random_corruption || corrupt_next_ > 0) {
+    if (!random_corruption) {
+      --corrupt_next_;
+    }
     outcome = DeliveryOutcome::kCorrupted;
+  }
+  if (outcome == DeliveryOutcome::kCorrupted && !item.payload.empty()) {
+    // Flip one payload byte and deliver the damaged file as if intact;
+    // detection is the receiver's job (CRC against the manifest).
+    size_t pos = static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(item.payload.size()) - 1));
+    item.payload[pos] = static_cast<char>(item.payload[pos] ^ 0x01);
+    outcome = DeliveryOutcome::kDelivered;
+    ++items_corrupted_;
   }
   pipe_.Submit(stream_time, [this, item = std::move(item), outcome,
                              cb = std::move(on_delivery)] {
     // Propagation delay after the pipe frees (pipelined with next file).
     simulation_->Schedule(config_.propagation_delay_sec, [this, item, outcome,
                                                           cb] {
-      switch (outcome) {
+      DeliveryOutcome final_outcome = outcome;
+      if (IsDown()) {
+        // The session dropped mid-transfer: whatever the file's fate was
+        // going to be, it never arrives.
+        final_outcome = DeliveryOutcome::kLost;
+      }
+      switch (final_outcome) {
         case DeliveryOutcome::kDelivered:
           bytes_delivered_ += item.bytes;
           ++items_delivered_;
@@ -43,7 +85,7 @@ Status NetworkLink::Send(TransferItem item, DeliveryCallback on_delivery) {
           break;
       }
       if (cb) {
-        cb(item, outcome);
+        cb(item, final_outcome);
       }
     });
   });

@@ -23,13 +23,26 @@ struct NetworkLinkConfig {
 
 /// A serialized network pipe: files queue FIFO and stream at the capped
 /// bandwidth; each file additionally pays the propagation delay. Faults
-/// are injected per file with the configured probabilities.
+/// come from two sources: the configured per-file probabilities (drawn
+/// from the link's own seeded RNG), and scheduled injections from a
+/// fault::Injector — link flaps that drop every session in a window, and
+/// forced corruption of the next N files. Corrupted payload-carrying items
+/// arrive bit-flipped but flagged kDelivered: only the receiver's CRC
+/// check (TransferManifest::Verify / VerifyPayload) exposes them.
 class NetworkLink : public Channel {
  public:
   NetworkLink(sim::Simulation* simulation, std::string name,
               NetworkLinkConfig config, uint64_t seed = 42);
 
   Status Send(TransferItem item, DeliveryCallback on_delivery) override;
+
+  /// Fault hook: the link is down until now + `duration_sec`; any file
+  /// whose delivery lands in that window is lost (session drop). Repeated
+  /// flaps extend the outage.
+  void InjectOutage(double duration_sec);
+
+  /// Fault hook: the next `n` files are corrupted in flight.
+  void InjectCorruptNext(int64_t n);
 
   const std::string& name() const override { return name_; }
   double NominalBandwidth() const override {
@@ -39,6 +52,8 @@ class NetworkLink : public Channel {
   int64_t items_delivered() const override { return items_delivered_; }
   int64_t items_corrupted() const { return items_corrupted_; }
   int64_t items_lost() const { return items_lost_; }
+  int64_t outages() const { return outages_; }
+  bool IsDown() const;
 
  private:
   sim::Simulation* simulation_;
@@ -50,6 +65,9 @@ class NetworkLink : public Channel {
   int64_t items_delivered_ = 0;
   int64_t items_corrupted_ = 0;
   int64_t items_lost_ = 0;
+  int64_t outages_ = 0;
+  double down_until_ = -1.0;
+  int64_t corrupt_next_ = 0;
 };
 
 }  // namespace dflow::net

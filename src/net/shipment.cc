@@ -48,8 +48,20 @@ void ShipmentChannel::ScheduleNextDispatch() {
   });
 }
 
+void ShipmentChannel::InjectLoseNextShipment() { lose_next_shipment_ = true; }
+
+void ShipmentChannel::InjectDelayNextShipment(double extra_sec) {
+  if (extra_sec > 0.0) {
+    extra_transit_next_sec_ += extra_sec;
+  }
+}
+
 void ShipmentChannel::Dispatch() {
   if (staged_.empty()) {
+    // An injected mishap aimed at an empty courier run has nothing to
+    // destroy; it does not carry over to the next real shipment.
+    lose_next_shipment_ = false;
+    extra_transit_next_sec_ = 0.0;
     return;
   }
   // Pack files onto disks first-fit in arrival order.
@@ -75,10 +87,23 @@ void ShipmentChannel::Dispatch() {
   ++shipments_;
   handling_seconds_ += config_.per_disk_handling_sec * disks_used;
 
+  bool whole_shipment_lost = lose_next_shipment_;
+  lose_next_shipment_ = false;
+  if (whole_shipment_lost) {
+    ++shipments_lost_;
+    DFLOW_LOG(Warning) << "shipment channel '" << name_
+                       << "': shipment #" << shipments_
+                       << " destroyed in transit";
+  }
+  double transit_sec = config_.transit_time_sec + extra_transit_next_sec_;
+  delay_injected_seconds_ += extra_transit_next_sec_;
+  extra_transit_next_sec_ = 0.0;
+
   // Decide per-disk damage and per-file corruption up front so the
   // delivery event is self-contained.
   for (auto& disk : disks) {
-    bool damaged = rng_.Bernoulli(config_.disk_damage_probability);
+    bool damaged =
+        rng_.Bernoulli(config_.disk_damage_probability) || whole_shipment_lost;
     for (auto& pending : disk) {
       DeliveryOutcome outcome = DeliveryOutcome::kDelivered;
       if (damaged) {
@@ -86,8 +111,19 @@ void ShipmentChannel::Dispatch() {
       } else if (rng_.Bernoulli(config_.file_corruption_probability)) {
         outcome = DeliveryOutcome::kCorrupted;
       }
+      if (outcome == DeliveryOutcome::kCorrupted &&
+          !pending.item.payload.empty()) {
+        // Silent media corruption: flip a byte and deliver "intact"; the
+        // recipient's manifest CRC is what catches it.
+        size_t pos = static_cast<size_t>(rng_.Uniform(
+            0, static_cast<int64_t>(pending.item.payload.size()) - 1));
+        pending.item.payload[pos] =
+            static_cast<char>(pending.item.payload[pos] ^ 0x01);
+        outcome = DeliveryOutcome::kDelivered;
+        ++items_corrupted_;
+      }
       simulation_->Schedule(
-          config_.transit_time_sec,
+          transit_sec,
           [this, item = std::move(pending.item), outcome,
            cb = std::move(pending.on_delivery)] {
             switch (outcome) {

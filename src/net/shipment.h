@@ -36,6 +36,15 @@ class ShipmentChannel : public Channel {
 
   Status Send(TransferItem item, DeliveryCallback on_delivery) override;
 
+  /// Fault hook: the next dispatched shipment is destroyed in transit —
+  /// every disk in it arrives damaged and every file is reported kLost
+  /// (the courier mishap the Arecibo team budgeted for).
+  void InjectLoseNextShipment();
+
+  /// Fault hook: the next dispatched shipment spends `extra_sec` longer in
+  /// transit (customs, weather, a van that breaks down).
+  void InjectDelayNextShipment(double extra_sec);
+
   const std::string& name() const override { return name_; }
   /// Long-run throughput if every shipment were full.
   double NominalBandwidth() const override;
@@ -44,6 +53,8 @@ class ShipmentChannel : public Channel {
   int64_t items_corrupted() const { return items_corrupted_; }
   int64_t items_lost() const { return items_lost_; }
   int64_t shipments_dispatched() const { return shipments_; }
+  int64_t shipments_lost() const { return shipments_lost_; }
+  double delay_injected_seconds() const { return delay_injected_seconds_; }
   /// Total staff time spent handling disks so far.
   double handling_seconds() const { return handling_seconds_; }
 
@@ -62,11 +73,15 @@ class ShipmentChannel : public Channel {
   Rng rng_;
   std::vector<PendingItem> staged_;
   bool dispatch_scheduled_ = false;
+  bool lose_next_shipment_ = false;
+  double extra_transit_next_sec_ = 0.0;
   int64_t bytes_delivered_ = 0;
   int64_t items_delivered_ = 0;
   int64_t items_corrupted_ = 0;
   int64_t items_lost_ = 0;
   int64_t shipments_ = 0;
+  int64_t shipments_lost_ = 0;
+  double delay_injected_seconds_ = 0.0;
   double handling_seconds_ = 0.0;
 };
 

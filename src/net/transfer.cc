@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace dflow::net {
@@ -21,6 +22,14 @@ Status TransferManifest::Verify(const TransferItem& item) const {
   }
   if (it->second.bytes != item.bytes || it->second.crc32 != item.crc32) {
     return Status::Corruption("'" + item.name + "' fails manifest check");
+  }
+  if (!item.payload.empty() || !it->second.payload.empty()) {
+    // A payload-carrying file must hash to the manifest checksum; this is
+    // the line of defence against channels that flip bits silently.
+    if (Crc32::Of(item.payload) != it->second.crc32) {
+      return Status::Corruption("'" + item.name +
+                                "' payload fails its CRC-32 check");
+    }
   }
   return Status::OK();
 }
@@ -63,6 +72,32 @@ Status TransferScheduler::SendAll(std::vector<TransferItem> items,
   return Status::OK();
 }
 
+void TransferScheduler::SetRetryBackoff(double initial_sec,
+                                        double multiplier) {
+  backoff_initial_sec_ = initial_sec < 0.0 ? 0.0 : initial_sec;
+  backoff_multiplier_ = multiplier < 1.0 ? 1.0 : multiplier;
+}
+
+void TransferScheduler::Resend(const std::string& name, int attempt) {
+  // Always retransmit the pristine manifest copy: re-sending the damaged
+  // arrival would re-ship corrupted payload bytes forever.
+  auto it = manifest_.items().find(name);
+  DFLOW_CHECK(it != manifest_.items().end());
+  TransferItem pristine = it->second;
+  if (backoff_initial_sec_ <= 0.0) {
+    SendOne(std::move(pristine), attempt);
+    return;
+  }
+  double delay = backoff_initial_sec_;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= backoff_multiplier_;
+  }
+  simulation_->Schedule(delay, [this, pristine = std::move(pristine),
+                                attempt]() mutable {
+    SendOne(std::move(pristine), attempt);
+  });
+}
+
 void TransferScheduler::SendOne(TransferItem item, int attempt) {
   Status s = channel_->Send(
       item, [this, attempt](const TransferItem& delivered,
@@ -76,7 +111,7 @@ void TransferScheduler::SendOne(TransferItem item, int attempt) {
                              << "' failed permanently";
           } else {
             ++retries_;
-            SendOne(delivered, attempt + 1);
+            Resend(delivered.name, attempt + 1);
             return;
           }
         }

@@ -20,7 +20,10 @@ class TransferManifest {
  public:
   void Add(const TransferItem& item);
   bool Contains(const std::string& name) const;
-  /// OK if (name, bytes, crc) matches the manifest; Corruption otherwise.
+  /// OK if (name, bytes, crc) matches the manifest AND, for items carrying
+  /// a real payload, the payload's CRC-32 matches the manifest checksum —
+  /// this is what catches a channel's silent bit-flips. Corruption
+  /// otherwise.
   Status Verify(const TransferItem& item) const;
   size_t size() const { return items_.size(); }
   int64_t TotalBytes() const;
@@ -31,13 +34,20 @@ class TransferManifest {
 };
 
 /// Reliable delivery on top of an unreliable Channel: sends every file,
-/// verifies arrivals against the manifest, and re-sends corrupted or lost
-/// files until everything lands (up to a retry cap). Completion fires when
-/// the whole manifest is delivered intact.
+/// verifies arrivals against the manifest (including payload CRC-32 for
+/// items that carry real bytes), and re-sends corrupted or lost files
+/// until everything lands (up to a retry cap). Retransmits always restart
+/// from the sender's pristine manifest copy, never from the damaged
+/// arrival, and optionally back off exponentially in virtual time.
+/// Completion fires when the whole manifest is delivered intact.
 class TransferScheduler {
  public:
   TransferScheduler(sim::Simulation* simulation, Channel* channel,
                     int max_retries = 5);
+
+  /// Virtual-time delay before retry k is initial * multiplier^(k-1)
+  /// (default 0: immediate re-send, the seed behavior).
+  void SetRetryBackoff(double initial_sec, double multiplier = 2.0);
 
   /// Queues all `items` and runs them to completion under the simulation.
   /// `on_all_delivered` fires (virtual time) once every item is verified.
@@ -51,10 +61,13 @@ class TransferScheduler {
 
  private:
   void SendOne(TransferItem item, int attempt);
+  void Resend(const std::string& name, int attempt);
 
   sim::Simulation* simulation_;
   Channel* channel_;
   int max_retries_;
+  double backoff_initial_sec_ = 0.0;
+  double backoff_multiplier_ = 2.0;
   TransferManifest manifest_;
   int64_t outstanding_ = 0;
   int64_t retries_ = 0;

@@ -75,6 +75,21 @@ Status HsmCache::Put(const std::string& file, int64_t bytes,
 
 Status HsmCache::Get(const std::string& file,
                      std::function<void(int64_t)> on_complete) {
+  return GetChecked(
+      file, [file, cb = std::move(on_complete)](Result<int64_t> bytes) {
+        if (!bytes.ok()) {
+          DFLOW_LOG(Error) << "HSM: recall of '" << file
+                           << "' abandoned: " << bytes.status().ToString();
+          return;
+        }
+        if (cb) {
+          cb(*bytes);
+        }
+      });
+}
+
+Status HsmCache::GetChecked(const std::string& file,
+                            std::function<void(Result<int64_t>)> on_complete) {
   auto it = cache_entries_.find(file);
   if (it != cache_entries_.end()) {
     ++hits_;
@@ -95,11 +110,45 @@ Status HsmCache::Get(const std::string& file,
   DFLOW_ASSIGN_OR_RETURN(int64_t bytes, tape_->FileSize(file));
   DFLOW_RETURN_IF_ERROR(MakeRoom(bytes));
   InstallInCache(file, bytes);
-  return tape_->Read(file, [cb = std::move(on_complete)](int64_t n) {
-    if (cb) {
-      cb(n);
-    }
-  });
+  RecallWithRetry(file, 0, std::move(on_complete));
+  return Status::OK();
+}
+
+void HsmCache::RecallWithRetry(
+    const std::string& file, int attempt,
+    std::function<void(Result<int64_t>)> on_complete) {
+  Status s = tape_->ReadChecked(
+      file, [this, file, attempt,
+             cb = std::move(on_complete)](Result<int64_t> bytes) mutable {
+        if (bytes.ok()) {
+          if (cb) {
+            cb(std::move(bytes));
+          }
+          return;
+        }
+        ++read_faults_;
+        if (attempt + 1 >= fault_policy_.max_read_attempts) {
+          ++read_failures_;
+          if (cb) {
+            cb(std::move(bytes));
+          }
+          return;
+        }
+        // An operator repairs the medium, then the recall is retried.
+        DFLOW_LOG(Warning) << "HSM: recall of '" << file << "' hit "
+                           << bytes.status().ToString()
+                           << "; operator repair scheduled";
+        simulation_->Schedule(
+            fault_policy_.operator_repair_seconds,
+            [this, file, attempt, cb = std::move(cb)]() mutable {
+              ++operator_repairs_;
+              tape_->RepairBadBlock(file);
+              RecallWithRetry(file, attempt + 1, std::move(cb));
+            });
+      });
+  // ReadChecked fails synchronously only for absent files, and presence
+  // was verified before the first recall; tape files are never deleted.
+  DFLOW_CHECK_OK(s);
 }
 
 }  // namespace dflow::storage

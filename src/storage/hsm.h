@@ -13,6 +13,15 @@
 
 namespace dflow::storage {
 
+/// Retry discipline for tape recalls that hit bad blocks: each failed
+/// attempt is followed by an operator repair (clearing the bad block)
+/// after `operator_repair_seconds` of virtual time, then a re-read, up to
+/// `max_read_attempts` total tries.
+struct HsmFaultPolicy {
+  int max_read_attempts = 3;
+  double operator_repair_seconds = 900.0;  // A human walks to the library.
+};
+
 /// Hierarchical storage management: a disk cache in front of a tape
 /// library, with write-through puts and LRU eviction — the system the
 /// paper says CLEO's data lives in ("most of the data are stored in a
@@ -32,9 +41,27 @@ class HsmCache {
 
   /// Reads a file. A cache hit costs one disk access; a miss recalls from
   /// tape and installs the file in the cache. `on_complete` receives the
-  /// byte count.
+  /// byte count. Tape faults are retried per the fault policy; if retries
+  /// are exhausted the error is logged and the callback dropped —
+  /// fault-aware callers use GetChecked.
   Status Get(const std::string& file,
              std::function<void(int64_t)> on_complete);
+
+  /// Fault-aware read: like Get, but the callback receives a Result — on
+  /// a recall whose bad-block retries are exhausted it gets the IOError
+  /// instead of silence.
+  Status GetChecked(const std::string& file,
+                    std::function<void(Result<int64_t>)> on_complete);
+
+  void SetFaultPolicy(HsmFaultPolicy policy) { fault_policy_ = policy; }
+  const HsmFaultPolicy& fault_policy() const { return fault_policy_; }
+
+  /// Tape recalls that failed on a bad block (before retry).
+  int64_t read_faults() const { return read_faults_; }
+  /// Operator interventions performed (bad-block repairs).
+  int64_t operator_repairs() const { return operator_repairs_; }
+  /// Recalls abandoned after exhausting the fault policy.
+  int64_t read_failures() const { return read_failures_; }
 
   /// Drops a file from the disk cache (it remains on tape).
   void Evict(const std::string& file);
@@ -58,6 +85,8 @@ class HsmCache {
   Status MakeRoom(int64_t bytes);
   void InstallInCache(const std::string& file, int64_t bytes);
   void Touch(const std::string& file);
+  void RecallWithRetry(const std::string& file, int attempt,
+                       std::function<void(Result<int64_t>)> on_complete);
 
   sim::Simulation* simulation_;
   DiskVolume* cache_disk_;
@@ -71,9 +100,13 @@ class HsmCache {
   std::list<std::string> lru_;
   std::map<std::string, Entry> cache_entries_;
 
+  HsmFaultPolicy fault_policy_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t read_faults_ = 0;
+  int64_t operator_repairs_ = 0;
+  int64_t read_failures_ = 0;
 };
 
 }  // namespace dflow::storage

@@ -57,7 +57,29 @@ void MediaMigration::PumpNext() {
 }
 
 void MediaMigration::MigrateOne(const std::string& file, int attempt) {
-  Status read = source_->Read(file, [this, file, attempt](int64_t bytes) {
+  Status read = source_->ReadChecked(file, [this, file, attempt](
+                                               Result<int64_t> read_bytes) {
+    if (!read_bytes.ok()) {
+      // A bad block on the aging source medium: an operator repairs it,
+      // then the read is retried — unless the retry budget is spent.
+      if (attempt + 1 > config_.max_retries) {
+        ++report_.files_lost;
+        DFLOW_LOG(Error) << "migration lost '" << file << "' after retries ("
+                         << read_bytes.status().ToString() << ")";
+        --in_flight_;
+        PumpNext();
+        return;
+      }
+      ++report_.retries;
+      ++report_.bad_block_repairs;
+      simulation_->Schedule(config_.bad_block_repair_seconds,
+                            [this, file, attempt] {
+                              source_->RepairBadBlock(file);
+                              MigrateOne(file, attempt + 1);
+                            });
+      return;
+    }
+    int64_t bytes = *read_bytes;
     // The read stream either verifies or the aging medium produced errors.
     if (rng_.Bernoulli(config_.read_error_probability)) {
       if (attempt + 1 > config_.max_retries) {

@@ -22,6 +22,9 @@ struct MigrationConfig {
   /// retried (the data-loss risk the paper warns about).
   double read_error_probability = 0.0;
   int max_retries = 3;
+  /// Virtual time an operator spends repairing a bad block discovered on
+  /// the source medium before the read is retried.
+  double bad_block_repair_seconds = 600.0;
 };
 
 struct MigrationReport {
@@ -30,6 +33,7 @@ struct MigrationReport {
   int64_t files_lost = 0;      // Exhausted retries: data loss.
   int64_t bytes_migrated = 0;
   int64_t retries = 0;
+  int64_t bad_block_repairs = 0;  // Operator interventions on the source.
   double virtual_seconds = 0.0;
 };
 

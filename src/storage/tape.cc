@@ -1,5 +1,6 @@
 #include "storage/tape.h"
 
+#include "util/logging.h"
 #include "util/units.h"
 
 namespace dflow::storage {
@@ -33,19 +34,65 @@ Status TapeLibrary::Write(const std::string& file, int64_t bytes,
 
 Status TapeLibrary::Read(const std::string& file,
                          std::function<void(int64_t)> on_complete) {
+  return ReadChecked(
+      file, [name = name_, file, cb = std::move(on_complete)](
+                Result<int64_t> bytes) {
+        if (!bytes.ok()) {
+          DFLOW_LOG(Warning) << name << ": unchecked read of '" << file
+                             << "' hit " << bytes.status().ToString();
+          return;
+        }
+        if (cb) {
+          cb(*bytes);
+        }
+      });
+}
+
+Status TapeLibrary::ReadChecked(
+    const std::string& file,
+    std::function<void(Result<int64_t>)> on_complete) {
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Status::NotFound(name_ + ": no archived file '" + file + "'");
   }
   int64_t bytes = it->second;
   ++mounts_;
-  drives_.Submit(AccessTime(bytes),
-                 [bytes, cb = std::move(on_complete)] {
-                   if (cb) {
-                     cb(bytes);
-                   }
-                 });
+  drives_.Submit(AccessTime(bytes), [this, file, bytes,
+                                     cb = std::move(on_complete)] {
+    // The drive time is spent either way: tape errors surface mid-stream.
+    if (bad_blocks_.count(file) > 0) {
+      ++bad_block_reads_;
+      if (cb) {
+        cb(Status::IOError(name_ + ": bad block reading '" + file + "'"));
+      }
+      return;
+    }
+    if (cb) {
+      cb(bytes);
+    }
+  });
   return Status::OK();
+}
+
+void TapeLibrary::InjectDriveFailure(double repair_seconds) {
+  if (repair_seconds <= 0.0) {
+    return;
+  }
+  ++drive_failures_;
+  repair_seconds_total_ += repair_seconds;
+  DFLOW_LOG(Warning) << name_ << ": drive failure, " << repair_seconds
+                     << "s of repair at t=" << simulation_->Now();
+  // The repair ticket occupies the next free drive for the repair window,
+  // shrinking effective parallelism for everything queued behind it.
+  drives_.Submit(repair_seconds, nullptr);
+}
+
+void TapeLibrary::MarkBadBlock(const std::string& file) {
+  bad_blocks_.insert(file);
+}
+
+void TapeLibrary::RepairBadBlock(const std::string& file) {
+  bad_blocks_.erase(file);
 }
 
 bool TapeLibrary::Contains(const std::string& file) const {

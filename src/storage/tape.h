@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "sim/resource.h"
@@ -38,8 +39,36 @@ class TapeLibrary {
                std::function<void()> on_complete);
 
   /// Recalls a file; NotFound if absent. Callback receives the byte count.
+  /// This is the happy-path API: if the recall hits an injected bad block
+  /// the error is logged and the callback is dropped — fault-aware callers
+  /// (HsmCache, MediaMigration) use ReadChecked instead.
   Status Read(const std::string& file,
               std::function<void(int64_t)> on_complete);
+
+  /// Fault-aware recall: the callback receives either the byte count or,
+  /// if the file has developed a bad block, an IOError after the drive
+  /// time was already spent (tape errors surface mid-stream, not up
+  /// front). Returns NotFound immediately for absent files.
+  Status ReadChecked(const std::string& file,
+                     std::function<void(Result<int64_t>)> on_complete);
+
+  /// Fault hook: one drive fails and is occupied by repair for
+  /// `repair_seconds` — the next free drive goes into the shop, shrinking
+  /// effective parallelism exactly the way CLEO's robotic library loses
+  /// drives.
+  void InjectDriveFailure(double repair_seconds);
+
+  /// Fault hook: `file` develops an unreadable block; every ReadChecked
+  /// fails with IOError until RepairBadBlock clears it.
+  void MarkBadBlock(const std::string& file);
+
+  /// Operator fixed the medium (re-tensioned, re-wrote from a sibling
+  /// copy): subsequent reads succeed.
+  void RepairBadBlock(const std::string& file);
+
+  bool HasBadBlock(const std::string& file) const {
+    return bad_blocks_.count(file) > 0;
+  }
 
   bool Contains(const std::string& file) const;
   Result<int64_t> FileSize(const std::string& file) const;
@@ -50,6 +79,9 @@ class TapeLibrary {
   int64_t capacity_bytes() const { return config_.capacity_bytes; }
   int64_t files_stored() const { return static_cast<int64_t>(files_.size()); }
   int64_t mounts() const { return mounts_; }
+  int64_t drive_failures() const { return drive_failures_; }
+  int64_t bad_block_reads() const { return bad_block_reads_; }
+  double repair_seconds_total() const { return repair_seconds_total_; }
   const sim::Resource& drives() const { return drives_; }
 
   /// Service time for one access of `bytes` (mount + stream).
@@ -61,8 +93,12 @@ class TapeLibrary {
   TapeLibraryConfig config_;
   sim::Resource drives_;
   std::map<std::string, int64_t> files_;
+  std::set<std::string> bad_blocks_;
   int64_t used_ = 0;
   int64_t mounts_ = 0;
+  int64_t drive_failures_ = 0;
+  int64_t bad_block_reads_ = 0;
+  double repair_seconds_total_ = 0.0;
 };
 
 }  // namespace dflow::storage

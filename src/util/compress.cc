@@ -1,5 +1,6 @@
 #include "util/compress.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -112,12 +113,21 @@ Result<std::string> WlzDecompress(std::string_view compressed) {
   DFLOW_ASSIGN_OR_RETURN(uint64_t expected_size, r.GetVarint());
   DFLOW_ASSIGN_OR_RETURN(uint32_t expected_crc, r.GetU32());
 
+  // The size header is untrusted until the trailing CRC passes: a flipped
+  // bit in the varint must not drive a giant allocation. Reserve only up to
+  // a sanity cap; larger outputs grow geometrically as tokens are decoded,
+  // and every token is bounds-checked against expected_size below.
+  constexpr uint64_t kMaxUpfrontReserve = uint64_t{1} << 20;
   std::string out;
-  out.reserve(expected_size);
+  out.reserve(static_cast<size_t>(
+      std::min<uint64_t>(expected_size, kMaxUpfrontReserve)));
   while (!r.AtEnd()) {
     DFLOW_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
     if (tag == 0x00) {
       DFLOW_ASSIGN_OR_RETURN(uint64_t len, r.GetVarint());
+      if (out.size() + len > expected_size) {
+        return Status::Corruption("wlz: output overflow");
+      }
       DFLOW_ASSIGN_OR_RETURN(std::string bytes,
                              r.GetRaw(static_cast<size_t>(len)));
       out += bytes;

@@ -76,5 +76,60 @@ TEST(Crc32Test, SensitiveToSingleBitFlip) {
   EXPECT_NE(Crc32::Of(data), base);
 }
 
+// Additional known-answer vectors (IEEE 802.3 / zlib polynomial), cross-
+// checked against `cksum -o3`/zlib. These pin the table generator and the
+// final XOR so a silent regression cannot pass as "self-consistent".
+TEST(Crc32Test, KnownAnswerVectors) {
+  EXPECT_EQ(Crc32::Of("a"), 0xe8b7be43u);
+  EXPECT_EQ(Crc32::Of("abc"), 0x352441c2u);
+  EXPECT_EQ(Crc32::Of("message digest"), 0x20159d7fu);
+  EXPECT_EQ(Crc32::Of("abcdefghijklmnopqrstuvwxyz"), 0x4c2750bdu);
+  EXPECT_EQ(Crc32::Of("The quick brown fox jumps over the lazy dog"),
+            0x414fa339u);
+  EXPECT_EQ(Crc32::Of(std::string(32, '\0')), 0x190a55adu);
+  EXPECT_EQ(Crc32::Of(std::string(32, '\xff')), 0xff6cab0bu);
+}
+
+TEST(Crc32Test, IncrementalArbitrarySplitsMatchOneShot) {
+  // Any partition of the input must give the same CRC as one shot — the
+  // property TransferManifest relies on when payloads arrive in chunks.
+  const std::string data =
+      "CLEO II event store: 2.2 TB across 20,000 runs on 45 tapes";
+  const uint32_t expected = Crc32::Of(data);
+  for (size_t split1 = 0; split1 <= data.size(); split1 += 7) {
+    for (size_t split2 = split1; split2 <= data.size(); split2 += 11) {
+      Crc32 crc;
+      crc.Update(data.substr(0, split1));
+      crc.Update(data.substr(split1, split2 - split1));
+      crc.Update(data.substr(split2));
+      EXPECT_EQ(crc.Value(), expected)
+          << "splits at " << split1 << "," << split2;
+    }
+  }
+}
+
+// MD5 vectors beyond RFC 1321: the classic fox strings, which differ by a
+// single trailing '.' and must produce unrelated digests.
+TEST(Md5Test, KnownAnswerVectorsFox) {
+  EXPECT_EQ(Md5::HexOf("The quick brown fox jumps over the lazy dog"),
+            "9e107d9d372bb6826bd81d3542a419d6");
+  EXPECT_EQ(Md5::HexOf("The quick brown fox jumps over the lazy dog."),
+            "e4d909c290d0fb1ca068ffaddf22cbd0");
+}
+
+TEST(Md5Test, MillionCharacterInput) {
+  // 10^6 'a's — the classic long-message vector; exercises many full
+  // 64-byte blocks through the incremental path in odd-sized chunks.
+  const std::string chunk(617, 'a');  // Deliberately not a divisor of 64.
+  Md5 md5;
+  size_t fed = 0;
+  while (fed + chunk.size() <= 1000000) {
+    md5.Update(chunk);
+    fed += chunk.size();
+  }
+  md5.Update(std::string(1000000 - fed, 'a'));
+  EXPECT_EQ(md5.HexDigest(), "7707d6ae4e027c70eea2a935c2296f21");
+}
+
 }  // namespace
 }  // namespace dflow

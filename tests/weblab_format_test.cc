@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "util/rng.h"
 #include "weblab/crawler.h"
 
 namespace dflow::weblab {
@@ -83,6 +88,112 @@ TEST(ArcFormatTest, EmptyFileRoundTrip) {
   auto decoded = ReadArcFile(blob);
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized round-trips. The containers are length-prefixed binary, so any
+// byte sequence must survive — including NULs, high bytes, and fields that
+// happen to contain the container magics.
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  const size_t len = static_cast<size_t>(
+      rng.Uniform(0, static_cast<int64_t>(max_len)));
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.Uniform(0, 255)));
+  }
+  return out;
+}
+
+WebPage RandomPage(Rng& rng) {
+  WebPage page;
+  page.url = RandomBytes(rng, 120);
+  page.ip = RandomBytes(rng, 16);
+  // Full-range timestamps, including negative and the extremes.
+  switch (rng.Uniform(0, 4)) {
+    case 0: page.crawl_time = 0; break;
+    case 1: page.crawl_time = std::numeric_limits<int64_t>::min(); break;
+    case 2: page.crawl_time = std::numeric_limits<int64_t>::max(); break;
+    default:
+      page.crawl_time =
+          rng.Uniform(-3000000000ll, 3000000000ll);
+      break;
+  }
+  page.mime_type = rng.Bernoulli(0.3) ? "ARC2" : RandomBytes(rng, 24);
+  page.content = RandomBytes(rng, 600);
+  const int links = static_cast<int>(rng.Uniform(0, 8));
+  for (int l = 0; l < links; ++l) {
+    page.links.push_back(RandomBytes(rng, 80));
+  }
+  return page;
+}
+
+TEST(ArcFormatTest, RandomizedArcRoundTripSweep) {
+  Rng rng(0xA2CF11Eull);  // "arc file"
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::vector<WebPage> pages;
+    const int count = static_cast<int>(rng.Uniform(0, 12));
+    for (int i = 0; i < count; ++i) {
+      pages.push_back(RandomPage(rng));
+    }
+    auto decoded = ReadArcFile(WriteArcFile(pages));
+    ASSERT_TRUE(decoded.ok()) << "iter=" << iter << ": "
+                              << decoded.status().ToString();
+    ASSERT_EQ(decoded->size(), pages.size()) << "iter=" << iter;
+    for (size_t i = 0; i < pages.size(); ++i) {
+      ASSERT_EQ((*decoded)[i].url, pages[i].url) << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].ip, pages[i].ip) << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].crawl_time, pages[i].crawl_time)
+          << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].mime_type, pages[i].mime_type)
+          << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].content, pages[i].content) << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].links, pages[i].links) << "iter=" << iter;
+    }
+  }
+}
+
+TEST(ArcFormatTest, RandomizedDatRoundTripSweep) {
+  Rng rng(0xDA7F11Eull);  // "dat file"
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::vector<WebPage> pages;
+    const int count = static_cast<int>(rng.Uniform(0, 12));
+    for (int i = 0; i < count; ++i) {
+      pages.push_back(RandomPage(rng));
+    }
+    auto decoded = ReadDatFile(WriteDatFile(pages));
+    ASSERT_TRUE(decoded.ok()) << "iter=" << iter << ": "
+                              << decoded.status().ToString();
+    ASSERT_EQ(decoded->size(), pages.size()) << "iter=" << iter;
+    for (size_t i = 0; i < pages.size(); ++i) {
+      ASSERT_EQ((*decoded)[i].url, pages[i].url) << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].ip, pages[i].ip) << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].crawl_time, pages[i].crawl_time)
+          << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].mime_type, pages[i].mime_type)
+          << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].content_bytes,
+                static_cast<int64_t>(pages[i].content.size()))
+          << "iter=" << iter;
+      ASSERT_EQ((*decoded)[i].links, pages[i].links) << "iter=" << iter;
+    }
+  }
+}
+
+TEST(ArcFormatTest, RandomizedTruncationNeverSilentlyWrong) {
+  // Truncating a compressed container at any point must fail cleanly, not
+  // return a short page list that looks valid.
+  Rng rng(0x7A11ull);
+  std::vector<WebPage> pages;
+  for (int i = 0; i < 6; ++i) pages.push_back(RandomPage(rng));
+  const std::string blob = WriteArcFile(pages);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t keep = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(blob.size()) - 1));
+    auto decoded = ReadArcFile(std::string_view(blob).substr(0, keep));
+    EXPECT_FALSE(decoded.ok()) << "kept " << keep << " of " << blob.size();
+  }
 }
 
 TEST(CrawlerTest, CrawlsGrowAndEvolve) {
