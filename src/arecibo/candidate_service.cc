@@ -107,6 +107,9 @@ Result<core::ServiceResponse> CandidateService::Handle(
                            QueryCandidates(where, 10000));
     response.content_type = "text/xml";
     response.body = CandidatesToVoTable(candidates, "PALFA");
+    // NVO exports of a processed pointing change only when a pointing is
+    // re-reduced; give the dissemination cache an hour.
+    response.cache_max_age_sec = 3600.0;
     return response;
   }
   if (request.path == "pointings") {

@@ -1,5 +1,6 @@
 #include "core/web_service.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace dflow::core {
@@ -10,11 +11,20 @@ Result<int64_t> ServiceRequest::IntParam(const std::string& key,
   if (it == params.end()) {
     return fallback;
   }
+  const std::string& raw = it->second;
+  if (raw.empty()) {
+    return Status::InvalidArgument("parameter '" + key + "' is empty");
+  }
+  errno = 0;
   char* end = nullptr;
-  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || it->second.empty()) {
+  int64_t value = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || end == nullptr || *end != '\0') {
     return Status::InvalidArgument("parameter '" + key +
-                                   "' is not an integer: " + it->second);
+                                   "' is not an integer: " + raw);
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("parameter '" + key +
+                                   "' does not fit in int64: " + raw);
   }
   return value;
 }
@@ -23,6 +33,13 @@ Status ServiceRegistry::Mount(const std::string& prefix,
                               std::shared_ptr<WebService> service) {
   if (service == nullptr) {
     return Status::InvalidArgument("null service");
+  }
+  if (prefix.empty()) {
+    return Status::InvalidArgument("empty mount prefix");
+  }
+  if (prefix.front() == '/' || prefix.back() == '/') {
+    return Status::InvalidArgument("mount prefix '" + prefix +
+                                   "' must not start or end with '/'");
   }
   auto [it, inserted] = mounts_.try_emplace(prefix, std::move(service));
   if (!inserted) {
@@ -33,17 +50,30 @@ Status ServiceRegistry::Mount(const std::string& prefix,
 
 Result<ServiceResponse> ServiceRegistry::Handle(
     const ServiceRequest& request) const {
-  size_t slash = request.path.find('/');
-  std::string prefix =
-      slash == std::string::npos ? request.path : request.path.substr(0, slash);
-  auto it = mounts_.find(prefix);
-  if (it == mounts_.end()) {
-    return Status::NotFound("no service mounted at '" + prefix + "'");
+  if (request.path.empty()) {
+    return Status::NotFound(
+        "empty request path; expected '<prefix>/<endpoint>'");
   }
-  ServiceRequest inner = request;
-  inner.path =
-      slash == std::string::npos ? "" : request.path.substr(slash + 1);
-  return it->second->Handle(inner);
+  // Longest-prefix match at '/' boundaries: for "a/b/c" try "a/b/c", then
+  // "a/b", then "a". Nested mounts ("cleo" and "cleo/es2") therefore
+  // resolve to the most specific service.
+  size_t len = request.path.size();
+  while (len > 0) {
+    auto it = mounts_.find(request.path.substr(0, len));
+    if (it != mounts_.end()) {
+      ServiceRequest inner = request;
+      inner.path = len >= request.path.size()
+                       ? ""
+                       : request.path.substr(len + 1);
+      return it->second->Handle(inner);
+    }
+    size_t slash = request.path.rfind('/', len - 1);
+    if (slash == std::string::npos) {
+      break;
+    }
+    len = slash;
+  }
+  return Status::NotFound("no service mounted for '" + request.path + "'");
 }
 
 std::vector<std::string> ServiceRegistry::Endpoints() const {

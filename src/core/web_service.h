@@ -24,6 +24,11 @@ struct ServiceRequest {
     auto it = params.find(key);
     return it == params.end() ? fallback : it->second;
   }
+
+  /// Integer parameter accessor. Returns `fallback` when the key is absent;
+  /// InvalidArgument when the value is empty, non-numeric, has trailing
+  /// junk, or does not fit in int64 (overflow/underflow is an error, never
+  /// a silent clamp).
   Result<int64_t> IntParam(const std::string& key, int64_t fallback) const;
 };
 
@@ -31,6 +36,18 @@ struct ServiceResponse {
   /// "text/plain", "text/xml" (VOTable), "text/tab-separated-values".
   std::string content_type = "text/plain";
   std::string body;
+
+  /// Cache-control hint consumed by the dissemination tier
+  /// (`serve::ShardedResponseCache` via `serve::ServeLoop`):
+  ///   0 (default)     — cacheable, use the cache's default TTL;
+  ///   > 0             — cacheable for at most this many seconds;
+  ///   kUncacheable    — must never be cached (side effects or
+  ///                     per-request state, e.g. WebLab `extract` which
+  ///                     materializes a table).
+  /// Handlers that serve immutable history (EventStore `resolve` at an
+  /// explicit timestamp, Retro-Browser snapshots) advertise long lifetimes.
+  static constexpr double kUncacheable = -1.0;
+  double cache_max_age_sec = 0.0;
 };
 
 /// One dissemination endpoint group (the candidate DB, an EventStore, the
@@ -53,12 +70,25 @@ class WebService {
 /// ("arecibo/candidates/top" -> the service mounted at "arecibo"). The
 /// federation hook the paper's next-steps section asks for: one entry
 /// point spanning the three projects' dissemination layers.
+///
+/// Routing contract (exercised in web_service_test.cc):
+///   * prefixes may be nested ("cleo" and "cleo/es2"); the LONGEST mounted
+///     prefix that matches on a '/' boundary wins;
+///   * a path exactly equal to a mount prefix (or the prefix plus a
+///     trailing '/') dispatches to that service with an empty inner path —
+///     services decide what their "" endpoint means (typically NotFound);
+///   * the empty path never routes: NotFound;
+///   * mounting at "" or at a prefix with a leading/trailing '/' is
+///     InvalidArgument; duplicate prefixes are AlreadyExists.
 class ServiceRegistry {
  public:
-  /// Mounts `service` at `prefix`. AlreadyExists on duplicate prefixes.
+  /// Mounts `service` at `prefix`. AlreadyExists on duplicate prefixes;
+  /// InvalidArgument for a null service, an empty prefix, or a prefix with
+  /// a leading or trailing '/'.
   Status Mount(const std::string& prefix, std::shared_ptr<WebService> service);
 
-  /// Routes "prefix/rest..." to the mounted service with path "rest...".
+  /// Routes "prefix/rest..." to the longest-prefix mounted service with
+  /// path "rest...".
   Result<ServiceResponse> Handle(const ServiceRequest& request) const;
 
   /// Every mounted endpoint, fully qualified.

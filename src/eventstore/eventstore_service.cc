@@ -23,6 +23,12 @@ Result<core::ServiceResponse> EventStoreService::Handle(
     DFLOW_ASSIGN_OR_RETURN(int64_t ts, request.IntParam("ts", 0));
     DFLOW_ASSIGN_OR_RETURN(std::vector<FileEntry> files,
                            store_->Resolve(grade, ts));
+    if (request.params.count("ts") != 0) {
+      // A resolution at an explicit timestamp is immutable history (§3.2's
+      // versioned-collection guarantee): the dissemination cache may hold
+      // it for a long time.
+      response.cache_max_age_sec = 86400.0;
+    }
     std::ostringstream os;
     os << "run\tdata_type\tversion\tbytes\tlocation\tprov_hash\n";
     for (const FileEntry& file : files) {
@@ -78,6 +84,8 @@ Result<core::ServiceResponse> EventStoreService::Handle(
         store_->database().Execute(
             "SELECT data_type, COUNT(*) AS files, SUM(bytes) AS bytes FROM "
             "files GROUP BY data_type ORDER BY bytes DESC"));
+    // The summary churns as runs register; let the cache keep it briefly.
+    response.cache_max_age_sec = 30.0;
     std::ostringstream os;
     os << "data_type\tfiles\tbytes\n";
     for (const db::Row& row : result.rows) {

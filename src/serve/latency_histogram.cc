@@ -1,0 +1,120 @@
+#include "serve/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dflow::serve {
+
+namespace {
+
+// 1 / ln(kGrowth), precomputed.
+const double kInvLogGrowth = 1.0 / std::log(LatencyHistogram::kGrowth);
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() { buckets_.fill(0); }
+
+int LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds >= kMinBoundSec)) {  // Also catches NaN / negatives.
+    return 0;
+  }
+  int index =
+      1 + static_cast<int>(std::floor(std::log(seconds / kMinBoundSec) *
+                                      kInvLogGrowth));
+  return std::clamp(index, 1, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketLowerBound(int index) {
+  if (index <= 0) {
+    return 0.0;
+  }
+  return kMinBoundSec * std::pow(kGrowth, index - 1);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) {
+    seconds = 0.0;
+  }
+  buckets_[static_cast<size_t>(BucketIndex(seconds))]++;
+  if (count_ == 0 || seconds < min_sec_) {
+    min_sec_ = seconds;
+  }
+  max_sec_ = std::max(max_sec_, seconds);
+  sum_sec_ += seconds;
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] +=
+        other.buckets_[static_cast<size_t>(i)];
+  }
+  if (count_ == 0 || other.min_sec_ < min_sec_) {
+    min_sec_ = other.min_sec_;
+  }
+  max_sec_ = std::max(max_sec_, other.max_sec_);
+  sum_sec_ += other.sum_sec_;
+  count_ += other.count_;
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_sec_ = 0.0;
+  min_sec_ = 0.0;
+  max_sec_ = 0.0;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  int64_t rank = static_cast<int64_t>(std::ceil(p * count_));
+  rank = std::clamp<int64_t>(rank, 1, count_);
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= rank) {
+      double lo = BucketLowerBound(i);
+      double hi =
+          i + 1 < kNumBuckets ? BucketLowerBound(i + 1) : max_sec_;
+      // Geometric midpoint (arithmetic for the [0, 1us) bucket).
+      double mid = i == 0 ? 0.5 * (lo + hi) : std::sqrt(lo * hi);
+      return std::clamp(mid, min_sec_, max_sec_);
+    }
+  }
+  return max_sec_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%s p50=%s p90=%s p99=%s p99.9=%s max=%s",
+                static_cast<long long>(count_),
+                FormatSeconds(mean_sec()).c_str(),
+                FormatSeconds(Percentile(0.50)).c_str(),
+                FormatSeconds(Percentile(0.90)).c_str(),
+                FormatSeconds(Percentile(0.99)).c_str(),
+                FormatSeconds(Percentile(0.999)).c_str(),
+                FormatSeconds(max_sec()).c_str());
+  return buf;
+}
+
+}  // namespace dflow::serve

@@ -1,0 +1,217 @@
+#include "serve/serve_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dflow::serve {
+
+namespace {
+
+/// First path segment — the coarsest mount partition. Nested mounts
+/// ("cleo" and "cleo/es2") share a lock, which is safe (strictly coarser
+/// than the actual routing partition).
+std::string TopLevelPrefix(const std::string& path) {
+  size_t slash = path.find('/');
+  return slash == std::string::npos ? path : path.substr(0, slash);
+}
+
+}  // namespace
+
+ServeLoop::ServeLoop(core::ServiceRegistry* registry, ServeConfig config,
+                     ShardedResponseCache* cache)
+    : registry_(registry),
+      config_(config),
+      cache_(cache),
+      epoch_(std::chrono::steady_clock::now()) {
+  DFLOW_CHECK(registry_ != nullptr);
+  DFLOW_CHECK(config_.num_workers > 0);
+  int num_stripes = std::max(2 * config_.num_workers, 4);
+  stripes_.reserve(static_cast<size_t>(num_stripes));
+  for (int i = 0; i < num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<HistogramStripe>());
+  }
+  pool_ = std::make_unique<ThreadPool>(config_.num_workers);
+}
+
+ServeLoop::~ServeLoop() = default;  // pool_ drains in its destructor.
+
+double ServeLoop::NowSec() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+double ServeLoop::RetryAfterFor(int64_t consecutive_sheds) const {
+  const core::RetryPolicy& hint = config_.retry_hint;
+  double delay = hint.backoff_initial_sec *
+                 std::pow(hint.backoff_multiplier,
+                          static_cast<double>(consecutive_sheds - 1));
+  return std::min(delay, hint.backoff_max_sec);
+}
+
+void ServeLoop::RecordLatency(double seconds) {
+  size_t stripe = std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                  stripes_.size();
+  HistogramStripe& s = *stripes_[stripe];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.histogram.Record(seconds);
+}
+
+LatencyHistogram ServeLoop::Latencies() const {
+  LatencyHistogram merged;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    merged.Merge(stripe->histogram);
+  }
+  return merged;
+}
+
+Result<core::ServiceResponse> ServeLoop::Dispatch(
+    const core::ServiceRequest& request) {
+  switch (config_.locking) {
+    case ServeConfig::BackendLocking::kNone:
+      return registry_->Handle(request);
+    case ServeConfig::BackendLocking::kGlobal: {
+      std::lock_guard<std::mutex> lock(global_backend_lock_);
+      return registry_->Handle(request);
+    }
+    case ServeConfig::BackendLocking::kPerMount: {
+      std::mutex* mount_lock = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(backend_locks_mu_);
+        auto& slot = backend_locks_[TopLevelPrefix(request.path)];
+        if (slot == nullptr) {
+          slot = std::make_unique<std::mutex>();
+        }
+        mount_lock = slot.get();
+      }
+      std::lock_guard<std::mutex> lock(*mount_lock);
+      return registry_->Handle(request);
+    }
+  }
+  return Status::Internal("unreachable: unknown BackendLocking");
+}
+
+void ServeLoop::Process(core::ServiceRequest request, DoneFn done,
+                        std::string key, double start_sec,
+                        double deadline_at_sec) {
+  double now = NowSec();
+  if (deadline_at_sec > 0.0 && now > deadline_at_sec) {
+    // Died of old age in the admission queue; don't waste backend time.
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    if (done) {
+      done(Status::ResourceExhausted(
+          "deadline exceeded after waiting in admission queue"));
+    }
+    return;
+  }
+  Result<core::ServiceResponse> result = Dispatch(request);
+  double latency = NowSec() - start_sec;
+  RecordLatency(latency);
+  if (result.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (cache_ != nullptr &&
+        result->cache_max_age_sec >= 0.0) {  // kUncacheable is negative.
+      cache_->Insert(key, *result, NowSec(), result->cache_max_age_sec);
+    }
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (done) {
+    done(result);
+  }
+}
+
+Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
+                          double deadline_sec) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  double start_sec = NowSec();
+  std::string key = ShardedResponseCache::CanonicalKey(request);
+  if (cache_ != nullptr) {
+    std::optional<core::ServiceResponse> hit = cache_->Lookup(key, start_sec);
+    if (hit.has_value()) {
+      // Cache hits bypass the admission queue entirely: the whole point of
+      // the dissemination cache is that hot requests cost no backend time.
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      consecutive_sheds_.store(0, std::memory_order_relaxed);
+      RecordLatency(NowSec() - start_sec);
+      if (done) {
+        done(Result<core::ServiceResponse>(*std::move(hit)));
+      }
+      return Status::OK();
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  double effective_deadline = deadline_sec == 0.0
+                                  ? config_.default_deadline_sec
+                                  : std::max(deadline_sec, 0.0);
+  double deadline_at_sec =
+      effective_deadline > 0.0 ? start_sec + effective_deadline : 0.0;
+
+  bool accepted = pool_->TrySubmit(
+      [this, request = std::move(request), done = std::move(done),
+       key = std::move(key), start_sec, deadline_at_sec]() mutable {
+        Process(std::move(request), std::move(done), std::move(key),
+                start_sec, deadline_at_sec);
+      },
+      config_.max_queue_depth);
+  if (!accepted) {
+    int64_t streak =
+        consecutive_sheds_.fetch_add(1, std::memory_order_relaxed) + 1;
+    double retry_after = RetryAfterFor(streak);
+    last_retry_after_sec_.store(retry_after, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "admission queue full (depth >= " +
+        std::to_string(config_.max_queue_depth) + "); retry after " +
+        std::to_string(retry_after) + "s");
+  }
+  consecutive_sheds_.store(0, std::memory_order_relaxed);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<core::ServiceResponse> ServeLoop::Execute(
+    const core::ServiceRequest& request, double deadline_sec) {
+  auto promise =
+      std::make_shared<std::promise<Result<core::ServiceResponse>>>();
+  std::future<Result<core::ServiceResponse>> future = promise->get_future();
+  Status admitted = Enqueue(
+      request,
+      [promise](const Result<core::ServiceResponse>& result) {
+        promise->set_value(result);
+      },
+      deadline_sec);
+  if (!admitted.ok()) {
+    return admitted;
+  }
+  return future.get();
+}
+
+void ServeLoop::Drain() { pool_->Wait(); }
+
+ServeStats ServeLoop::Stats() const {
+  ServeStats stats;
+  stats.offered = offered_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.last_retry_after_sec =
+      last_retry_after_sec_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace dflow::serve

@@ -1,0 +1,179 @@
+#ifndef DFLOW_SERVE_SERVE_LOOP_H_
+#define DFLOW_SERVE_SERVE_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/flow_runner.h"  // core::RetryPolicy — retry-after hint shape.
+#include "core/web_service.h"
+#include "serve/latency_histogram.h"
+#include "serve/response_cache.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace dflow::serve {
+
+struct ServeConfig {
+  /// Worker threads executing admitted requests.
+  int num_workers = 4;
+  /// Bounded admission queue: requests beyond this many WAITING tasks are
+  /// shed with ResourceExhausted instead of queueing without bound — under
+  /// overload the queue (and therefore the queueing delay of admitted
+  /// requests) stays capped and the shed fraction rises instead.
+  size_t max_queue_depth = 64;
+  /// Default per-request deadline, measured from admission; a request that
+  /// is still waiting in the queue when its deadline passes is answered
+  /// ResourceExhausted without touching the backend. 0 disables. Enqueue()
+  /// may override per request.
+  double default_deadline_sec = 0.0;
+  /// Retry-after hints for shed requests reuse the RetryPolicy shape from
+  /// the fault-handling PR: the k-th CONSECUTIVE shed suggests
+  ///   min(backoff_initial_sec * multiplier^(k-1), backoff_max_sec),
+  /// so a client herd backs off harder the longer the overload lasts; any
+  /// successful admission resets the ladder. (`max_attempts` and
+  /// `jitter_fraction` are unused here — jitter belongs client-side.)
+  core::RetryPolicy retry_hint{/*max_attempts=*/1,
+                               /*backoff_initial_sec=*/0.005,
+                               /*backoff_multiplier=*/2.0,
+                               /*backoff_max_sec=*/0.5,
+                               /*jitter_fraction=*/0.0};
+
+  /// How backend Handle() calls are serialized. The case-study backends
+  /// (db::Database and friends) are single-threaded by design — the paper's
+  /// services ran one synchronous web server each — so the default takes
+  /// one lock per top-level mount prefix: requests to DIFFERENT services
+  /// run concurrently, requests to the same service serialize. kGlobal
+  /// serializes everything; kNone is for backends that are themselves
+  /// thread-safe.
+  enum class BackendLocking { kPerMount, kGlobal, kNone };
+  BackendLocking locking = BackendLocking::kPerMount;
+};
+
+struct ServeStats {
+  int64_t offered = 0;     // Every Enqueue()/Execute() attempt.
+  int64_t admitted = 0;    // Accepted into the queue (or served from cache).
+  int64_t shed = 0;        // Rejected at admission: queue full.
+  int64_t completed = 0;   // Backend (or cache) produced an OK response.
+  int64_t errors = 0;      // Backend returned a non-OK status.
+  int64_t deadline_expired = 0;  // Admitted but died waiting in the queue.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double last_retry_after_sec = 0.0;
+
+  double shed_fraction() const {
+    return offered == 0 ? 0.0 : static_cast<double>(shed) / offered;
+  }
+  double cache_hit_rate() const {
+    int64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) / lookups;
+  }
+};
+
+/// The concurrent front door of the dissemination tier: a ThreadPool-backed
+/// executor over a core::ServiceRegistry with a bounded admission queue
+/// (load shedding, not unbounded buffering), per-request deadlines, an
+/// optional ShardedResponseCache consulted at admission time (hits bypass
+/// the queue entirely), and per-worker-stripe latency histograms merged on
+/// read.
+///
+/// Results are delivered through a completion callback (`DoneFn`), which
+/// runs on a worker thread — or inline on the caller's thread for cache
+/// hits. Execute() wraps that in a blocking call for closed-loop clients.
+///
+/// Thread-safe: any number of threads may Enqueue()/Execute() concurrently.
+class ServeLoop {
+ public:
+  using DoneFn = std::function<void(const Result<core::ServiceResponse>&)>;
+
+  /// `registry` must outlive the loop. `cache` may be null (no caching);
+  /// if set, OK responses are inserted with the handler's
+  /// `cache_max_age_sec` hint (kUncacheable responses are never stored).
+  ServeLoop(core::ServiceRegistry* registry, ServeConfig config,
+            ShardedResponseCache* cache = nullptr);
+
+  /// Drains in-flight work, then stops the workers.
+  ~ServeLoop();
+
+  ServeLoop(const ServeLoop&) = delete;
+  ServeLoop& operator=(const ServeLoop&) = delete;
+
+  /// Admission-controlled asynchronous submit. Returns OK if the request
+  /// was served from cache (done ran inline) or accepted into the queue
+  /// (done will run on a worker); ResourceExhausted if shed, with a
+  /// retry-after hint in the message and in Stats().last_retry_after_sec —
+  /// `done` is NOT invoked for shed requests, the return Status is the
+  /// whole answer. `deadline_sec` > 0 overrides the config default (from
+  /// now); < 0 disables the deadline for this request.
+  Status Enqueue(core::ServiceRequest request, DoneFn done = nullptr,
+                 double deadline_sec = 0.0);
+
+  /// Blocking submit for closed-loop clients: admission control still
+  /// applies (a shed request returns ResourceExhausted immediately).
+  Result<core::ServiceResponse> Execute(const core::ServiceRequest& request,
+                                        double deadline_sec = 0.0);
+
+  /// Blocks until every admitted request has completed.
+  void Drain();
+
+  ServeStats Stats() const;
+
+  /// Merged snapshot of per-stripe histograms: latency from admission to
+  /// completion of every ADMITTED request that produced a response (cache
+  /// hits included; shed and deadline-expired requests excluded).
+  LatencyHistogram Latencies() const;
+
+  /// Seconds since construction on the loop's monotonic clock.
+  double NowSec() const;
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct HistogramStripe {
+    std::mutex mu;
+    LatencyHistogram histogram;
+  };
+
+  void Process(core::ServiceRequest request, DoneFn done, std::string key,
+               double start_sec, double deadline_at_sec);
+  Result<core::ServiceResponse> Dispatch(const core::ServiceRequest& request);
+  void RecordLatency(double seconds);
+  double RetryAfterFor(int64_t consecutive_sheds) const;
+
+  core::ServiceRegistry* registry_;
+  ServeConfig config_;
+  ShardedResponseCache* cache_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::atomic<int64_t> offered_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> errors_{0};
+  std::atomic<int64_t> deadline_expired_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> consecutive_sheds_{0};
+  std::atomic<double> last_retry_after_sec_{0.0};
+
+  std::vector<std::unique_ptr<HistogramStripe>> stripes_;
+
+  std::mutex backend_locks_mu_;
+  std::map<std::string, std::unique_ptr<std::mutex>> backend_locks_;
+  std::mutex global_backend_lock_;
+
+  // Last member: destroyed first, so workers drain while everything else
+  // (stripes, counters, locks) is still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace dflow::serve
+
+#endif  // DFLOW_SERVE_SERVE_LOOP_H_

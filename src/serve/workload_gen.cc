@@ -1,0 +1,68 @@
+#include "serve/workload_gen.h"
+
+#include <numeric>
+#include <utility>
+
+#include "serve/response_cache.h"
+#include "util/logging.h"
+#include "util/md5.h"
+
+namespace dflow::serve {
+
+WorkloadGen::WorkloadGen(std::vector<core::ServiceRequest> population,
+                         double zipf_s, uint64_t seed)
+    : population_(std::make_shared<const std::vector<core::ServiceRequest>>(
+          std::move(population))),
+      zipf_s_(zipf_s),
+      rng_(seed) {
+  DFLOW_CHECK(!population_->empty());
+  rank_to_index_.resize(population_->size());
+  std::iota(rank_to_index_.begin(), rank_to_index_.end(), size_t{0});
+  rng_.Shuffle(rank_to_index_);
+}
+
+WorkloadGen::WorkloadGen(
+    std::shared_ptr<const std::vector<core::ServiceRequest>> pop,
+    std::vector<size_t> rank_to_index, double zipf_s, Rng rng)
+    : population_(std::move(pop)),
+      rank_to_index_(std::move(rank_to_index)),
+      zipf_s_(zipf_s),
+      rng_(std::move(rng)) {}
+
+const core::ServiceRequest& WorkloadGen::Next() {
+  int64_t rank =
+      rng_.Zipf(static_cast<int64_t>(population_->size()), zipf_s_);
+  return (*population_)[rank_to_index_[static_cast<size_t>(rank - 1)]];
+}
+
+std::vector<TimedRequest> WorkloadGen::OpenLoopSchedule(double rate_per_sec,
+                                                        double duration_sec) {
+  DFLOW_CHECK(rate_per_sec > 0.0);
+  std::vector<TimedRequest> schedule;
+  schedule.reserve(static_cast<size_t>(rate_per_sec * duration_sec * 1.1) +
+                   16);
+  double t = 0.0;
+  while (true) {
+    t += rng_.Exponential(rate_per_sec);
+    if (t >= duration_sec) {
+      break;
+    }
+    schedule.push_back(TimedRequest{t, Next()});
+  }
+  return schedule;
+}
+
+WorkloadGen WorkloadGen::Fork() {
+  return WorkloadGen(population_, rank_to_index_, zipf_s_, rng_.Fork());
+}
+
+std::string WorkloadGen::Fingerprint(int64_t n) {
+  Md5 md5;
+  for (int64_t i = 0; i < n; ++i) {
+    md5.Update(ShardedResponseCache::CanonicalKey(Next()));
+    md5.Update("\n");
+  }
+  return md5.HexDigest();
+}
+
+}  // namespace dflow::serve

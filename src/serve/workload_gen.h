@@ -1,0 +1,77 @@
+#ifndef DFLOW_SERVE_WORKLOAD_GEN_H_
+#define DFLOW_SERVE_WORKLOAD_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/web_service.h"
+#include "util/rng.h"
+
+namespace dflow::serve {
+
+/// One event of an open-loop arrival schedule.
+struct TimedRequest {
+  double at_sec = 0.0;
+  core::ServiceRequest request;
+};
+
+/// Seeded request generator over a fixed endpoint population with
+/// Zipf-distributed popularity — the standard model for dissemination
+/// traffic (a few hot candidate queries / retro-browse URLs dominate, a
+/// long tail of one-off lookups). `zipf_s == 0` degenerates to uniform.
+///
+/// Popularity ranks are assigned to endpoints through a seeded shuffle, so
+/// the hot set is spread across the population (and across cache shards)
+/// instead of being whatever happened to be listed first.
+///
+/// Determinism: every draw comes from one seeded Rng, so the same
+/// (population, zipf_s, seed) triple reproduces the exact request stream
+/// and open-loop schedule, byte for byte — `Fingerprint()` hashes a stream
+/// prefix so harnesses can assert it. Fork() derives an independent child
+/// stream (per closed-loop client) from the parent's state.
+///
+/// Not thread-safe; give each client thread its own Fork().
+class WorkloadGen {
+ public:
+  WorkloadGen(std::vector<core::ServiceRequest> population, double zipf_s,
+              uint64_t seed);
+
+  /// The next request (advances the stream).
+  const core::ServiceRequest& Next();
+
+  /// Poisson arrivals at `rate_per_sec` over [0, duration_sec), each
+  /// carrying the next request of the stream. Advances the stream.
+  std::vector<TimedRequest> OpenLoopSchedule(double rate_per_sec,
+                                             double duration_sec);
+
+  /// Independent child generator over the same population (same popularity
+  /// assignment, decorrelated draws).
+  WorkloadGen Fork();
+
+  /// MD5 over the canonical keys of the next `n` requests. ADVANCES the
+  /// stream: fingerprint a dedicated generator, not one you then serve
+  /// from (or expect the served stream to continue where the fingerprint
+  /// stopped — which is itself deterministic).
+  std::string Fingerprint(int64_t n);
+
+  size_t population_size() const { return population_->size(); }
+  double zipf_s() const { return zipf_s_; }
+
+  /// Popularity-rank -> population index mapping (rank 0 is hottest).
+  const std::vector<size_t>& rank_to_index() const { return rank_to_index_; }
+
+ private:
+  WorkloadGen(std::shared_ptr<const std::vector<core::ServiceRequest>> pop,
+              std::vector<size_t> rank_to_index, double zipf_s, Rng rng);
+
+  std::shared_ptr<const std::vector<core::ServiceRequest>> population_;
+  std::vector<size_t> rank_to_index_;
+  double zipf_s_;
+  Rng rng_;
+};
+
+}  // namespace dflow::serve
+
+#endif  // DFLOW_SERVE_WORKLOAD_GEN_H_

@@ -34,6 +34,25 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_queued) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DFLOW_CHECK(!shutting_down_);
+    if (queue_.size() >= max_queued) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

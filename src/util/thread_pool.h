@@ -25,6 +25,18 @@ class ThreadPool {
   /// another thread concurrently with destruction.
   void Submit(std::function<void()> task);
 
+  /// Bounded-queue variant of Submit for admission control: enqueues
+  /// `task` only if fewer than `max_queued` tasks are currently WAITING
+  /// (tasks already running on workers do not count). Returns true if the
+  /// task was enqueued, false if the queue is full — the task is dropped
+  /// and the caller is expected to shed or retry later. `max_queued == 0`
+  /// always rejects. Submit() semantics are unchanged (unbounded).
+  bool TrySubmit(std::function<void()> task, size_t max_queued);
+
+  /// Tasks waiting in the queue right now (excludes running tasks).
+  /// Advisory: the value may be stale by the time the caller acts on it.
+  size_t QueueDepth() const;
+
   /// Blocks until every submitted task has finished.
   void Wait();
 
@@ -33,7 +45,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;

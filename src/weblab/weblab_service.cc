@@ -27,6 +27,9 @@ Result<core::ServiceResponse> WebLabService::Handle(
     }
     DFLOW_ASSIGN_OR_RETURN(int64_t date, request.IntParam("date", 0));
     DFLOW_ASSIGN_OR_RETURN(RetroPage page, browser_.Browse(url, date));
+    // Retro-Browser answers are archival snapshots — immutable once
+    // crawled, so the dissemination cache may pin them for a long time.
+    response.cache_max_age_sec = 86400.0;
     if (request.path == "retro") {
       response.content_type = "text/html";
       response.body = page.content;
@@ -81,6 +84,9 @@ Result<core::ServiceResponse> WebLabService::Handle(
       return Status::InvalidArgument("extract requires ?name= and ?sql=");
     }
     DFLOW_ASSIGN_OR_RETURN(int64_t rows, ExtractSubset(db_, name, sql));
+    // Materializing a subset view is a side effect; replaying it from a
+    // cache would silently skip the work. Never cache.
+    response.cache_max_age_sec = core::ServiceResponse::kUncacheable;
     response.body = "view '" + name + "' materialized with " +
                     std::to_string(rows) + " rows\n";
     return response;

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -146,6 +147,82 @@ TEST(ThreadPoolTest, ManyPoolsChurn) {
     pool.reset();  // Destructor drains.
     EXPECT_EQ(count.load(), 50);
   }
+}
+
+TEST(ThreadPoolTest, TrySubmitBoundsTheQueueNotTheWorkers) {
+  ThreadPool pool(1);
+  // Park the single worker so queued counts are deterministic.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool open = false;
+  std::atomic<bool> entered{false};
+  pool.Submit([&] {
+    entered.store(true);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return open; });
+  });
+  while (!entered.load()) std::this_thread::yield();
+  // Worker busy, queue empty: the RUNNING task does not count toward the
+  // bound.
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  std::atomic<int> ran{0};
+  auto task = [&ran] { ran.fetch_add(1, std::memory_order_relaxed); };
+  EXPECT_TRUE(pool.TrySubmit(task, 2));
+  EXPECT_TRUE(pool.TrySubmit(task, 2));
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+  // Queue at the bound: rejected, task dropped.
+  EXPECT_FALSE(pool.TrySubmit(task, 2));
+  // max_queued == 0 always rejects.
+  EXPECT_FALSE(pool.TrySubmit(task, 0));
+  // A larger bound still admits.
+  EXPECT_TRUE(pool.TrySubmit(task, 3));
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    open = true;
+  }
+  gate_cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 3);  // Two rejected tasks never ran.
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  // Once drained, TrySubmit admits again.
+  EXPECT_TRUE(pool.TrySubmit(task, 1));
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolTest, TrySubmitConcurrentWithSubmitStress) {
+  // Mixed bounded/unbounded submitters: every accepted task runs exactly
+  // once; rejections only ever come from TrySubmit.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kPerSubmitter = 2000;
+  std::atomic<int64_t> accepted{0};
+  std::atomic<int64_t> rejected{0};
+  std::atomic<int64_t> executed{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &accepted, &rejected, &executed, s] {
+      auto task = [&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      };
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        if (s % 2 == 0) {
+          pool.Submit(task);
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else if (pool.TrySubmit(task, 64)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), accepted.load());
+  EXPECT_EQ(accepted.load() + rejected.load(),
+            static_cast<int64_t>(kSubmitters) * kPerSubmitter);
 }
 
 TEST(ThreadPoolTest, RandomizedWorkSizesStress) {

@@ -3,6 +3,8 @@
 // functionality of their dissemination Web Services to enable full access
 // to data and analysis functionality").
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "arecibo/candidate_service.h"
@@ -28,6 +30,27 @@ ServiceRequest Req(const std::string& path,
   return request;
 }
 
+/// Records the inner path each dispatch delivers, so routing tests can
+/// observe exactly what the registry handed the service.
+class RecordingService : public core::WebService {
+ public:
+  explicit RecordingService(std::string name) : name_(std::move(name)) {}
+  Result<core::ServiceResponse> Handle(
+      const core::ServiceRequest& request) override {
+    last_path_ = request.path;
+    core::ServiceResponse response;
+    response.body = name_ + ":" + request.path;
+    return response;
+  }
+  std::vector<std::string> Endpoints() const override { return {"any"}; }
+  const std::string& name() const override { return name_; }
+  const std::string& last_path() const { return last_path_; }
+
+ private:
+  std::string name_;
+  std::string last_path_;
+};
+
 TEST(ServiceRegistryTest, RoutesByPrefix) {
   ServiceRegistry registry;
   db::Database db;
@@ -45,6 +68,118 @@ TEST(ServiceRegistryTest, RoutesByPrefix) {
   auto endpoints = registry.Endpoints();
   EXPECT_EQ(endpoints.size(), 4u);
   EXPECT_EQ(endpoints[0].substr(0, 8), "arecibo/");
+}
+
+TEST(ServiceRegistryTest, MountValidation) {
+  ServiceRegistry registry;
+  auto service = std::make_shared<RecordingService>("svc");
+  EXPECT_TRUE(registry.Mount("", service).IsInvalidArgument());
+  EXPECT_TRUE(registry.Mount("/abs", service).IsInvalidArgument());
+  EXPECT_TRUE(registry.Mount("trail/", service).IsInvalidArgument());
+  ASSERT_TRUE(registry.Mount("svc", service).ok());
+  // Duplicate prefix (even with a different service) is AlreadyExists.
+  EXPECT_TRUE(registry
+                  .Mount("svc", std::make_shared<RecordingService>("other"))
+                  .IsAlreadyExists());
+  // Nested prefixes are allowed.
+  EXPECT_TRUE(
+      registry.Mount("svc/deep", std::make_shared<RecordingService>("deep"))
+          .ok());
+}
+
+TEST(ServiceRegistryTest, EmptyPathAndExactPrefixPaths) {
+  ServiceRegistry registry;
+  auto service = std::make_shared<RecordingService>("svc");
+  ASSERT_TRUE(registry.Mount("svc", service).ok());
+
+  // Empty path never routes.
+  EXPECT_TRUE(registry.Handle(Req("")).status().IsNotFound());
+
+  // Path equal to the mount prefix dispatches with an empty inner path.
+  auto exact = registry.Handle(Req("svc"));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(service->last_path(), "");
+
+  // Prefix plus trailing slash behaves identically.
+  auto trailing = registry.Handle(Req("svc/"));
+  ASSERT_TRUE(trailing.ok());
+  EXPECT_EQ(service->last_path(), "");
+
+  // Normal dispatch strips exactly the prefix and one slash.
+  auto nested = registry.Handle(Req("svc/a/b"));
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(service->last_path(), "a/b");
+
+  // A leading slash is not a mounted prefix.
+  EXPECT_TRUE(registry.Handle(Req("/svc/a")).status().IsNotFound());
+}
+
+TEST(ServiceRegistryTest, NestedPrefixesLongestMatchWins) {
+  ServiceRegistry registry;
+  auto outer = std::make_shared<RecordingService>("outer");
+  auto inner = std::make_shared<RecordingService>("inner");
+  ASSERT_TRUE(registry.Mount("cleo", outer).ok());
+  ASSERT_TRUE(registry.Mount("cleo/es2", inner).ok());
+
+  auto deep = registry.Handle(Req("cleo/es2/resolve"));
+  ASSERT_TRUE(deep.ok());
+  EXPECT_EQ(deep->body, "inner:resolve");
+
+  auto shallow = registry.Handle(Req("cleo/grades"));
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_EQ(shallow->body, "outer:grades");
+
+  // Exactly the nested prefix -> inner service, empty path.
+  auto exact_inner = registry.Handle(Req("cleo/es2"));
+  ASSERT_TRUE(exact_inner.ok());
+  EXPECT_EQ(inner->last_path(), "");
+
+  // "cleo/es2extra" is NOT under "cleo/es2" (no '/' boundary): it is the
+  // endpoint "es2extra" of the outer service.
+  auto boundary = registry.Handle(Req("cleo/es2extra"));
+  ASSERT_TRUE(boundary.ok());
+  EXPECT_EQ(boundary->body, "outer:es2extra");
+
+  // Registration order must not matter: mount outer after inner.
+  ServiceRegistry reversed;
+  ASSERT_TRUE(reversed.Mount("a/b", inner).ok());
+  ASSERT_TRUE(reversed.Mount("a", outer).ok());
+  auto routed = reversed.Handle(Req("a/b/c"));
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->body, "inner:c");
+}
+
+TEST(ServiceRequestTest, IntParamErrorPaths) {
+  ServiceRequest request = Req(
+      "x", {{"ok", "42"},
+            {"neg", "-7"},
+            {"empty", ""},
+            {"alpha", "abc"},
+            {"trailing", "12abc"},
+            {"overflow", "9223372036854775808"},     // INT64_MAX + 1.
+            {"underflow", "-9223372036854775809"},   // INT64_MIN - 1.
+            {"huge", "99999999999999999999999999"},
+            {"max", "9223372036854775807"},
+            {"min", "-9223372036854775808"}});
+
+  // Missing key -> fallback, not an error.
+  auto missing = request.IntParam("nope", 123);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(*missing, 123);
+
+  EXPECT_EQ(*request.IntParam("ok", 0), 42);
+  EXPECT_EQ(*request.IntParam("neg", 0), -7);
+  // Extremes parse exactly.
+  EXPECT_EQ(*request.IntParam("max", 0), INT64_MAX);
+  EXPECT_EQ(*request.IntParam("min", 0), INT64_MIN);
+
+  // Error paths are InvalidArgument, never a silent fallback or clamp.
+  EXPECT_TRUE(request.IntParam("empty", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(request.IntParam("alpha", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(request.IntParam("trailing", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(request.IntParam("overflow", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(request.IntParam("underflow", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(request.IntParam("huge", 0).status().IsInvalidArgument());
 }
 
 TEST(CandidateServiceTest, TopCountAndVoTable) {
