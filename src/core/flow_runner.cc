@@ -1,13 +1,31 @@
 #include "core/flow_runner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 
 #include "util/logging.h"
 #include "util/units.h"
 
 namespace dflow::core {
+
+namespace {
+
+/// Virtual seconds -> trace microseconds, rounded the same way every run.
+int64_t UsOf(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+std::string FmtSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", seconds);
+  return buf;
+}
+
+}  // namespace
 
 FlowRunner::FlowRunner(sim::Simulation* simulation, FlowGraph* graph,
                        uint64_t retry_seed)
@@ -16,8 +34,72 @@ FlowRunner::FlowRunner(sim::Simulation* simulation, FlowGraph* graph,
   DFLOW_CHECK(graph_ != nullptr);
 }
 
+void FlowRunner::StageState::RefreshSnapshot() const {
+  snapshot.products_in = counters.products_in->Value();
+  snapshot.products_out = counters.products_out->Value();
+  snapshot.bytes_in = counters.bytes_in->Value();
+  snapshot.bytes_out = counters.bytes_out->Value();
+  snapshot.errors = counters.errors->Value();
+  snapshot.retries = counters.retries->Value();
+  snapshot.dead_lettered = counters.dead_lettered->Value();
+}
+
+obs::MetricsRegistry& FlowRunner::Registry() {
+  if (metrics_ != nullptr) {
+    return *metrics_;
+  }
+  if (owned_metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  return *owned_metrics_;
+}
+
+obs::MetricsRegistry* FlowRunner::metrics_registry() { return &Registry(); }
+
+Status FlowRunner::SetMetricsRegistry(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("registry must not be null");
+  }
+  if (!states_.empty() || ran_) {
+    return Status::FailedPrecondition(
+        "SetMetricsRegistry must precede stage configuration");
+  }
+  metrics_ = registry;
+  return Status::OK();
+}
+
+Status FlowRunner::SetTracer(obs::Tracer* tracer) {
+  if (ran_) {
+    return Status::FailedPrecondition("run already started");
+  }
+  tracer_ = tracer;
+  return Status::OK();
+}
+
+int FlowRunner::TidFor(const std::string& stage) {
+  auto [it, inserted] =
+      trace_tids_.try_emplace(stage, static_cast<int>(trace_tids_.size()));
+  if (inserted && tracer_ != nullptr) {
+    tracer_->NameTrack(it->second, stage);
+  }
+  return it->second;
+}
+
 FlowRunner::StageState& FlowRunner::StateOf(const std::string& stage) {
-  return states_[stage];
+  auto [it, inserted] = states_.try_emplace(stage);
+  if (inserted) {
+    obs::MetricsRegistry& registry = Registry();
+    const std::string prefix = "flow." + stage + ".";
+    StageCounters& c = it->second.counters;
+    c.products_in = registry.GetCounter(prefix + "products_in");
+    c.products_out = registry.GetCounter(prefix + "products_out");
+    c.bytes_in = registry.GetCounter(prefix + "bytes_in");
+    c.bytes_out = registry.GetCounter(prefix + "bytes_out");
+    c.errors = registry.GetCounter(prefix + "errors");
+    c.retries = registry.GetCounter(prefix + "retries");
+    c.dead_lettered = registry.GetCounter(prefix + "dead_lettered");
+  }
+  return it->second;
 }
 
 sim::Resource* FlowRunner::ResourceOf(const std::string& stage_name,
@@ -98,6 +180,10 @@ Status FlowRunner::InjectDowntime(const std::string& stage, double seconds) {
   for (int i = 0; i < state.workers; ++i) {
     resource->Submit(seconds, nullptr);
   }
+  if (tracing()) {
+    tracer_->InstantEvent("downtime_injected", "flow",
+                          {{"seconds", FmtSeconds(seconds)}}, TidFor(stage));
+  }
   DFLOW_LOG(Warning) << "stage '" << stage << "' down for " << seconds
                      << "s at t=" << simulation_->Now();
   return Status::OK();
@@ -137,8 +223,8 @@ double FlowRunner::BackoffDelay(const RetryPolicy& policy, int next_attempt) {
 
 void FlowRunner::Deliver(const std::string& stage_name, DataProduct product) {
   StageState& state = StateOf(stage_name);
-  state.metrics.products_in += 1;
-  state.metrics.bytes_in += product.bytes;
+  state.counters.products_in->Add(1);
+  state.counters.bytes_in->Add(product.bytes);
   Enqueue(stage_name, std::move(product), 0);
 }
 
@@ -152,6 +238,7 @@ void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
 
   double service_time = stage->ServiceTime(product);
   resource->Submit(service_time, [this, stage, stage_name, attempt,
+                                  service_time,
                                   product = std::move(product)] {
     StageState& state = StateOf(stage_name);
     bool injected_failure = false;
@@ -164,26 +251,56 @@ void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
     } else {
       outputs = stage->Process(product);
     }
+    if (tracing()) {
+      // One span per serviced attempt on the stage's track — the trace
+      // mirror of the provenance ProcessingStep this attempt would stamp.
+      double end_sec = simulation_->Now();
+      obs::TraceArgs args;
+      args.emplace_back("product", product.name);
+      args.emplace_back("attempt", std::to_string(attempt + 1));
+      args.emplace_back("bytes", std::to_string(product.bytes));
+      args.emplace_back("outcome", outputs.ok() ? "ok"
+                                   : injected_failure ? "injected_error"
+                                                      : "error");
+      tracer_->CompleteEvent(stage_name, "flow",
+                             UsOf(end_sec - service_time),
+                             UsOf(service_time), std::move(args),
+                             TidFor(stage_name));
+    }
     if (!outputs.ok()) {
-      state.metrics.errors += 1;
+      state.counters.errors->Add(1);
       const RetryPolicy& policy = state.retry;
       if (attempt + 1 < policy.max_attempts) {
-        state.metrics.retries += 1;
+        state.counters.retries->Add(1);
         double delay = BackoffDelay(policy, attempt + 1);
         DFLOW_LOG(Warning)
             << "stage '" << stage_name << "' attempt " << (attempt + 1)
             << " failed (" << outputs.status().ToString() << "); retry in "
             << delay << "s";
+        if (tracing()) {
+          tracer_->InstantEvent(
+              "retry_scheduled", "flow",
+              {{"product", product.name},
+               {"attempt", std::to_string(attempt + 1)},
+               {"delay_sec", FmtSeconds(delay)}},
+              TidFor(stage_name));
+        }
         simulation_->Schedule(delay, [this, stage_name, attempt,
                                       product]() mutable {
           Enqueue(stage_name, std::move(product), attempt + 1);
         });
         return;
       }
-      state.metrics.dead_lettered += 1;
+      state.counters.dead_lettered->Add(1);
       dead_letters_.push_back(DeadLetter{stage_name, product,
                                          outputs.status().ToString(),
                                          simulation_->Now()});
+      if (tracing()) {
+        tracer_->InstantEvent("dead_letter", "flow",
+                              {{"product", product.name},
+                               {"error", outputs.status().ToString()}},
+                              TidFor(stage_name));
+      }
       DFLOW_LOG(Warning) << "stage '" << stage_name << "' dead-lettered '"
                          << product.name << "' after " << (attempt + 1)
                          << " attempt(s): " << outputs.status().ToString()
@@ -193,8 +310,8 @@ void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
     const std::vector<std::string>& successors =
         graph_->Successors(stage_name);
     for (DataProduct& output : *outputs) {
-      state.metrics.products_out += 1;
-      state.metrics.bytes_out += output.bytes;
+      state.counters.products_out->Add(1);
+      state.counters.bytes_out->Add(output.bytes);
       // Accumulate the provenance chain.
       prov::ProcessingStep step;
       step.module = stage_name;
@@ -228,7 +345,8 @@ const StageMetrics& FlowRunner::MetricsFor(const std::string& stage) const {
   static const StageMetrics& kEmpty = *new StageMetrics();
   auto it = states_.find(stage);
   if (it != states_.end()) {
-    return it->second.metrics;
+    it->second.RefreshSnapshot();
+    return it->second.snapshot;
   }
   if (!graph_->Find(stage).ok()) {
     DFLOW_LOG(Warning) << "MetricsFor: no stage named '" << stage
@@ -242,7 +360,11 @@ Result<StageMetrics> FlowRunner::CheckedMetricsFor(
   DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
   (void)ignored;
   auto it = states_.find(stage);
-  return it == states_.end() ? StageMetrics{} : it->second.metrics;
+  if (it == states_.end()) {
+    return StageMetrics{};
+  }
+  it->second.RefreshSnapshot();
+  return it->second.snapshot;
 }
 
 const std::vector<DataProduct>& FlowRunner::SinkOutputs(
@@ -277,10 +399,17 @@ double FlowRunner::UtilizationOf(const std::string& stage) const {
   return it->second.resource->Utilization();
 }
 
+Result<double> FlowRunner::CheckedUtilizationOf(
+    const std::string& stage) const {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  return UtilizationOf(stage);
+}
+
 int64_t FlowRunner::total_retries() const {
   int64_t total = 0;
   for (const auto& [name, state] : states_) {
-    total += state.metrics.retries;
+    total += state.counters.retries->Value();
   }
   return total;
 }
@@ -288,7 +417,7 @@ int64_t FlowRunner::total_retries() const {
 int64_t FlowRunner::total_errors() const {
   int64_t total = 0;
   for (const auto& [name, state] : states_) {
-    total += state.metrics.errors;
+    total += state.counters.errors->Value();
   }
   return total;
 }

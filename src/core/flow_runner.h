@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/flow_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
 #include "util/result.h"
@@ -14,7 +16,11 @@
 
 namespace dflow::core {
 
-/// Per-stage throughput accounting collected by a run.
+/// Per-stage throughput accounting snapshot. Since the observability PR
+/// the live storage is registry-backed obs::Counters under
+/// "flow.<stage>.<field>" names; this struct is the read-side view the
+/// accessors and Report() are built from (byte-compatible with the
+/// pre-registry output).
 struct StageMetrics {
   int64_t products_in = 0;
   int64_t products_out = 0;
@@ -68,6 +74,26 @@ class FlowRunner {
   FlowRunner(sim::Simulation* simulation, FlowGraph* graph,
              uint64_t retry_seed = 42);
 
+  /// Publishes the per-stage counters into `registry` (borrowed, must
+  /// outlive the runner) instead of the runner's private registry, so one
+  /// registry can aggregate several subsystems. Must be called before any
+  /// stage is configured or injected (FailedPrecondition otherwise).
+  Status SetMetricsRegistry(obs::MetricsRegistry* registry);
+
+  /// The registry the per-stage counters live in (the injected one, or
+  /// the runner's own). Counter names: "flow.<stage>.products_in",
+  /// ".products_out", ".bytes_in", ".bytes_out", ".errors", ".retries",
+  /// ".dead_lettered".
+  obs::MetricsRegistry* metrics_registry();
+
+  /// Attaches a tracer (borrowed; may be null to detach). Every serviced
+  /// product then emits a complete span on the stage's track — mirroring
+  /// the provenance ProcessingStep chain, one span per step — plus instant
+  /// events for scheduled retries and dead letters. Bind the tracer's
+  /// clock to this runner's simulation (TracerConfig::kExternal) for
+  /// deterministic virtual-time traces. FailedPrecondition after Run().
+  Status SetTracer(obs::Tracer* tracer);
+
   /// Sets the worker count of a stage (default 1). Must be called before
   /// Run().
   Status SetWorkers(const std::string& stage, int workers);
@@ -111,6 +137,10 @@ class FlowRunner {
       const std::string& stage) const;
   /// Utilization of the stage's workers over the whole run.
   double UtilizationOf(const std::string& stage) const;
+  /// Checked variant: NotFound for a stage the graph never had, 0.0 for a
+  /// known stage that never ran (same convention as the other Checked
+  /// accessors).
+  Result<double> CheckedUtilizationOf(const std::string& stage) const;
 
   /// Every product that exhausted its retries, in failure order.
   const std::vector<DeadLetter>& dead_letters() const { return dead_letters_; }
@@ -128,6 +158,18 @@ class FlowRunner {
   sim::Simulation* simulation() const { return simulation_; }
 
  private:
+  /// Registry handles for one stage's counters, resolved once at stage
+  /// creation and bumped lock-free afterwards.
+  struct StageCounters {
+    obs::Counter* products_in = nullptr;
+    obs::Counter* products_out = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* dead_lettered = nullptr;
+  };
+
   struct StageState {
     std::unique_ptr<sim::Resource> resource;
     int workers = 1;
@@ -135,8 +177,13 @@ class FlowRunner {
     std::string site;
     RetryPolicy retry;
     int64_t forced_failures = 0;
-    StageMetrics metrics;
+    StageCounters counters;
+    /// Assembled from the registry counters on read (MetricsFor returns a
+    /// reference, so the snapshot must live in the state).
+    mutable StageMetrics snapshot;
     std::vector<DataProduct> sink_outputs;
+
+    void RefreshSnapshot() const;
   };
 
   void Deliver(const std::string& stage_name, DataProduct product);
@@ -145,10 +192,18 @@ class FlowRunner {
   double BackoffDelay(const RetryPolicy& policy, int next_attempt);
   StageState& StateOf(const std::string& stage);
   sim::Resource* ResourceOf(const std::string& stage_name, StageState& state);
+  obs::MetricsRegistry& Registry();
+  /// Trace track for a stage (assigned on first event, named after it).
+  int TidFor(const std::string& stage);
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   sim::Simulation* simulation_;
   FlowGraph* graph_;
   Rng retry_rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;        // Injected, or...
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // ...lazily owned.
+  obs::Tracer* tracer_ = nullptr;
+  std::map<std::string, int> trace_tids_;
   std::map<std::string, StageState> states_;
   std::vector<DeadLetter> dead_letters_;
   bool ran_ = false;

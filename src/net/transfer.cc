@@ -1,11 +1,40 @@
 #include "net/transfer.h"
 
+#include <cmath>
 #include <utility>
 
 #include "util/crc32.h"
 #include "util/logging.h"
 
 namespace dflow::net {
+
+namespace {
+
+/// Virtual seconds -> trace microseconds.
+int64_t UsOf(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+/// Registry-mirror bump: a no-op branch unless a registry was attached.
+inline void Bump(obs::Counter* counter) {
+  if (counter != nullptr) {
+    counter->Add(1);
+  }
+}
+
+const char* OutcomeLabel(DeliveryOutcome outcome, bool verified) {
+  switch (outcome) {
+    case DeliveryOutcome::kDelivered:
+      return verified ? "delivered" : "verify_failed";
+    case DeliveryOutcome::kCorrupted:
+      return "corrupted";
+    case DeliveryOutcome::kLost:
+      return "lost";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 void TransferManifest::Add(const TransferItem& item) {
   items_[item.name] = item;
@@ -49,6 +78,19 @@ TransferScheduler::TransferScheduler(sim::Simulation* simulation,
   DFLOW_CHECK(channel_ != nullptr);
 }
 
+void TransferScheduler::SetObserver(obs::Tracer* tracer,
+                                    obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    obs_.delivered = metrics_->GetCounter("net.transfer.delivered");
+    obs_.retries = metrics_->GetCounter("net.transfer.retries");
+    obs_.failures = metrics_->GetCounter("net.transfer.failures");
+  } else {
+    obs_ = ObsCounters{};
+  }
+}
+
 Status TransferScheduler::SendAll(std::vector<TransferItem> items,
                                   std::function<void()> on_all_delivered) {
   if (started_) {
@@ -84,6 +126,11 @@ void TransferScheduler::Resend(const std::string& name, int attempt) {
   auto it = manifest_.items().find(name);
   DFLOW_CHECK(it != manifest_.items().end());
   TransferItem pristine = it->second;
+  if (obs::Tracer* tracer = ActiveTracer()) {
+    tracer->InstantEvent("net.retransmit", "net",
+                         {{"name", name},
+                          {"attempt", std::to_string(attempt)}});
+  }
   if (backoff_initial_sec_ <= 0.0) {
     SendOne(std::move(pristine), attempt);
     return;
@@ -99,21 +146,37 @@ void TransferScheduler::Resend(const std::string& name, int attempt) {
 }
 
 void TransferScheduler::SendOne(TransferItem item, int attempt) {
+  double send_sec = simulation_->Now();
   Status s = channel_->Send(
-      item, [this, attempt](const TransferItem& delivered,
-                            DeliveryOutcome outcome) {
+      item, [this, attempt, send_sec](const TransferItem& delivered,
+                                      DeliveryOutcome outcome) {
         bool ok = outcome == DeliveryOutcome::kDelivered &&
                   manifest_.Verify(delivered).ok();
+        if (obs::Tracer* tracer = ActiveTracer()) {
+          // One span per attempt: the channel latency of this send.
+          double end_sec = simulation_->Now();
+          tracer->CompleteEvent(
+              "net.transfer", "net", UsOf(send_sec),
+              UsOf(end_sec - send_sec),
+              {{"name", delivered.name},
+               {"attempt", std::to_string(attempt)},
+               {"bytes", std::to_string(delivered.bytes)},
+               {"outcome", OutcomeLabel(outcome, ok)}});
+        }
         if (!ok) {
           if (attempt + 1 > max_retries_) {
             ++failures_;
+            Bump(obs_.failures);
             DFLOW_LOG(Error) << "transfer of '" << delivered.name
                              << "' failed permanently";
           } else {
             ++retries_;
+            Bump(obs_.retries);
             Resend(delivered.name, attempt + 1);
             return;
           }
+        } else {
+          Bump(obs_.delivered);
         }
         if (--outstanding_ == 0 && on_all_delivered_) {
           on_all_delivered_();
@@ -122,6 +185,7 @@ void TransferScheduler::SendOne(TransferItem item, int attempt) {
   if (!s.ok()) {
     DFLOW_LOG(Error) << "send failed: " << s.ToString();
     ++failures_;
+    Bump(obs_.failures);
     if (--outstanding_ == 0 && on_all_delivered_) {
       on_all_delivered_();
     }

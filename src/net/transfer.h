@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulation.h"
 
 namespace dflow::net {
@@ -54,6 +56,14 @@ class TransferScheduler {
   Status SendAll(std::vector<TransferItem> items,
                  std::function<void()> on_all_delivered);
 
+  /// Attaches observability hooks (borrowed; either may be null). With a
+  /// tracer, every send attempt emits one virtual-time "net.transfer" span
+  /// (channel latency, with name/attempt/outcome args) and every
+  /// retransmit an instant event. With a registry, counters are mirrored
+  /// under "net.transfer.delivered", ".retries", ".failures". Attach
+  /// before SendAll().
+  void SetObserver(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   int64_t retries() const { return retries_; }
   int64_t failures() const { return failures_; }
   const TransferManifest& manifest() const { return manifest_; }
@@ -62,6 +72,10 @@ class TransferScheduler {
  private:
   void SendOne(TransferItem item, int attempt);
   void Resend(const std::string& name, int attempt);
+  /// The configured tracer if currently enabled, else null.
+  obs::Tracer* ActiveTracer() const {
+    return tracer_ != nullptr && tracer_->enabled() ? tracer_ : nullptr;
+  }
 
   sim::Simulation* simulation_;
   Channel* channel_;
@@ -74,6 +88,16 @@ class TransferScheduler {
   int64_t failures_ = 0;
   bool started_ = false;
   std::function<void()> on_all_delivered_;
+
+  // Observability (both null until SetObserver).
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct ObsCounters {
+    obs::Counter* delivered = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* failures = nullptr;
+  };
+  ObsCounters obs_;
 };
 
 }  // namespace dflow::net

@@ -1,10 +1,10 @@
-#include "serve/latency_histogram.h"
+#include "obs/latency_histogram.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 
-namespace dflow::serve {
+namespace dflow::obs {
 
 namespace {
 
@@ -117,4 +117,4 @@ std::string LatencyHistogram::Summary() const {
   return buf;
 }
 
-}  // namespace dflow::serve
+}  // namespace dflow::obs

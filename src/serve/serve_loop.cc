@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <future>
 #include <thread>
@@ -21,6 +22,14 @@ std::string TopLevelPrefix(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(0, slash);
 }
 
+/// Registry-mirror bump: a no-op branch unless a MetricsRegistry was
+/// attached through ServeConfig.
+inline void Bump(obs::Counter* counter) {
+  if (counter != nullptr) {
+    counter->Add(1);
+  }
+}
+
 }  // namespace
 
 ServeLoop::ServeLoop(core::ServiceRegistry* registry, ServeConfig config,
@@ -35,6 +44,18 @@ ServeLoop::ServeLoop(core::ServiceRegistry* registry, ServeConfig config,
   stripes_.reserve(static_cast<size_t>(num_stripes));
   for (int i = 0; i < num_stripes; ++i) {
     stripes_.push_back(std::make_unique<HistogramStripe>());
+  }
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry* registry = config_.metrics;
+    reg_.offered = registry->GetCounter("serve.offered");
+    reg_.admitted = registry->GetCounter("serve.admitted");
+    reg_.shed = registry->GetCounter("serve.shed");
+    reg_.completed = registry->GetCounter("serve.completed");
+    reg_.errors = registry->GetCounter("serve.errors");
+    reg_.deadline_expired = registry->GetCounter("serve.deadline_expired");
+    reg_.cache_hits = registry->GetCounter("serve.cache_hits");
+    reg_.cache_misses = registry->GetCounter("serve.cache_misses");
+    reg_latency_ = registry->GetHistogram("serve.latency_sec", num_stripes);
   }
   pool_ = std::make_unique<ThreadPool>(config_.num_workers);
 }
@@ -59,8 +80,13 @@ void ServeLoop::RecordLatency(double seconds) {
   size_t stripe = std::hash<std::thread::id>{}(std::this_thread::get_id()) %
                   stripes_.size();
   HistogramStripe& s = *stripes_[stripe];
-  std::lock_guard<std::mutex> lock(s.mu);
-  s.histogram.Record(seconds);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.histogram.Record(seconds);
+  }
+  if (reg_latency_ != nullptr) {
+    reg_latency_->Record(seconds);
+  }
 }
 
 LatencyHistogram ServeLoop::Latencies() const {
@@ -100,28 +126,52 @@ Result<core::ServiceResponse> ServeLoop::Dispatch(
 
 void ServeLoop::Process(core::ServiceRequest request, DoneFn done,
                         std::string key, double start_sec,
-                        double deadline_at_sec) {
+                        double deadline_at_sec, int64_t trace_admit_us) {
+  obs::Tracer* tracer = ActiveTracer();
+  if (tracer != nullptr && trace_admit_us >= 0) {
+    // Admission-to-dequeue: the segment admission control exists to bound.
+    int64_t dequeue_us = tracer->NowUs();
+    tracer->CompleteEvent("queue_wait", "serve", trace_admit_us,
+                          dequeue_us - trace_admit_us,
+                          {{"path", request.path}});
+  }
   double now = NowSec();
   if (deadline_at_sec > 0.0 && now > deadline_at_sec) {
     // Died of old age in the admission queue; don't waste backend time.
     deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    Bump(reg_.deadline_expired);
+    if (tracer != nullptr) {
+      tracer->InstantEvent("deadline_expired", "serve",
+                           {{"path", request.path}});
+    }
     if (done) {
       done(Status::ResourceExhausted(
           "deadline exceeded after waiting in admission queue"));
     }
     return;
   }
+  int64_t backend_start_us = tracer != nullptr ? tracer->NowUs() : 0;
   Result<core::ServiceResponse> result = Dispatch(request);
+  if (tracer != nullptr) {
+    int64_t backend_end_us = tracer->NowUs();
+    tracer->CompleteEvent(
+        "backend", "serve", backend_start_us,
+        backend_end_us - backend_start_us,
+        {{"path", request.path},
+         {"status", result.ok() ? "ok" : result.status().ToString()}});
+  }
   double latency = NowSec() - start_sec;
   RecordLatency(latency);
   if (result.ok()) {
     completed_.fetch_add(1, std::memory_order_relaxed);
+    Bump(reg_.completed);
     if (cache_ != nullptr &&
         result->cache_max_age_sec >= 0.0) {  // kUncacheable is negative.
       cache_->Insert(key, *result, NowSec(), result->cache_max_age_sec);
     }
   } else {
     errors_.fetch_add(1, std::memory_order_relaxed);
+    Bump(reg_.errors);
   }
   if (done) {
     done(result);
@@ -131,16 +181,29 @@ void ServeLoop::Process(core::ServiceRequest request, DoneFn done,
 Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
                           double deadline_sec) {
   offered_.fetch_add(1, std::memory_order_relaxed);
+  Bump(reg_.offered);
+  obs::Tracer* tracer = ActiveTracer();
   double start_sec = NowSec();
   std::string key = ShardedResponseCache::CanonicalKey(request);
   if (cache_ != nullptr) {
+    int64_t lookup_start_us = tracer != nullptr ? tracer->NowUs() : 0;
     std::optional<core::ServiceResponse> hit = cache_->Lookup(key, start_sec);
+    if (tracer != nullptr) {
+      int64_t lookup_end_us = tracer->NowUs();
+      tracer->CompleteEvent("cache_lookup", "serve", lookup_start_us,
+                            lookup_end_us - lookup_start_us,
+                            {{"path", request.path},
+                             {"result", hit.has_value() ? "hit" : "miss"}});
+    }
     if (hit.has_value()) {
       // Cache hits bypass the admission queue entirely: the whole point of
       // the dissemination cache is that hot requests cost no backend time.
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       admitted_.fetch_add(1, std::memory_order_relaxed);
       completed_.fetch_add(1, std::memory_order_relaxed);
+      Bump(reg_.cache_hits);
+      Bump(reg_.admitted);
+      Bump(reg_.completed);
       consecutive_sheds_.store(0, std::memory_order_relaxed);
       RecordLatency(NowSec() - start_sec);
       if (done) {
@@ -149,6 +212,7 @@ Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
       return Status::OK();
     }
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    Bump(reg_.cache_misses);
   }
 
   double effective_deadline = deadline_sec == 0.0
@@ -157,11 +221,13 @@ Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
   double deadline_at_sec =
       effective_deadline > 0.0 ? start_sec + effective_deadline : 0.0;
 
+  int64_t trace_admit_us = tracer != nullptr ? tracer->NowUs() : -1;
   bool accepted = pool_->TrySubmit(
       [this, request = std::move(request), done = std::move(done),
-       key = std::move(key), start_sec, deadline_at_sec]() mutable {
+       key = std::move(key), start_sec, deadline_at_sec,
+       trace_admit_us]() mutable {
         Process(std::move(request), std::move(done), std::move(key),
-                start_sec, deadline_at_sec);
+                start_sec, deadline_at_sec, trace_admit_us);
       },
       config_.max_queue_depth);
   if (!accepted) {
@@ -170,6 +236,13 @@ Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
     double retry_after = RetryAfterFor(streak);
     last_retry_after_sec_.store(retry_after, std::memory_order_relaxed);
     shed_.fetch_add(1, std::memory_order_relaxed);
+    Bump(reg_.shed);
+    if (tracer != nullptr) {
+      char retry_buf[32];
+      std::snprintf(retry_buf, sizeof(retry_buf), "%.6g", retry_after);
+      tracer->InstantEvent("shed", "serve",
+                           {{"retry_after_sec", retry_buf}});
+    }
     return Status::ResourceExhausted(
         "admission queue full (depth >= " +
         std::to_string(config_.max_queue_depth) + "); retry after " +
@@ -177,6 +250,7 @@ Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
   }
   consecutive_sheds_.store(0, std::memory_order_relaxed);
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  Bump(reg_.admitted);
   return Status::OK();
 }
 

@@ -13,6 +13,8 @@
 
 #include "core/flow_runner.h"  // core::RetryPolicy — retry-after hint shape.
 #include "core/web_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/latency_histogram.h"
 #include "serve/response_cache.h"
 #include "util/result.h"
@@ -54,6 +56,24 @@ struct ServeConfig {
   /// thread-safe.
   enum class BackendLocking { kPerMount, kGlobal, kNone };
   BackendLocking locking = BackendLocking::kPerMount;
+
+  /// Optional observability hooks (borrowed; must outlive the loop).
+  ///
+  /// With a tracer attached, every request leaves a span chain —
+  /// "cache_lookup" on the submitting thread, then "queue_wait" (admission
+  /// to dequeue) and "backend" (Dispatch) on the worker — plus instant
+  /// events for sheds and queue-deadline expirations. Timestamps come from
+  /// the tracer's clock: wall for profiling, kLogical for byte-identical
+  /// golden traces of serialized runs. A null or disabled tracer costs one
+  /// branch per request.
+  obs::Tracer* tracer = nullptr;
+  /// With a registry attached, the loop mirrors its counters under
+  /// "serve.offered", ".admitted", ".shed", ".completed", ".errors",
+  /// ".deadline_expired", ".cache_hits", ".cache_misses" and records every
+  /// admitted-request latency into the "serve.latency_sec" histogram —
+  /// the same numbers as Stats()/Latencies(), published into the shared
+  /// substrate the other tiers report into.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ServeStats {
@@ -142,10 +162,18 @@ class ServeLoop {
   };
 
   void Process(core::ServiceRequest request, DoneFn done, std::string key,
-               double start_sec, double deadline_at_sec);
+               double start_sec, double deadline_at_sec,
+               int64_t trace_admit_us);
   Result<core::ServiceResponse> Dispatch(const core::ServiceRequest& request);
   void RecordLatency(double seconds);
   double RetryAfterFor(int64_t consecutive_sheds) const;
+  /// The configured tracer if it is currently enabled, else null — so hot
+  /// paths pay one branch and never build strings while tracing is off.
+  obs::Tracer* ActiveTracer() const {
+    return config_.tracer != nullptr && config_.tracer->enabled()
+               ? config_.tracer
+               : nullptr;
+  }
 
   core::ServiceRegistry* registry_;
   ServeConfig config_;
@@ -164,6 +192,20 @@ class ServeLoop {
   std::atomic<double> last_retry_after_sec_{0.0};
 
   std::vector<std::unique_ptr<HistogramStripe>> stripes_;
+
+  // Registry mirrors (null when config_.metrics is null).
+  struct RegistryCounters {
+    obs::Counter* offered = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* deadline_expired = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+  };
+  RegistryCounters reg_;
+  obs::StripedHistogram* reg_latency_ = nullptr;
 
   std::mutex backend_locks_mu_;
   std::map<std::string, std::unique_ptr<std::mutex>> backend_locks_;

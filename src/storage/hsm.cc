@@ -1,10 +1,28 @@
 #include "storage/hsm.h"
 
+#include <cmath>
 #include <memory>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace dflow::storage {
+
+namespace {
+
+/// Virtual seconds -> trace microseconds.
+int64_t UsOf(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+/// Registry-mirror bump: a no-op branch unless a registry was attached.
+inline void Bump(obs::Counter* counter) {
+  if (counter != nullptr) {
+    counter->Add(1);
+  }
+}
+
+}  // namespace
 
 HsmCache::HsmCache(sim::Simulation* simulation, DiskVolume* cache_disk,
                    TapeLibrary* tape)
@@ -12,6 +30,22 @@ HsmCache::HsmCache(sim::Simulation* simulation, DiskVolume* cache_disk,
   DFLOW_CHECK(simulation_ != nullptr);
   DFLOW_CHECK(cache_disk_ != nullptr);
   DFLOW_CHECK(tape_ != nullptr);
+}
+
+void HsmCache::SetObserver(obs::Tracer* tracer,
+                           obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    obs_.cache_hits = metrics_->GetCounter("hsm.cache_hits");
+    obs_.cache_misses = metrics_->GetCounter("hsm.cache_misses");
+    obs_.evictions = metrics_->GetCounter("hsm.evictions");
+    obs_.read_faults = metrics_->GetCounter("hsm.read_faults");
+    obs_.operator_repairs = metrics_->GetCounter("hsm.operator_repairs");
+    obs_.read_failures = metrics_->GetCounter("hsm.read_failures");
+  } else {
+    obs_ = ObsCounters{};
+  }
 }
 
 Status HsmCache::MakeRoom(int64_t bytes) {
@@ -50,6 +84,7 @@ void HsmCache::Evict(const std::string& file) {
   lru_.erase(it->second.lru_it);
   cache_entries_.erase(it);
   ++evictions_;
+  Bump(obs_.evictions);
 }
 
 Status HsmCache::Put(const std::string& file, int64_t bytes,
@@ -58,6 +93,22 @@ Status HsmCache::Put(const std::string& file, int64_t bytes,
   // Disk landing then write-through to tape; completion = tape durable.
   InstallInCache(file, bytes);
   double disk_time = cache_disk_->AccessTime(bytes);
+  if (obs::Tracer* tracer = ActiveTracer()) {
+    // Span covers disk landing through tape durability.
+    double start_sec = simulation_->Now();
+    auto inner = std::move(on_complete);
+    on_complete = [this, tracer, file, bytes, start_sec,
+                   cb = std::move(inner)]() mutable {
+      double end_sec = simulation_->Now();
+      tracer->CompleteEvent("hsm.archive_put", "storage", UsOf(start_sec),
+                            UsOf(end_sec - start_sec),
+                            {{"file", file},
+                             {"bytes", std::to_string(bytes)}});
+      if (cb) {
+        cb();
+      }
+    };
+  }
   auto cb = std::make_shared<std::function<void()>>(std::move(on_complete));
   simulation_->Schedule(disk_time, [this, file, bytes, cb] {
     Status s = tape_->Write(file, bytes, [cb] {
@@ -93,23 +144,48 @@ Status HsmCache::GetChecked(const std::string& file,
   auto it = cache_entries_.find(file);
   if (it != cache_entries_.end()) {
     ++hits_;
+    Bump(obs_.cache_hits);
     Touch(file);
     int64_t bytes = it->second.bytes;
-    simulation_->Schedule(cache_disk_->AccessTime(bytes),
-                          [bytes, cb = std::move(on_complete)] {
-                            if (cb) {
-                              cb(bytes);
-                            }
-                          });
+    double access_time = cache_disk_->AccessTime(bytes);
+    if (obs::Tracer* tracer = ActiveTracer()) {
+      // Duration is known up front; emit the span at schedule time.
+      tracer->CompleteEvent("hsm.cache_read", "storage",
+                            UsOf(simulation_->Now()), UsOf(access_time),
+                            {{"file", file},
+                             {"bytes", std::to_string(bytes)}});
+    }
+    simulation_->Schedule(access_time, [bytes, cb = std::move(on_complete)] {
+      if (cb) {
+        cb(bytes);
+      }
+    });
     return Status::OK();
   }
   if (!tape_->Contains(file)) {
     return Status::NotFound("HSM: no file '" + file + "'");
   }
   ++misses_;
+  Bump(obs_.cache_misses);
   DFLOW_ASSIGN_OR_RETURN(int64_t bytes, tape_->FileSize(file));
   DFLOW_RETURN_IF_ERROR(MakeRoom(bytes));
   InstallInCache(file, bytes);
+  if (obs::Tracer* tracer = ActiveTracer()) {
+    // One span covers the whole recall, bad-block retries included.
+    double start_sec = simulation_->Now();
+    auto inner = std::move(on_complete);
+    on_complete = [this, tracer, file, start_sec,
+                   cb = std::move(inner)](Result<int64_t> result) mutable {
+      double end_sec = simulation_->Now();
+      tracer->CompleteEvent("hsm.recall", "storage", UsOf(start_sec),
+                            UsOf(end_sec - start_sec),
+                            {{"file", file},
+                             {"outcome", result.ok() ? "ok" : "error"}});
+      if (cb) {
+        cb(std::move(result));
+      }
+    };
+  }
   RecallWithRetry(file, 0, std::move(on_complete));
   return Status::OK();
 }
@@ -127,8 +203,15 @@ void HsmCache::RecallWithRetry(
           return;
         }
         ++read_faults_;
+        Bump(obs_.read_faults);
+        if (obs::Tracer* tracer = ActiveTracer()) {
+          tracer->InstantEvent("hsm.read_fault", "storage",
+                               {{"file", file},
+                                {"attempt", std::to_string(attempt)}});
+        }
         if (attempt + 1 >= fault_policy_.max_read_attempts) {
           ++read_failures_;
+          Bump(obs_.read_failures);
           if (cb) {
             cb(std::move(bytes));
           }
@@ -142,6 +225,11 @@ void HsmCache::RecallWithRetry(
             fault_policy_.operator_repair_seconds,
             [this, file, attempt, cb = std::move(cb)]() mutable {
               ++operator_repairs_;
+              Bump(obs_.operator_repairs);
+              if (obs::Tracer* tracer = ActiveTracer()) {
+                tracer->InstantEvent("hsm.operator_repair", "storage",
+                                     {{"file", file}});
+              }
               tape_->RepairBadBlock(file);
               RecallWithRetry(file, attempt + 1, std::move(cb));
             });

@@ -7,6 +7,8 @@
 #include <map>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/disk.h"
 #include "storage/tape.h"
 #include "util/result.h"
@@ -56,6 +58,14 @@ class HsmCache {
   void SetFaultPolicy(HsmFaultPolicy policy) { fault_policy_ = policy; }
   const HsmFaultPolicy& fault_policy() const { return fault_policy_; }
 
+  /// Attaches observability hooks (borrowed; either may be null). With a
+  /// tracer, cache reads, tape recalls (spanning every bad-block retry),
+  /// and archive puts emit virtual-time spans; operator repairs emit
+  /// instants. With a registry, the cache/fault counters are mirrored
+  /// under "hsm.cache_hits", ".cache_misses", ".evictions",
+  /// ".read_faults", ".operator_repairs", ".read_failures".
+  void SetObserver(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   /// Tape recalls that failed on a bad block (before retry).
   int64_t read_faults() const { return read_faults_; }
   /// Operator interventions performed (bad-block repairs).
@@ -99,6 +109,24 @@ class HsmCache {
   };
   std::list<std::string> lru_;
   std::map<std::string, Entry> cache_entries_;
+
+  // Observability (both null until SetObserver): counter handles are
+  // resolved once, bumps are one null-check when no registry is attached.
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct ObsCounters {
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* read_faults = nullptr;
+    obs::Counter* operator_repairs = nullptr;
+    obs::Counter* read_failures = nullptr;
+  };
+  ObsCounters obs_;
+  /// The configured tracer if currently enabled, else null.
+  obs::Tracer* ActiveTracer() const {
+    return tracer_ != nullptr && tracer_->enabled() ? tracer_ : nullptr;
+  }
 
   HsmFaultPolicy fault_policy_;
   int64_t hits_ = 0;

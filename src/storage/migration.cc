@@ -1,8 +1,26 @@
 #include "storage/migration.h"
 
+#include <cmath>
+
 #include "util/logging.h"
 
 namespace dflow::storage {
+
+namespace {
+
+/// Virtual seconds -> trace microseconds.
+int64_t UsOf(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+/// Registry-mirror bump: a no-op branch unless a registry was attached.
+inline void Bump(obs::Counter* counter) {
+  if (counter != nullptr) {
+    counter->Add(1);
+  }
+}
+
+}  // namespace
 
 MediaMigration::MediaMigration(sim::Simulation* simulation,
                                TapeLibrary* source,
@@ -14,6 +32,21 @@ MediaMigration::MediaMigration(sim::Simulation* simulation,
   DFLOW_CHECK(source_ != nullptr);
   DFLOW_CHECK(destination_ != nullptr);
   DFLOW_CHECK(config_.parallel_streams > 0);
+}
+
+void MediaMigration::SetObserver(obs::Tracer* tracer,
+                                 obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    obs_.files_migrated = metrics_->GetCounter("migration.files_migrated");
+    obs_.files_lost = metrics_->GetCounter("migration.files_lost");
+    obs_.retries = metrics_->GetCounter("migration.retries");
+    obs_.bad_block_repairs =
+        metrics_->GetCounter("migration.bad_block_repairs");
+  } else {
+    obs_ = ObsCounters{};
+  }
 }
 
 Status MediaMigration::Run(
@@ -53,29 +86,56 @@ void MediaMigration::PumpNext() {
   }
   std::string file = pending_[next_++];
   ++in_flight_;
-  MigrateOne(file, 0);
+  MigrateOne(file, 0, simulation_->Now());
 }
 
-void MediaMigration::MigrateOne(const std::string& file, int attempt) {
-  Status read = source_->ReadChecked(file, [this, file, attempt](
+void MediaMigration::FinishFile(const std::string& file, int attempt,
+                                double start_sec, bool migrated) {
+  if (migrated) {
+    ++report_.files_migrated;
+    Bump(obs_.files_migrated);
+  } else {
+    ++report_.files_lost;
+    Bump(obs_.files_lost);
+  }
+  if (obs::Tracer* tracer = ActiveTracer()) {
+    double end_sec = simulation_->Now();
+    tracer->CompleteEvent("migrate_file", "storage", UsOf(start_sec),
+                          UsOf(end_sec - start_sec),
+                          {{"file", file},
+                           {"attempts", std::to_string(attempt + 1)},
+                           {"outcome", migrated ? "migrated" : "lost"}});
+  }
+  --in_flight_;
+  PumpNext();
+}
+
+void MediaMigration::MigrateOne(const std::string& file, int attempt,
+                                double start_sec) {
+  Status read = source_->ReadChecked(file, [this, file, attempt, start_sec](
                                                Result<int64_t> read_bytes) {
     if (!read_bytes.ok()) {
       // A bad block on the aging source medium: an operator repairs it,
       // then the read is retried — unless the retry budget is spent.
       if (attempt + 1 > config_.max_retries) {
-        ++report_.files_lost;
         DFLOW_LOG(Error) << "migration lost '" << file << "' after retries ("
                          << read_bytes.status().ToString() << ")";
-        --in_flight_;
-        PumpNext();
+        FinishFile(file, attempt, start_sec, /*migrated=*/false);
         return;
       }
       ++report_.retries;
+      Bump(obs_.retries);
       ++report_.bad_block_repairs;
+      Bump(obs_.bad_block_repairs);
       simulation_->Schedule(config_.bad_block_repair_seconds,
-                            [this, file, attempt] {
+                            [this, file, attempt, start_sec] {
+                              if (obs::Tracer* tracer = ActiveTracer()) {
+                                tracer->InstantEvent("bad_block_repair",
+                                                     "storage",
+                                                     {{"file", file}});
+                              }
                               source_->RepairBadBlock(file);
-                              MigrateOne(file, attempt + 1);
+                              MigrateOne(file, attempt + 1, start_sec);
                             });
       return;
     }
@@ -83,36 +143,30 @@ void MediaMigration::MigrateOne(const std::string& file, int attempt) {
     // The read stream either verifies or the aging medium produced errors.
     if (rng_.Bernoulli(config_.read_error_probability)) {
       if (attempt + 1 > config_.max_retries) {
-        ++report_.files_lost;
         DFLOW_LOG(Error) << "migration lost '" << file
                          << "' after retries";
-        --in_flight_;
-        PumpNext();
+        FinishFile(file, attempt, start_sec, /*migrated=*/false);
         return;
       }
       ++report_.retries;
-      MigrateOne(file, attempt + 1);
+      Bump(obs_.retries);
+      MigrateOne(file, attempt + 1, start_sec);
       return;
     }
-    Status write = destination_->Write(file, bytes, [this] {
-      ++report_.files_migrated;
-      --in_flight_;
-      PumpNext();
-    });
+    Status write = destination_->Write(
+        file, bytes, [this, file, attempt, start_sec] {
+          FinishFile(file, attempt, start_sec, /*migrated=*/true);
+        });
     if (!write.ok()) {
       DFLOW_LOG(Error) << "migration write failed: " << write.ToString();
-      ++report_.files_lost;
-      --in_flight_;
-      PumpNext();
+      FinishFile(file, attempt, start_sec, /*migrated=*/false);
       return;
     }
     report_.bytes_migrated += bytes;
   });
   if (!read.ok()) {
     DFLOW_LOG(Error) << "migration read failed: " << read.ToString();
-    ++report_.files_lost;
-    --in_flight_;
-    PumpNext();
+    FinishFile(file, attempt, start_sec, /*migrated=*/false);
   }
 }
 

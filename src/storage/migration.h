@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/tape.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -56,11 +58,27 @@ class MediaMigration {
   /// with identical size.
   Status Verify() const;
 
+  /// Attaches observability hooks (borrowed; either may be null). With a
+  /// tracer, every file migration emits one virtual-time span (covering
+  /// all of its retries) plus instants for bad-block repairs. With a
+  /// registry, report counters are mirrored under
+  /// "migration.files_migrated", ".files_lost", ".retries",
+  /// ".bad_block_repairs". Attach before Run().
+  void SetObserver(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   const MigrationReport& report() const { return report_; }
 
  private:
   void PumpNext();
-  void MigrateOne(const std::string& file, int attempt);
+  void MigrateOne(const std::string& file, int attempt, double start_sec);
+  /// Terminal accounting for one file: counters, the per-file span, and
+  /// the next pump.
+  void FinishFile(const std::string& file, int attempt, double start_sec,
+                  bool migrated);
+  /// The configured tracer if currently enabled, else null.
+  obs::Tracer* ActiveTracer() const {
+    return tracer_ != nullptr && tracer_->enabled() ? tracer_ : nullptr;
+  }
 
   sim::Simulation* simulation_;
   TapeLibrary* source_;
@@ -74,6 +92,17 @@ class MediaMigration {
   double start_time_ = 0.0;
   MigrationReport report_;
   std::function<void(const MigrationReport&)> on_complete_;
+
+  // Observability (both null until SetObserver).
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct ObsCounters {
+    obs::Counter* files_migrated = nullptr;
+    obs::Counter* files_lost = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* bad_block_repairs = nullptr;
+  };
+  ObsCounters obs_;
 };
 
 }  // namespace dflow::storage
