@@ -31,12 +31,12 @@ int main() {
   auto recon_out = recon.Process(raw);
   auto post_out = post.Process(recon_out->run);
 
+  // Column scan via Run::TotalGroupBytes — parallel on the dflow::par
+  // shared pool, exact integer reduction, so the derived tier sizes are
+  // identical at any thread count.
   auto mean_group = [](const eventstore::Run& run, const std::string& group) {
-    int64_t total = 0;
-    for (const auto& event : run.events) {
-      total += event.GroupBytes(group);
-    }
-    return total / static_cast<int64_t>(run.events.size());
+    return run.TotalGroupBytes(group) /
+           static_cast<int64_t>(run.events.size());
   };
 
   TierStore store;

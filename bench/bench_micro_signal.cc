@@ -2,6 +2,8 @@
 // dedispersion, harmonic-summed search, and wlz (de)compression -- the
 // CPU costs behind the paper's "50 to 200 processors" estimate.
 
+#include <cmath>
+
 #include <benchmark/benchmark.h>
 
 #include "arecibo/dedisperse.h"
@@ -9,6 +11,7 @@
 #include "arecibo/search.h"
 #include "arecibo/spectrometer.h"
 #include "util/compress.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace {
@@ -41,6 +44,43 @@ void BM_DedisperseOneTrial(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * spectrum.SizeBytes());
 }
 BENCHMARK(BM_DedisperseOneTrial);
+
+void BM_DelayShiftTable(benchmark::State& state) {
+  // The hoisted per-(dm, channel) shift table: one delay evaluation per
+  // channel per call, amortized over every sample of the trial. The
+  // micro-check pins the table against the direct per-channel formula so
+  // the hoist can never drift from the physics.
+  SpectrometerModel model(96, 1 << 14, 6.4e-5, 2);
+  DynamicSpectrum spectrum = model.Generate({}, {});
+  const double dm = 150.0;
+  const std::vector<int64_t> table = DelayShiftTable(spectrum, dm);
+  DFLOW_CHECK(table.size() == static_cast<size_t>(spectrum.num_channels));
+  for (int c = 0; c < spectrum.num_channels; ++c) {
+    const double delay = DispersionDelaySec(dm, spectrum.ChannelFreqMhz(c)) -
+                         DispersionDelaySec(dm, spectrum.freq_hi_mhz);
+    DFLOW_CHECK(table[static_cast<size_t>(c)] ==
+                std::lround(delay / spectrum.sample_time_sec));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DelayShiftTable(spectrum, dm));
+  }
+  state.SetItemsProcessed(state.iterations() * spectrum.num_channels);
+}
+BENCHMARK(BM_DelayShiftTable);
+
+void BM_DedisperseAllTrials(benchmark::State& state) {
+  // The full DM sweep (the P1 hot path) at bench scale; parallel on the
+  // dflow::par shared pool.
+  SpectrometerModel model(96, 1 << 13, 6.4e-5, 2);
+  DynamicSpectrum spectrum = model.Generate({}, {});
+  Dedisperser dedisperser(MakeDmTrials(300.0, static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedisperser.DedisperseAll(spectrum));
+  }
+  state.SetBytesProcessed(state.iterations() * spectrum.SizeBytes() *
+                          state.range(0));
+}
+BENCHMARK(BM_DedisperseAllTrials)->Arg(16)->Arg(64);
 
 void BM_PeriodicitySearch(benchmark::State& state) {
   SpectrometerModel model(96, 1 << 14, 6.4e-5, 3);

@@ -1,7 +1,9 @@
 #include "arecibo/dedisperse.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "par/par.h"
 #include "util/logging.h"
 
 namespace dflow::arecibo {
@@ -16,6 +18,19 @@ std::vector<double> MakeDmTrials(double dm_max, int num_trials) {
   return trials;
 }
 
+std::vector<int64_t> DelayShiftTable(const DynamicSpectrum& spectrum,
+                                     double dm) {
+  std::vector<int64_t> shifts(static_cast<size_t>(spectrum.num_channels));
+  const double ref_delay = DispersionDelaySec(dm, spectrum.freq_hi_mhz);
+  for (int channel = 0; channel < spectrum.num_channels; ++channel) {
+    const double delay =
+        DispersionDelaySec(dm, spectrum.ChannelFreqMhz(channel)) - ref_delay;
+    shifts[static_cast<size_t>(channel)] =
+        static_cast<int64_t>(std::lround(delay / spectrum.sample_time_sec));
+  }
+  return shifts;
+}
+
 Dedisperser::Dedisperser(std::vector<double> dm_trials)
     : dm_trials_(std::move(dm_trials)) {
   DFLOW_CHECK(!dm_trials_.empty());
@@ -27,17 +42,26 @@ TimeSeries Dedisperser::Dedisperse(const DynamicSpectrum& spectrum,
   series.dm = dm;
   series.sample_time_sec = spectrum.sample_time_sec;
   series.samples.assign(static_cast<size_t>(spectrum.num_samples), 0.0);
-  const double ref_delay = DispersionDelaySec(dm, spectrum.freq_hi_mhz);
+  // Per-DM delay table hoisted out of the channel/sample loops: one
+  // DispersionDelaySec + lround per channel instead of per-(channel,
+  // sample) bounds arithmetic in the hot loop.
+  const std::vector<int64_t> shifts = DelayShiftTable(spectrum, dm);
+  double* out = series.samples.data();
   for (int channel = 0; channel < spectrum.num_channels; ++channel) {
-    const double delay =
-        DispersionDelaySec(dm, spectrum.ChannelFreqMhz(channel)) - ref_delay;
-    const int64_t shift =
-        static_cast<int64_t>(std::lround(delay / spectrum.sample_time_sec));
-    for (int64_t s = 0; s < spectrum.num_samples; ++s) {
-      const int64_t src = s + shift;
-      if (src >= 0 && src < spectrum.num_samples) {
-        series.samples[static_cast<size_t>(s)] += spectrum.At(channel, src);
-      }
+    const int64_t shift = shifts[static_cast<size_t>(channel)];
+    // src = s + shift must stay inside [0, num_samples): clamp the loop
+    // bounds once so the inner loop carries no branch. Skipped samples
+    // contribute nothing, exactly like the old in-loop range check — the
+    // accumulation order (channel-major, then sample) is unchanged, so
+    // outputs are bit-identical to the pre-table code.
+    const int64_t lo = std::max<int64_t>(0, -shift);
+    const int64_t hi =
+        std::min<int64_t>(spectrum.num_samples, spectrum.num_samples - shift);
+    const float* row =
+        spectrum.power.data() +
+        static_cast<size_t>(channel) * static_cast<size_t>(spectrum.num_samples);
+    for (int64_t s = lo; s < hi; ++s) {
+      out[s] += static_cast<double>(row[s + shift]);
     }
   }
   // Normalize to unit noise: the sum of C unit-variance channels has
@@ -52,12 +76,16 @@ TimeSeries Dedisperser::Dedisperse(const DynamicSpectrum& spectrum,
 
 std::vector<TimeSeries> Dedisperser::DedisperseAll(
     const DynamicSpectrum& spectrum) const {
-  std::vector<TimeSeries> out;
-  out.reserve(dm_trials_.size());
-  for (double dm : dm_trials_) {
-    out.push_back(Dedisperse(spectrum, dm));
-  }
-  return out;
+  // Trials are independent and each lands in its own pre-sized slot, so
+  // the output is byte-identical at any thread count.
+  par::Options options;
+  options.label = "arecibo.dedisperse_all";
+  return par::ParallelMap<TimeSeries>(
+      static_cast<int64_t>(dm_trials_.size()),
+      [this, &spectrum](int64_t i) {
+        return Dedisperse(spectrum, dm_trials_[static_cast<size_t>(i)]);
+      },
+      options);
 }
 
 int64_t Dedisperser::OutputBytes(const DynamicSpectrum& spectrum) const {

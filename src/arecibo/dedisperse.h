@@ -25,6 +25,14 @@ struct TimeSeries {
 /// measure").
 std::vector<double> MakeDmTrials(double dm_max, int num_trials);
 
+/// Per-channel sample shifts for one trial DM, relative to the top of the
+/// band: shift[c] = lround((delay(dm, f_c) - delay(dm, f_hi)) / t_samp).
+/// Hoisted out of the dedispersion loops so each (dm, channel) pair costs
+/// one delay evaluation per call instead of per-sample arithmetic; exposed
+/// so tests and benches can pin the table against the direct formula.
+std::vector<int64_t> DelayShiftTable(const DynamicSpectrum& spectrum,
+                                     double dm);
+
 /// Incoherent dedispersion: for each trial DM, shift every channel by its
 /// dispersion delay (relative to the top of the band) and sum across
 /// channels. The output volume is num_trials time series, each as long as
@@ -39,7 +47,9 @@ class Dedisperser {
   /// One trial.
   TimeSeries Dedisperse(const DynamicSpectrum& spectrum, double dm) const;
 
-  /// All trials.
+  /// All trials, parallel across the DM set on the dflow::par shared pool
+  /// (the paper's "50 to 200 processors" axis). Output is byte-identical
+  /// at any thread count: each trial writes its own pre-sized slot.
   std::vector<TimeSeries> DedisperseAll(const DynamicSpectrum& spectrum) const;
 
   /// Bytes the full trial set would occupy for this spectrum (the "30 TB

@@ -1,9 +1,42 @@
 #include "arecibo/fft.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 
 namespace dflow::arecibo {
+
+namespace {
+
+/// Forward-transform twiddle table for size n: table[j] = exp(-2*pi*i*j/n)
+/// for j in [0, n/2). Stage `len` of a size-n transform uses entries at
+/// stride n/len. Cached per size behind a mutex; the returned reference is
+/// valid for the life of the process (entries are never evicted — the
+/// survey touches a handful of distinct sizes).
+const std::vector<std::complex<double>>& TwiddleTable(size_t n) {
+  static std::mutex mu;
+  static std::map<size_t, std::unique_ptr<std::vector<std::complex<double>>>>*
+      cache = new std::map<size_t,
+                           std::unique_ptr<std::vector<std::complex<double>>>>;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto table = std::make_unique<std::vector<std::complex<double>>>(n / 2);
+    for (size_t j = 0; j < n / 2; ++j) {
+      const double angle =
+          -2.0 * std::numbers::pi * static_cast<double>(j) /
+          static_cast<double>(n);
+      (*table)[j] = std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    it = cache->emplace(n, std::move(table)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
 
 size_t NextPowerOfTwo(size_t n) {
   size_t p = 1;
@@ -29,19 +62,20 @@ Status Fft(std::vector<std::complex<double>>& data, bool inverse) {
       std::swap(data[i], data[j]);
     }
   }
-  // Butterflies.
+  // Butterflies with cached twiddles (conjugated for the inverse).
+  const std::vector<std::complex<double>>& twiddles = TwiddleTable(n);
   for (size_t len = 2; len <= n; len <<= 1) {
-    double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
-                   (inverse ? 1.0 : -1.0);
-    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    const size_t stride = n / len;
     for (size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
       for (size_t k = 0; k < len / 2; ++k) {
-        std::complex<double> u = data[i + k];
-        std::complex<double> v = data[i + k + len / 2] * w;
+        std::complex<double> w = twiddles[k * stride];
+        if (inverse) {
+          w = std::conj(w);
+        }
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
         data[i + k] = u + v;
         data[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }
@@ -53,20 +87,78 @@ Status Fft(std::vector<std::complex<double>>& data, bool inverse) {
   return Status::OK();
 }
 
-std::vector<double> PowerSpectrum(const std::vector<double>& series) {
-  size_t n = NextPowerOfTwo(std::max<size_t>(series.size(), 2));
-  std::vector<std::complex<double>> buffer(n);
+std::vector<std::complex<double>>& FftScratch::Complex(size_t n) {
+  const std::complex<double>* before = buffer_.data();
+  const size_t capacity_before = buffer_.capacity();
+  buffer_.assign(n, std::complex<double>(0.0, 0.0));
+  if (buffer_.capacity() != capacity_before || buffer_.data() != before) {
+    ++allocations_;
+  }
+  return buffer_;
+}
+
+void PowerSpectrum(const std::vector<double>& series, FftScratch* scratch,
+                   std::vector<double>* power) {
+  const size_t n = NextPowerOfTwo(std::max<size_t>(series.size(), 2));
+  std::vector<std::complex<double>>& buffer = scratch->Complex(n);
   for (size_t i = 0; i < series.size(); ++i) {
     buffer[i] = std::complex<double>(series[i], 0.0);
   }
   Status s = Fft(buffer);
   (void)s;  // Size is a power of two by construction.
-  std::vector<double> power(n / 2);
-  power[0] = 0.0;  // Suppress DC.
+  power->assign(n / 2, 0.0);
+  // power[0] stays 0: suppress DC.
   for (size_t k = 1; k < n / 2; ++k) {
-    power[k] = std::norm(buffer[k]);
+    (*power)[k] = std::norm(buffer[k]);
   }
+}
+
+std::vector<double> PowerSpectrum(const std::vector<double>& series) {
+  FftScratch scratch;
+  std::vector<double> power;
+  PowerSpectrum(series, &scratch, &power);
   return power;
+}
+
+Status PowerSpectrumPair(const std::vector<double>& a,
+                         const std::vector<double>& b, FftScratch* scratch,
+                         std::vector<double>* power_a,
+                         std::vector<double>* power_b) {
+  const size_t n = NextPowerOfTwo(std::max<size_t>(a.size(), 2));
+  if (NextPowerOfTwo(std::max<size_t>(b.size(), 2)) != n) {
+    return Status::InvalidArgument(
+        "PowerSpectrumPair requires both series to pad to the same power "
+        "of two");
+  }
+  std::vector<std::complex<double>>& buffer = scratch->Complex(n);
+  const size_t shared = std::min(a.size(), b.size());
+  for (size_t i = 0; i < shared; ++i) {
+    buffer[i] = std::complex<double>(a[i], b[i]);
+  }
+  for (size_t i = shared; i < a.size(); ++i) {
+    buffer[i] = std::complex<double>(a[i], 0.0);
+  }
+  for (size_t i = shared; i < b.size(); ++i) {
+    buffer[i] = std::complex<double>(0.0, b[i]);
+  }
+  Status s = Fft(buffer);
+  (void)s;  // Size is a power of two by construction.
+  power_a->assign(n / 2, 0.0);
+  power_b->assign(n / 2, 0.0);
+  // X_k = A_k + i*B_k with A, B conjugate-symmetric:
+  //   A_k = (X_k + conj(X_{n-k})) / 2
+  //   B_k = (X_k - conj(X_{n-k})) / (2i)
+  // DC bins stay 0 (suppressed), matching the single-series path.
+  for (size_t k = 1; k < n / 2; ++k) {
+    const std::complex<double> x = buffer[k];
+    const std::complex<double> y = std::conj(buffer[n - k]);
+    const std::complex<double> ak = 0.5 * (x + y);
+    const std::complex<double> bk =
+        std::complex<double>(0.0, -0.5) * (x - y);
+    (*power_a)[k] = std::norm(ak);
+    (*power_b)[k] = std::norm(bk);
+  }
+  return Status::OK();
 }
 
 }  // namespace dflow::arecibo

@@ -2,6 +2,7 @@
 #define DFLOW_ARECIBO_FFT_H_
 
 #include <complex>
+#include <cstdint>
 #include <vector>
 
 #include "util/result.h"
@@ -13,12 +14,57 @@ namespace dflow::arecibo {
 /// normalization. This is the workhorse of the pulsar periodicity search
 /// (§2.1 "Fourier analysis"), implemented from scratch per the
 /// reproduction rules.
+///
+/// Twiddle factors come from a process-wide table cached per transform
+/// size (computed once, shared by every thread): faster than the old
+/// incremental w *= wlen recurrence and more accurate — each factor is a
+/// direct cos/sin evaluation instead of an accumulated product.
 Status Fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Reusable scratch for the spectrum helpers below. PowerSpectrum /
+/// PowerSpectrumPair zero-pad into an internal complex buffer; routing
+/// repeated same-size calls through one FftScratch (one per worker — it is
+/// NOT thread-safe) reuses that buffer instead of heap-allocating per
+/// call. `allocations()` counts buffer growths, which is what the
+/// allocation-count regression test pins: N same-size transforms must cost
+/// exactly one allocation.
+class FftScratch {
+ public:
+  /// The zero-padded complex buffer, resized to n (capacity grows
+  /// monotonically; growth increments allocations()).
+  std::vector<std::complex<double>>& Complex(size_t n);
+
+  /// Times the complex buffer had to (re)allocate backing storage.
+  int64_t allocations() const { return allocations_; }
+
+ private:
+  std::vector<std::complex<double>> buffer_;
+  int64_t allocations_ = 0;
+};
 
 /// Power spectrum of a real time series: zero-pads to the next power of
 /// two, FFTs, and returns |X_k|^2 for k = 0..N/2-1 (the one-sided
 /// spectrum). The DC bin is zeroed so detrending is unnecessary upstream.
 std::vector<double> PowerSpectrum(const std::vector<double>& series);
+
+/// Scratch-reusing form: identical output to the vector-returning shim
+/// above (bit-for-bit — same code path), but the complex work buffer lives
+/// in `scratch` and `power` is reused across calls.
+void PowerSpectrum(const std::vector<double>& series, FftScratch* scratch,
+                   std::vector<double>* power);
+
+/// Real-input packing: computes the power spectra of TWO real series with
+/// ONE complex FFT by transforming a + i*b and splitting with the
+/// conjugate-symmetry identities A_k = (X_k + conj(X_{n-k}))/2,
+/// B_k = (X_k - conj(X_{n-k}))/(2i). Both series must pad to the same
+/// power of two (InvalidArgument otherwise). Results agree with the
+/// single-series path to floating-point rounding (not bit-exactly) — but
+/// are themselves deterministic: the same inputs always produce the same
+/// bytes, regardless of thread count.
+Status PowerSpectrumPair(const std::vector<double>& a,
+                         const std::vector<double>& b, FftScratch* scratch,
+                         std::vector<double>* power_a,
+                         std::vector<double>* power_b);
 
 /// Smallest power of two >= n (n >= 1).
 size_t NextPowerOfTwo(size_t n);

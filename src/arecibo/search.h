@@ -43,9 +43,30 @@ class PeriodicitySearch {
   /// Candidates above threshold, strongest first.
   std::vector<Candidate> Search(const TimeSeries& series) const;
 
+  /// Batch form over many series (the per-beam DM-trial sweep): series are
+  /// paired (0,1), (2,3), ... and each pair's power spectra come from ONE
+  /// complex FFT via real-input packing (PowerSpectrumPair), with the
+  /// pair loop parallel on the dflow::par shared pool and per-chunk
+  /// FftScratch reuse. Results land in slot i for series i, so output
+  /// order — and every byte of it — is thread-count-invariant. The packed
+  /// spectra agree with the single-series path to floating-point rounding,
+  /// so Search(series[i]) and SearchBatch(series)[i] can differ in the
+  /// last bits of SNR; within one code path, same input => same bytes.
+  /// Pairing only happens when both series pad to the same FFT size;
+  /// stragglers take the single-series path.
+  std::vector<std::vector<Candidate>> SearchBatch(
+      const std::vector<TimeSeries>& series) const;
+
   const SearchConfig& config() const { return config_; }
 
  private:
+  /// The spectrum-domain half of Search(): robust stats, harmonic
+  /// summing (parallel across bins), local-maxima thresholding. `power`
+  /// is the one-sided spectrum of `series` (padded size = 2 *
+  /// power.size()).
+  std::vector<Candidate> SearchPower(const std::vector<double>& power,
+                                     const TimeSeries& series) const;
+
   SearchConfig config_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/par.h"
+
 namespace dflow::arecibo {
 
 SurveyPipeline::SurveyPipeline(SurveyConfig config)
@@ -24,54 +26,95 @@ PointingResult SurveyPipeline::ProcessPointing(
   MetaAnalysis meta(config_.meta);
   SinglePulseSearch single_pulse(config_.single_pulse);
 
+  // Batch across beams on the dflow::par shared pool: every beam's
+  // synthesis, dedispersion sweep, FFT search, and sift is an independent
+  // deterministic computation (per-beam seed, shared RFI phase), and each
+  // beam writes its own pre-sized slot — so the pointing result is
+  // byte-identical at any thread count. Inner parallel regions
+  // (DedisperseAll, SearchBatch, harmonic summing) nest and therefore run
+  // inline on the beam's worker.
+  struct BeamOutput {
+    BeamResult sifted;
+    std::vector<TransientEvent> transients;
+    int64_t raw_bytes = 0;
+    int64_t dedispersed_bytes = 0;
+  };
+  par::Options beam_options;
+  beam_options.label = "arecibo.pointing_beams";
+  std::vector<BeamOutput> beam_outputs = par::ParallelMap<BeamOutput>(
+      config_.num_beams,
+      [&](int64_t beam64) {
+        const int beam = static_cast<int>(beam64);
+        BeamOutput output;
+        // Per-beam noise seed; RFI phase is deterministic so every beam
+        // sees the same interference.
+        SpectrometerModel model(
+            config_.num_channels, config_.num_samples, config_.sample_time_sec,
+            config_.seed ^ (static_cast<uint64_t>(pointing_id) << 16) ^
+                static_cast<uint64_t>(beam));
+        std::vector<PulsarParams> beam_pulsars;
+        for (const InjectedPulsar& injected : pulsars) {
+          if (injected.beam == beam) {
+            beam_pulsars.push_back(injected.params);
+          }
+        }
+        std::vector<TransientParams> beam_bursts;
+        for (const InjectedTransient& injected : transients) {
+          if (injected.beam == beam) {
+            beam_bursts.push_back(injected.params);
+          }
+        }
+        DynamicSpectrum spectrum =
+            model.Generate(beam_pulsars, rfi, beam_bursts);
+        output.raw_bytes = spectrum.SizeBytes();
+
+        output.sifted.beam = beam;
+        std::vector<TimeSeries> trials = dedisperser.DedisperseAll(spectrum);
+        for (const TimeSeries& series : trials) {
+          output.dedispersed_bytes += series.SizeBytes();
+        }
+        // Periodicity search: the batch path pair-packs the per-trial FFTs
+        // (two real series per complex transform); the acceleration search
+        // parallelizes across its own trial set instead.
+        std::vector<std::vector<Candidate>> found_per_trial;
+        if (accel_trials.empty()) {
+          found_per_trial = periodicity.SearchBatch(trials);
+        } else {
+          found_per_trial.reserve(trials.size());
+          for (const TimeSeries& series : trials) {
+            found_per_trial.push_back(accelerated.Search(series));
+          }
+        }
+        for (size_t trial = 0; trial < trials.size(); ++trial) {
+          for (Candidate& candidate : found_per_trial[trial]) {
+            candidate.beam = beam;
+            candidate.pointing = pointing_id;
+            output.sifted.candidates.push_back(candidate);
+          }
+          if (config_.search_transients) {
+            for (TransientEvent& event :
+                 single_pulse.Search(trials[trial])) {
+              output.transients.push_back(event);
+            }
+          }
+        }
+        output.sifted.candidates =
+            sifter.Sift(std::move(output.sifted.candidates));
+        return output;
+      },
+      beam_options);
+
   // Per-beam transient events, for the cross-beam coincidence cut.
   std::vector<std::vector<TransientEvent>> beam_transients(
       static_cast<size_t>(config_.num_beams));
-
   std::vector<BeamResult> beam_results;
-  for (int beam = 0; beam < config_.num_beams; ++beam) {
-    // Per-beam noise seed; RFI phase is deterministic so every beam sees
-    // the same interference.
-    SpectrometerModel model(
-        config_.num_channels, config_.num_samples, config_.sample_time_sec,
-        config_.seed ^ (static_cast<uint64_t>(pointing_id) << 16) ^
-            static_cast<uint64_t>(beam));
-    std::vector<PulsarParams> beam_pulsars;
-    for (const InjectedPulsar& injected : pulsars) {
-      if (injected.beam == beam) {
-        beam_pulsars.push_back(injected.params);
-      }
-    }
-    std::vector<TransientParams> beam_bursts;
-    for (const InjectedTransient& injected : transients) {
-      if (injected.beam == beam) {
-        beam_bursts.push_back(injected.params);
-      }
-    }
-    DynamicSpectrum spectrum = model.Generate(beam_pulsars, rfi, beam_bursts);
-    result.raw_payload_bytes += spectrum.SizeBytes();
-
-    BeamResult beam_result;
-    beam_result.beam = beam;
-    for (double dm : dedisperser.dm_trials()) {
-      TimeSeries series = dedisperser.Dedisperse(spectrum, dm);
-      result.dedispersed_payload_bytes += series.SizeBytes();
-      std::vector<Candidate> found = accel_trials.empty()
-                                         ? periodicity.Search(series)
-                                         : accelerated.Search(series);
-      for (Candidate& candidate : found) {
-        candidate.beam = beam;
-        candidate.pointing = pointing_id;
-        beam_result.candidates.push_back(candidate);
-      }
-      if (config_.search_transients) {
-        for (TransientEvent& event : single_pulse.Search(series)) {
-          beam_transients[static_cast<size_t>(beam)].push_back(event);
-        }
-      }
-    }
-    beam_result.candidates = sifter.Sift(std::move(beam_result.candidates));
-    beam_results.push_back(std::move(beam_result));
+  beam_results.reserve(beam_outputs.size());
+  for (size_t beam = 0; beam < beam_outputs.size(); ++beam) {
+    BeamOutput& output = beam_outputs[beam];
+    result.raw_payload_bytes += output.raw_bytes;
+    result.dedispersed_payload_bytes += output.dedispersed_bytes;
+    beam_transients[beam] = std::move(output.transients);
+    beam_results.push_back(std::move(output.sifted));
   }
 
   result.candidates = meta.Analyze(beam_results);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "par/par.h"
 #include "util/logging.h"
 #include "util/units.h"
 
@@ -39,6 +40,25 @@ int64_t Run::PayloadBytes() const {
     total += event.SizeBytes();
   }
   return total;
+}
+
+int64_t Run::TotalGroupBytes(const std::string& group) const {
+  // Integer reduction: partial sums per chunk, combined over the fixed
+  // tree — exact, so thread count cannot change a single byte of the
+  // tiering arithmetic built on top of this scan.
+  par::Options options;
+  options.label = "eventstore.group_scan";
+  options.grain = 64;
+  return par::ParallelReduce<int64_t>(
+      0, static_cast<int64_t>(events.size()), int64_t{0},
+      [&](int64_t chunk_begin, int64_t chunk_end) {
+        int64_t total = 0;
+        for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+          total += events[static_cast<size_t>(i)].GroupBytes(group);
+        }
+        return total;
+      },
+      [](int64_t a, int64_t b) { return a + b; }, options);
 }
 
 CollisionGenerator::CollisionGenerator(CollisionGeneratorConfig config,

@@ -46,6 +46,13 @@ struct Run {
   /// Exact accounting: mean materialized event size x num_events.
   int64_t AccountedBytes() const;
   int64_t PayloadBytes() const;
+
+  /// Total bytes of ASUs in `group` across all materialized events — the
+  /// column-scan primitive behind the hot/warm/cold sizing study (§3.1).
+  /// Parallel on the dflow::par shared pool as an integer reduction
+  /// (commutative, overflow-free at laptop scale), so the result is exact
+  /// and thread-count-invariant.
+  int64_t TotalGroupBytes(const std::string& group) const;
 };
 
 /// Generator parameters. Raw events carry one large "raw_hits" ASU plus a

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/par.h"
+
 namespace dflow::eventstore {
 
 ReconstructionPass::ReconstructionPass(std::string release,
@@ -22,19 +24,31 @@ Result<PassOutput> ReconstructionPass::Process(const Run& raw_run) const {
   output.run.start_time = raw_run.start_time;
   output.run.duration_sec = raw_run.duration_sec;
   output.run.num_events = raw_run.num_events;
-  output.run.events.reserve(raw_run.events.size());
-  for (const Event& raw_event : raw_run.events) {
-    int64_t raw_bytes = raw_event.GroupBytes("raw_hits") +
-                        raw_event.GroupBytes("mc_raw_hits");
-    Event event;
-    event.id = raw_event.id;
-    // Derived object sizes scale with the detector activity in the event.
-    event.asus.push_back(Asu{"tracks", std::max<int64_t>(96, raw_bytes / 40)});
-    event.asus.push_back(Asu{"showers", std::max<int64_t>(64, raw_bytes / 60)});
-    event.asus.push_back(
-        Asu{"vertices", std::max<int64_t>(32, raw_bytes / 200)});
-    output.run.events.push_back(std::move(event));
-  }
+  // Events are independent under reconstruction (the paper's "trivially
+  // parallel" event-level processing, §3.1): each event maps into its own
+  // pre-sized slot, so output order and bytes match the old serial loop.
+  par::Options options;
+  options.label = "eventstore.recon_events";
+  options.grain = 64;
+  output.run.events = par::ParallelMap<Event>(
+      static_cast<int64_t>(raw_run.events.size()),
+      [&raw_run](int64_t i) {
+        const Event& raw_event = raw_run.events[static_cast<size_t>(i)];
+        int64_t raw_bytes = raw_event.GroupBytes("raw_hits") +
+                            raw_event.GroupBytes("mc_raw_hits");
+        Event event;
+        event.id = raw_event.id;
+        // Derived object sizes scale with the detector activity in the
+        // event.
+        event.asus.push_back(
+            Asu{"tracks", std::max<int64_t>(96, raw_bytes / 40)});
+        event.asus.push_back(
+            Asu{"showers", std::max<int64_t>(64, raw_bytes / 60)});
+        event.asus.push_back(
+            Asu{"vertices", std::max<int64_t>(32, raw_bytes / 200)});
+        return event;
+      },
+      options);
   output.step.module = "reconstruction";
   output.step.version =
       prov::VersionTag{"Recon", release_, change_date_};
@@ -57,11 +71,11 @@ Result<PassOutput> PostReconPass::Process(const Run& recon_run) const {
   }
   // Run-level statistic the per-event values depend on (this is why
   // post-recon cannot run until reconstruction finished the whole run).
-  double mean_track_bytes = 0.0;
-  for (const Event& event : recon_run.events) {
-    mean_track_bytes += static_cast<double>(event.GroupBytes("tracks"));
-  }
-  mean_track_bytes /= static_cast<double>(recon_run.events.size());
+  // The scan is an exact integer reduction, so the mean — and every
+  // activity ratio derived from it — is identical at any thread count.
+  double mean_track_bytes =
+      static_cast<double>(recon_run.TotalGroupBytes("tracks")) /
+      static_cast<double>(recon_run.events.size());
   if (mean_track_bytes <= 0.0) {
     return Status::FailedPrecondition(
         "run " + std::to_string(recon_run.run_number) +
@@ -73,21 +87,30 @@ Result<PassOutput> PostReconPass::Process(const Run& recon_run) const {
   output.run.start_time = recon_run.start_time;
   output.run.duration_sec = recon_run.duration_sec;
   output.run.num_events = recon_run.num_events;
-  output.run.events.reserve(recon_run.events.size());
-  for (const Event& recon_event : recon_run.events) {
-    Event event;
-    event.id = recon_event.id;
-    double activity =
-        static_cast<double>(recon_event.GroupBytes("tracks")) /
-        mean_track_bytes;
-    for (int i = 0; i < asus_per_event_; ++i) {
-      // Post-recon ASUs are small, normalized quantities.
-      int64_t bytes = std::max<int64_t>(
-          16, static_cast<int64_t>(std::lround(24.0 * activity)) + i % 4);
-      event.asus.push_back(Asu{"pr" + std::to_string(i), bytes});
-    }
-    output.run.events.push_back(std::move(event));
-  }
+  // Per-event compression against the run mean is again independent per
+  // event once the mean is fixed; slots keep the serial order and bytes.
+  par::Options options;
+  options.label = "eventstore.postrecon_events";
+  options.grain = 64;
+  const int asus_per_event = asus_per_event_;
+  output.run.events = par::ParallelMap<Event>(
+      static_cast<int64_t>(recon_run.events.size()),
+      [&recon_run, mean_track_bytes, asus_per_event](int64_t i) {
+        const Event& recon_event = recon_run.events[static_cast<size_t>(i)];
+        Event event;
+        event.id = recon_event.id;
+        double activity =
+            static_cast<double>(recon_event.GroupBytes("tracks")) /
+            mean_track_bytes;
+        for (int j = 0; j < asus_per_event; ++j) {
+          // Post-recon ASUs are small, normalized quantities.
+          int64_t bytes = std::max<int64_t>(
+              16, static_cast<int64_t>(std::lround(24.0 * activity)) + j % 4);
+          event.asus.push_back(Asu{"pr" + std::to_string(j), bytes});
+        }
+        return event;
+      },
+      options);
   output.step.module = "post_reconstruction";
   output.step.version = prov::VersionTag{"PostRecon", release_, change_date_};
   output.step.parameters.emplace_back(

@@ -31,6 +31,19 @@ class ThreadPool {
   /// task was enqueued, false if the queue is full — the task is dropped
   /// and the caller is expected to shed or retry later. `max_queued == 0`
   /// always rejects. Submit() semantics are unchanged (unbounded).
+  ///
+  /// Admission semantics, precisely: the bound is on the WAITING queue
+  /// only. The moment a worker claims a task (dequeues it to run), that
+  /// task stops counting — so a TrySubmit racing the claim can be admitted
+  /// even though the total work in the pool did not shrink. Consequences
+  /// callers should design for:
+  ///  * Worst-case outstanding (waiting + running) work admitted through
+  ///    TrySubmit is `max_queued + num_threads()`, not `max_queued`.
+  ///  * A full queue with all workers parked rejects; releasing ONE worker
+  ///    (one claim) re-opens admission for exactly one task.
+  /// This is the intended behavior for the dissemination tier: the bound
+  /// limits queueing delay (time spent waiting), not concurrency — running
+  /// tasks are already paid for.
   bool TrySubmit(std::function<void()> task, size_t max_queued);
 
   /// Tasks waiting in the queue right now (excludes running tasks).

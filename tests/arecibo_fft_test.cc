@@ -115,5 +115,101 @@ TEST(PowerSpectrumTest, DcSuppressed) {
   EXPECT_DOUBLE_EQ(power[0], 0.0);
 }
 
+TEST(PowerSpectrumTest, ScratchPathIsBitIdenticalToShim) {
+  Rng rng(11);
+  FftScratch scratch;
+  std::vector<double> power;
+  for (size_t n : {100u, 317u, 1000u}) {
+    std::vector<double> series(n);
+    for (auto& x : series) {
+      x = rng.Normal();
+    }
+    std::vector<double> shim = PowerSpectrum(series);
+    PowerSpectrum(series, &scratch, &power);
+    ASSERT_EQ(power.size(), shim.size());
+    for (size_t i = 0; i < power.size(); ++i) {
+      // Same code path, same bytes -- not a tolerance comparison.
+      EXPECT_EQ(power[i], shim[i]) << "bin " << i << " n=" << n;
+    }
+  }
+}
+
+TEST(PowerSpectrumTest, ScratchAllocatesOnceAcrossSameSizeCalls) {
+  // The allocation-count regression the scratch API exists for: N
+  // same-size transforms through one FftScratch must grow the complex
+  // buffer exactly once.
+  Rng rng(12);
+  std::vector<double> series(1000);
+  for (auto& x : series) {
+    x = rng.Normal();
+  }
+  FftScratch scratch;
+  std::vector<double> power;
+  for (int call = 0; call < 16; ++call) {
+    series[0] = static_cast<double>(call);  // Vary data, not size.
+    PowerSpectrum(series, &scratch, &power);
+  }
+  EXPECT_EQ(scratch.allocations(), 1);
+  // A smaller transform reuses the existing capacity...
+  std::vector<double> small(series.begin(), series.begin() + 100);
+  PowerSpectrum(small, &scratch, &power);
+  EXPECT_EQ(scratch.allocations(), 1);
+  // ...and only a larger one is allowed to grow it again.
+  std::vector<double> big(5000);
+  for (auto& x : big) {
+    x = rng.Normal();
+  }
+  PowerSpectrum(big, &scratch, &power);
+  EXPECT_EQ(scratch.allocations(), 2);
+}
+
+TEST(PowerSpectrumPairTest, MatchesSingleSeriesSpectra) {
+  Rng rng(13);
+  std::vector<double> a(900), b(1000);
+  for (auto& x : a) {
+    x = rng.Normal();
+  }
+  for (auto& x : b) {
+    x = rng.Normal();
+  }
+  FftScratch scratch;
+  std::vector<double> power_a, power_b;
+  ASSERT_TRUE(PowerSpectrumPair(a, b, &scratch, &power_a, &power_b).ok());
+  std::vector<double> single_a = PowerSpectrum(a);
+  std::vector<double> single_b = PowerSpectrum(b);
+  ASSERT_EQ(power_a.size(), single_a.size());
+  ASSERT_EQ(power_b.size(), single_b.size());
+  // The packed split agrees with the direct transform to FP rounding.
+  for (size_t i = 0; i < power_a.size(); ++i) {
+    EXPECT_NEAR(power_a[i], single_a[i], 1e-6 * (1.0 + single_a[i]));
+    EXPECT_NEAR(power_b[i], single_b[i], 1e-6 * (1.0 + single_b[i]));
+  }
+}
+
+TEST(PowerSpectrumPairTest, PairIsDeterministicAcrossCalls) {
+  Rng rng(14);
+  std::vector<double> a(512), b(512);
+  for (auto& x : a) {
+    x = rng.Normal();
+  }
+  for (auto& x : b) {
+    x = rng.Normal();
+  }
+  FftScratch scratch_1, scratch_2;
+  std::vector<double> pa1, pb1, pa2, pb2;
+  ASSERT_TRUE(PowerSpectrumPair(a, b, &scratch_1, &pa1, &pb1).ok());
+  ASSERT_TRUE(PowerSpectrumPair(a, b, &scratch_2, &pa2, &pb2).ok());
+  EXPECT_EQ(pa1, pa2);
+  EXPECT_EQ(pb1, pb2);
+}
+
+TEST(PowerSpectrumPairTest, RejectsMismatchedPaddedSizes) {
+  std::vector<double> a(100), b(5000);
+  FftScratch scratch;
+  std::vector<double> power_a, power_b;
+  EXPECT_TRUE(PowerSpectrumPair(a, b, &scratch, &power_a, &power_b)
+                  .IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace dflow::arecibo

@@ -1,0 +1,445 @@
+// Tests for dflow::par — the deterministic data-parallel layer.
+//
+// The contract under test: chunk boundaries, map slots, and reduce
+// combine trees are pure functions of the input range and options, NEVER
+// of the thread count. So every suite here runs the same workload at
+// several pool sizes (including fully serial) and demands byte-identical
+// results, then piles >= 8 concurrent callers onto the shared pool to
+// shake out races under the sanitizer builds.
+
+#include "par/par.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arecibo/survey.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+#include "weblab/web_graph.h"
+
+namespace dflow {
+namespace {
+
+// --- Chunk decomposition ---------------------------------------------------
+
+TEST(ChunkRangesTest, CoversRangeExactlyOnce) {
+  par::Options options;
+  options.grain = 7;
+  auto chunks = par::ChunkRanges(3, 250, options);
+  ASSERT_FALSE(chunks.empty());
+  int64_t expect = 3;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expect);
+    EXPECT_LT(begin, end);
+    expect = end;
+  }
+  EXPECT_EQ(expect, 250);
+}
+
+TEST(ChunkRangesTest, GrainSetsMinimumChunkSize) {
+  par::Options options;
+  options.grain = 100;
+  auto chunks = par::ChunkRanges(0, 350, options);
+  EXPECT_EQ(chunks.size(), 3u);  // 350 / 100 = 3 chunks.
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_GE(end - begin, 100);
+  }
+}
+
+TEST(ChunkRangesTest, MaxChunksCapsDecomposition) {
+  par::Options options;
+  options.grain = 1;
+  options.max_chunks = 4;
+  auto chunks = par::ChunkRanges(0, 1000, options);
+  EXPECT_EQ(chunks.size(), 4u);
+}
+
+TEST(ChunkRangesTest, DefaultCapIsSixtyFour) {
+  auto chunks = par::ChunkRanges(0, 1'000'000, par::Options{});
+  EXPECT_EQ(chunks.size(), static_cast<size_t>(par::kDefaultMaxChunks));
+}
+
+TEST(ChunkRangesTest, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(par::ChunkRanges(5, 5, par::Options{}).empty());
+  EXPECT_TRUE(par::ChunkRanges(9, 3, par::Options{}).empty());
+}
+
+TEST(ChunkRangesTest, BoundariesIgnoreAmbientPool) {
+  // The decomposition must not see the executor at all.
+  auto baseline = par::ChunkRanges(0, 1234, par::Options{});
+  ThreadPool pool(8);
+  par::ScopedPool scoped(&pool);
+  EXPECT_EQ(par::ChunkRanges(0, 1234, par::Options{}), baseline);
+  par::SerialOverride serial;
+  EXPECT_EQ(par::ChunkRanges(0, 1234, par::Options{}), baseline);
+}
+
+// --- DFLOW_THREADS parsing -------------------------------------------------
+
+TEST(ParseThreadsValueTest, AcceptsPositiveIntegers) {
+  EXPECT_EQ(par::ParseThreadsValue("1", 7), 1);
+  EXPECT_EQ(par::ParseThreadsValue("8", 7), 8);
+  EXPECT_EQ(par::ParseThreadsValue("128", 7), 128);
+}
+
+TEST(ParseThreadsValueTest, FallsBackOnGarbage) {
+  EXPECT_EQ(par::ParseThreadsValue(nullptr, 7), 7);
+  EXPECT_EQ(par::ParseThreadsValue("", 7), 7);
+  EXPECT_EQ(par::ParseThreadsValue("abc", 7), 7);
+  EXPECT_EQ(par::ParseThreadsValue("0", 7), 7);
+  EXPECT_EQ(par::ParseThreadsValue("-4", 7), 7);
+  EXPECT_EQ(par::ParseThreadsValue("8threads", 7), 7);
+  EXPECT_EQ(par::ParseThreadsValue("99999999", 7), 7);  // Absurd => reject.
+}
+
+// --- ParallelFor -----------------------------------------------------------
+
+void ExpectEveryIndexOnce(int64_t n) {
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  par::Options options;
+  options.grain = 3;
+  par::ParallelFor(
+      0, n,
+      [&hits](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          hits[static_cast<size_t>(i)].fetch_add(1);
+        }
+      },
+      options);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnceAtAnyPoolSize) {
+  for (int threads : {1, 2, 4, 8}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+    }
+    par::ScopedPool scoped(pool.get());
+    ExpectEveryIndexOnce(257);
+  }
+}
+
+TEST(ParallelForTest, SerialOverrideForcesInlineExecution) {
+  par::SerialOverride serial;
+  EXPECT_TRUE(par::SerialActive());
+  std::thread::id caller = std::this_thread::get_id();
+  ThreadPool pool(4);
+  par::Options options;
+  options.pool = &pool;
+  par::ParallelFor(0, 100, [&caller](int64_t, int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  }, options);
+}
+
+TEST(ParallelForTest, NestedRegionsRunInlineWithoutDeadlock) {
+  ThreadPool pool(2);  // Tiny pool: a reentrant design would wedge here.
+  par::ScopedPool scoped(&pool);
+  std::atomic<int64_t> total{0};
+  par::Options outer;
+  outer.grain = 1;
+  par::ParallelFor(
+      0, 8,
+      [&total](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          // Inner region: must detect nesting and run inline.
+          int64_t inner_sum = par::ParallelReduce<int64_t>(
+              0, 100, int64_t{0},
+              [](int64_t b, int64_t e) {
+                int64_t s = 0;
+                for (int64_t j = b; j < e; ++j) s += j;
+                return s;
+              },
+              [](int64_t a, int64_t b) { return a + b; });
+          total.fetch_add(inner_sum);
+        }
+      },
+      outer);
+  EXPECT_EQ(total.load(), 8 * (99 * 100 / 2));
+}
+
+// --- ParallelMap -----------------------------------------------------------
+
+TEST(ParallelMapTest, MatchesSerialAtEveryPoolSize) {
+  auto fn = [](int64_t i) { return i * i - 3 * i + 1; };
+  std::vector<int64_t> expect;
+  for (int64_t i = 0; i < 511; ++i) {
+    expect.push_back(fn(i));
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+    }
+    par::ScopedPool scoped(pool.get());
+    EXPECT_EQ(par::ParallelMap<int64_t>(511, fn), expect);
+  }
+}
+
+// --- ParallelReduce --------------------------------------------------------
+
+double HarmonicSum(int64_t n) {
+  par::Options options;
+  options.grain = 10;
+  return par::ParallelReduce<double>(
+      0, n, 0.0,
+      [](int64_t begin, int64_t end) {
+        double s = 0.0;
+        for (int64_t i = begin; i < end; ++i) {
+          s += 1.0 / static_cast<double>(i + 1);
+        }
+        return s;
+      },
+      [](double a, double b) { return a + b; }, options);
+}
+
+TEST(ParallelReduceTest, DoubleSumIsBitStableAcrossPoolSizes) {
+  double baseline;
+  {
+    par::ScopedPool scoped(nullptr);  // Fully serial reference.
+    baseline = HarmonicSum(100'000);
+  }
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    par::ScopedPool scoped(&pool);
+    double parallel = HarmonicSum(100'000);
+    // Bit equality, not tolerance: the fixed combine tree is the contract.
+    EXPECT_EQ(std::memcmp(&baseline, &parallel, sizeof(double)), 0)
+        << "threads=" << threads;
+  }
+  {
+    par::SerialOverride serial;
+    double inline_sum = HarmonicSum(100'000);
+    EXPECT_EQ(std::memcmp(&baseline, &inline_sum, sizeof(double)), 0);
+  }
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  EXPECT_EQ(par::ParallelReduce<int64_t>(
+                5, 5, int64_t{41}, [](int64_t, int64_t) { return int64_t{0}; },
+                [](int64_t a, int64_t b) { return a + b; }),
+            41);
+}
+
+// --- Observability counters ------------------------------------------------
+
+// Runs a fixed workload and returns the structure counters. par.regions,
+// par.chunks, and par.items count decomposition structure, so they must
+// not depend on the executor.
+std::vector<int64_t> StructureCounters(ThreadPool* pool) {
+  obs::MetricsRegistry registry;
+  par::SetMetricsRegistry(&registry);
+  {
+    par::ScopedPool scoped(pool);
+    par::Options options;
+    options.grain = 16;
+    options.label = "par_test.counters";
+    par::ParallelFor(0, 1000, [](int64_t, int64_t) {}, options);
+    (void)par::ParallelMap<int64_t>(100, [](int64_t i) { return i; });
+    (void)HarmonicSum(5000);
+  }
+  par::SetMetricsRegistry(nullptr);
+  return {registry.CounterValue("par.regions"),
+          registry.CounterValue("par.chunks"),
+          registry.CounterValue("par.items")};
+}
+
+TEST(ParObsTest, StructureCountersAreThreadCountInvariant) {
+  std::vector<int64_t> serial_counters = StructureCounters(nullptr);
+  EXPECT_GT(serial_counters[0], 0);  // regions
+  EXPECT_GT(serial_counters[1], 0);  // chunks
+  EXPECT_GT(serial_counters[2], 0);  // items
+  ThreadPool pool(8);
+  EXPECT_EQ(StructureCounters(&pool), serial_counters);
+}
+
+// Region spans are emitted by the calling thread only, in region
+// completion order — so a logical-clock trace of a fixed workload is
+// byte-identical at any pool size.
+std::string TraceFingerprint(ThreadPool* pool) {
+  obs::TracerConfig config;
+  config.clock = obs::TracerConfig::ClockMode::kLogical;
+  obs::Tracer tracer(config);
+  par::SetTracer(&tracer);
+  {
+    par::ScopedPool scoped(pool);
+    par::Options options;
+    options.label = "par_test.trace";
+    par::ParallelFor(0, 333, [](int64_t, int64_t) {}, options);
+    (void)HarmonicSum(2000);
+  }
+  par::SetTracer(nullptr);
+  return tracer.Fingerprint();
+}
+
+TEST(ParObsTest, LogicalClockTraceFingerprintIsThreadCountInvariant) {
+  std::string serial_fp = TraceFingerprint(nullptr);
+  ThreadPool pool_a(2);
+  ThreadPool pool_b(8);
+  EXPECT_EQ(TraceFingerprint(&pool_a), serial_fp);
+  EXPECT_EQ(TraceFingerprint(&pool_b), serial_fp);
+}
+
+TEST(ParObsTest, DisabledPathPublishesNothing) {
+  // With no registry/tracer attached, regions must still work.
+  par::SetMetricsRegistry(nullptr);
+  par::SetTracer(nullptr);
+  std::atomic<int64_t> count{0};
+  par::ParallelFor(0, 64, [&count](int64_t begin, int64_t end) {
+    count.fetch_add(end - begin);
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+// --- End-to-end invariance: Arecibo survey ---------------------------------
+
+arecibo::PointingResult RunSmallPointing(ThreadPool* pool) {
+  arecibo::SurveyConfig config;
+  config.num_beams = 3;
+  config.num_channels = 48;
+  config.num_samples = 1 << 11;
+  config.num_dm_trials = 6;
+  config.search_transients = true;
+  arecibo::SurveyPipeline pipeline(config);
+  arecibo::InjectedPulsar pulsar;
+  pulsar.beam = 1;
+  pulsar.params.period_sec = 0.05;
+  pulsar.params.dm = 60.0;
+  pulsar.params.pulse_amplitude = 6.0;
+  par::ScopedPool scoped(pool);
+  return pipeline.ProcessPointing(3, {pulsar}, {arecibo::RfiParams{}});
+}
+
+void ExpectSameCandidates(const std::vector<arecibo::Candidate>& a,
+                          const std::vector<arecibo::Candidate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-exact doubles: operator== on doubles is the assertion here.
+    EXPECT_EQ(a[i].freq_hz, b[i].freq_hz);
+    EXPECT_EQ(a[i].snr, b[i].snr);
+    EXPECT_EQ(a[i].dm, b[i].dm);
+    EXPECT_EQ(a[i].harmonics, b[i].harmonics);
+    EXPECT_EQ(a[i].beam, b[i].beam);
+    EXPECT_EQ(a[i].rfi_flag, b[i].rfi_flag);
+  }
+}
+
+TEST(ParInvarianceTest, SurveyPointingIsIdenticalSerialVsEightThreads) {
+  arecibo::PointingResult serial = RunSmallPointing(nullptr);
+  ThreadPool pool(8);
+  arecibo::PointingResult parallel = RunSmallPointing(&pool);
+  ExpectSameCandidates(serial.candidates, parallel.candidates);
+  ExpectSameCandidates(serial.detections, parallel.detections);
+  ASSERT_EQ(serial.transients.size(), parallel.transients.size());
+  for (size_t i = 0; i < serial.transients.size(); ++i) {
+    EXPECT_EQ(serial.transients[i].time_sec, parallel.transients[i].time_sec);
+    EXPECT_EQ(serial.transients[i].snr, parallel.transients[i].snr);
+    EXPECT_EQ(serial.transients[i].dm, parallel.transients[i].dm);
+  }
+  EXPECT_EQ(serial.raw_payload_bytes, parallel.raw_payload_bytes);
+  EXPECT_EQ(serial.dedispersed_payload_bytes,
+            parallel.dedispersed_payload_bytes);
+}
+
+// --- End-to-end invariance: web graph --------------------------------------
+
+std::vector<std::pair<std::string, std::string>> SyntheticWebEdges(int n) {
+  std::vector<std::pair<std::string, std::string>> edges;
+  auto url = [](int i) { return "http://site" + std::to_string(i) + "/"; };
+  for (int i = 0; i < n; ++i) {
+    edges.emplace_back(url(i), url((i * 7 + 3) % n));
+    edges.emplace_back(url(i), url((i * 13 + 1) % n));
+    if (i % 3 == 0) {
+      edges.emplace_back(url(i), url((i / 2) % n));
+    }
+  }
+  return edges;
+}
+
+TEST(ParInvarianceTest, WebGraphAnalysisIsIdenticalSerialVsEightThreads) {
+  auto edges = SyntheticWebEdges(400);
+  std::vector<double> serial_ranks;
+  std::vector<int64_t> serial_hist;
+  std::pair<std::vector<int>, int> serial_wcc;
+  {
+    par::ScopedPool scoped(nullptr);
+    weblab::WebGraph graph = weblab::WebGraph::Build(edges);
+    serial_ranks = graph.PageRank(15);
+    serial_hist = graph.InDegreeHistogram();
+    serial_wcc = graph.WeaklyConnectedComponents();
+  }
+  ThreadPool pool(8);
+  par::ScopedPool scoped(&pool);
+  weblab::WebGraph graph = weblab::WebGraph::Build(edges);
+  std::vector<double> ranks = graph.PageRank(15);
+  ASSERT_EQ(ranks.size(), serial_ranks.size());
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&ranks[i], &serial_ranks[i], sizeof(double)), 0)
+        << "node " << i;
+  }
+  EXPECT_EQ(graph.InDegreeHistogram(), serial_hist);
+  EXPECT_EQ(graph.WeaklyConnectedComponents(), serial_wcc);
+}
+
+// --- Stress: the shared pool under concurrent callers ----------------------
+
+TEST(ParStressTest, ManyConcurrentCallersOnSharedPool) {
+  // >= 8 external threads all issuing regions (some nested) against the
+  // process-wide pool at once. Every caller must observe its own correct
+  // results; sanitizer builds check the rest.
+  constexpr int kCallers = 8;
+  constexpr int kRounds = 20;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([c, &failures] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int64_t n = 1000 + 37 * c + round;
+        int64_t sum = par::ParallelReduce<int64_t>(
+            0, n, int64_t{0},
+            [](int64_t begin, int64_t end) {
+              int64_t s = 0;
+              for (int64_t i = begin; i < end; ++i) s += i;
+              return s;
+            },
+            [](int64_t a, int64_t b) { return a + b; });
+        if (sum != n * (n - 1) / 2) {
+          failures.fetch_add(1);
+        }
+        std::vector<int64_t> mapped = par::ParallelMap<int64_t>(
+            64, [](int64_t i) {
+              // Nested region inside a mapped item.
+              return par::ParallelReduce<int64_t>(
+                  0, i + 1, int64_t{0},
+                  [](int64_t b, int64_t e) { return e - b; },
+                  [](int64_t a, int64_t b) { return a + b; });
+            });
+        for (int64_t i = 0; i < 64; ++i) {
+          if (mapped[static_cast<size_t>(i)] != i + 1) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace dflow

@@ -190,6 +190,50 @@ TEST(ThreadPoolTest, TrySubmitBoundsTheQueueNotTheWorkers) {
   EXPECT_EQ(ran.load(), 4);
 }
 
+TEST(ThreadPoolTest, TrySubmitBoundExcludesClaimedTasks) {
+  // The documented race-adjacent property: a worker CLAIMING a task frees
+  // one admission slot even though the total outstanding work (waiting +
+  // running) is unchanged. Worst case admitted = max_queued + num_threads.
+  ThreadPool pool(1);
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  int open = 0;  // How many gated tasks may finish.
+  std::atomic<int> started{0};
+  auto gated = [&] {
+    started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return open > 0; });
+    --open;
+  };
+  // Worker claims the first task and parks inside it.
+  pool.Submit(gated);
+  while (started.load() < 1) std::this_thread::yield();
+  // Fill the queue to the bound with gated tasks.
+  ASSERT_TRUE(pool.TrySubmit(gated, 2));
+  ASSERT_TRUE(pool.TrySubmit(gated, 2));
+  ASSERT_FALSE(pool.TrySubmit(gated, 2));  // At the bound: rejected.
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+  // Release exactly one gated task: the worker finishes it and CLAIMS the
+  // next one off the queue. Outstanding work is still 2 tasks (1 running +
+  // 1 waiting), but the waiting count dropped to 1 — admission re-opens.
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    open = 1;
+  }
+  gate_cv.notify_all();
+  while (started.load() < 2) std::this_thread::yield();
+  EXPECT_EQ(pool.QueueDepth(), 1u);
+  EXPECT_TRUE(pool.TrySubmit(gated, 2));  // Admitted again.
+  // Drain everything.
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    open = 1'000'000;
+  }
+  gate_cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(started.load(), 4);  // 1 Submit + 3 admitted TrySubmits ran.
+}
+
 TEST(ThreadPoolTest, TrySubmitConcurrentWithSubmitStress) {
   // Mixed bounded/unbounded submitters: every accepted task runs exactly
   // once; rejections only ever come from TrySubmit.
