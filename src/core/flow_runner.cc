@@ -225,11 +225,11 @@ void FlowRunner::Deliver(const std::string& stage_name, DataProduct product) {
   StageState& state = StateOf(stage_name);
   state.counters.products_in->Add(1);
   state.counters.bytes_in->Add(product.bytes);
-  Enqueue(stage_name, std::move(product), 0);
+  Enqueue(stage_name, std::move(product), 0, {});
 }
 
 void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
-                         int attempt) {
+                         int attempt, std::vector<bool> failure_history) {
   auto stage_or = graph_->Find(stage_name);
   DFLOW_CHECK(stage_or.ok());
   Stage* stage = *stage_or;
@@ -238,13 +238,62 @@ void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
 
   double service_time = stage->ServiceTime(product);
   resource->Submit(service_time, [this, stage, stage_name, attempt,
-                                  service_time,
-                                  product = std::move(product)] {
+                                  service_time, product = std::move(product),
+                                  history =
+                                      std::move(failure_history)]() mutable {
     StageState& state = StateOf(stage_name);
+    // Resume path: a journaled terminal event for this (stage, input)
+    // means every attempt's outcome is already known. The virtual service
+    // time was just paid on the stage's workers (identical timeline and
+    // utilization); only the real CPU of Process() is skipped.
+    const recover::StageEventRecord* record =
+        replay_ == nullptr ? nullptr : replay_->Find(stage_name, product.name);
+    size_t failed_attempts = 0;
+    size_t total_attempts = 0;
+    if (record != nullptr) {
+      failed_attempts = record->injected_failures.size();
+      total_attempts =
+          record->kind == recover::StageEventRecord::Kind::kCompleted
+              ? failed_attempts + 1
+              : failed_attempts;
+    }
+    const bool replayed =
+        record != nullptr && static_cast<size_t>(attempt) < total_attempts;
     bool injected_failure = false;
     Result<std::vector<DataProduct>> outputs =
         Status::Internal("unprocessed");
-    if (state.forced_failures > 0) {
+    if (replayed) {
+      if (static_cast<size_t>(attempt) < failed_attempts) {
+        // This attempt failed in the journaled run; reproduce the failure
+        // without touching the stage. An injected failure still consumes
+        // one unit of the forced-failure budget so live products
+        // interleaved later in the timeline see the same remaining budget
+        // the original run gave them.
+        injected_failure = record->injected_failures[attempt];
+        if (injected_failure && state.forced_failures > 0) {
+          --state.forced_failures;
+        }
+        outputs = injected_failure
+                      ? Status::Internal("injected transient error")
+                      : Status::Internal("journaled failure");
+      } else {
+        // The journaled terminal success: outputs come from the record,
+        // provenance is re-stamped below through the normal path (the
+        // replayed timestamps are identical, so the chains are too).
+        std::vector<DataProduct> restored;
+        restored.reserve(record->outputs.size());
+        for (const recover::JournaledProduct& out : record->outputs) {
+          DataProduct p;
+          p.name = out.name;
+          p.bytes = out.bytes;
+          for (const auto& [key, value] : out.attributes) {
+            p.attributes.emplace(key, value);
+          }
+          restored.push_back(std::move(p));
+        }
+        outputs = std::move(restored);
+      }
+    } else if (state.forced_failures > 0) {
       --state.forced_failures;
       injected_failure = true;
       outputs = Status::Internal("injected transient error");
@@ -269,6 +318,7 @@ void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
     }
     if (!outputs.ok()) {
       state.counters.errors->Add(1);
+      history.push_back(injected_failure);
       const RetryPolicy& policy = state.retry;
       if (attempt + 1 < policy.max_attempts) {
         state.counters.retries->Add(1);
@@ -286,26 +336,78 @@ void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
               TidFor(stage_name));
         }
         simulation_->Schedule(delay, [this, stage_name, attempt,
-                                      product]() mutable {
-          Enqueue(stage_name, std::move(product), attempt + 1);
+                                      product = std::move(product),
+                                      history = std::move(history)]() mutable {
+          Enqueue(stage_name, std::move(product), attempt + 1,
+                  std::move(history));
         });
         return;
       }
       state.counters.dead_lettered->Add(1);
-      dead_letters_.push_back(DeadLetter{stage_name, product,
-                                         outputs.status().ToString(),
-                                         simulation_->Now()});
+      // A replayed dead letter carries the journaled error string (the
+      // exact status text the original final attempt produced).
+      const std::string error_str =
+          replayed ? record->error : outputs.status().ToString();
+      dead_letters_.push_back(
+          DeadLetter{stage_name, product, error_str, simulation_->Now()});
       if (tracing()) {
         tracer_->InstantEvent("dead_letter", "flow",
                               {{"product", product.name},
-                               {"error", outputs.status().ToString()}},
+                               {"error", error_str}},
                               TidFor(stage_name));
       }
       DFLOW_LOG(Warning) << "stage '" << stage_name << "' dead-lettered '"
                          << product.name << "' after " << (attempt + 1)
-                         << " attempt(s): " << outputs.status().ToString()
+                         << " attempt(s): " << error_str
                          << (injected_failure ? " [injected]" : "");
+      ++terminal_events_;
+      if (replayed) {
+        ++replayed_events_;
+      } else {
+        ++live_events_;
+        if (journal_ != nullptr) {
+          recover::StageEventRecord rec;
+          rec.kind = recover::StageEventRecord::Kind::kDeadLettered;
+          rec.stage = stage_name;
+          rec.input = product.name;
+          rec.injected_failures = history;
+          rec.error = error_str;
+          // Append() force-syncs dead letters: the parked product is on
+          // disk before the next simulation event runs.
+          Status js = journal_->Append(rec);
+          if (!js.ok()) {
+            DFLOW_LOG(Error) << "checkpoint journal append failed: "
+                             << js.ToString();
+          }
+        }
+      }
       return;
+    }
+    ++terminal_events_;
+    if (replayed) {
+      ++replayed_events_;
+    } else {
+      ++live_events_;
+      if (journal_ != nullptr) {
+        recover::StageEventRecord rec;
+        rec.kind = recover::StageEventRecord::Kind::kCompleted;
+        rec.stage = stage_name;
+        rec.input = product.name;
+        rec.injected_failures = history;
+        rec.outputs.reserve(outputs->size());
+        for (const DataProduct& out : *outputs) {
+          recover::JournaledProduct jp;
+          jp.name = out.name;
+          jp.bytes = out.bytes;
+          jp.attributes.assign(out.attributes.begin(), out.attributes.end());
+          rec.outputs.push_back(std::move(jp));
+        }
+        Status js = journal_->Append(rec);
+        if (!js.ok()) {
+          DFLOW_LOG(Error) << "checkpoint journal append failed: "
+                           << js.ToString();
+        }
+      }
     }
     const std::vector<std::string>& successors =
         graph_->Successors(stage_name);
@@ -333,11 +435,40 @@ void FlowRunner::Enqueue(const std::string& stage_name, DataProduct product,
   });
 }
 
-Status FlowRunner::Run() {
+Status FlowRunner::SetCheckpointJournal(recover::CheckpointJournal* journal) {
+  if (ran_) {
+    return Status::FailedPrecondition("run already started");
+  }
+  journal_ = journal;
+  return Status::OK();
+}
+
+Status FlowRunner::ResumeFrom(const recover::JournalReplay* replay) {
+  if (ran_) {
+    return Status::FailedPrecondition("run already started");
+  }
+  replay_ = replay;
+  return Status::OK();
+}
+
+Status FlowRunner::Start() {
+  if (ran_) {
+    return Status::FailedPrecondition("run already started");
+  }
   DFLOW_ASSIGN_OR_RETURN(auto order, graph_->TopologicalOrder());
   (void)order;
   ran_ = true;
+  return Status::OK();
+}
+
+Status FlowRunner::Run() {
+  DFLOW_RETURN_IF_ERROR(Start());
   simulation_->Run();
+  if (journal_ != nullptr) {
+    // A clean run leaves no unsynced tail: everything appended is durable
+    // before Run() returns.
+    DFLOW_RETURN_IF_ERROR(journal_->Sync());
+  }
   return Status::OK();
 }
 
@@ -404,6 +535,19 @@ Result<double> FlowRunner::CheckedUtilizationOf(
   DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
   (void)ignored;
   return UtilizationOf(stage);
+}
+
+Result<std::vector<DeadLetter>> FlowRunner::CheckedDeadLetters(
+    const std::string& stage) const {
+  DFLOW_ASSIGN_OR_RETURN(Stage * ignored, graph_->Find(stage));
+  (void)ignored;
+  std::vector<DeadLetter> letters;
+  for (const DeadLetter& letter : dead_letters_) {
+    if (letter.stage == stage) {
+      letters.push_back(letter);
+    }
+  }
+  return letters;
 }
 
 int64_t FlowRunner::total_retries() const {

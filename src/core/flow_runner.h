@@ -9,6 +9,7 @@
 #include "core/flow_graph.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "recover/journal.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
 #include "util/result.h"
@@ -122,7 +123,35 @@ class FlowRunner {
   /// `at` (>= 0, relative to simulation start).
   Status Inject(const std::string& stage, DataProduct product, double at);
 
-  /// Validates the graph and runs the simulation to completion.
+  /// Attaches a checkpoint journal (borrowed; null detaches). Every
+  /// terminal per-(stage, input) event — completion with its outputs, or a
+  /// dead letter — is appended as one CRC-framed record; dead letters are
+  /// force-synced so a parked product survives the process that parked it.
+  /// Durability of completions lags by at most `sync_every - 1` records,
+  /// which is exactly the redo-work bound after a kill. Must precede
+  /// Start()/Run().
+  Status SetCheckpointJournal(recover::CheckpointJournal* journal);
+
+  /// Resumes from a loaded journal (borrowed; null detaches). The run
+  /// re-simulates the full virtual timeline from t=0 — every journaled
+  /// (stage, input) terminal event is REPLAYED: the same virtual service
+  /// time is paid on the stage's workers, every failed attempt re-emits
+  /// its error/retry bookkeeping (consuming injected-fault budget and
+  /// backoff RNG draws exactly as the live run did), but Stage::Process()
+  /// is skipped and outputs come from the journal. Provided the flow,
+  /// seeds, and injections are configured identically, the resumed run's
+  /// Report(), sink outputs, provenance, and external-clock traces are
+  /// byte-identical to an uninterrupted run. Must precede Start()/Run().
+  Status ResumeFrom(const recover::JournalReplay* replay);
+
+  /// Validates the graph and marks the run started without draining the
+  /// simulation — the crash-harness entry point: callers then drive
+  /// sim::Simulation::Step() themselves (and may die between steps).
+  /// FailedPrecondition on a second start.
+  Status Start();
+
+  /// Validates the graph and runs the simulation to completion
+  /// (Start() + drain + final journal sync).
   Status Run();
 
   /// Metrics / sink accessors. The unchecked forms log a warning and
@@ -144,8 +173,19 @@ class FlowRunner {
 
   /// Every product that exhausted its retries, in failure order.
   const std::vector<DeadLetter>& dead_letters() const { return dead_letters_; }
+  /// The dead letters of one stage, in failure order (possibly empty);
+  /// NotFound for a stage the graph never had — so operations tooling can
+  /// tell "nothing parked" from "typo in the stage name".
+  Result<std::vector<DeadLetter>> CheckedDeadLetters(
+      const std::string& stage) const;
   int64_t total_retries() const;
   int64_t total_errors() const;
+
+  /// Terminal per-(stage, input) events this run: replayed from the
+  /// journal vs executed live. replayed + live == terminal.
+  int64_t terminal_events() const { return terminal_events_; }
+  int64_t replayed_events() const { return replayed_events_; }
+  int64_t live_events() const { return live_events_; }
 
   /// Human-readable per-stage table (the textual form of Figures 1/2),
   /// now including err/retry/dead columns.
@@ -187,8 +227,11 @@ class FlowRunner {
   };
 
   void Deliver(const std::string& stage_name, DataProduct product);
+  /// `failure_history` carries the injected-or-not flag of every failed
+  /// attempt so far (size == attempt) — it becomes the journal record's
+  /// injected_failures on the terminal event.
   void Enqueue(const std::string& stage_name, DataProduct product,
-               int attempt);
+               int attempt, std::vector<bool> failure_history);
   double BackoffDelay(const RetryPolicy& policy, int next_attempt);
   StageState& StateOf(const std::string& stage);
   sim::Resource* ResourceOf(const std::string& stage_name, StageState& state);
@@ -206,6 +249,11 @@ class FlowRunner {
   std::map<std::string, int> trace_tids_;
   std::map<std::string, StageState> states_;
   std::vector<DeadLetter> dead_letters_;
+  recover::CheckpointJournal* journal_ = nullptr;  // Borrowed; may be null.
+  const recover::JournalReplay* replay_ = nullptr;  // Borrowed; may be null.
+  int64_t terminal_events_ = 0;
+  int64_t replayed_events_ = 0;
+  int64_t live_events_ = 0;
   bool ran_ = false;
 };
 

@@ -45,6 +45,7 @@ ServeLoop::ServeLoop(core::ServiceRegistry* registry, ServeConfig config,
   for (int i = 0; i < num_stripes; ++i) {
     stripes_.push_back(std::make_unique<HistogramStripe>());
   }
+  breaker_rng_ = Rng(config_.breaker.seed);
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry* registry = config_.metrics;
     reg_.offered = registry->GetCounter("serve.offered");
@@ -56,6 +57,21 @@ ServeLoop::ServeLoop(core::ServiceRegistry* registry, ServeConfig config,
     reg_.cache_hits = registry->GetCounter("serve.cache_hits");
     reg_.cache_misses = registry->GetCounter("serve.cache_misses");
     reg_latency_ = registry->GetHistogram("serve.latency_sec", num_stripes);
+    if (config_.breaker.enabled) {
+      breaker_reg_.opened = registry->GetCounter("serve.breaker_opened");
+      breaker_reg_.closed = registry->GetCounter("serve.breaker_closed");
+      breaker_reg_.probes = registry->GetCounter("serve.breaker_probes");
+      breaker_reg_.failover = registry->GetCounter("serve.failover");
+      breaker_reg_.rejected = registry->GetCounter("serve.breaker_rejected");
+    }
+  }
+  if (config_.breaker.enabled) {
+    DFLOW_CHECK(config_.breaker.failure_threshold >= 1);
+    DFLOW_CHECK(config_.breaker.open_sec > 0.0);
+    DFLOW_CHECK(config_.breaker.open_max_sec >= config_.breaker.open_sec);
+    DFLOW_CHECK(config_.breaker.backoff_multiplier >= 1.0);
+    DFLOW_CHECK(config_.breaker.jitter_fraction >= 0.0 &&
+                config_.breaker.jitter_fraction < 1.0);
   }
   pool_ = std::make_unique<ThreadPool>(config_.num_workers);
 }
@@ -98,30 +114,177 @@ LatencyHistogram ServeLoop::Latencies() const {
   return merged;
 }
 
-Result<core::ServiceResponse> ServeLoop::Dispatch(
-    const core::ServiceRequest& request) {
+Result<core::ServiceResponse> ServeLoop::DispatchTo(
+    core::ServiceRegistry* registry, const core::ServiceRequest& request,
+    const std::string& lock_key) {
   switch (config_.locking) {
     case ServeConfig::BackendLocking::kNone:
-      return registry_->Handle(request);
+      return registry->Handle(request);
     case ServeConfig::BackendLocking::kGlobal: {
       std::lock_guard<std::mutex> lock(global_backend_lock_);
-      return registry_->Handle(request);
+      return registry->Handle(request);
     }
     case ServeConfig::BackendLocking::kPerMount: {
       std::mutex* mount_lock = nullptr;
       {
         std::lock_guard<std::mutex> lock(backend_locks_mu_);
-        auto& slot = backend_locks_[TopLevelPrefix(request.path)];
+        auto& slot = backend_locks_[lock_key];
         if (slot == nullptr) {
           slot = std::make_unique<std::mutex>();
         }
         mount_lock = slot.get();
       }
       std::lock_guard<std::mutex> lock(*mount_lock);
-      return registry_->Handle(request);
+      return registry->Handle(request);
     }
   }
   return Status::Internal("unreachable: unknown BackendLocking");
+}
+
+void ServeLoop::TripLocked(MountHealth& health, const std::string& prefix) {
+  health.state = MountHealth::State::kOpen;
+  ++health.consecutive_trips;
+  health.consecutive_failures = 0;
+  const ServeConfig::BreakerConfig& b = config_.breaker;
+  double window = b.open_sec;
+  for (int i = 1; i < health.consecutive_trips; ++i) {
+    window *= b.backoff_multiplier;
+    if (window >= b.open_max_sec) {
+      break;
+    }
+  }
+  window = std::min(window, b.open_max_sec);
+  if (b.jitter_fraction > 0.0) {
+    window *= 1.0 + b.jitter_fraction * (2.0 * breaker_rng_.NextDouble() - 1.0);
+  }
+  health.open_until_sec = NowSec() + window;
+  breaker_opened_.fetch_add(1, std::memory_order_relaxed);
+  Bump(breaker_reg_.opened);
+  if (obs::Tracer* tracer = ActiveTracer()) {
+    char window_buf[32];
+    std::snprintf(window_buf, sizeof(window_buf), "%.6g", window);
+    tracer->InstantEvent("breaker_opened", "serve",
+                         {{"mount", prefix}, {"window_sec", window_buf}});
+  }
+  DFLOW_LOG(Warning) << "serve: breaker for mount '" << prefix
+                     << "' opened for " << window << "s (trip "
+                     << health.consecutive_trips << ")";
+}
+
+void ServeLoop::NotePrimaryResult(const std::string& prefix, bool ok) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  MountHealth& health = mount_health_[prefix];
+  if (health.state != MountHealth::State::kClosed) {
+    // A probe owns open/half-open transitions; late stragglers that were
+    // already past the gate when the breaker tripped don't double-count.
+    return;
+  }
+  if (ok) {
+    health.consecutive_failures = 0;
+    health.consecutive_trips = 0;
+    return;
+  }
+  ++health.consecutive_failures;
+  if (health.consecutive_failures >= config_.breaker.failure_threshold) {
+    TripLocked(health, prefix);
+  }
+}
+
+void ServeLoop::NoteProbeResult(const std::string& prefix, bool ok) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  MountHealth& health = mount_health_[prefix];
+  if (ok) {
+    health.state = MountHealth::State::kClosed;
+    health.consecutive_failures = 0;
+    health.consecutive_trips = 0;
+    breaker_closed_.fetch_add(1, std::memory_order_relaxed);
+    Bump(breaker_reg_.closed);
+    if (obs::Tracer* tracer = ActiveTracer()) {
+      tracer->InstantEvent("breaker_closed", "serve", {{"mount", prefix}});
+    }
+    DFLOW_LOG(Info) << "serve: breaker for mount '" << prefix
+                    << "' closed after successful probe";
+    return;
+  }
+  TripLocked(health, prefix);  // Re-open with a grown window.
+}
+
+Result<core::ServiceResponse> ServeLoop::Dispatch(
+    const core::ServiceRequest& request) {
+  const std::string prefix = TopLevelPrefix(request.path);
+  if (!config_.breaker.enabled) {
+    return DispatchTo(registry_, request, prefix);
+  }
+  enum class Route { kPrimary, kProbe, kReplica, kReject };
+  Route route = Route::kPrimary;
+  core::ServiceRegistry* replica = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    MountHealth& health = mount_health_[prefix];
+    auto it = replicas_.find(prefix);
+    replica = it == replicas_.end() ? nullptr : it->second;
+    switch (health.state) {
+      case MountHealth::State::kClosed:
+        route = Route::kPrimary;
+        break;
+      case MountHealth::State::kHalfOpen:
+        // A probe is already in flight; stay off the primary until it
+        // reports back.
+        route = replica != nullptr ? Route::kReplica : Route::kReject;
+        break;
+      case MountHealth::State::kOpen:
+        if (NowSec() >= health.open_until_sec) {
+          // This request is the half-open probe.
+          health.state = MountHealth::State::kHalfOpen;
+          route = Route::kProbe;
+        } else {
+          route = replica != nullptr ? Route::kReplica : Route::kReject;
+        }
+        break;
+    }
+  }
+  switch (route) {
+    case Route::kReject: {
+      breaker_rejected_.fetch_add(1, std::memory_order_relaxed);
+      Bump(breaker_reg_.rejected);
+      if (obs::Tracer* tracer = ActiveTracer()) {
+        tracer->InstantEvent("breaker_rejected", "serve",
+                             {{"mount", prefix}, {"path", request.path}});
+      }
+      return Status::ResourceExhausted("mount '" + prefix +
+                                       "' breaker open and no replica "
+                                       "registered; failing fast");
+    }
+    case Route::kReplica: {
+      failover_requests_.fetch_add(1, std::memory_order_relaxed);
+      Bump(breaker_reg_.failover);
+      if (obs::Tracer* tracer = ActiveTracer()) {
+        tracer->InstantEvent("failover", "serve",
+                             {{"mount", prefix}, {"path", request.path}});
+      }
+      // The replica is its own single-threaded backend: serialize it under
+      // its own key, never the (possibly wedged) primary's lock.
+      return DispatchTo(replica, request, "\x01replica/" + prefix);
+    }
+    case Route::kProbe: {
+      breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+      Bump(breaker_reg_.probes);
+      if (obs::Tracer* tracer = ActiveTracer()) {
+        tracer->InstantEvent("breaker_probe", "serve", {{"mount", prefix}});
+      }
+      Result<core::ServiceResponse> result =
+          DispatchTo(registry_, request, prefix);
+      NoteProbeResult(prefix, result.ok());
+      return result;
+    }
+    case Route::kPrimary: {
+      Result<core::ServiceResponse> result =
+          DispatchTo(registry_, request, prefix);
+      NotePrimaryResult(prefix, result.ok());
+      return result;
+    }
+  }
+  return Status::Internal("unreachable: unknown breaker route");
 }
 
 void ServeLoop::Process(core::ServiceRequest request, DoneFn done,
@@ -273,6 +436,50 @@ Result<core::ServiceResponse> ServeLoop::Execute(
 
 void ServeLoop::Drain() { pool_->Wait(); }
 
+Status ServeLoop::SetReplica(const std::string& prefix,
+                             core::ServiceRegistry* replica) {
+  if (replica == nullptr) {
+    return Status::InvalidArgument("replica registry must not be null");
+  }
+  if (prefix.empty()) {
+    return Status::InvalidArgument("replica prefix must not be empty");
+  }
+  if (prefix.find('/') != std::string::npos) {
+    return Status::InvalidArgument(
+        "replica prefix must be a top-level mount (no '/'): '" + prefix +
+        "'");
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  replicas_[prefix] = replica;
+  return Status::OK();
+}
+
+std::vector<ServeLoop::MountHealthSnapshot> ServeLoop::HealthSnapshot() const {
+  std::vector<MountHealthSnapshot> snapshot;
+  std::lock_guard<std::mutex> lock(health_mu_);
+  snapshot.reserve(mount_health_.size());
+  for (const auto& [prefix, health] : mount_health_) {
+    MountHealthSnapshot entry;
+    entry.prefix = prefix;
+    switch (health.state) {
+      case MountHealth::State::kClosed:
+        entry.state = "closed";
+        break;
+      case MountHealth::State::kOpen:
+        entry.state = "open";
+        break;
+      case MountHealth::State::kHalfOpen:
+        entry.state = "half_open";
+        break;
+    }
+    entry.consecutive_failures = health.consecutive_failures;
+    entry.consecutive_trips = health.consecutive_trips;
+    entry.has_replica = replicas_.count(prefix) > 0;
+    snapshot.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
 ServeStats ServeLoop::Stats() const {
   ServeStats stats;
   stats.offered = offered_.load(std::memory_order_relaxed);
@@ -285,6 +492,13 @@ ServeStats ServeLoop::Stats() const {
   stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   stats.last_retry_after_sec =
       last_retry_after_sec_.load(std::memory_order_relaxed);
+  stats.breaker_opened = breaker_opened_.load(std::memory_order_relaxed);
+  stats.breaker_closed = breaker_closed_.load(std::memory_order_relaxed);
+  stats.breaker_probes = breaker_probes_.load(std::memory_order_relaxed);
+  stats.failover_requests =
+      failover_requests_.load(std::memory_order_relaxed);
+  stats.breaker_rejected =
+      breaker_rejected_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -18,6 +18,7 @@
 #include "serve/latency_histogram.h"
 #include "serve/response_cache.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace dflow::serve {
@@ -57,6 +58,38 @@ struct ServeConfig {
   enum class BackendLocking { kPerMount, kGlobal, kNone };
   BackendLocking locking = BackendLocking::kPerMount;
 
+  /// Health-gated failover (the recovery PR). Disabled by default — with
+  /// `enabled` false the dispatch path is exactly the pre-failover loop.
+  /// When enabled, every top-level mount prefix carries a circuit breaker:
+  ///
+  ///   closed --(failure_threshold CONSECUTIVE backend errors)--> open
+  ///   open   --(seeded-backoff window elapses; next request probes)-->
+  ///            half-open
+  ///   half-open --(probe succeeds)--> closed
+  ///             --(probe fails)----> open, with the window grown by
+  ///                                  backoff_multiplier (capped)
+  ///
+  /// While a mount is open (or a probe is in flight), its requests are
+  /// routed to the replica backend registered via SetReplica() — the
+  /// surviving copy of the service — or failed fast with ResourceExhausted
+  /// when no replica exists, so a dead backend sheds load instead of
+  /// tying up workers in doomed calls.
+  struct BreakerConfig {
+    bool enabled = false;
+    /// Consecutive primary-backend errors that trip the mount open.
+    int failure_threshold = 5;
+    /// Base open window before the first half-open probe, and its cap as
+    /// consecutive re-trips double it.
+    double open_sec = 0.25;
+    double open_max_sec = 2.0;
+    double backoff_multiplier = 2.0;
+    /// Optional +/- jitter on the window, drawn from `seed` — determinism
+    /// knob, same contract as core::RetryPolicy. In [0, 1).
+    double jitter_fraction = 0.0;
+    uint64_t seed = 42;
+  };
+  BreakerConfig breaker;
+
   /// Optional observability hooks (borrowed; must outlive the loop).
   ///
   /// With a tracer attached, every request leaves a span chain —
@@ -86,6 +119,12 @@ struct ServeStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   double last_retry_after_sec = 0.0;
+  // Breaker bookkeeping (all zero unless ServeConfig::breaker.enabled).
+  int64_t breaker_opened = 0;    // closed/half-open -> open transitions.
+  int64_t breaker_closed = 0;    // Successful probes (half-open -> closed).
+  int64_t breaker_probes = 0;    // Half-open probe requests sent.
+  int64_t failover_requests = 0; // Requests served by a replica backend.
+  int64_t breaker_rejected = 0;  // Failed fast: breaker open, no replica.
 
   double shed_fraction() const {
     return offered == 0 ? 0.0 : static_cast<double>(shed) / offered;
@@ -143,6 +182,28 @@ class ServeLoop {
   /// Blocks until every admitted request has completed.
   void Drain();
 
+  /// Registers a replica backend for the top-level mount `prefix` (e.g.
+  /// "cleo" for the mounts "cleo" and "cleo/es2"). While the prefix's
+  /// breaker is open, its requests are dispatched to `replica` instead of
+  /// the primary registry. The replica must outlive the loop and is
+  /// serialized under its own per-mount lock. InvalidArgument on a null
+  /// replica or empty prefix. Replicas may be registered regardless of
+  /// whether the breaker is enabled; without the breaker they are never
+  /// consulted.
+  Status SetReplica(const std::string& prefix,
+                    core::ServiceRegistry* replica);
+
+  /// One mount's breaker state, for tests and operations dashboards.
+  struct MountHealthSnapshot {
+    std::string prefix;
+    std::string state;  // "closed" | "open" | "half_open".
+    int consecutive_failures = 0;
+    int consecutive_trips = 0;
+    bool has_replica = false;
+  };
+  /// Every mount the breaker has seen traffic for, sorted by prefix.
+  std::vector<MountHealthSnapshot> HealthSnapshot() const;
+
   ServeStats Stats() const;
 
   /// Merged snapshot of per-stripe histograms: latency from admission to
@@ -161,10 +222,28 @@ class ServeLoop {
     LatencyHistogram histogram;
   };
 
+  struct MountHealth {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int consecutive_trips = 0;   // Re-trips without an intervening close.
+    double open_until_sec = 0.0;  // NowSec() deadline of the open window.
+  };
+
   void Process(core::ServiceRequest request, DoneFn done, std::string key,
                double start_sec, double deadline_at_sec,
                int64_t trace_admit_us);
   Result<core::ServiceResponse> Dispatch(const core::ServiceRequest& request);
+  /// The pre-breaker dispatch: serialize per `lock_key` (per config) and
+  /// call the given registry.
+  Result<core::ServiceResponse> DispatchTo(core::ServiceRegistry* registry,
+                                           const core::ServiceRequest& request,
+                                           const std::string& lock_key);
+  void NotePrimaryResult(const std::string& prefix, bool ok);
+  void NoteProbeResult(const std::string& prefix, bool ok);
+  /// Requires health_mu_. Opens the breaker and schedules the next probe
+  /// window with seeded exponential backoff.
+  void TripLocked(MountHealth& health, const std::string& prefix);
   void RecordLatency(double seconds);
   double RetryAfterFor(int64_t consecutive_sheds) const;
   /// The configured tracer if it is currently enabled, else null — so hot
@@ -206,6 +285,27 @@ class ServeLoop {
   };
   RegistryCounters reg_;
   obs::StripedHistogram* reg_latency_ = nullptr;
+
+  // Breaker state. Registry mirrors are resolved only when the breaker is
+  // enabled AND a registry is attached, so a disabled breaker leaves the
+  // metrics namespace exactly as before.
+  std::atomic<int64_t> breaker_opened_{0};
+  std::atomic<int64_t> breaker_closed_{0};
+  std::atomic<int64_t> breaker_probes_{0};
+  std::atomic<int64_t> failover_requests_{0};
+  std::atomic<int64_t> breaker_rejected_{0};
+  struct BreakerCounters {
+    obs::Counter* opened = nullptr;
+    obs::Counter* closed = nullptr;
+    obs::Counter* probes = nullptr;
+    obs::Counter* failover = nullptr;
+    obs::Counter* rejected = nullptr;
+  };
+  BreakerCounters breaker_reg_;
+  mutable std::mutex health_mu_;  // Guards the three members below.
+  std::map<std::string, MountHealth> mount_health_;
+  std::map<std::string, core::ServiceRegistry*> replicas_;
+  Rng breaker_rng_{42};  // Re-seeded from config in the constructor.
 
   std::mutex backend_locks_mu_;
   std::map<std::string, std::unique_ptr<std::mutex>> backend_locks_;

@@ -95,6 +95,19 @@ void TapeLibrary::RepairBadBlock(const std::string& file) {
   bad_blocks_.erase(file);
 }
 
+void TapeLibrary::CorruptSilently(const std::string& file) {
+  if (files_.count(file) == 0) {
+    return;
+  }
+  if (silent_corruptions_.insert(file).second) {
+    ++silent_corruptions_injected_;
+  }
+}
+
+void TapeLibrary::ClearSilentCorruption(const std::string& file) {
+  silent_corruptions_.erase(file);
+}
+
 bool TapeLibrary::Contains(const std::string& file) const {
   return files_.count(file) > 0;
 }

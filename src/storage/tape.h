@@ -70,6 +70,25 @@ class TapeLibrary {
     return bad_blocks_.count(file) > 0;
   }
 
+  /// Fault hook: silent corruption — the file still reads cleanly (no
+  /// drive error), but its content no longer matches the stored checksum.
+  /// Only an end-to-end verification (the recover::Scrubber) catches it;
+  /// production recalls return the rotten bytes without complaint, which
+  /// is exactly why archives scrub.
+  void CorruptSilently(const std::string& file);
+
+  /// Restores the file's content/checksum agreement (a clean copy was
+  /// rewritten over the rotten one).
+  void ClearSilentCorruption(const std::string& file);
+
+  bool IsSilentlyCorrupt(const std::string& file) const {
+    return silent_corruptions_.count(file) > 0;
+  }
+
+  int64_t silent_corruptions_injected() const {
+    return silent_corruptions_injected_;
+  }
+
   bool Contains(const std::string& file) const;
   Result<int64_t> FileSize(const std::string& file) const;
   /// All archived file names, sorted (the migration walk order).
@@ -94,6 +113,8 @@ class TapeLibrary {
   sim::Resource drives_;
   std::map<std::string, int64_t> files_;
   std::set<std::string> bad_blocks_;
+  std::set<std::string> silent_corruptions_;
+  int64_t silent_corruptions_injected_ = 0;
   int64_t used_ = 0;
   int64_t mounts_ = 0;
   int64_t drive_failures_ = 0;

@@ -1,12 +1,19 @@
 // Crash-point property test: for a log of committed transactions, a crash
 // (simulated by truncating the WAL at an arbitrary byte) must recover the
 // database to a *transaction-consistent prefix* — never a partially
-// applied transaction, never corrupted state.
+// applied transaction, never corrupted state. The torn-tail test sharpens
+// this to EVERY byte offset of the final transaction's records, and the
+// convergence test checks that Checkpoint() compaction and raw WAL replay
+// land on the same logical state.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "db/database.h"
 
@@ -80,6 +87,132 @@ TEST_P(CrashRecoveryTest, TruncationYieldsTransactionConsistentPrefix) {
 
 INSTANTIATE_TEST_SUITE_P(Phases, CrashRecoveryTest,
                          ::testing::Values(0, 7, 13, 22, 31));
+
+class TornTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("dflow_torn_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".wal");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".cut");
+  }
+
+  std::filesystem::path path_;
+};
+
+// A SIGKILL mid-append tears the FINAL transaction at an arbitrary byte.
+// Sweep every single offset inside its records: recovery must always land
+// on exactly the committed prefix (the first three transactions), with the
+// torn fourth invisible — never half-applied, never an open error.
+TEST_F(TornTailTest, FinalTransactionTornAtEveryByte) {
+  {
+    auto db = Database::Open(path_.string());
+    ASSERT_TRUE((*db)->Execute("CREATE TABLE t (txn INT, k INT)").ok());
+    for (int txn = 0; txn < 3; ++txn) {
+      ASSERT_TRUE((*db)->Begin().ok());
+      for (int k = 0; k < 5; ++k) {
+        ASSERT_TRUE((*db)
+                        ->Execute("INSERT INTO t VALUES (" +
+                                  std::to_string(txn) + ", " +
+                                  std::to_string(k) + ")")
+                        .ok());
+      }
+      ASSERT_TRUE((*db)->Commit().ok());
+    }
+  }
+  const auto prefix_size =
+      static_cast<int64_t>(std::filesystem::file_size(path_));
+  {
+    auto db = Database::Open(path_.string());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Begin().ok());
+    for (int k = 0; k < 5; ++k) {
+      ASSERT_TRUE(
+          (*db)
+              ->Execute("INSERT INTO t VALUES (3, " + std::to_string(k) + ")")
+              .ok());
+    }
+    ASSERT_TRUE((*db)->Commit().ok());
+  }
+  const auto full_size =
+      static_cast<int64_t>(std::filesystem::file_size(path_));
+  ASSERT_GT(full_size, prefix_size);
+
+  const std::string cut_path = path_.string() + ".cut";
+  for (int64_t cut = prefix_size; cut <= full_size; ++cut) {
+    std::filesystem::copy_file(
+        path_, cut_path, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(cut_path, static_cast<uintmax_t>(cut));
+    auto db = Database::Open(cut_path);
+    ASSERT_TRUE(db.ok()) << "cut at " << cut;
+    auto count = (*db)->Execute("SELECT COUNT(*), MAX(txn) FROM t");
+    ASSERT_TRUE(count.ok()) << "cut at " << cut;
+    const int64_t rows = count->rows[0][0].AsInt();
+    if (cut < full_size) {
+      // Any tear inside the final transaction hides it entirely.
+      EXPECT_EQ(rows, 15) << "cut at " << cut;
+      EXPECT_EQ(count->rows[0][1].AsInt(), 2) << "cut at " << cut;
+    } else {
+      EXPECT_EQ(rows, 20);
+      EXPECT_EQ(count->rows[0][1].AsInt(), 3);
+    }
+  }
+}
+
+// Compaction and replay must agree: recovering from the raw churned WAL
+// and recovering from a Checkpoint()ed copy of the same WAL produce the
+// same catalog and the same rows.
+TEST_F(TornTailTest, CheckpointAndReplayConverge) {
+  {
+    auto db = Database::Open(path_.string());
+    ASSERT_TRUE((*db)->Execute("CREATE TABLE t (x INT, y INT)").ok());
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE((*db)
+                      ->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                ", " + std::to_string(i * i) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE((*db)->Execute("DELETE FROM t WHERE x < 20").ok());
+    ASSERT_TRUE((*db)->Execute("UPDATE t SET y = 0 WHERE x >= 50").ok());
+  }
+  const std::string checkpointed = path_.string() + ".cut";  // Reuses cleanup.
+  std::filesystem::copy_file(
+      path_, checkpointed, std::filesystem::copy_options::overwrite_existing);
+  {
+    auto db = Database::Open(checkpointed);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  // The compacted log is a different byte stream...
+  EXPECT_NE(std::filesystem::file_size(path_),
+            std::filesystem::file_size(checkpointed));
+
+  auto rows_of = [](const std::string& file) {
+    std::vector<std::pair<int64_t, int64_t>> rows;
+    auto db = Database::Open(file);
+    EXPECT_TRUE(db.ok());
+    EXPECT_NE((*db)->catalog().Find("t"), nullptr);
+    auto result = (*db)->Execute("SELECT x, y FROM t");
+    EXPECT_TRUE(result.ok());
+    for (const auto& row : result->rows) {
+      rows.emplace_back(row[0].AsInt(), row[1].AsInt());
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  // ...but both recover to the identical logical state.
+  const auto raw = rows_of(path_.string());
+  const auto compact = rows_of(checkpointed);
+  ASSERT_EQ(raw.size(), 40u);
+  EXPECT_EQ(raw, compact);
+  EXPECT_EQ(raw.front(), (std::pair<int64_t, int64_t>{20, 400}));
+  EXPECT_EQ(raw.back(), (std::pair<int64_t, int64_t>{59, 0}));
+}
 
 }  // namespace
 }  // namespace dflow::db
