@@ -1,0 +1,94 @@
+#ifndef DFLOW_SCENARIO_SCENARIO_H_
+#define DFLOW_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::scenario {
+
+/// Knobs every scenario honors. A scenario run is a pure function of
+/// (scenario name, params): same params => same fingerprint, byte for
+/// byte — that identity is the matrix's regression gate.
+struct ScenarioParams {
+  uint64_t seed = 20260807;
+  /// Scales offered load / horizon so CI can run the matrix cheaply
+  /// (0.25) while a workstation runs it at full size (1.0). Clamped to
+  /// [0.05, 4.0] by FromEnv and the runners.
+  double scale = 1.0;
+
+  /// Reads DFLOW_SCENARIO_SEED / DFLOW_SCENARIO_SCALE from the
+  /// environment (unset => defaults above; unparsable values ignored).
+  static ScenarioParams FromEnv();
+};
+
+/// One row of BENCH_scenarios.json. The measured columns (p50/p99, shed
+/// rate, recovery time) describe the run; `fingerprint` is the
+/// deterministic identity the ctest gate enforces — it hashes the
+/// scenario's seeded artifacts (schedules, traces, plans, counters),
+/// never wall-clock-dependent measurements.
+struct ScenarioResult {
+  std::string name;
+  std::string kind;  // "trace" | "shape" | "chaos".
+  uint64_t seed = 0;
+  double scale = 1.0;
+  int64_t offered = 0;       // Requests offered / products injected.
+  double p50_ms = 0.0;       // Latency percentiles (wall or virtual).
+  double p99_ms = 0.0;
+  double shed_rate = 0.0;    // Fraction of offered load shed/dead-lettered.
+  double recovery_sec = 0.0; // Time from first fault to recovered steady
+                             // state (0 for fault-free scenarios).
+  std::string fingerprint;   // MD5; same-seed stable.
+  /// Scenario-specific extras ("faults_injected", "tickets_filed", ...),
+  /// emitted as additional JSON columns in insertion order.
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// One-line JSON object, keys in fixed order (doubles via %.6g, extras
+  /// as raw literals) — the row format bench_scenario_matrix emits.
+  std::string ToJsonRow() const;
+};
+
+/// A named, registered scenario: a pure config composing existing
+/// machinery (workload shape x fault plan x recovery/serve knobs).
+struct Scenario {
+  std::string name;
+  std::string kind;         // "trace" | "shape" | "chaos".
+  std::string description;  // One line for --list / docs.
+  std::function<Result<ScenarioResult>(const ScenarioParams&)> run;
+};
+
+/// Order-preserving scenario registry. Names must be unique.
+class ScenarioRegistry {
+ public:
+  Status Register(Scenario scenario);
+
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+  Result<const Scenario*> Find(const std::string& name) const;
+
+  /// Runs one scenario by name, stamping name/kind/seed/scale into the
+  /// result so individual runners cannot forget them.
+  Result<ScenarioResult> Run(const std::string& name,
+                             const ScenarioParams& params) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// The built-in matrix (constructed once, in registration order):
+///   trace.wfcommons_montage — trace-driven WfCommons replay, clean
+///   trace.wfcommons_chaos   — same instance under a stage-fault plan
+///   shape.diurnal           — diurnal-cycle open-loop serve run
+///   shape.flash_crowd       — 50x seeded popularity spike
+///   shape.bulk_race         — bulk reprocessing racing interactive load
+///   chaos.scrub_storm       — link+drive faults during a scrub under load
+///   chaos.breaker_flash     — primary failure under flash crowd; breaker
+///                             trips, fails over, recovers
+const ScenarioRegistry& BuiltinScenarios();
+
+}  // namespace dflow::scenario
+
+#endif  // DFLOW_SCENARIO_SCENARIO_H_

@@ -1,0 +1,168 @@
+#include "scenario/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "serve/response_cache.h"
+#include "util/logging.h"
+#include "util/md5.h"
+#include "util/rng.h"
+
+namespace dflow::scenario {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+std::vector<serve::TimedRequest> DiurnalSchedule(serve::WorkloadGen& gen,
+                                                 double base_rate_per_sec,
+                                                 double amplitude,
+                                                 double period_sec,
+                                                 double duration_sec) {
+  DFLOW_CHECK(base_rate_per_sec > 0.0);
+  DFLOW_CHECK(amplitude >= 0.0 && amplitude <= 1.0);
+  DFLOW_CHECK(period_sec > 0.0);
+  double peak = base_rate_per_sec * (1.0 + amplitude);
+  return gen.OpenLoopScheduleRate(
+      [=](double t) {
+        return base_rate_per_sec *
+               (1.0 +
+                amplitude * std::sin(2.0 * kPi * t / period_sec - kPi / 2.0));
+      },
+      peak, duration_sec);
+}
+
+std::vector<serve::TimedRequest> FlashCrowdSchedule(
+    serve::WorkloadGen& gen, const FlashCrowdConfig& config) {
+  DFLOW_CHECK(config.base_rate_per_sec > 0.0);
+  DFLOW_CHECK(config.spike_multiplier >= 1.0);
+  DFLOW_CHECK(config.onset_min_sec <= config.onset_max_sec);
+  DFLOW_CHECK(config.rise_tau_sec > 0.0);
+  DFLOW_CHECK(config.decay_tau_sec > 0.0);
+  DFLOW_CHECK(config.hot_fraction >= 0.0 && config.hot_fraction <= 1.0);
+
+  // Ambient Zipf traffic first (one contiguous block of gen's stream, so
+  // the spike realization cannot perturb it).
+  std::vector<serve::TimedRequest> ambient =
+      gen.OpenLoopSchedule(config.base_rate_per_sec, config.duration_sec);
+
+  Rng shape(config.shape_seed);
+  double onset = config.onset_min_sec;
+  if (config.onset_max_sec > config.onset_min_sec) {
+    onset = shape.UniformReal(config.onset_min_sec, config.onset_max_sec);
+  }
+  // The ramp saturates ~4 time constants after onset; that knee is the
+  // crest the decay hangs off.
+  double crest = onset + 4.0 * config.rise_tau_sec;
+  double extra_peak =
+      config.base_rate_per_sec * (config.spike_multiplier - 1.0);
+  auto extra_rate = [&](double t) {
+    if (t < onset) {
+      return 0.0;
+    }
+    if (t <= crest) {
+      return extra_peak * (1.0 - std::exp(-(t - onset) / config.rise_tau_sec));
+    }
+    return extra_peak * std::exp(-(t - crest) / config.decay_tau_sec);
+  };
+
+  // Thinned spike arrivals from the shape rng; request identity from the
+  // hot endpoint or gen's ambient stream.
+  std::vector<serve::TimedRequest> spike;
+  double t = 0.0;
+  while (true) {
+    t += shape.Exponential(extra_peak);
+    if (t >= config.duration_sec) {
+      break;
+    }
+    if (shape.NextDouble() * extra_peak >= extra_rate(t)) {
+      continue;
+    }
+    const core::ServiceRequest& request =
+        shape.NextDouble() < config.hot_fraction ? gen.RequestAtRank(0)
+                                                 : gen.Next();
+    spike.push_back(serve::TimedRequest{t, request});
+  }
+
+  std::vector<std::vector<serve::TimedRequest>> parts;
+  parts.push_back(std::move(ambient));
+  parts.push_back(std::move(spike));
+  return MergeSchedules(std::move(parts));
+}
+
+std::vector<serve::TimedRequest> BulkRaceSchedule(
+    serve::WorkloadGen& gen, const BulkRaceConfig& config) {
+  DFLOW_CHECK(config.interactive_rate_per_sec > 0.0);
+  DFLOW_CHECK(config.bulk_rate_per_sec > 0.0);
+
+  std::vector<serve::TimedRequest> interactive = gen.OpenLoopSchedule(
+      config.interactive_rate_per_sec, config.duration_sec);
+  for (serve::TimedRequest& timed : interactive) {
+    timed.request.params["wl"] = "fg";
+  }
+
+  // The campaign sweeps the population in popularity-rank order at a fixed
+  // cadence — a paced batch job, not a Poisson process — wrapping around
+  // until the clock runs out.
+  std::vector<serve::TimedRequest> bulk;
+  double gap = 1.0 / config.bulk_rate_per_sec;
+  size_t rank = 0;
+  for (double t = gap * 0.5; t < config.duration_sec; t += gap) {
+    serve::TimedRequest timed{t, gen.RequestAtRank(rank)};
+    timed.request.params["wl"] = "bulk";
+    bulk.push_back(std::move(timed));
+    rank = (rank + 1) % gen.population_size();
+  }
+
+  std::vector<std::vector<serve::TimedRequest>> parts;
+  parts.push_back(std::move(interactive));
+  parts.push_back(std::move(bulk));
+  return MergeSchedules(std::move(parts));
+}
+
+std::vector<serve::TimedRequest> MergeSchedules(
+    std::vector<std::vector<serve::TimedRequest>> schedules) {
+  std::vector<serve::TimedRequest> merged;
+  size_t total = 0;
+  for (const auto& schedule : schedules) {
+    total += schedule.size();
+  }
+  merged.reserve(total);
+  std::vector<size_t> cursor(schedules.size(), 0);
+  while (merged.size() < total) {
+    size_t best = schedules.size();
+    for (size_t i = 0; i < schedules.size(); ++i) {
+      if (cursor[i] >= schedules[i].size()) {
+        continue;
+      }
+      if (best == schedules.size() ||
+          schedules[i][cursor[i]].at_sec <
+              schedules[best][cursor[best]].at_sec) {
+        best = i;  // Strict '<': ties stay with the earlier vector.
+      }
+    }
+    merged.push_back(std::move(schedules[best][cursor[best]++]));
+  }
+  return merged;
+}
+
+std::string ScheduleFingerprint(
+    const std::vector<serve::TimedRequest>& schedule) {
+  Md5 md5;
+  char buf[32];
+  for (const serve::TimedRequest& timed : schedule) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(
+                      std::llround(timed.at_sec * 1e6)));
+    md5.Update(buf);
+    md5.Update("|");
+    md5.Update(serve::ShardedResponseCache::CanonicalKey(timed.request));
+    md5.Update("\n");
+  }
+  return md5.HexDigest();
+}
+
+}  // namespace dflow::scenario

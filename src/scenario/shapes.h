@@ -1,0 +1,93 @@
+#ifndef DFLOW_SCENARIO_SHAPES_H_
+#define DFLOW_SCENARIO_SHAPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/workload_gen.h"
+
+namespace dflow::scenario {
+
+/// Synthetic workload shapes layered on serve::WorkloadGen's Zipf engine.
+/// Each generator returns a fully materialized open-loop arrival schedule
+/// (sorted by time) that is a pure function of its parameters and the
+/// generator's seed — the schedules, not the measured latencies, are what
+/// the scenario fingerprints hash.
+
+/// Diurnal cycle: inhomogeneous Poisson arrivals with intensity
+///   base * (1 + amplitude * sin(2*pi * t / period - pi/2))
+/// so the run starts in the overnight trough and peaks mid-period (the
+/// paper's retro-browse/candidate-query traffic follows the working day).
+/// Requires 0 <= amplitude <= 1. Realized by thinning at the peak rate.
+std::vector<serve::TimedRequest> DiurnalSchedule(serve::WorkloadGen& gen,
+                                                 double base_rate_per_sec,
+                                                 double amplitude,
+                                                 double period_sec,
+                                                 double duration_sec);
+
+struct FlashCrowdConfig {
+  double base_rate_per_sec = 100.0;
+  /// Peak multiplier at the spike's crest: the famous-object moment (a
+  /// 50x default per the scenario-matrix spec).
+  double spike_multiplier = 50.0;
+  /// Onset is drawn uniformly from [onset_min_sec, onset_max_sec) by a
+  /// private Rng seeded with `shape_seed` — a different seed moves the
+  /// spike and re-realizes the ramp.
+  double onset_min_sec = 0.0;
+  double onset_max_sec = 0.0;
+  uint64_t shape_seed = 1;
+  /// Exponential ramp time constants around the onset: intensity rises as
+  /// 1 - exp(-(t-onset)/rise_tau) and decays as exp(-(t-crest)/decay_tau).
+  double rise_tau_sec = 0.05;
+  double decay_tau_sec = 0.25;
+  /// Spike traffic is aimed at the hottest endpoint with this probability
+  /// (the one object everyone suddenly wants); the rest follows the
+  /// ambient Zipf stream.
+  double hot_fraction = 0.9;
+  double duration_sec = 2.0;
+};
+
+/// Flash crowd: ambient Zipf traffic at the base rate plus a seeded
+/// popularity spike whose extra arrivals mostly hammer the rank-0 endpoint.
+/// Spike timing comes from config.shape_seed, the non-hot spike requests
+/// from `gen`'s stream — together one (gen seed, shape seed) pair pins the
+/// whole event.
+std::vector<serve::TimedRequest> FlashCrowdSchedule(
+    serve::WorkloadGen& gen, const FlashCrowdConfig& config);
+
+struct BulkRaceConfig {
+  /// Interactive side: Poisson Zipf traffic, the paper's live queries.
+  double interactive_rate_per_sec = 100.0;
+  /// Bulk side: a reprocessing campaign sweeping the population in
+  /// popularity-rank order at a fixed cadence (deterministic arrivals —
+  /// batch jobs are paced, not Poisson), wrapping around until the clock
+  /// runs out.
+  double bulk_rate_per_sec = 200.0;
+  double duration_sec = 2.0;
+};
+
+/// Bulk-reprocessing campaign racing interactive traffic: the merged
+/// schedule interleaves a deterministic rank-order sweep with seeded
+/// Poisson foreground queries. Bulk requests are tagged with attribute
+/// "wl" = "bulk", interactive ones "wl" = "fg", so admission or analysis
+/// can tell them apart.
+std::vector<serve::TimedRequest> BulkRaceSchedule(serve::WorkloadGen& gen,
+                                                  const BulkRaceConfig& config);
+
+/// Merges already-sorted schedules into one time-ordered stream. Ties
+/// break by input order (earlier vector wins), keeping the merge stable
+/// and deterministic.
+std::vector<serve::TimedRequest> MergeSchedules(
+    std::vector<std::vector<serve::TimedRequest>> schedules);
+
+/// MD5 over "(time_us, canonical request key)" lines — the deterministic
+/// identity of a schedule. Arrival times are hashed at microsecond
+/// resolution so the digest is stable across platforms' printf behavior
+/// while still pinning the full arrival pattern.
+std::string ScheduleFingerprint(
+    const std::vector<serve::TimedRequest>& schedule);
+
+}  // namespace dflow::scenario
+
+#endif  // DFLOW_SCENARIO_SHAPES_H_

@@ -1,0 +1,105 @@
+#ifndef DFLOW_SCENARIO_WFCOMMONS_H_
+#define DFLOW_SCENARIO_WFCOMMONS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/flow_runner.h"
+#include "fault/fault_plan.h"
+#include "util/result.h"
+
+namespace dflow::scenario {
+
+/// One task of a WfCommons-style workflow instance: a node of the DAG with
+/// a measured runtime. `parents`/`children` are sorted, deduplicated, and
+/// mutually consistent (an edge listed on either side is present on both
+/// after parsing).
+struct WorkflowTask {
+  std::string id;         // Unique within the instance.
+  std::string name;       // Display name; defaults to id.
+  double runtime_sec = 0.0;
+  int64_t output_bytes = 0;
+  std::vector<std::string> parents;
+  std::vector<std::string> children;
+};
+
+/// A parsed workflow instance: the replayable artifact format of the
+/// WfCommons ecosystem (PAPERS.md), reduced to the fields the replay needs
+/// — task ids, dependencies, per-task runtimes, and output sizes.
+struct WorkflowInstance {
+  std::string name;
+  std::vector<WorkflowTask> tasks;  // Input order preserved.
+
+  /// Task ids with no parents (the replay's injection points), in task
+  /// order.
+  std::vector<std::string> SourceTaskIds() const;
+  /// Sum of every task's runtime (the serial-makespan lower bound's dual).
+  double TotalRuntimeSec() const;
+};
+
+/// Parses a WfCommons-style workflow-instance JSON document. Accepts both
+/// the flat layout ({"workflow": {"tasks": [...]}}) and the split 1.4+
+/// layout ({"workflow": {"specification": {"tasks": [...]},
+/// "execution": {"tasks": [{"id", "runtimeInSeconds"}]}}}); per-task
+/// runtimes may come from "runtime", "runtimeInSeconds", or the execution
+/// block.
+///
+/// Hardened against hostile input: malformed JSON, truncation at any byte,
+/// unbounded nesting, duplicate or dangling task references, cyclic
+/// dependencies, and missing/negative/non-finite runtimes all return a
+/// non-OK Status (Corruption for syntax, InvalidArgument for semantics) —
+/// never a crash, hang, or partial instance.
+Result<WorkflowInstance> ParseWfInstance(std::string_view json);
+
+/// Canonical JSON emitter: parse(EmitWfInstance(x)) reproduces x exactly
+/// (runtimes are printed round-trippably), which is what the randomized
+/// round-trip tests pin down.
+std::string EmitWfInstance(const WorkflowInstance& instance);
+
+/// Replay knobs. All stochastic choices flow from `seed`.
+struct WfReplayConfig {
+  uint64_t seed = 1;
+  /// Source products arrive at seeded exponential gaps with this mean
+  /// (0 = everything injected at t=0). This is what makes a trace replay
+  /// seed-sensitive: the DAG and runtimes are fixed, the arrival phase of
+  /// independent inputs is not.
+  double source_arrival_mean_gap_sec = 0.0;
+  /// Retry discipline applied to every stage (chaos replays want > 1
+  /// attempt; the default fail-fast matches a clean replay).
+  core::RetryPolicy retry;
+  /// Optional chaos: a fault plan whose kTransientStageError /
+  /// kStageCrash events target task ids of this instance.
+  const fault::FaultPlan* plan = nullptr;
+};
+
+/// What a replay measured. Everything here is virtual-time deterministic:
+/// same (instance, config) => byte-identical trace_json.
+struct WfReplayOutcome {
+  double makespan_sec = 0.0;
+  int64_t tasks_completed = 0;   // Tasks whose join fired an output.
+  int64_t dead_lettered = 0;
+  int64_t retries = 0;
+  int64_t errors = 0;
+  int64_t faults_injected = 0;
+  /// Per-arrival sojourn (readiness of the triggering input to service
+  /// completion), one sample per serviced product.
+  std::vector<double> sojourn_sec;
+  std::string report;       // FlowRunner::Report().
+  std::string trace_json;   // External-clock Chrome trace of the run.
+  std::string trace_fingerprint;
+};
+
+/// Replays `instance` through core::FlowRunner on a private simulation:
+/// one stage per task (join semantics — a task with P parents spreads its
+/// runtime over P arrivals and emits its output when the last one lands),
+/// edges from the instance DAG, seeded source arrivals, and an optional
+/// armed fault plan. The obs tracer is bound to the simulation clock, so
+/// the returned trace is a deterministic record of the whole run.
+Result<WfReplayOutcome> ReplayWfInstance(const WorkflowInstance& instance,
+                                         const WfReplayConfig& config);
+
+}  // namespace dflow::scenario
+
+#endif  // DFLOW_SCENARIO_WFCOMMONS_H_

@@ -52,6 +52,35 @@ std::vector<TimedRequest> WorkloadGen::OpenLoopSchedule(double rate_per_sec,
   return schedule;
 }
 
+std::vector<TimedRequest> WorkloadGen::OpenLoopScheduleRate(
+    const std::function<double(double)>& rate_per_sec_at,
+    double peak_rate_per_sec, double duration_sec) {
+  DFLOW_CHECK(rate_per_sec_at != nullptr);
+  DFLOW_CHECK(peak_rate_per_sec > 0.0);
+  std::vector<TimedRequest> schedule;
+  double t = 0.0;
+  while (true) {
+    t += rng_.Exponential(peak_rate_per_sec);
+    if (t >= duration_sec) {
+      break;
+    }
+    double rate = rate_per_sec_at(t);
+    DFLOW_CHECK(rate >= 0.0);
+    DFLOW_CHECK(rate <= peak_rate_per_sec * (1.0 + 1e-9));
+    // Thinning: accept with probability rate(t)/peak. The uniform draw is
+    // consumed either way; Next() only on acceptance.
+    if (rng_.NextDouble() * peak_rate_per_sec < rate) {
+      schedule.push_back(TimedRequest{t, Next()});
+    }
+  }
+  return schedule;
+}
+
+const core::ServiceRequest& WorkloadGen::RequestAtRank(size_t rank) const {
+  DFLOW_CHECK(rank < population_->size());
+  return (*population_)[rank_to_index_[rank]];
+}
+
 WorkloadGen WorkloadGen::Fork() {
   return WorkloadGen(population_, rank_to_index_, zipf_s_, rng_.Fork());
 }

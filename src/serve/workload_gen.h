@@ -2,6 +2,7 @@
 #define DFLOW_SERVE_WORKLOAD_GEN_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,8 +47,35 @@ class WorkloadGen {
   std::vector<TimedRequest> OpenLoopSchedule(double rate_per_sec,
                                              double duration_sec);
 
+  /// Inhomogeneous Poisson arrivals over [0, duration_sec) with
+  /// time-varying intensity `rate_per_sec_at(t)`, realized by thinning a
+  /// homogeneous process at `peak_rate_per_sec` (which must dominate the
+  /// rate function everywhere; checked). Rejected candidate points consume
+  /// one uniform draw but never advance the request stream, so the k-th
+  /// ACCEPTED arrival always carries the k-th request of the stream — the
+  /// schedule is a pure function of (population, zipf_s, seed, rate shape).
+  /// This is the primitive the scenario-matrix shape generators (diurnal
+  /// cycles, flash crowds) are layered on.
+  std::vector<TimedRequest> OpenLoopScheduleRate(
+      const std::function<double(double)>& rate_per_sec_at,
+      double peak_rate_per_sec, double duration_sec);
+
   /// Independent child generator over the same population (same popularity
   /// assignment, decorrelated draws).
+  ///
+  /// Contract (relied on by closed-loop clients and by open-loop Poisson
+  /// superposition — N forks replaying OpenLoopSchedule(rate/N, d) jointly
+  /// form a Poisson stream at the full rate):
+  ///   * child i is a pure function of the parent's seed and the number of
+  ///     forks taken BEFORE it — forking more children later never perturbs
+  ///     an earlier child's stream, so per-child fingerprints are stable
+  ///     across the total fork count;
+  ///   * sibling streams are decorrelated (each Fork() re-seeds through
+  ///     SplitMix64), statistically independent for workload purposes while
+  ///     remaining jointly deterministic from the one parent seed;
+  ///   * each Fork() advances the parent's RNG state: the parent's
+  ///     SUBSEQUENT draws depend on how many children it has forked (fork
+  ///     everything up front, then draw).
   WorkloadGen Fork();
 
   /// MD5 over the canonical keys of the next `n` requests. ADVANCES the
@@ -58,6 +86,13 @@ class WorkloadGen {
 
   size_t population_size() const { return population_->size(); }
   double zipf_s() const { return zipf_s_; }
+
+  /// The request at popularity rank `rank` (0 is hottest). Does NOT
+  /// advance the stream — scenario generators use this to aim synthetic
+  /// traffic at a specific endpoint (a flash crowd hammering the newly
+  /// famous pulsar's VOTable) or to sweep the population in rank order
+  /// (a bulk reprocessing campaign). Requires 0 <= rank < population.
+  const core::ServiceRequest& RequestAtRank(size_t rank) const;
 
   /// Popularity-rank -> population index mapping (rank 0 is hottest).
   const std::vector<size_t>& rank_to_index() const { return rank_to_index_; }

@@ -415,6 +415,65 @@ TEST(WorkloadGenTest, ForkDecorrelatesButStaysDeterministic) {
   EXPECT_NE(parent_a.Fingerprint(1000), child_b.Fingerprint(1000));
 }
 
+// The Fork() contract the scenario harnesses lean on: child i depends
+// only on the parent seed and the number of forks taken BEFORE it, so a
+// harness that later adds more closed-loop clients never perturbs the
+// streams (or fingerprints) of the existing ones.
+TEST(WorkloadGenTest, ForkStreamsAreStableAcrossForkCount) {
+  WorkloadGen two_forks(TestPopulation(100), 1.0, 9);
+  WorkloadGen six_forks(TestPopulation(100), 1.0, 9);
+  std::vector<std::string> prints_two;
+  std::vector<WorkloadGen> children_six;
+  for (int i = 0; i < 2; ++i) {
+    prints_two.push_back(two_forks.Fork().Fingerprint(1000));
+  }
+  for (int i = 0; i < 6; ++i) {
+    children_six.push_back(six_forks.Fork());
+  }
+  // The first two children are identical whether 2 or 6 forks are taken.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(children_six[static_cast<size_t>(i)].Fingerprint(1000),
+              prints_two[static_cast<size_t>(i)]);
+  }
+  // Siblings are pairwise decorrelated (distinct streams).
+  std::vector<std::string> prints_six;
+  for (WorkloadGen& child : children_six) {
+    prints_six.push_back(child.Fingerprint(1000));
+  }
+  for (size_t i = 0; i < prints_six.size(); ++i) {
+    for (size_t j = i + 1; j < prints_six.size(); ++j) {
+      EXPECT_NE(prints_six[i], prints_six[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(WorkloadGenTest, OpenLoopScheduleRateThinsDeterministically) {
+  // Linearly ramping intensity 0 -> 1000 req/s over 2s.
+  auto ramp = [](double t) { return 500.0 * t; };
+  WorkloadGen a(TestPopulation(50), 1.0, 7);
+  WorkloadGen b(TestPopulation(50), 1.0, 7);
+  auto sched_a = a.OpenLoopScheduleRate(ramp, 1000.0, 2.0);
+  auto sched_b = b.OpenLoopScheduleRate(ramp, 1000.0, 2.0);
+  ASSERT_EQ(sched_a.size(), sched_b.size());
+  for (size_t i = 0; i < sched_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sched_a[i].at_sec, sched_b[i].at_sec);
+    EXPECT_EQ(ShardedResponseCache::CanonicalKey(sched_a[i].request),
+              ShardedResponseCache::CanonicalKey(sched_b[i].request));
+  }
+  // ~1000 arrivals expected in total, concentrated in the second half of
+  // the window (integral of the ramp: 250 vs 750).
+  EXPECT_NEAR(static_cast<double>(sched_a.size()), 1000.0, 150.0);
+  size_t early = 0;
+  for (size_t i = 1; i < sched_a.size(); ++i) {
+    EXPECT_GE(sched_a[i].at_sec, sched_a[i - 1].at_sec);  // Sorted.
+    if (sched_a[i].at_sec < 1.0) {
+      ++early;
+    }
+  }
+  EXPECT_LT(early, sched_a.size() / 2);
+  EXPECT_LT(sched_a.back().at_sec, 2.0);
+}
+
 // ---------------------------------------------------------------------------
 // ServeLoop.
 
