@@ -1,0 +1,632 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/md5.h"
+
+namespace dflow::cluster {
+namespace {
+
+/// Trace tracks 0..k are claimed by real threads in first-use order; node
+/// tracks start high so they never collide.
+constexpr int kNodeTrackBase = 1000;
+
+std::string NodeName(int index) { return "node" + std::to_string(index); }
+
+/// Zero-padded per-node write sequence, so journal-replay order (which is
+/// lexicographic in the record key) matches apply order per key.
+std::string SeqTag(int64_t seq) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%012lld", static_cast<long long>(seq));
+  return buf;
+}
+
+}  // namespace
+
+uint64_t Cluster::ShardData::ContentDigest() const {
+  uint64_t digest = 0x6a09e667f3bcc909ull;
+  for (const auto& [key, value] : entries) {
+    digest ^= Hash64(key + "=" + value, 0x3c6ef372fe94f82bull);
+  }
+  return digest;
+}
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      map_([this] {
+        ShardMapConfig map_config = config_.shard_map;
+        map_config.seed = config_.seed;
+        return map_config;
+      }()),
+      router_(&map_, config_.replication_factor) {
+  config_.shard_map.seed = config_.seed;
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterConfig config,
+                                                 BackendFactory backends) {
+  if (config.num_nodes < 1) {
+    return Status::InvalidArgument("cluster needs at least one node");
+  }
+  if (backends == nullptr) {
+    return Status::InvalidArgument("backend factory must not be null");
+  }
+  std::unique_ptr<Cluster> cluster(new Cluster(std::move(config)));
+  DFLOW_RETURN_IF_ERROR(cluster->Init(backends));
+  return cluster;
+}
+
+Status Cluster::Init(const BackendFactory& backends) {
+  router_.SetAliveCheck([this](const std::string& node_id) {
+    auto it = nodes_by_name_.find(node_id);
+    return it != nodes_by_name_.end() &&
+           it->second->alive.load(std::memory_order_acquire);
+  });
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry* m = config_.metrics;
+    reg_.requests = m->GetCounter("cluster.requests");
+    reg_.local = m->GetCounter("cluster.local");
+    reg_.forwarded = m->GetCounter("cluster.forwarded");
+    reg_.reroutes = m->GetCounter("cluster.reroutes");
+    reg_.forward_drops = m->GetCounter("cluster.forward_drops");
+    reg_.failed = m->GetCounter("cluster.failed");
+    reg_.writes = m->GetCounter("cluster.writes");
+    reg_.replica_writes = m->GetCounter("cluster.replica_writes");
+    reg_.dual_writes = m->GetCounter("cluster.dual_writes");
+    reg_.rebalance_moves = m->GetCounter("cluster.rebalance_moves");
+    reg_.kills = m->GetCounter("cluster.kills");
+    reg_.rejoins = m->GetCounter("cluster.rejoins");
+    reg_.journal_replayed = m->GetCounter("cluster.journal_replayed");
+    reg_.catchup_shards = m->GetCounter("cluster.catchup_shards");
+  }
+
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    auto node = std::make_unique<Node>();
+    node->name = NodeName(i);
+    node->index = i;
+    node->trace_tid = kNodeTrackBase + i;
+    DFLOW_RETURN_IF_ERROR(map_.AddNode(node->name));
+    DFLOW_RETURN_IF_ERROR(backends(i, &node->registry));
+    if (!config_.journal_dir.empty()) {
+      node->journal_path =
+          config_.journal_dir + "/cluster_" + node->name + ".journal";
+      DFLOW_ASSIGN_OR_RETURN(
+          node->journal, recover::CheckpointJournal::Open(node->journal_path));
+    }
+    if (config_.tracer != nullptr && config_.tracer->enabled()) {
+      config_.tracer->NameTrack(node->trace_tid, "cluster/" + node->name);
+    }
+    nodes_.push_back(std::move(node));
+  }
+  for (const auto& node : nodes_) {
+    nodes_by_name_[node->name] = node.get();
+  }
+
+  // Serve loops come up after every registry exists, because breaker
+  // failover wires each node's replica registry to its successor's.
+  for (auto& node : nodes_) {
+    if (config_.enable_cache) {
+      serve::CacheConfig cache_config;
+      cache_config.capacity_bytes = config_.cache_capacity_bytes;
+      node->cache =
+          std::make_unique<serve::ShardedResponseCache>(cache_config);
+    }
+    serve::ServeConfig serve_config;
+    serve_config.num_workers = config_.workers_per_node;
+    serve_config.max_queue_depth = config_.queue_depth;
+    serve_config.default_deadline_sec = config_.default_deadline_sec;
+    serve_config.metrics = nullptr;  // Cluster-level counters only; per-node
+                                     // loops would collide on names.
+    if (config_.breaker_failover && config_.num_nodes > 1) {
+      serve_config.breaker.enabled = true;
+      serve_config.breaker.seed = config_.seed + node->index;
+    }
+    node->loop = std::make_unique<serve::ServeLoop>(
+        &node->registry, serve_config, node->cache.get());
+    if (config_.breaker_failover && config_.num_nodes > 1) {
+      Node* successor = nodes_[(node->index + 1) % nodes_.size()].get();
+      std::set<std::string> prefixes;
+      for (const std::string& endpoint : node->registry.Endpoints()) {
+        prefixes.insert(endpoint.substr(0, endpoint.find('/')));
+      }
+      for (const std::string& prefix : prefixes) {
+        DFLOW_RETURN_IF_ERROR(
+            node->loop->SetReplica(prefix, &successor->registry));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Cluster::~Cluster() {
+  // Drain every loop before any registry dies: node i's breaker may hold a
+  // replica pointer into node i+1's registry, so no loop may still be
+  // dispatching while nodes_ unwinds.
+  for (auto& node : nodes_) {
+    node->loop.reset();
+  }
+}
+
+std::string Cluster::KeyOf(const core::ServiceRequest& request) {
+  return serve::ShardedResponseCache::CanonicalKey(request);
+}
+
+std::string Cluster::KeyForRunRange(int64_t run, int64_t runs_per_range) {
+  DFLOW_CHECK(runs_per_range > 0);
+  int64_t lo = (run / runs_per_range) * runs_per_range;
+  return "runs:" + std::to_string(lo) + "-" +
+         std::to_string(lo + runs_per_range - 1);
+}
+
+Result<Cluster::Node*> Cluster::FindNode(const std::string& node_id) const {
+  auto it = nodes_by_name_.find(node_id);
+  if (it == nodes_by_name_.end()) {
+    return Status::NotFound("unknown node '" + node_id + "'");
+  }
+  return it->second;
+}
+
+void Cluster::Count(obs::Counter* counter, int64_t delta) const {
+  if (counter != nullptr) {
+    counter->Add(delta);
+  }
+}
+
+Result<RouteDecision> Cluster::Route(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return router_.Decide(key);
+}
+
+bool Cluster::ForwardDropped(const std::string& key, const std::string& from,
+                             const std::string& to, int attempt) const {
+  if (config_.forward_loss_probability <= 0.0) {
+    return false;
+  }
+  uint64_t draw = Hash64(key + "@" + from + "->" + to + "#" +
+                             std::to_string(attempt),
+                         config_.seed ^ 0x5851f42d4c957f2dull);
+  return static_cast<double>(draw) /
+             static_cast<double>(UINT64_MAX) <
+         config_.forward_loss_probability;
+}
+
+Result<core::ServiceResponse> Cluster::Execute(
+    const core::ServiceRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Count(reg_.requests);
+
+  std::string key = KeyOf(request);
+  Result<RouteDecision> routed = Route(key);
+  if (!routed.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    Count(reg_.failed);
+    return routed.status();
+  }
+  RouteDecision decision = *std::move(routed);
+  if (decision.reroutes > 0) {
+    reroutes_.fetch_add(decision.reroutes, std::memory_order_relaxed);
+    Count(reg_.reroutes, decision.reroutes);
+  }
+
+  // Walk the chain from the chosen target onward; simulated forward drops
+  // and nodes that died after routing advance to the next replica.
+  auto start = std::find(decision.chain.begin(), decision.chain.end(),
+                         decision.target);
+  int attempt = 0;
+  Status last_error =
+      Status::ResourceExhausted("every replica of shard " +
+                                std::to_string(decision.shard) + " is dead");
+  for (auto it = start; it != decision.chain.end(); ++it, ++attempt) {
+    Result<Node*> found = FindNode(*it);
+    if (!found.ok() || !(*found)->alive.load(std::memory_order_acquire)) {
+      reroutes_.fetch_add(1, std::memory_order_relaxed);
+      Count(reg_.reroutes);
+      continue;
+    }
+    Node* node = *found;
+    bool hop = node->name != decision.ingress;
+    if (hop && ForwardDropped(key, decision.ingress, node->name, attempt)) {
+      forward_drops_.fetch_add(1, std::memory_order_relaxed);
+      Count(reg_.forward_drops);
+      last_error = Status::IOError("forward to " + node->name + " dropped");
+      continue;
+    }
+    if (hop && config_.forward_latency_sec > 0.0) {
+      // Request hop now, response hop after dispatch.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config_.forward_latency_sec));
+    }
+    if (hop) {
+      forwarded_.fetch_add(1, std::memory_order_relaxed);
+      Count(reg_.forwarded);
+    } else {
+      local_.fetch_add(1, std::memory_order_relaxed);
+      Count(reg_.local);
+    }
+    node->served.fetch_add(1, std::memory_order_relaxed);
+    if (config_.tracer != nullptr && config_.tracer->enabled()) {
+      config_.tracer->InstantEvent(
+          "dispatch", "cluster",
+          {{"key", key},
+           {"shard", std::to_string(decision.shard)},
+           {"hop", hop ? "1" : "0"}},
+          node->trace_tid);
+    }
+    Result<core::ServiceResponse> response =
+        node->loop->Execute(request, config_.default_deadline_sec);
+    if (hop && config_.forward_latency_sec > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config_.forward_latency_sec));
+    }
+    if (response.ok()) {
+      return response;
+    }
+    // Shed / deadline / backend error: the next replica gets a chance (the
+    // node-level breaker already tried ITS replica registry underneath).
+    last_error = response.status();
+  }
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  Count(reg_.failed);
+  return last_error;
+}
+
+Status Cluster::ApplyWrite(Node* node, int shard, const std::string& key,
+                           const std::string& value) {
+  ShardData& data = node->shards[shard];
+  data.entries[key] = value;
+  ++data.applied;
+  replica_writes_.fetch_add(1, std::memory_order_relaxed);
+  Count(reg_.replica_writes);
+  if (node->journal != nullptr) {
+    recover::StageEventRecord record;
+    record.kind = recover::StageEventRecord::Kind::kCompleted;
+    record.stage = "shard" + std::to_string(shard);
+    record.input = key + "@" + SeqTag(node->journal_seq++);
+    recover::JournaledProduct product;
+    product.name = key;
+    product.attributes.emplace_back("value", value);
+    record.outputs.push_back(std::move(product));
+    DFLOW_RETURN_IF_ERROR(node->journal->Append(record));
+    DFLOW_RETURN_IF_ERROR(node->journal->Sync());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Cluster::Node*>> Cluster::WriteSetLocked(int shard) {
+  DFLOW_ASSIGN_OR_RETURN(
+      std::vector<std::string> replicas,
+      map_.ReplicasOfShard(shard, config_.replication_factor));
+  std::vector<Node*> targets;
+  for (const std::string& name : replicas) {
+    DFLOW_ASSIGN_OR_RETURN(Node * node, FindNode(name));
+    if (node->alive.load(std::memory_order_acquire)) {
+      targets.push_back(node);
+    }
+  }
+  auto moving = moving_.find(shard);
+  if (moving != moving_.end()) {
+    DFLOW_ASSIGN_OR_RETURN(Node * target, FindNode(moving->second));
+    if (target->alive.load(std::memory_order_acquire) &&
+        std::find(targets.begin(), targets.end(), target) == targets.end()) {
+      targets.push_back(target);
+      dual_writes_.fetch_add(1, std::memory_order_relaxed);
+      Count(reg_.dual_writes);
+    }
+  }
+  return targets;
+}
+
+Status Cluster::Put(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int shard = map_.ShardOf(key);
+  DFLOW_ASSIGN_OR_RETURN(std::vector<Node*> targets, WriteSetLocked(shard));
+  if (targets.empty()) {
+    return Status::IOError("no alive replica for shard " +
+                           std::to_string(shard));
+  }
+  for (Node* node : targets) {
+    DFLOW_RETURN_IF_ERROR(ApplyWrite(node, shard, key, value));
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Count(reg_.writes);
+  return Status::OK();
+}
+
+Result<std::string> Cluster::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFLOW_ASSIGN_OR_RETURN(RouteDecision decision, router_.Decide(key));
+  DFLOW_ASSIGN_OR_RETURN(Node * node, FindNode(decision.target));
+  auto shard_it = node->shards.find(decision.shard);
+  if (shard_it == node->shards.end()) {
+    return Status::NotFound("key '" + key + "' not found");
+  }
+  auto entry = shard_it->second.entries.find(key);
+  if (entry == shard_it->second.entries.end()) {
+    return Status::NotFound("key '" + key + "' not found");
+  }
+  return entry->second;
+}
+
+Status Cluster::KillNode(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFLOW_ASSIGN_OR_RETURN(Node * node, FindNode(node_id));
+  if (!node->alive.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("node '" + node_id +
+                                      "' is already dead");
+  }
+  node->alive.store(false, std::memory_order_release);
+  // Volatile state dies with the process; the journal file survives.
+  node->shards.clear();
+  node->journal.reset();
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  Count(reg_.kills);
+  if (config_.tracer != nullptr && config_.tracer->enabled()) {
+    config_.tracer->InstantEvent("node_kill", "cluster", {},
+                                 node->trace_tid);
+  }
+  return Status::OK();
+}
+
+Status Cluster::RejoinNode(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFLOW_ASSIGN_OR_RETURN(Node * node, FindNode(node_id));
+  if (node->alive.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("node '" + node_id + "' is alive");
+  }
+
+  if (!node->journal_path.empty()) {
+    Result<recover::JournalReplay> replay =
+        recover::JournalReplay::Load(node->journal_path);
+    if (replay.ok()) {
+      for (const auto& [stage_input, record] : replay->entries()) {
+        if (record.kind != recover::StageEventRecord::Kind::kCompleted ||
+            record.outputs.empty() ||
+            record.stage.rfind("shard", 0) != 0) {
+          continue;
+        }
+        int shard = std::atoi(record.stage.c_str() + 5);
+        const recover::JournaledProduct& product = record.outputs.front();
+        std::string value;
+        for (const auto& [attr, attr_value] : product.attributes) {
+          if (attr == "value") {
+            value = attr_value;
+          }
+        }
+        ShardData& data = node->shards[shard];
+        data.entries[product.name] = value;
+        ++data.applied;
+        journal_replayed_.fetch_add(1, std::memory_order_relaxed);
+        Count(reg_.journal_replayed);
+      }
+    } else if (!replay.status().IsNotFound()) {
+      return replay.status();
+    }
+    // Reopen for appending; the sequence continues past every record the
+    // journal already holds (replayed count is exactly that).
+    DFLOW_ASSIGN_OR_RETURN(
+        node->journal, recover::CheckpointJournal::Open(node->journal_path));
+  }
+
+  // Anti-entropy: writes that landed while the node was dead are missing
+  // from its journal. Re-sync any shard this node replicates whose content
+  // differs from the current owner's authoritative copy, and drop shards
+  // it no longer replicates (ownership may have moved while it was down).
+  node->alive.store(true, std::memory_order_release);
+  for (int shard = 0; shard < map_.config().num_shards; ++shard) {
+    Result<std::vector<std::string>> replicas =
+        map_.ReplicasOfShard(shard, config_.replication_factor);
+    if (!replicas.ok()) {
+      continue;
+    }
+    bool member = std::find(replicas->begin(), replicas->end(),
+                            node->name) != replicas->end();
+    if (!member) {
+      node->shards.erase(shard);
+      continue;
+    }
+    // The authoritative copy: the first ALIVE replica other than the
+    // rejoiner (while it was dead, that copy took the writes).
+    Node* owner = nullptr;
+    for (const std::string& name : *replicas) {
+      auto it = nodes_by_name_.find(name);
+      if (it != nodes_by_name_.end() && it->second != node &&
+          it->second->alive.load(std::memory_order_acquire)) {
+        owner = it->second;
+        break;
+      }
+    }
+    if (owner == nullptr) {
+      continue;  // Sole survivor: its journal IS the authority.
+    }
+    auto owner_it = owner->shards.find(shard);
+    const ShardData* truth =
+        owner_it == owner->shards.end() ? nullptr : &owner_it->second;
+    auto mine_it = node->shards.find(shard);
+    uint64_t mine_digest =
+        mine_it == node->shards.end() ? 0 : mine_it->second.ContentDigest();
+    uint64_t truth_digest = truth == nullptr ? 0 : truth->ContentDigest();
+    if (mine_digest == truth_digest) {
+      continue;
+    }
+    catchup_shards_.fetch_add(1, std::memory_order_relaxed);
+    Count(reg_.catchup_shards);
+    if (truth == nullptr) {
+      node->shards.erase(shard);
+      continue;
+    }
+    ShardData& mine = node->shards[shard];
+    for (const auto& [key, value] : truth->entries) {
+      auto have = mine.entries.find(key);
+      if (have == mine.entries.end() || have->second != value) {
+        DFLOW_RETURN_IF_ERROR(ApplyWrite(node, shard, key, value));
+      }
+    }
+  }
+  rejoins_.fetch_add(1, std::memory_order_relaxed);
+  Count(reg_.rejoins);
+  if (config_.tracer != nullptr && config_.tracer->enabled()) {
+    config_.tracer->InstantEvent("node_rejoin", "cluster", {},
+                                 node->trace_tid);
+  }
+  return Status::OK();
+}
+
+bool Cluster::IsAlive(const std::string& node_id) const {
+  auto it = nodes_by_name_.find(node_id);
+  return it != nodes_by_name_.end() &&
+         it->second->alive.load(std::memory_order_acquire);
+}
+
+Status Cluster::BeginShardMove(int shard, const std::string& to_node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFLOW_ASSIGN_OR_RETURN(Node * target, FindNode(to_node));
+  if (!target->alive.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("move target '" + to_node +
+                                      "' is dead");
+  }
+  DFLOW_ASSIGN_OR_RETURN(std::string owner, map_.OwnerOfShard(shard));
+  if (owner == to_node) {
+    return Status::AlreadyExists("node '" + to_node + "' already owns shard " +
+                                 std::to_string(shard));
+  }
+  if (moving_.count(shard) != 0) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is already moving");
+  }
+  // Catch-up copy: snapshot the owner's current shard content onto the
+  // target. Writes from here on dual-apply (WriteSetLocked), so the target
+  // stays current through the window.
+  DFLOW_ASSIGN_OR_RETURN(Node * owner_node, FindNode(owner));
+  auto owner_it = owner_node->shards.find(shard);
+  if (owner_it != owner_node->shards.end()) {
+    for (const auto& [key, value] : owner_it->second.entries) {
+      DFLOW_RETURN_IF_ERROR(ApplyWrite(target, shard, key, value));
+    }
+  }
+  moving_[shard] = to_node;
+  return Status::OK();
+}
+
+Status Cluster::CompleteShardMove(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto moving = moving_.find(shard);
+  if (moving == moving_.end()) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is not moving");
+  }
+  std::string to_node = moving->second;
+  DFLOW_RETURN_IF_ERROR(map_.SetOverride(shard, to_node));
+  moving_.erase(moving);
+  // Trim copies on nodes that fell out of the replica set (often the old
+  // owner drops to backup replica and keeps its copy; a node pushed past
+  // the chain loses it).
+  DFLOW_ASSIGN_OR_RETURN(
+      std::vector<std::string> replicas,
+      map_.ReplicasOfShard(shard, config_.replication_factor));
+  for (auto& node : nodes_) {
+    if (std::find(replicas.begin(), replicas.end(), node->name) ==
+        replicas.end()) {
+      node->shards.erase(shard);
+    }
+  }
+  rebalance_moves_.fetch_add(1, std::memory_order_relaxed);
+  Count(reg_.rebalance_moves);
+  if (config_.tracer != nullptr && config_.tracer->enabled()) {
+    config_.tracer->InstantEvent(
+        "shard_move", "cluster",
+        {{"shard", std::to_string(shard)}, {"to", to_node}});
+  }
+  return Status::OK();
+}
+
+Status Cluster::MoveShard(int shard, const std::string& to_node) {
+  DFLOW_RETURN_IF_ERROR(BeginShardMove(shard, to_node));
+  return CompleteShardMove(shard);
+}
+
+std::vector<std::string> Cluster::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    names.push_back(node->name);
+  }
+  return names;
+}
+
+ClusterStats Cluster::Stats() const {
+  ClusterStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.local = local_.load(std::memory_order_relaxed);
+  stats.forwarded = forwarded_.load(std::memory_order_relaxed);
+  stats.reroutes = reroutes_.load(std::memory_order_relaxed);
+  stats.forward_drops = forward_drops_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.writes = writes_.load(std::memory_order_relaxed);
+  stats.replica_writes = replica_writes_.load(std::memory_order_relaxed);
+  stats.dual_writes = dual_writes_.load(std::memory_order_relaxed);
+  stats.rebalance_moves = rebalance_moves_.load(std::memory_order_relaxed);
+  stats.kills = kills_.load(std::memory_order_relaxed);
+  stats.rejoins = rejoins_.load(std::memory_order_relaxed);
+  stats.journal_replayed = journal_replayed_.load(std::memory_order_relaxed);
+  stats.catchup_shards = catchup_shards_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::map<std::string, int64_t> Cluster::ServedByNode() const {
+  std::map<std::string, int64_t> served;
+  for (const auto& node : nodes_) {
+    served[node->name] = node->served.load(std::memory_order_relaxed);
+  }
+  return served;
+}
+
+Result<serve::ServeStats> Cluster::NodeServeStats(
+    const std::string& node_id) const {
+  DFLOW_ASSIGN_OR_RETURN(Node * node, FindNode(node_id));
+  return node->loop->Stats();
+}
+
+std::string Cluster::DecisionLog(const std::vector<std::string>& keys) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return router_.DecisionLog(keys);
+}
+
+std::string Cluster::DescribeMap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.Describe();
+}
+
+std::string Cluster::DescribeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& node : nodes_) {
+    out += node->name;
+    out += node->alive.load(std::memory_order_acquire) ? " alive\n"
+                                                       : " dead\n";
+    for (const auto& [shard, data] : node->shards) {
+      char line[96];
+      std::snprintf(line, sizeof(line),
+                    "  shard=%d applied=%lld entries=%zu digest=%016llx\n",
+                    shard, static_cast<long long>(data.applied),
+                    data.entries.size(),
+                    static_cast<unsigned long long>(data.ContentDigest()));
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string Cluster::Fingerprint() const {
+  Md5 md5;
+  md5.Update(DescribeMap());
+  md5.Update(DescribeState());
+  return md5.HexDigest();
+}
+
+}  // namespace dflow::cluster

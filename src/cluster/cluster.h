@@ -1,0 +1,293 @@
+#ifndef DFLOW_CLUSTER_CLUSTER_H_
+#define DFLOW_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
+#include "core/web_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "recover/journal.h"
+#include "serve/response_cache.h"
+#include "serve/serve_loop.h"
+#include "util/result.h"
+
+namespace dflow::cluster {
+
+struct ClusterConfig {
+  /// Simulated nodes, named "node0".."node<N-1>".
+  int num_nodes = 1;
+  /// Copies of every shard's replicated state (clamped to num_nodes). The
+  /// router's failover chain has this length, so a request survives
+  /// replication_factor - 1 dead nodes.
+  int replication_factor = 2;
+  /// Consistent-hash placement knobs; `shard_map.seed` is overwritten with
+  /// `seed` so one value pins the whole cluster.
+  ShardMapConfig shard_map;
+  uint64_t seed = 42;
+
+  /// Per-node serve tier: each node runs its own ServeLoop over its own
+  /// ServiceRegistry — the model is one synchronous service process per
+  /// node (per-mount locking), so cluster capacity grows with node count.
+  int workers_per_node = 2;
+  size_t queue_depth = 128;
+  double default_deadline_sec = 0.0;
+  /// Optional per-node response cache (hits bypass the node's mount lock).
+  bool enable_cache = false;
+  size_t cache_capacity_bytes = 4u << 20;
+  /// When true, every node's ServeLoop runs the recovery tier's circuit
+  /// breaker with the successor node's registry registered via
+  /// SetReplica(), so a failing backend on one node fails over to the
+  /// next — the PR 5 machinery, reused per node.
+  bool breaker_failover = true;
+
+  /// Cross-node forwarding model for the wall-clock path: a request whose
+  /// target is not its ingress node pays one simulated hop of this much
+  /// latency each way.
+  double forward_latency_sec = 0.0;
+  /// Per-(key, link, attempt) forward loss. Drawn from a seeded hash, so a
+  /// given key either always drops on a given hop or never does —
+  /// deterministic regardless of thread interleaving.
+  double forward_loss_probability = 0.0;
+
+  /// Directory for per-node checkpoint journals ("" disables journaling).
+  /// Every replicated write a node applies is journaled, and RejoinNode()
+  /// replays the journal to rebuild the node's shard state byte for byte.
+  std::string journal_dir;
+
+  /// Optional observability (borrowed; must outlive the cluster). Counters
+  /// land under "cluster.*"; spans/instants are recorded on one trace
+  /// track per node (named "cluster/<node>").
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+/// Mounts a node's backends into its registry; invoked once per node at
+/// Create() time. Every node must expose the same mount prefixes (the
+/// router may send any endpoint's traffic to any replica).
+using BackendFactory =
+    std::function<Status(int node_index, core::ServiceRegistry* registry)>;
+
+struct ClusterStats {
+  int64_t requests = 0;        // Execute() calls.
+  int64_t local = 0;           // Served at the ingress node.
+  int64_t forwarded = 0;       // Paid at least one cross-node hop.
+  int64_t reroutes = 0;        // Dead replicas skipped during routing.
+  int64_t forward_drops = 0;   // Simulated per-hop losses (each retried).
+  int64_t failed = 0;          // Execute() exhausted the replica chain.
+  int64_t writes = 0;          // Put() calls accepted.
+  int64_t replica_writes = 0;  // Per-node write applications.
+  int64_t dual_writes = 0;     // Extra applications to an in-flight
+                               // rebalance target (the handoff window).
+  int64_t rebalance_moves = 0;
+  int64_t kills = 0;
+  int64_t rejoins = 0;
+  int64_t journal_replayed = 0;  // Records replayed across rejoins.
+  int64_t catchup_shards = 0;    // Shards re-synced from the owner at
+                                 // rejoin (writes missed while dead).
+};
+
+/// N simulated nodes behind one deterministic router: consistent-hash
+/// sharding over serve endpoints and replicated key/value shard state,
+/// R-way replication with journal-backed kill/rejoin, and live shard
+/// rebalancing with a dual-write handoff window.
+///
+/// Two request paths share the router and the shard map:
+///   * Execute() — the serve path. Requests are routed to their shard's
+///     first alive replica and dispatched through that node's ServeLoop
+///     (admission control, per-node cache, breaker failover included).
+///     Backends are mounted identically on every node, so any replica
+///     answers any endpoint.
+///   * Put()/Get() — the replicated-state path. Writes apply synchronously
+///     to every alive replica of the key's shard (plus the rebalance
+///     target during a handoff window); reads are served by the shard's
+///     first alive replica.
+///
+/// Thread-safe: any number of client threads may call Execute/Put/Get
+/// concurrently with kills, rejoins, and shard moves. Routing decisions
+/// and shard-state transitions are serialized under one state lock; serve
+/// dispatch happens outside it.
+class Cluster {
+ public:
+  static Result<std::unique_ptr<Cluster>> Create(ClusterConfig config,
+                                                 BackendFactory backends);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Canonical routing key of a request (the response cache's canonical
+  /// form, so the same request always lands on the same shard).
+  static std::string KeyOf(const core::ServiceRequest& request);
+
+  /// Shard key that groups EventStore run numbers into ranges of
+  /// `runs_per_range` ("runs:0-9", "runs:10-19", ...): the unit in which
+  /// run ownership is placed and moved.
+  static std::string KeyForRunRange(int64_t run, int64_t runs_per_range);
+
+  /// Routes `key` under the current map + liveness view.
+  Result<RouteDecision> Route(const std::string& key) const;
+
+  /// Serve path (blocking). Walks the replica chain: dead nodes and
+  /// simulated forward drops advance to the next replica; the first
+  /// reachable node's ServeLoop answer (including its errors — breaker
+  /// failover happens inside the node) is the response. ResourceExhausted
+  /// with an empty chain.
+  Result<core::ServiceResponse> Execute(const core::ServiceRequest& request);
+
+  /// Replicated-state write. IOError if no replica of the shard is alive.
+  Status Put(const std::string& key, const std::string& value);
+
+  /// Replicated-state read from the shard's first alive replica. NotFound
+  /// for an absent key.
+  Result<std::string> Get(const std::string& key) const;
+
+  /// Marks a node dead: the router skips it, writes bypass it, and its
+  /// volatile shard state is dropped (its journal survives). Requests
+  /// already admitted to its ServeLoop still complete — a kill stops NEW
+  /// traffic, the in-flight tail drains.
+  Status KillNode(const std::string& node_id);
+
+  /// Brings a dead node back: replays its checkpoint journal to rebuild
+  /// shard state, then re-syncs from each shard's current owner any shard
+  /// whose writes it missed while dead (counted in catchup_shards).
+  Status RejoinNode(const std::string& node_id);
+
+  bool IsAlive(const std::string& node_id) const;
+
+  /// Live rebalancing. BeginShardMove snapshots the shard onto `to_node`
+  /// and opens the dual-write window (writes apply to the old replica set
+  /// AND the target; reads stay on the old owner). CompleteShardMove pins
+  /// ownership to the target and trims nodes that left the replica set.
+  /// The window is bounded by the caller: every Begin must be Completed.
+  Status BeginShardMove(int shard, const std::string& to_node);
+  Status CompleteShardMove(int shard);
+  /// Begin + Complete in one call (still safe under live traffic; the
+  /// window is just short).
+  Status MoveShard(int shard, const std::string& to_node);
+
+  std::vector<std::string> node_names() const;
+  const ShardMapConfig& shard_map_config() const {
+    return config_.shard_map;
+  }
+  ClusterStats Stats() const;
+
+  /// Requests dispatched into each node's serve loop (by node name) —
+  /// the load-balance view the benches print.
+  std::map<std::string, int64_t> ServedByNode() const;
+
+  /// One node's ServeLoop stats (admission, cache, breaker bookkeeping).
+  Result<serve::ServeStats> NodeServeStats(const std::string& node_id) const;
+
+  /// Decision log over `keys` under the current map/liveness — the
+  /// determinism gate's router oracle.
+  std::string DecisionLog(const std::vector<std::string>& keys) const;
+
+  /// Canonical dump of the shard map (owners, overrides).
+  std::string DescribeMap() const;
+
+  /// Canonical dump of every node's replicated state: per-shard applied
+  /// counts, entry counts, and content digests, nodes in name order. Two
+  /// clusters with equal DescribeState() hold byte-identical state.
+  std::string DescribeState() const;
+
+  /// MD5 over DescribeMap() + DescribeState().
+  std::string Fingerprint() const;
+
+ private:
+  struct ShardData {
+    int64_t applied = 0;  // Writes applied (journal records on disk).
+    std::map<std::string, std::string> entries;
+
+    /// Order-free content digest (XOR of per-entry hashes), so a journal
+    /// replay that re-applies in a different order converges to the same
+    /// value.
+    uint64_t ContentDigest() const;
+  };
+
+  struct Node {
+    std::string name;
+    int index = 0;
+    core::ServiceRegistry registry;
+    std::unique_ptr<serve::ShardedResponseCache> cache;
+    std::atomic<bool> alive{true};
+    std::atomic<int64_t> served{0};
+    std::map<int, ShardData> shards;  // Guarded by Cluster::mu_.
+    std::unique_ptr<recover::CheckpointJournal> journal;
+    std::string journal_path;
+    int64_t journal_seq = 0;  // Monotonic per-node write sequence.
+    int trace_tid = 0;        // This node's trace track.
+    // Declared last: the loop must die before the registry/cache it uses.
+    std::unique_ptr<serve::ServeLoop> loop;
+  };
+
+  explicit Cluster(ClusterConfig config);
+  Status Init(const BackendFactory& backends);
+
+  Result<Node*> FindNode(const std::string& node_id) const;
+  /// Requires mu_. Applies one write to `node`'s copy of `shard` and
+  /// journals it.
+  Status ApplyWrite(Node* node, int shard, const std::string& key,
+                    const std::string& value);
+  /// Requires mu_. The replica set writes must reach right now: alive
+  /// members of the map's replica chain plus any in-flight move target.
+  Result<std::vector<Node*>> WriteSetLocked(int shard);
+  /// True when the deterministic per-(key, hop, attempt) loss draw fires.
+  bool ForwardDropped(const std::string& key, const std::string& from,
+                      const std::string& to, int attempt) const;
+  void Count(obs::Counter* counter, int64_t delta = 1) const;
+
+  ClusterConfig config_;
+  ShardMap map_;
+  Router router_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, Node*> nodes_by_name_;
+  std::map<int, std::string> moving_;  // shard -> move target (window open).
+
+  mutable std::mutex mu_;  // Guards map_, moving_, and all shard state.
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> local_{0};
+  std::atomic<int64_t> forwarded_{0};
+  std::atomic<int64_t> reroutes_{0};
+  std::atomic<int64_t> forward_drops_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> writes_{0};
+  std::atomic<int64_t> replica_writes_{0};
+  std::atomic<int64_t> dual_writes_{0};
+  std::atomic<int64_t> rebalance_moves_{0};
+  std::atomic<int64_t> kills_{0};
+  std::atomic<int64_t> rejoins_{0};
+  std::atomic<int64_t> journal_replayed_{0};
+  std::atomic<int64_t> catchup_shards_{0};
+
+  struct Counters {
+    obs::Counter* requests = nullptr;
+    obs::Counter* local = nullptr;
+    obs::Counter* forwarded = nullptr;
+    obs::Counter* reroutes = nullptr;
+    obs::Counter* forward_drops = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* replica_writes = nullptr;
+    obs::Counter* dual_writes = nullptr;
+    obs::Counter* rebalance_moves = nullptr;
+    obs::Counter* kills = nullptr;
+    obs::Counter* rejoins = nullptr;
+    obs::Counter* journal_replayed = nullptr;
+    obs::Counter* catchup_shards = nullptr;
+  };
+  Counters reg_;
+};
+
+}  // namespace dflow::cluster
+
+#endif  // DFLOW_CLUSTER_CLUSTER_H_

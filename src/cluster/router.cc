@@ -1,0 +1,77 @@
+#include "cluster/router.h"
+
+#include <utility>
+
+namespace dflow::cluster {
+
+std::string RouteDecision::ToString() const {
+  std::string via;
+  for (const std::string& node : chain) {
+    if (!via.empty()) {
+      via += ",";
+    }
+    via += node;
+  }
+  return key + " shard=" + std::to_string(shard) + " ingress=" + ingress +
+         " owner=" + owner + " target=" + target + " via=" + via +
+         " fwd=" + (forwarded ? "1" : "0") +
+         " reroutes=" + std::to_string(reroutes);
+}
+
+Router::Router(const ShardMap* map, int replication_factor)
+    : map_(map), replication_factor_(replication_factor < 1
+                                         ? 1
+                                         : replication_factor) {}
+
+void Router::SetAliveCheck(std::function<bool(const std::string&)> alive) {
+  alive_ = std::move(alive);
+}
+
+Result<RouteDecision> Router::Decide(std::string_view key) const {
+  if (map_->num_nodes() == 0) {
+    return Status::FailedPrecondition("shard map has no nodes");
+  }
+  RouteDecision decision;
+  decision.key = std::string(key);
+  decision.shard = map_->ShardOf(key);
+  DFLOW_ASSIGN_OR_RETURN(
+      decision.chain, map_->ReplicasOfShard(decision.shard,
+                                            replication_factor_));
+  decision.owner = decision.chain.front();
+
+  // Ingress: a seeded hash spreads entry points over the sorted node list,
+  // decorrelated from the ownership hash so cross-node forwards actually
+  // happen (key and ingress salts differ).
+  std::vector<std::string> nodes = map_->nodes();
+  decision.ingress = nodes[Hash64(key, map_->config().seed ^
+                                           0xa5a5a5a55a5a5a5aull) %
+                           nodes.size()];
+
+  for (const std::string& candidate : decision.chain) {
+    if (alive_ == nullptr || alive_(candidate)) {
+      decision.target = candidate;
+      break;
+    }
+    ++decision.reroutes;
+  }
+  if (decision.target.empty()) {
+    return Status::ResourceExhausted(
+        "every replica of shard " + std::to_string(decision.shard) +
+        " is dead");
+  }
+  decision.forwarded = decision.target != decision.ingress;
+  return decision;
+}
+
+std::string Router::DecisionLog(const std::vector<std::string>& keys) const {
+  std::string log;
+  for (const std::string& key : keys) {
+    Result<RouteDecision> decision = Decide(key);
+    log += decision.ok() ? decision->ToString()
+                         : key + " <" + decision.status().message() + ">";
+    log += "\n";
+  }
+  return log;
+}
+
+}  // namespace dflow::cluster

@@ -1,0 +1,73 @@
+#ifndef DFLOW_CLUSTER_ROUTER_H_
+#define DFLOW_CLUSTER_ROUTER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "util/result.h"
+
+namespace dflow::cluster {
+
+/// One routing verdict. Everything here is a pure function of
+/// (shard map state, liveness view, key) — no clocks, no RNG — which is
+/// what lets the determinism gate hash a decision log and expect it byte
+/// identical across runs and thread interleavings.
+struct RouteDecision {
+  std::string key;
+  int shard = 0;
+  /// Node the request enters at (seeded hash of the key over the node
+  /// list — stands in for a client-side load balancer).
+  std::string ingress;
+  /// Shard-map owner, before liveness is consulted.
+  std::string owner;
+  /// Node actually chosen: the first alive entry of `chain`.
+  std::string target;
+  /// Replica preference chain (owner first, ring successors after).
+  std::vector<std::string> chain;
+  /// True when target != ingress (the request pays a cross-node hop).
+  bool forwarded = false;
+  /// Dead nodes skipped before an alive target was found.
+  int reroutes = 0;
+
+  /// "key shard=S ingress=A owner=B target=C via=B,C fwd=1 reroutes=1" —
+  /// the canonical decision-log line.
+  std::string ToString() const;
+};
+
+/// Deterministic request router over a ShardMap. Borrow-only: the map (and
+/// the optional liveness callback's subject) must outlive the router.
+///
+/// Thread-compatible: Decide() is const and takes no locks of its own; the
+/// Cluster wraps calls in its state lock so decisions see a consistent
+/// (map, liveness) snapshot.
+class Router {
+ public:
+  /// `replication_factor` is the chain length requested from the map.
+  Router(const ShardMap* map, int replication_factor);
+
+  /// Liveness view; nodes failing the check are skipped in target
+  /// selection (and counted in `reroutes`). Null means "everything alive".
+  void SetAliveCheck(std::function<bool(const std::string&)> alive);
+
+  /// Routes `key`. FailedPrecondition when the map is empty;
+  /// ResourceExhausted when every replica in the chain is dead.
+  Result<RouteDecision> Decide(std::string_view key) const;
+
+  /// Formats one decision line per key (Decide errors render as
+  /// "key <error>"). The fingerprint input of the determinism gate.
+  std::string DecisionLog(const std::vector<std::string>& keys) const;
+
+  int replication_factor() const { return replication_factor_; }
+
+ private:
+  const ShardMap* map_;
+  int replication_factor_;
+  std::function<bool(const std::string&)> alive_;
+};
+
+}  // namespace dflow::cluster
+
+#endif  // DFLOW_CLUSTER_ROUTER_H_

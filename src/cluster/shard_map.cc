@@ -1,0 +1,191 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+
+#include "util/md5.h"
+
+namespace dflow::cluster {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Ring point of virtual node `vnode` of `node_id` under `seed`.
+uint64_t VnodePoint(const std::string& node_id, int vnode, uint64_t seed) {
+  return Hash64(node_id + "#" + std::to_string(vnode), seed);
+}
+
+/// Ring point a shard's ownership walk starts from. Salted so shard points
+/// and vnode points draw from decorrelated streams of the same seed.
+uint64_t ShardPoint(int shard, uint64_t seed) {
+  return Hash64("shard:" + std::to_string(shard),
+                seed ^ 0xc2b2ae3d27d4eb4full);
+}
+
+}  // namespace
+
+uint64_t Hash64(std::string_view s, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ull ^ SplitMix64(seed);
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;  // FNV-1a prime.
+  }
+  return SplitMix64(h);
+}
+
+ShardMap::ShardMap(ShardMapConfig config) : config_(config) {
+  if (config_.num_shards < 1) {
+    config_.num_shards = 1;
+  }
+  if (config_.vnodes_per_node < 1) {
+    config_.vnodes_per_node = 1;
+  }
+}
+
+Status ShardMap::AddNode(const std::string& node_id) {
+  if (node_id.empty()) {
+    return Status::InvalidArgument("node id must not be empty");
+  }
+  if (node_ids_.count(node_id) != 0) {
+    return Status::AlreadyExists("node '" + node_id + "' already in map");
+  }
+  for (int v = 0; v < config_.vnodes_per_node; ++v) {
+    uint64_t point = VnodePoint(node_id, v, config_.seed);
+    // Collisions are resolved by deterministic re-mixing, so placement
+    // stays a pure function of (seed, node set) even on a crowded ring.
+    while (ring_.count(point) != 0) {
+      point = SplitMix64(point);
+    }
+    ring_.emplace(point, node_id);
+  }
+  node_ids_.insert(node_id);
+  return Status::OK();
+}
+
+Status ShardMap::RemoveNode(const std::string& node_id) {
+  if (node_ids_.count(node_id) == 0) {
+    return Status::NotFound("node '" + node_id + "' not in map");
+  }
+  for (const auto& [shard, owner] : overrides_) {
+    if (owner == node_id) {
+      return Status::FailedPrecondition(
+          "node '" + node_id + "' still pinned as owner of shard " +
+          std::to_string(shard));
+    }
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == node_id ? ring_.erase(it) : std::next(it);
+  }
+  node_ids_.erase(node_id);
+  return Status::OK();
+}
+
+int ShardMap::ShardOf(std::string_view key) const {
+  return static_cast<int>(Hash64(key, config_.seed) %
+                          static_cast<uint64_t>(config_.num_shards));
+}
+
+const std::string& ShardMap::SuccessorOf(uint64_t point) const {
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+Result<std::string> ShardMap::OwnerOfShard(int shard) const {
+  if (shard < 0 || shard >= config_.num_shards) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " outside [0, " +
+                                   std::to_string(config_.num_shards) + ")");
+  }
+  auto override_it = overrides_.find(shard);
+  if (override_it != overrides_.end()) {
+    return override_it->second;
+  }
+  if (ring_.empty()) {
+    return Status::FailedPrecondition("shard map has no nodes");
+  }
+  return SuccessorOf(ShardPoint(shard, config_.seed));
+}
+
+Result<std::string> ShardMap::OwnerOf(std::string_view key) const {
+  return OwnerOfShard(ShardOf(key));
+}
+
+Result<std::vector<std::string>> ShardMap::ReplicasOfShard(int shard,
+                                                           int r) const {
+  DFLOW_ASSIGN_OR_RETURN(std::string owner, OwnerOfShard(shard));
+  size_t want = std::min<size_t>(std::max(r, 1), node_ids_.size());
+  std::vector<std::string> replicas{owner};
+  if (replicas.size() < want) {
+    // Walk the ring clockwise from the shard's point, collecting distinct
+    // nodes; the override (if any) was already placed at the head.
+    uint64_t point = ShardPoint(shard, config_.seed);
+    auto it = ring_.lower_bound(point);
+    for (size_t steps = 0; steps < ring_.size() && replicas.size() < want;
+         ++steps, ++it) {
+      if (it == ring_.end()) {
+        it = ring_.begin();
+      }
+      if (std::find(replicas.begin(), replicas.end(), it->second) ==
+          replicas.end()) {
+        replicas.push_back(it->second);
+      }
+    }
+  }
+  return replicas;
+}
+
+Status ShardMap::SetOverride(int shard, const std::string& node_id) {
+  if (shard < 0 || shard >= config_.num_shards) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " outside [0, " +
+                                   std::to_string(config_.num_shards) + ")");
+  }
+  if (node_ids_.count(node_id) == 0) {
+    return Status::NotFound("node '" + node_id + "' not in map");
+  }
+  overrides_[shard] = node_id;
+  return Status::OK();
+}
+
+Status ShardMap::ClearOverride(int shard) {
+  if (overrides_.erase(shard) == 0) {
+    return Status::NotFound("no override for shard " + std::to_string(shard));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ShardMap::nodes() const {
+  return std::vector<std::string>(node_ids_.begin(), node_ids_.end());
+}
+
+std::string ShardMap::Describe() const {
+  std::string out = "shard_map seed=" + std::to_string(config_.seed) +
+                    " shards=" + std::to_string(config_.num_shards) +
+                    " vnodes=" + std::to_string(config_.vnodes_per_node) +
+                    "\nnodes:";
+  for (const std::string& node : node_ids_) {
+    out += " " + node;
+  }
+  out += "\n";
+  for (int shard = 0; shard < config_.num_shards; ++shard) {
+    Result<std::string> owner = OwnerOfShard(shard);
+    out += std::to_string(shard) + " -> " +
+           (owner.ok() ? *owner : std::string("<none>"));
+    if (overrides_.count(shard) != 0) {
+      out += " *";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ShardMap::Fingerprint() const { return Md5::HexOf(Describe()); }
+
+}  // namespace dflow::cluster

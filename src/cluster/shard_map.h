@@ -1,0 +1,107 @@
+#ifndef DFLOW_CLUSTER_SHARD_MAP_H_
+#define DFLOW_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dflow::cluster {
+
+/// Seeded 64-bit string hash (FNV-1a folded through a SplitMix64
+/// finisher). Pure integer arithmetic, so every platform places the same
+/// key on the same ring point — the cluster's routing determinism starts
+/// here.
+uint64_t Hash64(std::string_view s, uint64_t seed);
+
+struct ShardMapConfig {
+  /// Fixed partitions of the key space. Keys hash into one of `num_shards`
+  /// buckets; shards — not raw keys — are what the ring places and what
+  /// rebalancing moves, so a shard is the unit of data movement.
+  int num_shards = 64;
+  /// Ring points per node. More virtual nodes smooth the per-node shard
+  /// count at the cost of a bigger ring.
+  int vnodes_per_node = 64;
+  /// Seeds every ring-point and shard-bucket hash: two maps with the same
+  /// (seed, node set) agree on every placement, byte for byte.
+  uint64_t seed = 42;
+};
+
+/// Consistent-hash shard map: virtual-node ring placement of a fixed shard
+/// space over named nodes, plus an override table that pins individual
+/// shards to explicit owners (the live-rebalancing hook).
+///
+/// Movement contract (asserted in cluster_shard_map_test): when a node
+/// joins, the only shards that change owner are shards the NEW node now
+/// owns — no shard moves between pre-existing nodes; when a node leaves,
+/// only shards the leaver owned move. Expected movement is
+/// num_shards / num_nodes either way.
+///
+/// Not thread-safe; the Cluster serializes mutations under its own lock.
+class ShardMap {
+ public:
+  explicit ShardMap(ShardMapConfig config = {});
+
+  /// Adds `node_id`'s virtual nodes to the ring. InvalidArgument for an
+  /// empty id; AlreadyExists for a duplicate.
+  Status AddNode(const std::string& node_id);
+
+  /// Removes `node_id` and its ring points. NotFound if absent;
+  /// FailedPrecondition while an override still pins a shard to it.
+  Status RemoveNode(const std::string& node_id);
+
+  /// The shard bucket `key` hashes into, in [0, num_shards).
+  int ShardOf(std::string_view key) const;
+
+  /// Owner of `shard` (override first, then the ring successor of the
+  /// shard's point). FailedPrecondition on an empty map; InvalidArgument
+  /// for a shard outside [0, num_shards).
+  Result<std::string> OwnerOfShard(int shard) const;
+
+  /// Owner of the shard `key` hashes into.
+  Result<std::string> OwnerOf(std::string_view key) const;
+
+  /// The replica set for `shard`: the owner followed by the next distinct
+  /// nodes walking the ring clockwise, `r` entries total (clamped to the
+  /// node count). An overridden owner is listed first and skipped when the
+  /// ring walk reaches it.
+  Result<std::vector<std::string>> ReplicasOfShard(int shard, int r) const;
+
+  /// Pins `shard` to `node_id` regardless of ring placement (rebalance
+  /// commit). NotFound for an unknown node; InvalidArgument for a bad
+  /// shard index.
+  Status SetOverride(int shard, const std::string& node_id);
+
+  /// Reverts `shard` to ring placement. NotFound if no override exists.
+  Status ClearOverride(int shard);
+
+  /// Node ids, sorted.
+  std::vector<std::string> nodes() const;
+  size_t num_nodes() const { return node_ids_.size(); }
+  const ShardMapConfig& config() const { return config_; }
+
+  /// Canonical text dump: config, node list, and every shard's owner (with
+  /// a '*' marking overrides). Two maps that Describe() identically route
+  /// identically.
+  std::string Describe() const;
+
+  /// MD5 of Describe().
+  std::string Fingerprint() const;
+
+ private:
+  /// Ring successor of `point` (wrapping), skipping nothing.
+  const std::string& SuccessorOf(uint64_t point) const;
+
+  ShardMapConfig config_;
+  std::map<uint64_t, std::string> ring_;  // vnode point -> node id.
+  std::set<std::string> node_ids_;
+  std::map<int, std::string> overrides_;  // shard -> pinned owner.
+};
+
+}  // namespace dflow::cluster
+
+#endif  // DFLOW_CLUSTER_SHARD_MAP_H_

@@ -1,0 +1,134 @@
+#include "cluster/sim_replay.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "fault/adapters.h"
+#include "fault/injector.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+#include "util/md5.h"
+
+namespace dflow::cluster {
+namespace {
+
+std::string TimeTag(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t=%.6f", t);
+  return buf;
+}
+
+/// Per-request retransmit state, owned by the shared_ptr captured in its
+/// own delivery callback chain.
+struct Flight {
+  std::string key;
+  std::string from;
+  std::string to;
+  int attempt = 0;
+};
+
+}  // namespace
+
+std::string SimReplayReport::Fingerprint() const {
+  return Md5::HexOf(transcript);
+}
+
+Result<SimReplayReport> ReplayOverTopology(const Cluster& cluster,
+                                           const std::vector<std::string>& keys,
+                                           const SimReplayConfig& config) {
+  sim::Simulation simulation;
+  net::TopologyConfig topo_config;
+  topo_config.link = config.link;
+  topo_config.seed = config.seed;
+  net::Topology topology(&simulation, topo_config);
+  for (const std::string& node : cluster.node_names()) {
+    DFLOW_RETURN_IF_ERROR(topology.AddNode(node));
+  }
+  DFLOW_RETURN_IF_ERROR(topology.FullMesh());
+
+  double horizon =
+      static_cast<double>(keys.size() + 1) * config.request_spacing_sec;
+  fault::FaultPlanConfig plan_config = config.fault_plan;
+  if (plan_config.horizon_sec <= 0.0) {
+    plan_config.horizon_sec = horizon;
+  }
+  DFLOW_ASSIGN_OR_RETURN(fault::FaultPlan plan,
+                         fault::FaultPlan::Generate(config.seed, plan_config));
+  fault::Injector injector(&simulation, std::move(plan));
+  fault::ArmTopology(injector, &topology);
+  DFLOW_RETURN_IF_ERROR(injector.Arm());
+
+  auto report = std::make_shared<SimReplayReport>();
+
+  // One self-recursive sender per forwarded request: lost/corrupted hops
+  // re-enter the same link until delivered or out of budget.
+  std::function<void(std::shared_ptr<Flight>)> send_hop =
+      [&, report](std::shared_ptr<Flight> flight) {
+        Result<net::NetworkLink*> link =
+            topology.LinkBetween(flight->from, flight->to);
+        DFLOW_CHECK_OK(link.status());
+        net::TransferItem item = net::MakePayloadItem(
+            flight->key, flight->key, config.request_bytes);
+        DFLOW_CHECK_OK((*link)->Send(
+            item, [&, report, flight](const net::TransferItem& arrived,
+                                      net::DeliveryOutcome outcome) {
+              bool intact = outcome == net::DeliveryOutcome::kDelivered &&
+                            net::VerifyPayload(arrived).ok();
+              std::string verdict;
+              if (intact) {
+                ++report->delivered;
+                verdict = "delivered";
+              } else if (outcome == net::DeliveryOutcome::kLost) {
+                ++report->lost;
+                verdict = "lost";
+              } else {
+                ++report->corrupted;
+                verdict = "corrupted";
+              }
+              report->transcript += TimeTag(simulation.Now()) + " key=" +
+                                    flight->key + " " + flight->from + "->" +
+                                    flight->to + " attempt=" +
+                                    std::to_string(flight->attempt) + " " +
+                                    verdict + "\n";
+              if (intact) {
+                return;
+              }
+              if (flight->attempt >= config.max_retransmits) {
+                ++report->undeliverable;
+                report->transcript += TimeTag(simulation.Now()) + " key=" +
+                                      flight->key + " undeliverable\n";
+                return;
+              }
+              ++report->retransmits;
+              ++flight->attempt;
+              send_hop(flight);
+            }));
+      };
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const std::string& key = keys[i];
+    DFLOW_ASSIGN_OR_RETURN(RouteDecision decision, cluster.Route(key));
+    ++report->requests;
+    double at = static_cast<double>(i + 1) * config.request_spacing_sec;
+    if (!decision.forwarded) {
+      ++report->local;
+      report->transcript += TimeTag(at) + " key=" + key + " local@" +
+                            decision.target + "\n";
+      continue;
+    }
+    ++report->forwarded;
+    auto flight = std::make_shared<Flight>();
+    flight->key = key;
+    flight->from = decision.ingress;
+    flight->to = decision.target;
+    simulation.ScheduleAt(at, [&send_hop, flight] { send_hop(flight); });
+  }
+
+  simulation.Run();
+  report->faults_injected = injector.injected();
+  report->faults_unmatched = injector.unmatched();
+  report->virtual_duration_sec = simulation.Now();
+  return *report;
+}
+
+}  // namespace dflow::cluster

@@ -1,0 +1,66 @@
+#ifndef DFLOW_CLUSTER_SIM_REPLAY_H_
+#define DFLOW_CLUSTER_SIM_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fault/fault_plan.h"
+#include "net/network_link.h"
+#include "util/result.h"
+
+namespace dflow::cluster {
+
+struct SimReplayConfig {
+  /// Link characteristics of every edge in the full-mesh topology.
+  net::NetworkLinkConfig link;
+  uint64_t seed = 42;
+  /// Virtual seconds between consecutive request arrivals.
+  double request_spacing_sec = 0.05;
+  /// Accounted size of one forwarded request on the wire.
+  int64_t request_bytes = 4096;
+  /// Retransmits before a forwarded request is declared undeliverable.
+  int max_retransmits = 3;
+  /// Per-link fault processes (kLinkFlap / kTransferCorruption targeting
+  /// net::Topology::LinkName edges). `horizon_sec` of 0 is widened to
+  /// cover the whole replay. The plan is generated from `seed`.
+  fault::FaultPlanConfig fault_plan;
+};
+
+struct SimReplayReport {
+  int64_t requests = 0;
+  int64_t local = 0;          // Target == ingress: no wire crossing.
+  int64_t forwarded = 0;      // Paid at least one simulated hop.
+  int64_t delivered = 0;      // Hops that arrived with intact payloads.
+  int64_t lost = 0;           // Hops eaten by loss or a link flap.
+  int64_t corrupted = 0;      // Hops caught by the receiver's CRC check.
+  int64_t retransmits = 0;
+  int64_t undeliverable = 0;  // Requests that exhausted the retransmit
+                              // budget (counted, never silently dropped).
+  int64_t faults_injected = 0;
+  int64_t faults_unmatched = 0;
+  double virtual_duration_sec = 0.0;
+  /// One line per hop outcome plus one per local decision, in virtual-time
+  /// order — the canonical replay record.
+  std::string transcript;
+
+  /// MD5 of the transcript: the determinism gate's wire-level oracle.
+  std::string Fingerprint() const;
+};
+
+/// Replays routed traffic over a simulated full-mesh network: every key is
+/// routed by `cluster`'s deterministic router, and each decision whose
+/// target differs from its ingress node crosses the matching
+/// net::NetworkLink in virtual time — paying bandwidth, propagation delay,
+/// seeded loss/corruption draws, and any per-link fault-plan events
+/// (fault::ArmTopology binding). Lost or corrupted hops retransmit up to
+/// the budget. The whole run is a pure function of (cluster map state,
+/// liveness, keys, config): same seed, same transcript, byte for byte.
+Result<SimReplayReport> ReplayOverTopology(const Cluster& cluster,
+                                           const std::vector<std::string>& keys,
+                                           const SimReplayConfig& config);
+
+}  // namespace dflow::cluster
+
+#endif  // DFLOW_CLUSTER_SIM_REPLAY_H_

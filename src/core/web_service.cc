@@ -29,11 +29,7 @@ Result<int64_t> ServiceRequest::IntParam(const std::string& key,
   return value;
 }
 
-Status ServiceRegistry::Mount(const std::string& prefix,
-                              std::shared_ptr<WebService> service) {
-  if (service == nullptr) {
-    return Status::InvalidArgument("null service");
-  }
+Status ValidateMountPrefix(const std::string& prefix) {
   if (prefix.empty()) {
     return Status::InvalidArgument("empty mount prefix");
   }
@@ -41,6 +37,15 @@ Status ServiceRegistry::Mount(const std::string& prefix,
     return Status::InvalidArgument("mount prefix '" + prefix +
                                    "' must not start or end with '/'");
   }
+  return Status::OK();
+}
+
+Status ServiceRegistry::Mount(const std::string& prefix,
+                              std::shared_ptr<WebService> service) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("null service");
+  }
+  DFLOW_RETURN_IF_ERROR(ValidateMountPrefix(prefix));
   auto [it, inserted] = mounts_.try_emplace(prefix, std::move(service));
   if (!inserted) {
     return Status::AlreadyExists("prefix '" + prefix + "' already mounted");

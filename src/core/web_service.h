@@ -80,11 +80,17 @@ class WebService {
 ///   * the empty path never routes: NotFound;
 ///   * mounting at "" or at a prefix with a leading/trailing '/' is
 ///     InvalidArgument; duplicate prefixes are AlreadyExists.
+/// The mount-prefix rules, shared by every consumer that accepts one
+/// (ServiceRegistry::Mount, serve::ServeLoop::SetReplica): OK for a
+/// non-empty prefix with no leading or trailing '/'; InvalidArgument
+/// otherwise.
+Status ValidateMountPrefix(const std::string& prefix);
+
 class ServiceRegistry {
  public:
   /// Mounts `service` at `prefix`. AlreadyExists on duplicate prefixes;
-  /// InvalidArgument for a null service, an empty prefix, or a prefix with
-  /// a leading or trailing '/'.
+  /// InvalidArgument for a null service or a prefix failing
+  /// ValidateMountPrefix().
   Status Mount(const std::string& prefix, std::shared_ptr<WebService> service);
 
   /// Routes "prefix/rest..." to the longest-prefix mounted service with

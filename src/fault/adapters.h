@@ -13,6 +13,7 @@
 #include "fault/injector.h"
 #include "net/network_link.h"
 #include "net/shipment.h"
+#include "net/topology.h"
 #include "storage/tape.h"
 #include "util/logging.h"
 
@@ -28,6 +29,17 @@ inline void ArmNetworkLink(Injector& injector, net::NetworkLink* link) {
   DFLOW_CHECK_OK(injector.Register(
       FaultKind::kTransferCorruption, link->name(),
       [link](const FaultEvent& e) { link->InjectCorruptNext(e.count); }));
+}
+
+/// Arms every link of a topology: each directed edge "a->b" takes the
+/// kLinkFlap / kTransferCorruption events whose target is its canonical
+/// name, so one fault plan can strike individual edges of a mesh. The
+/// per-link fault-plan binding of the cluster tier's replay path.
+inline void ArmTopology(Injector& injector, net::Topology* topology) {
+  DFLOW_CHECK(topology != nullptr);
+  for (net::NetworkLink* link : topology->links()) {
+    ArmNetworkLink(injector, link);
+  }
 }
 
 /// Routes kShipmentLoss and kShipmentDelay events into the channel.

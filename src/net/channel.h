@@ -45,6 +45,20 @@ Status VerifyPayload(const TransferItem& item);
 /// Internet2 link vs CLEO's USB-disk Monte-Carlo imports — becomes two
 /// implementations of this interface, so the same workflow code can be
 /// pointed at either and the benches can sweep the crossover.
+///
+/// Ownership and lifetime contract:
+///   * A Channel is owned by whoever constructed it — a scenario on the
+///     stack, or a net::Topology for its links. Consumers (TransferManager,
+///     fault adapters, the cluster replay) only ever borrow `Channel*`;
+///     nothing in this library takes or shares ownership of a channel.
+///   * A channel must outlive (a) every in-flight Send() — callbacks fire
+///     from the simulation, so the channel must survive until the
+///     simulation has run past the last delivery — and (b) every
+///     fault::Injector it is armed with, whose registered hooks capture
+///     the raw pointer.
+///   * DeliveryCallbacks run in virtual time on the simulation's thread;
+///     they may capture borrows with the same lifetime rules, and they must
+///     not destroy the channel that invoked them.
 class Channel {
  public:
   virtual ~Channel() = default;

@@ -1,0 +1,110 @@
+#include "net/topology.h"
+
+namespace dflow::net {
+namespace {
+
+/// FNV-1a over the link name, mixed with the master seed — stable across
+/// platforms, so per-link fault draws replay identically everywhere.
+uint64_t ForkSeed(uint64_t seed, const std::string& link_name) {
+  uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (unsigned char c : link_name) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Topology::Topology(sim::Simulation* simulation, TopologyConfig config)
+    : simulation_(simulation), config_(config) {}
+
+Status Topology::AddNode(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("node name must not be empty");
+  }
+  if (name.find("->") != std::string::npos) {
+    return Status::InvalidArgument("node name '" + name +
+                                   "' contains the link separator '->'");
+  }
+  if (!nodes_.emplace(name, true).second) {
+    return Status::AlreadyExists("node '" + name + "' already in topology");
+  }
+  return Status::OK();
+}
+
+std::string Topology::LinkName(const std::string& from,
+                               const std::string& to) {
+  return from + "->" + to;
+}
+
+Status Topology::Connect(const std::string& from, const std::string& to) {
+  return Connect(from, to, config_.link);
+}
+
+Status Topology::Connect(const std::string& from, const std::string& to,
+                         NetworkLinkConfig config) {
+  if (nodes_.count(from) == 0) {
+    return Status::NotFound("node '" + from + "' not in topology");
+  }
+  if (nodes_.count(to) == 0) {
+    return Status::NotFound("node '" + to + "' not in topology");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-link '" + from + "' not allowed");
+  }
+  auto key = std::make_pair(from, to);
+  if (links_.count(key) != 0) {
+    return Status::AlreadyExists("link " + LinkName(from, to) +
+                                 " already connected");
+  }
+  std::string name = LinkName(from, to);
+  uint64_t seed = ForkSeed(config_.seed, name);
+  links_.emplace(key, std::make_unique<NetworkLink>(simulation_, name,
+                                                    config, seed));
+  return Status::OK();
+}
+
+Status Topology::FullMesh() {
+  for (const auto& [from, unused_f] : nodes_) {
+    for (const auto& [to, unused_t] : nodes_) {
+      if (from == to || links_.count({from, to}) != 0) {
+        continue;
+      }
+      Status status = Connect(from, to);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<NetworkLink*> Topology::LinkBetween(const std::string& from,
+                                           const std::string& to) const {
+  auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    return Status::NotFound("no link " + LinkName(from, to));
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Topology::nodes() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, unused] : nodes_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<NetworkLink*> Topology::links() const {
+  std::vector<NetworkLink*> out;
+  out.reserve(links_.size());
+  for (const auto& [key, link] : links_) {
+    out.push_back(link.get());
+  }
+  return out;
+}
+
+}  // namespace dflow::net

@@ -1,0 +1,77 @@
+#ifndef DFLOW_NET_TOPOLOGY_H_
+#define DFLOW_NET_TOPOLOGY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/network_link.h"
+#include "sim/simulation.h"
+#include "util/result.h"
+
+namespace dflow::net {
+
+struct TopologyConfig {
+  /// Defaults applied to every link Connect() creates without an explicit
+  /// per-link override.
+  NetworkLinkConfig link;
+  /// Master seed; each link gets a fork derived from (seed, link name), so
+  /// adding a link never perturbs the fault draws of existing links.
+  uint64_t seed = 42;
+};
+
+/// Named node endpoints joined by directed NetworkLink edges — the wiring
+/// harness the cluster tier's cross-node replay runs over. Links are named
+/// canonically ("a->b"), which is the name fault plans target: generate a
+/// FaultPlanConfig whose `link_targets` lists LinkName(a, b) and
+/// fault::ArmTopology routes its events onto exactly that edge.
+///
+/// Ownership: the topology owns its links (Channel pointers returned by
+/// LinkBetween()/links() are borrows, valid for the topology's lifetime);
+/// the simulation is borrowed and must outlive the topology.
+class Topology {
+ public:
+  explicit Topology(sim::Simulation* simulation, TopologyConfig config = {});
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Registers a node endpoint. InvalidArgument for an empty name or one
+  /// containing the link separator ("->"); AlreadyExists for a duplicate.
+  Status AddNode(const std::string& name);
+
+  /// Canonical name of the directed edge from -> to.
+  static std::string LinkName(const std::string& from, const std::string& to);
+
+  /// Creates the directed link from -> to with the topology-default link
+  /// config (or `config`). NotFound if either endpoint is unregistered;
+  /// InvalidArgument for a self-link; AlreadyExists if connected.
+  Status Connect(const std::string& from, const std::string& to);
+  Status Connect(const std::string& from, const std::string& to,
+                 NetworkLinkConfig config);
+
+  /// Connects every ordered pair of registered nodes not yet connected.
+  Status FullMesh();
+
+  /// The link from -> to; NotFound when absent.
+  Result<NetworkLink*> LinkBetween(const std::string& from,
+                                   const std::string& to) const;
+
+  std::vector<std::string> nodes() const;
+  std::vector<NetworkLink*> links() const;
+  size_t num_links() const { return links_.size(); }
+  const TopologyConfig& config() const { return config_; }
+
+ private:
+  sim::Simulation* simulation_;
+  TopologyConfig config_;
+  std::map<std::string, bool> nodes_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<NetworkLink>>
+      links_;
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_TOPOLOGY_H_

@@ -142,6 +142,14 @@ class JournalReplay {
   const StageEventRecord* Find(const std::string& stage,
                                const std::string& input) const;
 
+  /// Every terminal record keyed by (stage, input), in key order — for
+  /// consumers that rebuild state by iterating the whole journal (the
+  /// cluster tier's node rejoin) rather than probing with Find().
+  const std::map<std::pair<std::string, std::string>, StageEventRecord>&
+  entries() const {
+    return entries_;
+  }
+
   size_t size() const { return entries_.size(); }
   int64_t completed() const { return completed_; }
   int64_t dead_lettered() const { return dead_lettered_; }

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "core/web_service.h"
 #include "fault/adapters.h"
 #include "fault/fault_plan.h"
@@ -708,6 +709,179 @@ Result<ScenarioResult> RunBreakerFlash(const ScenarioParams& params) {
   return result;
 }
 
+// ===========================================================================
+// cluster.* — the PR 7 consistent-hash cluster tier under scenario load.
+
+/// Mounts the standard analysis backend on every cluster node.
+cluster::BackendFactory ClusterBackends(double service_us) {
+  return [service_us](int, core::ServiceRegistry* registry) {
+    return registry->Mount("svc",
+                           std::make_shared<AnalysisService>(service_us));
+  };
+}
+
+Result<std::unique_ptr<cluster::Cluster>> MakeScenarioCluster(
+    int num_nodes, const ScenarioParams& params) {
+  cluster::ClusterConfig config;
+  config.num_nodes = num_nodes;
+  config.replication_factor = 2;
+  config.seed = params.seed;
+  config.workers_per_node = 2;
+  return cluster::Cluster::Create(config, ClusterBackends(/*service_us=*/40.0));
+}
+
+/// The same Zipf stream the serve shapes use, routed through the cluster
+/// tier at 1 and 4 nodes. The fingerprint is the routing identity (decision
+/// log + shard map at both node counts) — pure functions of (seed, stream)
+/// — while the latency columns stay measured and advisory.
+Result<ScenarioResult> RunClusterScaleoutZipf(const ScenarioParams& params) {
+  const int requests =
+      std::max(200, static_cast<int>(1200 * params.scale));
+  serve::WorkloadGen gen(BuildPopulation(300), /*zipf_s=*/1.1, params.seed);
+  std::vector<core::ServiceRequest> stream;
+  std::vector<std::string> keys;
+  stream.reserve(requests);
+  keys.reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    stream.push_back(gen.Next());
+    keys.push_back(cluster::Cluster::KeyOf(stream.back()));
+  }
+
+  Md5 identity;
+  std::vector<double> latencies;
+  latencies.reserve(2 * static_cast<size_t>(requests));
+  int64_t forwarded = 0;
+  int64_t reroutes = 0;
+  for (int nodes : {1, 4}) {
+    DFLOW_ASSIGN_OR_RETURN(std::unique_ptr<cluster::Cluster> cluster,
+                           MakeScenarioCluster(nodes, params));
+    identity.Update(cluster->DecisionLog(keys));
+    identity.Update(cluster->DescribeMap());
+    for (const core::ServiceRequest& request : stream) {
+      double t0 = NowSec();
+      DFLOW_ASSIGN_OR_RETURN(core::ServiceResponse response,
+                             cluster->Execute(request));
+      latencies.push_back(NowSec() - t0);
+      if (response.body.empty()) {
+        return Status::Internal("empty cluster response");
+      }
+    }
+    cluster::ClusterStats stats = cluster->Stats();
+    forwarded += stats.forwarded;
+    reroutes += stats.reroutes;
+  }
+
+  ScenarioResult result;
+  result.offered = 2 * requests;
+  result.p50_ms = ExactPercentile(latencies, 0.50) * 1000.0;
+  result.p99_ms = ExactPercentile(latencies, 0.99) * 1000.0;
+  result.shed_rate = 0.0;
+  result.recovery_sec = 0.0;
+  result.fingerprint = identity.HexDigest();
+  result.extra.emplace_back("forwarded", std::to_string(forwarded));
+  result.extra.emplace_back("reroutes", std::to_string(reroutes));
+  return result;
+}
+
+/// Kill a replica mid-traffic, rejoin it (anti-entropy catch-up), then
+/// sweep live shard moves — the cluster's whole failure/rebalance arc in
+/// one deterministic run. Zero client-visible failures is a hard invariant
+/// (Internal error, which the matrix gate turns into a test failure).
+Result<ScenarioResult> RunNodeKillRebalance(const ScenarioParams& params) {
+  const int kNodes = 4;
+  const int num_keys = std::max(120, static_cast<int>(400 * params.scale));
+  const int requests = std::max(150, static_cast<int>(600 * params.scale));
+  DFLOW_ASSIGN_OR_RETURN(std::unique_ptr<cluster::Cluster> cluster,
+                         MakeScenarioCluster(kNodes, params));
+  for (int i = 0; i < num_keys; ++i) {
+    DFLOW_RETURN_IF_ERROR(
+        cluster->Put("key/" + std::to_string(i), "v" + std::to_string(i)));
+  }
+
+  serve::WorkloadGen gen(BuildPopulation(300), /*zipf_s=*/1.1, params.seed);
+  std::vector<core::ServiceRequest> stream;
+  std::vector<std::string> keys;
+  for (int i = 0; i < requests; ++i) {
+    stream.push_back(gen.Next());
+    keys.push_back(cluster::Cluster::KeyOf(stream.back()));
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(stream.size());
+  auto drive = [&](size_t begin, size_t end) -> Status {
+    for (size_t i = begin; i < end; ++i) {
+      double t0 = NowSec();
+      Result<core::ServiceResponse> response = cluster->Execute(stream[i]);
+      latencies.push_back(NowSec() - t0);
+      if (!response.ok()) {
+        return Status::Internal("client-visible failure after node kill: " +
+                                response.status().message());
+      }
+    }
+    return Status::OK();
+  };
+
+  // Clean third, kill a replica, degraded third (every request must still
+  // answer — R=2 absorbs one corpse), rejoin, final third.
+  const size_t third = stream.size() / 3;
+  DFLOW_RETURN_IF_ERROR(drive(0, third));
+  const double kill_at = NowSec();
+  DFLOW_RETURN_IF_ERROR(cluster->KillNode("node1"));
+  // Writes land while node1 is dead, so the rejoin has real catch-up work.
+  for (int i = 0; i < num_keys / 2; ++i) {
+    DFLOW_RETURN_IF_ERROR(
+        cluster->Put("key/" + std::to_string(i), "w" + std::to_string(i)));
+  }
+  DFLOW_RETURN_IF_ERROR(drive(third, 2 * third));
+  DFLOW_RETURN_IF_ERROR(cluster->RejoinNode("node1"));
+  const double recovered_at = NowSec();
+  DFLOW_RETURN_IF_ERROR(drive(2 * third, stream.size()));
+
+  // Live rebalance sweep: push a band of shards around the ring while the
+  // map is serving (AlreadyExists = the target already owned that shard).
+  std::vector<std::string> names = cluster->node_names();
+  for (int shard = 0; shard < 8; ++shard) {
+    Status moved =
+        cluster->MoveShard(shard, names[shard % names.size()]);
+    if (!moved.ok() && !moved.IsAlreadyExists()) {
+      return moved;
+    }
+  }
+  for (int i = 0; i < num_keys; ++i) {
+    DFLOW_ASSIGN_OR_RETURN(std::string value,
+                           cluster->Get("key/" + std::to_string(i)));
+    const std::string want =
+        (i < num_keys / 2 ? "w" : "v") + std::to_string(i);
+    if (value != want) {
+      return Status::Internal("key " + std::to_string(i) +
+                              " lost its write through the kill/rebalance");
+    }
+  }
+
+  cluster::ClusterStats stats = cluster->Stats();
+  ScenarioResult result;
+  result.offered = static_cast<int64_t>(stream.size());
+  result.p50_ms = ExactPercentile(latencies, 0.50) * 1000.0;
+  result.p99_ms = ExactPercentile(latencies, 0.99) * 1000.0;
+  result.shed_rate = 0.0;
+  result.recovery_sec = std::max(0.0, recovered_at - kill_at);
+  // Deterministic identity: final routing decisions + shard map (override
+  // marks included) + replicated state digests. All pure functions of
+  // (seed, serialized history); wall-clock stays in the measured columns.
+  Md5 identity;
+  identity.Update(cluster->DecisionLog(keys));
+  identity.Update(cluster->DescribeMap());
+  identity.Update(cluster->DescribeState());
+  result.fingerprint = identity.HexDigest();
+  result.extra.emplace_back("reroutes", std::to_string(stats.reroutes));
+  result.extra.emplace_back("catchup_shards",
+                            std::to_string(stats.catchup_shards));
+  result.extra.emplace_back("rebalance_moves",
+                            std::to_string(stats.rebalance_moves));
+  result.extra.emplace_back("failed", std::to_string(stats.failed));
+  return result;
+}
+
 }  // namespace
 
 const ScenarioRegistry& BuiltinScenarios() {
@@ -741,6 +915,16 @@ const ScenarioRegistry& BuiltinScenarios() {
         {"chaos.breaker_flash", "chaos",
          "primary dies mid-flash-crowd; breaker trips, fails over, recovers",
          RunBreakerFlash}));
+    DFLOW_CHECK_OK(r->Register(
+        {"cluster.scaleout_zipf", "shape",
+         "Zipf stream routed through the consistent-hash cluster at 1 and "
+         "4 nodes",
+         RunClusterScaleoutZipf}));
+    DFLOW_CHECK_OK(r->Register(
+        {"chaos.node_kill_rebalance", "chaos",
+         "replica killed mid-traffic, rejoined via catch-up, then a live "
+         "shard-move sweep",
+         RunNodeKillRebalance}));
     return r;
   }();
   return *registry;

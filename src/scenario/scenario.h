@@ -87,6 +87,10 @@ class ScenarioRegistry {
 ///   chaos.scrub_storm       — link+drive faults during a scrub under load
 ///   chaos.breaker_flash     — primary failure under flash crowd; breaker
 ///                             trips, fails over, recovers
+///   cluster.scaleout_zipf   — Zipf stream through the consistent-hash
+///                             cluster at 1 and 4 nodes
+///   chaos.node_kill_rebalance — replica kill mid-traffic, catch-up
+///                             rejoin, live shard-move sweep
 const ScenarioRegistry& BuiltinScenarios();
 
 }  // namespace dflow::scenario

@@ -441,9 +441,10 @@ Status ServeLoop::SetReplica(const std::string& prefix,
   if (replica == nullptr) {
     return Status::InvalidArgument("replica registry must not be null");
   }
-  if (prefix.empty()) {
-    return Status::InvalidArgument("replica prefix must not be empty");
-  }
+  // Same prefix rules as ServiceRegistry::Mount, plus the breaker's own
+  // constraint: health is tracked per TOP-LEVEL prefix, so a nested
+  // prefix would register a replica no breaker could ever consult.
+  DFLOW_RETURN_IF_ERROR(core::ValidateMountPrefix(prefix));
   if (prefix.find('/') != std::string::npos) {
     return Status::InvalidArgument(
         "replica prefix must be a top-level mount (no '/'): '" + prefix +

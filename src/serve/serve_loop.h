@@ -187,7 +187,9 @@ class ServeLoop {
   /// breaker is open, its requests are dispatched to `replica` instead of
   /// the primary registry. The replica must outlive the loop and is
   /// serialized under its own per-mount lock. InvalidArgument on a null
-  /// replica or empty prefix. Replicas may be registered regardless of
+  /// replica or a prefix failing core::ValidateMountPrefix() — the same
+  /// rules Mount() enforces — or containing any '/' (breaker health is
+  /// tracked per top-level prefix). Replicas may be registered regardless of
   /// whether the breaker is enabled; without the breaker they are never
   /// consulted.
   Status SetReplica(const std::string& prefix,

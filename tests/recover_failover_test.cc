@@ -237,6 +237,15 @@ TEST(ServeFailoverTest, SetReplicaValidation) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(loop.SetReplica("svc/nested", &h.replica_registry).code(),
             StatusCode::kInvalidArgument);
+  // Same prefix rules as ServiceRegistry::Mount: leading or trailing '/'
+  // (and therefore bare "/") is rejected, not silently registered under a
+  // name the breaker's top-level-prefix lookup could never produce.
+  EXPECT_EQ(loop.SetReplica("/svc", &h.replica_registry).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(loop.SetReplica("svc/", &h.replica_registry).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(loop.SetReplica("/", &h.replica_registry).code(),
+            StatusCode::kInvalidArgument);
   EXPECT_TRUE(loop.SetReplica("svc", &h.replica_registry).ok());
 }
 
