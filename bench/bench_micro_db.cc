@@ -1,12 +1,31 @@
-// Microbenchmarks of the embedded relational engine (the dissemination
-// substrate all three case studies share): insert paths, indexed vs
-// sequential selection, aggregation, and WAL overhead.
+// Benchmarks of the embedded relational engine (the dissemination
+// substrate all three case studies share).
+//
+// Default mode: the buffer-pool sweep — point-query p50/p99 latency and
+// hit rate at pool sizes from 8 frames to unlimited against a table ~10x
+// larger than the biggest bounded pool, with a same-seed MD5 fingerprint
+// gate (results AND eviction sequence must be byte-identical across
+// repeat runs, and query results identical across pool sizes). Emits
+// BENCH_db.json next to the binary.
+//
+// `--micro` mode: the original google-benchmark microbenchmarks (insert
+// paths, indexed vs sequential selection, aggregation, WAL overhead);
+// extra args pass through to the benchmark runner.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "bench/report.h"
 #include "db/database.h"
+#include "util/md5.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -159,6 +178,201 @@ void BM_WalDurableInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_WalDurableInsert);
 
+// --- Buffer-pool sweep (default mode) -----------------------------------
+
+constexpr int64_t kTableRows = 14000;  // ~350 pages at ~210 B/row.
+constexpr int64_t kQueries = 4000;
+constexpr uint64_t kSeed = 0xdb5eedULL;
+
+struct SweepPoint {
+  size_t frames = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double hit_rate = 0;
+  int64_t evictions = 0;
+  int64_t misses = 0;
+  size_t table_pages = 0;
+  std::string results_md5;  // Query answers only (pool-size invariant).
+  std::string full_md5;     // Answers + eviction log (same-seed invariant).
+};
+
+SweepPoint RunPoint(size_t frames, uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  db::DatabaseOptions opts;
+  opts.pool_frames = frames;
+  Database db(opts);
+  (void)db.Execute("CREATE TABLE kv (id INT, v INT, pad TEXT)");
+  (void)db.Execute("CREATE INDEX idx_id ON kv (id)");
+
+  dflow::Rng rng(seed);
+  {
+    std::vector<Row> batch;
+    for (int64_t i = 0; i < kTableRows; ++i) {
+      batch.push_back(Row{
+          Value::Int(i), Value::Int(rng.Uniform(0, 999999)),
+          Value::String(std::string(
+              static_cast<size_t>(rng.Uniform(120, 240)),
+              static_cast<char>('a' + i % 26)))});
+      if (batch.size() == 1000) {
+        (void)db.InsertMany("kv", std::move(batch));
+        batch.clear();
+      }
+    }
+    (void)db.InsertMany("kv", std::move(batch));
+  }
+
+  // Reset stats focus to the query phase: remember the populate-phase
+  // baseline and subtract.
+  const auto populate = db.pool()->stats();
+
+  SweepPoint point;
+  point.frames = frames;
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<size_t>(kQueries));
+  std::string answers;
+  for (int64_t q = 0; q < kQueries; ++q) {
+    int64_t id = rng.Uniform(0, kTableRows - 1);
+    auto start = Clock::now();
+    auto result =
+        db.Execute("SELECT v FROM kv WHERE id = " + std::to_string(id));
+    auto end = Clock::now();
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+    if (result.ok() && !result->rows.empty()) {
+      answers += std::to_string(result->rows[0][0].AsInt());
+      answers += ',';
+    } else {
+      answers += "MISS,";
+    }
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  point.p50_us = lat_us[lat_us.size() / 2];
+  point.p99_us = lat_us[lat_us.size() * 99 / 100];
+
+  const auto& stats = db.pool()->stats();
+  const int64_t hits = stats.hits - populate.hits;
+  const int64_t misses = stats.misses - populate.misses;
+  point.misses = misses;
+  point.evictions = stats.evictions - populate.evictions;
+  point.hit_rate =
+      hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 1.0;
+  point.table_pages = db.catalog().Find("kv")->heap->num_pages();
+  point.results_md5 = Md5::HexOf(answers);
+  std::string evictions;
+  for (uint32_t pid : db.pool()->eviction_log()) {
+    evictions += std::to_string(pid);
+    evictions += ',';
+  }
+  point.full_md5 = Md5::HexOf(answers + "|" + evictions);
+  return point;
+}
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+int PoolSweepMain() {
+  using dflow::bench::Footer;
+  using dflow::bench::Header;
+  using dflow::bench::Note;
+  using dflow::bench::Row;
+
+  Header("bench_micro_db: buffer-pool frames vs point-query latency",
+         "metadata stores serve working sets larger than RAM; the pool "
+         "must trade memory for tail latency smoothly, not fall over");
+
+  const size_t kFrames[] = {8, 16, 32, 64, 128, 0};
+  std::vector<SweepPoint> sweep;
+  for (size_t frames : kFrames) {
+    sweep.push_back(RunPoint(frames, kSeed));
+    const auto& p = sweep.back();
+    std::string label = frames == 0 ? "unlimited frames"
+                                    : std::to_string(frames) + " frames";
+    Row(label + " (" + std::to_string(p.table_pages) + "-page table)",
+        "p50 " + Fmt("%7.1f", p.p50_us) + " us   p99 " +
+            Fmt("%7.1f", p.p99_us) + " us   hit " +
+            Fmt("%5.1f", p.hit_rate * 100) + "%   " +
+            std::to_string(p.evictions) + " evictions");
+  }
+
+  // Gates — all deterministic (no timing thresholds):
+  //  (1) query answers identical at every pool size;
+  //  (2) a same-seed repeat run is byte-identical down to the eviction
+  //      sequence;
+  //  (3) hit rate is monotone in pool size.
+  bool answers_identical = true;
+  for (const auto& p : sweep) {
+    answers_identical =
+        answers_identical && p.results_md5 == sweep.front().results_md5;
+  }
+  SweepPoint repeat = RunPoint(8, kSeed);
+  const bool deterministic = repeat.full_md5 == sweep.front().full_md5;
+  bool hit_monotone = true;
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    hit_monotone = hit_monotone &&
+                   sweep[i].hit_rate >= sweep[i - 1].hit_rate - 1e-9;
+  }
+  Row("answers identical across pool sizes", answers_identical ? "yes" : "NO");
+  Row("same-seed run byte-identical (8 frames)",
+      deterministic ? "yes (" + repeat.full_md5.substr(0, 12) + "...)" : "NO");
+  Row("hit rate monotone in pool size", hit_monotone ? "yes" : "NO");
+  Note("latencies are advisory (host-dependent); the enforced gates are "
+       "the three determinism/shape checks above");
+
+  const bool shape_holds = answers_identical && deterministic && hit_monotone;
+  Footer(shape_holds);
+
+  {
+    std::ofstream json("BENCH_db.json");
+    json << "{\n";
+    json << "  \"bench\": \"bench_micro_db\",\n";
+    json << "  \"config\": {\"table_rows\": " << kTableRows
+         << ", \"queries\": " << kQueries << ", \"seed\": " << kSeed
+         << "},\n";
+    json << "  \"determinism\": {\"byte_identical\": "
+         << (deterministic ? "true" : "false") << ", \"fingerprint\": \""
+         << sweep.front().full_md5 << "\"},\n";
+    json << "  \"answers_identical\": "
+         << (answers_identical ? "true" : "false") << ",\n";
+    json << "  \"hit_rate_monotone\": " << (hit_monotone ? "true" : "false")
+         << ",\n";
+    json << "  \"sweep\": [";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const auto& p = sweep[i];
+      json << (i == 0 ? "\n" : ",\n");
+      json << "    {\"frames\": " << p.frames
+           << ", \"table_pages\": " << p.table_pages
+           << ", \"p50_us\": " << Fmt("%.2f", p.p50_us)
+           << ", \"p99_us\": " << Fmt("%.2f", p.p99_us)
+           << ", \"hit_rate\": " << Fmt("%.4f", p.hit_rate)
+           << ", \"evictions\": " << p.evictions
+           << ", \"misses\": " << p.misses << "}";
+    }
+    json << "\n  ],\n";
+    json << "  \"shape_holds\": " << (shape_holds ? "true" : "false")
+         << "\n}\n";
+  }
+  Note("machine-readable results written to BENCH_db.json");
+  return shape_holds ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--micro") == 0) {
+      // Strip --micro and hand the rest to google-benchmark.
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      benchmark::Initialize(&argc, argv);
+      benchmark::RunSpecifiedBenchmarks();
+      benchmark::Shutdown();
+      return 0;
+    }
+  }
+  return PoolSweepMain();
+}

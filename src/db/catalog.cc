@@ -26,7 +26,7 @@ Status Catalog::AddTable(std::string name, Schema schema) {
   }
   auto info = std::make_unique<TableInfo>();
   info->name = std::move(name);
-  info->heap = std::make_unique<HeapTable>(std::move(schema));
+  info->heap = std::make_unique<HeapTable>(std::move(schema), pool_);
   tables_[key] = std::move(info);
   return Status::OK();
 }

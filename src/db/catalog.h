@@ -32,9 +32,15 @@ struct TableInfo {
   IndexInfo* FindIndexOnColumn(std::string_view column) const;
 };
 
-/// Name -> table map with case-insensitive lookup.
+/// Name -> table map with case-insensitive lookup. When constructed with a
+/// BufferPool, every table's pages live in that shared pool (bounded
+/// residency across the whole catalog); with none, each table gets its own
+/// private unbounded pool.
 class Catalog {
  public:
+  Catalog() = default;
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
   Status AddTable(std::string name, Schema schema);
   Status DropTable(std::string_view name);
   /// Table lookup; nullptr if absent.
@@ -46,7 +52,10 @@ class Catalog {
   /// Sum of heap sizes across all tables (storage accounting).
   int64_t TotalBytes() const;
 
+  BufferPool* pool() const { return pool_; }
+
  private:
+  BufferPool* pool_ = nullptr;
   // Keyed by lowercased name.
   std::map<std::string, std::unique_ptr<TableInfo>> tables_;
 };

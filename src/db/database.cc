@@ -9,25 +9,55 @@ namespace dflow::db {
 
 namespace {
 
+// Varint-coded: most tables are small, so page/slot are usually one byte
+// each instead of a fixed six.
 void EncodeRowId(ByteWriter& w, RowId rid) {
-  w.PutU32(rid.page);
-  w.PutU16(rid.slot);
+  w.PutVarint(rid.page);
+  w.PutVarint(rid.slot);
 }
 
 Result<RowId> DecodeRowId(ByteReader& r) {
-  RowId rid;
-  DFLOW_ASSIGN_OR_RETURN(rid.page, r.GetU32());
-  DFLOW_ASSIGN_OR_RETURN(rid.slot, r.GetU16());
-  return rid;
+  DFLOW_ASSIGN_OR_RETURN(uint64_t page, r.GetVarint());
+  DFLOW_ASSIGN_OR_RETURN(uint64_t slot, r.GetVarint());
+  if (page > 0xffffffffu || slot > 0xffffu) {
+    return Status::Corruption("row id out of range");
+  }
+  return RowId{static_cast<uint32_t>(page), static_cast<uint16_t>(slot)};
 }
 
 }  // namespace
 
-Result<std::unique_ptr<Database>> Database::Open(const std::string& path) {
-  auto db = std::unique_ptr<Database>(new Database());
+Database::Database(DatabaseOptions options, std::unique_ptr<PageStore> store)
+    : pool_(std::make_unique<BufferPool>(BufferPoolOptions{options.pool_frames},
+                                         std::move(store))),
+      catalog_(pool_.get()) {
+  // LSN plumbing reads through wal_ at call time: wal_ is null for volatile
+  // databases (pages stay LSN 0, no barrier) and is swapped by Checkpoint.
+  pool_->SetWal(
+      [this] { return wal_ != nullptr ? wal_->last_lsn() : 0; },
+      [this] { return wal_ != nullptr ? wal_->durable_lsn() : 0; },
+      [this](uint64_t lsn) {
+        return wal_ != nullptr ? wal_->EnsureDurable(lsn) : Status::OK();
+      });
+}
+
+Database::Database() : Database(DatabaseOptions{}) {}
+
+Database::Database(DatabaseOptions options)
+    : Database(options, std::make_unique<MemPageStore>()) {}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 DatabaseOptions options) {
+  DFLOW_ASSIGN_OR_RETURN(auto store, FilePageStore::Create(path + ".pages"));
+  auto db =
+      std::unique_ptr<Database>(new Database(options, std::move(store)));
   DFLOW_RETURN_IF_ERROR(db->Recover(path));
   DFLOW_ASSIGN_OR_RETURN(db->wal_, WalWriter::Open(path));
   db->wal_path_ = path;
+  // Seed LSNs past the replayed records so page stamps stay monotone with
+  // the log (replayed pages carry LSN 0: their records are already
+  // durable, no barrier needed).
+  db->wal_->set_last_lsn(db->recovered_lsn_);
   return db;
 }
 
@@ -40,6 +70,7 @@ Status Database::Recover(const std::string& path) {
     return records.status();
   }
   replaying_ = true;
+  recovered_lsn_ = records->size();
   std::vector<std::string> txn_buffer;
   bool in_txn = false;
   for (const std::string& payload : *records) {
@@ -254,7 +285,7 @@ Status Database::Checkpoint() {
   // insertion order. The rebuilt in-memory rowids are by construction the
   // rowids that replaying the snapshot produces, so later physical WAL
   // records stay valid after recovery.
-  Catalog compacted;
+  Catalog compacted(pool_.get());
   for (const std::string& name : catalog_.TableNames()) {
     TableInfo* old_table = catalog_.Find(name);
     DFLOW_RETURN_IF_ERROR(
@@ -326,13 +357,19 @@ Status Database::Checkpoint() {
       DFLOW_RETURN_IF_ERROR(writer->Append(commit_record.data()));
       DFLOW_RETURN_IF_ERROR(writer->Sync());
     }
+    uint64_t old_lsn = wal_->last_lsn();
     wal_.reset();  // Close the old log before replacing it.
     if (std::rename(tmp_path.c_str(), wal_path_.c_str()) != 0) {
       // Reopen the old log so the database stays durable.
       DFLOW_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path_));
+      wal_->set_last_lsn(old_lsn);
       return Status::IOError("checkpoint rename failed");
     }
     DFLOW_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path_));
+    // Keep LSNs monotone across the swap: resident pages stamped under the
+    // old log must never look "ahead" of the new one (their content is
+    // fully covered by the just-synced snapshot).
+    wal_->set_last_lsn(old_lsn);
   }
 
   catalog_ = std::move(compacted);

@@ -6,13 +6,24 @@
 #include <string>
 #include <vector>
 
+#include "db/buffer_pool.h"
 #include "db/catalog.h"
 #include "db/executor.h"
 #include "db/parser.h"
 #include "db/wal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace dflow::db {
+
+struct DatabaseOptions {
+  /// Buffer-pool residency bound shared by every table in the database;
+  /// 0 = unbounded (all pages stay in memory). Bounded pools evict cold
+  /// pages to the page store (in-memory for volatile databases, a
+  /// `<wal path>.pages` spill file for durable ones).
+  size_t pool_frames = 0;
+};
 
 /// The embedded relational engine facade: the role SQLite plays in CLEO's
 /// personal EventStore and MySQL / MS SQL Server play in the group and
@@ -31,10 +42,14 @@ namespace dflow::db {
 class Database {
  public:
   /// In-memory database with no durability.
-  Database() = default;
+  Database();
+  explicit Database(DatabaseOptions options);
 
   /// Durable database backed by a WAL at `path`; replays existing log.
-  static Result<std::unique_ptr<Database>> Open(const std::string& path);
+  /// The buffer pool spills to `path + ".pages"` (session-scoped: created
+  /// fresh on every Open — the WAL is the database of record).
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                DatabaseOptions options = {});
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -69,7 +84,19 @@ class Database {
     return wal_ != nullptr ? wal_->bytes_written() : 0;
   }
 
+  /// The shared buffer pool behind every table (hit/miss/eviction stats,
+  /// eviction log, writeback probe).
+  BufferPool* pool() const { return pool_.get(); }
+
+  /// Observability: db.pool.* counters and fetch/writeback spans.
+  void SetMetricsRegistry(obs::MetricsRegistry* metrics) {
+    pool_->SetMetricsRegistry(metrics);
+  }
+  void SetTracer(obs::Tracer* tracer) { pool_->SetTracer(tracer); }
+
  private:
+  Database(DatabaseOptions options, std::unique_ptr<PageStore> store);
+
   struct PendingOp {
     std::function<Status()> apply;
   };
@@ -98,11 +125,13 @@ class Database {
   /// buffers it if a transaction is open. `op` must do its own logging.
   Result<int64_t> RunOrBuffer(std::function<Result<int64_t>()> op);
 
+  std::unique_ptr<BufferPool> pool_;  // Before catalog_: tables point at it.
   Catalog catalog_;
   std::unique_ptr<WalWriter> wal_;
   std::string wal_path_;
   bool in_txn_ = false;
   bool replaying_ = false;
+  uint64_t recovered_lsn_ = 0;
   std::vector<std::function<Result<int64_t>()>> pending_;
 };
 

@@ -4,7 +4,30 @@
 
 namespace dflow::db {
 
-HeapTable::HeapTable(Schema schema) : schema_(std::move(schema)) {}
+HeapTable::HeapTable(Schema schema, BufferPool* pool)
+    : schema_(std::move(schema)), pool_(pool) {
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<BufferPool>(
+        BufferPoolOptions{}, std::make_unique<MemPageStore>());
+    pool_ = owned_pool_.get();
+  }
+}
+
+HeapTable::~HeapTable() {
+  // Return this table's pages to the pool so dropped tables release frames
+  // and their ids get recycled. Best-effort: a pinned page here would be a
+  // caller bug (no PageRef may outlive the table).
+  for (uint32_t pid : page_ids_) {
+    (void)pool_->Free(pid);
+  }
+}
+
+Result<BufferPool::PageRef> HeapTable::PinLocal(uint32_t local_page) const {
+  if (local_page >= page_ids_.size()) {
+    return Status::NotFound("page out of range");
+  }
+  return pool_->Pin(page_ids_[local_page]);
+}
 
 Result<RowId> HeapTable::Insert(Row row) {
   DFLOW_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
@@ -16,53 +39,58 @@ Result<RowId> HeapTable::Insert(Row row) {
 }
 
 Result<RowId> HeapTable::InsertEncoded(std::string_view record) {
-  if (!pages_.empty()) {
-    auto slot = pages_.back()->Insert(record);
+  if (!page_ids_.empty()) {
+    DFLOW_ASSIGN_OR_RETURN(BufferPool::PageRef ref,
+                           pool_->Pin(page_ids_.back()));
+    auto slot = ref->Insert(record);
     if (slot.ok()) {
-      return RowId{static_cast<uint32_t>(pages_.size() - 1), *slot};
+      ref.MarkDirty();
+      return RowId{static_cast<uint32_t>(page_ids_.size() - 1), *slot};
     }
     if (!slot.status().IsResourceExhausted()) {
       return slot.status();
     }
   }
-  pages_.push_back(std::make_unique<Page>());
-  DFLOW_ASSIGN_OR_RETURN(uint16_t slot, pages_.back()->Insert(record));
-  return RowId{static_cast<uint32_t>(pages_.size() - 1), slot};
+  DFLOW_ASSIGN_OR_RETURN(uint32_t pid, pool_->Allocate());
+  page_ids_.push_back(pid);
+  DFLOW_ASSIGN_OR_RETURN(BufferPool::PageRef ref, pool_->Pin(pid));
+  DFLOW_ASSIGN_OR_RETURN(uint16_t slot, ref->Insert(record));
+  ref.MarkDirty();
+  return RowId{static_cast<uint32_t>(page_ids_.size() - 1), slot};
 }
 
 Result<Row> HeapTable::Get(RowId id) const {
-  if (id.page >= pages_.size()) {
-    return Status::NotFound("page out of range");
-  }
-  DFLOW_ASSIGN_OR_RETURN(std::string_view record, pages_[id.page]->Get(id.slot));
+  DFLOW_ASSIGN_OR_RETURN(BufferPool::PageRef ref, PinLocal(id.page));
+  DFLOW_ASSIGN_OR_RETURN(std::string_view record, ref->Get(id.slot));
   ByteReader r(record);
   return DecodeRow(r);
 }
 
 Status HeapTable::Delete(RowId id) {
-  if (id.page >= pages_.size()) {
-    return Status::NotFound("page out of range");
-  }
-  DFLOW_RETURN_IF_ERROR(pages_[id.page]->Delete(id.slot));
+  DFLOW_ASSIGN_OR_RETURN(BufferPool::PageRef ref, PinLocal(id.page));
+  DFLOW_RETURN_IF_ERROR(ref->Delete(id.slot));
+  ref.MarkDirty();
   --num_rows_;
   return Status::OK();
 }
 
 Result<RowId> HeapTable::Update(RowId id, Row row) {
-  if (id.page >= pages_.size()) {
-    return Status::NotFound("page out of range");
-  }
   DFLOW_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
   ByteWriter w;
   EncodeRow(validated, w);
-  Status in_place = pages_[id.page]->Update(id.slot, w.data());
-  if (in_place.ok()) {
-    return id;
+  {
+    DFLOW_ASSIGN_OR_RETURN(BufferPool::PageRef ref, PinLocal(id.page));
+    Status in_place = ref->Update(id.slot, w.data());
+    if (in_place.ok()) {
+      ref.MarkDirty();
+      return id;
+    }
+    if (!in_place.IsResourceExhausted()) {
+      return in_place;
+    }
+    DFLOW_RETURN_IF_ERROR(ref->Delete(id.slot));
+    ref.MarkDirty();
   }
-  if (!in_place.IsResourceExhausted()) {
-    return in_place;
-  }
-  DFLOW_RETURN_IF_ERROR(pages_[id.page]->Delete(id.slot));
   return InsertEncoded(w.data());
 }
 

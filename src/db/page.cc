@@ -6,7 +6,63 @@
 
 namespace dflow::db {
 
-Page::Page() : data_(kPageSize, 0), payload_start_(kPageSize) {}
+Page::Page() : data_(kPageSize, 0), payload_start_(kPageSize) {
+  StoreHeader();
+}
+
+void Page::StoreHeader() {
+  uint16_t magic = kMagic;
+  std::memcpy(data_.data(), &magic, 2);
+  std::memcpy(data_.data() + 2, &num_slots_, 2);
+  std::memcpy(data_.data() + 4, &payload_start_, 2);
+  // Bytes [6, 8) reserved; [8, 16) hold the page LSN (set_lsn writes it
+  // directly so header syncs never clobber it).
+}
+
+uint64_t Page::lsn() const {
+  uint64_t lsn;
+  std::memcpy(&lsn, data_.data() + kLsnOffset, sizeof(lsn));
+  return lsn;
+}
+
+void Page::set_lsn(uint64_t lsn) {
+  std::memcpy(data_.data() + kLsnOffset, &lsn, sizeof(lsn));
+}
+
+Result<Page> Page::FromImage(std::string_view image) {
+  if (image.size() != kPageSize) {
+    return Status::Corruption("page image has wrong size");
+  }
+  Page page;
+  std::memcpy(page.data_.data(), image.data(), kPageSize);
+  uint16_t magic;
+  std::memcpy(&magic, page.data_.data(), 2);
+  if (magic != kMagic) {
+    return Status::Corruption("page image has bad magic");
+  }
+  std::memcpy(&page.num_slots_, page.data_.data() + 2, 2);
+  std::memcpy(&page.payload_start_, page.data_.data() + 4, 2);
+  size_t directory_end =
+      kHeaderSize + static_cast<size_t>(page.num_slots_) * kSlotSize;
+  if (directory_end > kPageSize || page.payload_start_ < directory_end ||
+      page.payload_start_ > kPageSize) {
+    return Status::Corruption("page header out of bounds");
+  }
+  // Recompute live_records_ from the slot directory, validating each slot.
+  page.live_records_ = 0;
+  for (uint16_t i = 0; i < page.num_slots_; ++i) {
+    Slot s = page.GetSlot(i);
+    if (s.offset == kTombstone) {
+      continue;
+    }
+    if (s.offset < page.payload_start_ ||
+        static_cast<size_t>(s.offset) + s.length > kPageSize) {
+      return Status::Corruption("page slot out of bounds");
+    }
+    ++page.live_records_;
+  }
+  return page;
+}
 
 Page::Slot Page::GetSlot(uint16_t i) const {
   DFLOW_CHECK(i < num_slots_);
@@ -40,6 +96,7 @@ Result<uint16_t> Page::Insert(std::string_view record) {
   uint16_t slot = num_slots_++;
   SetSlot(slot, Slot{payload_start_, static_cast<uint16_t>(record.size())});
   ++live_records_;
+  StoreHeader();
   return slot;
 }
 
@@ -85,6 +142,7 @@ Status Page::Update(uint16_t slot, std::string_view record) {
     payload_start_ = static_cast<uint16_t>(payload_start_ - record.size());
     std::memcpy(data_.data() + payload_start_, record.data(), record.size());
     SetSlot(slot, Slot{payload_start_, static_cast<uint16_t>(record.size())});
+    StoreHeader();
     return Status::OK();
   }
   return Status::ResourceExhausted("update does not fit in page");
@@ -105,6 +163,7 @@ void Page::Compact() {
     std::memcpy(data_.data() + payload_start_, record.data(), record.size());
     SetSlot(slot, Slot{payload_start_, static_cast<uint16_t>(record.size())});
   }
+  StoreHeader();
 }
 
 }  // namespace dflow::db

@@ -16,9 +16,22 @@ inline constexpr size_t kPageSize = 8192;
 /// while record payloads grow upward from the end of the page. Deleting a
 /// record tombstones its slot (slot numbers are stable, so RowIds stored in
 /// indexes stay valid); the space is reclaimed by Compact().
+///
+/// The page image is self-describing: the first 16 bytes are a header
+///   [u16 magic][u16 num_slots][u16 payload_start][u16 reserved][u64 lsn]
+/// kept in sync with the in-memory mirrors on every mutation, so an evicted
+/// page written to a PageStore can be rehydrated byte-for-byte by
+/// FromImage(). The LSN field records the WAL sequence number of the last
+/// mutation that dirtied the page (the WAL-before-page contract: the buffer
+/// pool must not write a page image whose LSN exceeds the durable WAL LSN).
 class Page {
  public:
   Page();
+
+  /// Rehydrates a page from an 8 KB image previously produced by Image().
+  /// Validates the header magic and every slot's bounds; Corruption on any
+  /// violation (torn or bit-rotted images must never crash the engine).
+  static Result<Page> FromImage(std::string_view image);
 
   /// Inserts a record; returns its slot number, or ResourceExhausted if the
   /// page cannot fit `record` plus a slot entry.
@@ -40,6 +53,11 @@ class Page {
   size_t FreeBytes() const;
   int64_t live_records() const { return live_records_; }
 
+  /// Page LSN: sequence number of the last WAL record covering a mutation
+  /// of this page (0 = never logged). Stored in the header image.
+  uint64_t lsn() const;
+  void set_lsn(uint64_t lsn);
+
   /// Rewrites payloads to squeeze out holes left by deletes/updates. Slot
   /// numbers are preserved.
   void Compact();
@@ -57,10 +75,14 @@ class Page {
 
   Slot GetSlot(uint16_t i) const;
   void SetSlot(uint16_t i, Slot s);
+  /// Mirrors num_slots_ / payload_start_ into the header bytes.
+  void StoreHeader();
 
   static constexpr uint16_t kTombstone = 0xffff;
-  static constexpr size_t kHeaderSize = 4;
+  static constexpr uint16_t kMagic = 0x5044;  // "PD": paged dflow.
+  static constexpr size_t kHeaderSize = 16;
   static constexpr size_t kSlotSize = 4;
+  static constexpr size_t kLsnOffset = 8;
 
   std::vector<char> data_;
   uint16_t num_slots_ = 0;

@@ -1,0 +1,138 @@
+#include "db/page_store.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace dflow::db {
+
+Result<uint64_t> MemPageStore::Read(uint32_t pid, std::string* image) {
+  if (pid >= slots_.size() || !slots_[pid].has_value()) {
+    return Status::NotFound("page never written");
+  }
+  *image = slots_[pid]->image;
+  return slots_[pid]->lsn;
+}
+
+Status MemPageStore::Write(uint32_t pid, std::string_view image,
+                           uint64_t lsn) {
+  if (image.size() != kPageSize) {
+    return Status::InvalidArgument("page image has wrong size");
+  }
+  if (pid >= slots_.size()) {
+    slots_.resize(pid + 1);
+  }
+  slots_[pid] = Slot{std::string(image), lsn};
+  bytes_written_ += static_cast<int64_t>(image.size());
+  return Status::OK();
+}
+
+FilePageStore::~FilePageStore() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return Status::IOError("cannot create page store '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<FilePageStore>(new FilePageStore(file));
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenExisting(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    return Status::NotFound("no page store at '" + path + "'");
+  }
+  return std::unique_ptr<FilePageStore>(new FilePageStore(file));
+}
+
+Result<uint64_t> FilePageStore::Read(uint32_t pid, std::string* image) {
+  if (std::fseek(file_, static_cast<long>(SlotOffset(pid)), SEEK_SET) != 0) {
+    return Status::NotFound("page beyond end of store");
+  }
+  char header[kFrameHeaderBytes];
+  size_t got = std::fread(header, 1, sizeof(header), file_);
+  if (got == 0) {
+    return Status::NotFound("page never written");
+  }
+  if (got != sizeof(header)) {
+    // The file ends inside the frame header: a write died mid-header.
+    return Status::Corruption("torn page frame header");
+  }
+  uint32_t len, crc;
+  uint64_t lsn;
+  std::memcpy(&len, header, 4);
+  std::memcpy(&crc, header + 4, 4);
+  std::memcpy(&lsn, header + 8, 8);
+  if (len != kPageSize) {
+    // Either a never-written hole (all zero) or a torn frame header.
+    bool zero = true;
+    for (char c : header) {
+      zero = zero && c == 0;
+    }
+    return zero ? Status::NotFound("page never written")
+                : Status::Corruption("torn page frame header");
+  }
+  std::string buf(kPageSize, '\0');
+  if (std::fread(buf.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::Corruption("torn page payload");
+  }
+  if (Crc32::Of(buf) != crc) {
+    return Status::Corruption("page checksum mismatch");
+  }
+  *image = std::move(buf);
+  return lsn;
+}
+
+Status FilePageStore::Write(uint32_t pid, std::string_view image,
+                            uint64_t lsn) {
+  if (image.size() != kPageSize) {
+    return Status::InvalidArgument("page image has wrong size");
+  }
+  if (abandoned_) {
+    return Status::OK();  // The "process" is dead; bytes go nowhere.
+  }
+  std::string frame(kSlotBytes, '\0');
+  uint32_t len = static_cast<uint32_t>(kPageSize);
+  uint32_t crc = Crc32::Of(image);
+  std::memcpy(frame.data(), &len, 4);
+  std::memcpy(frame.data() + 4, &crc, 4);
+  std::memcpy(frame.data() + 8, &lsn, 8);
+  std::memcpy(frame.data() + kFrameHeaderBytes, image.data(), kPageSize);
+
+  size_t to_write = frame.size();
+  if (budget_armed_) {
+    if (write_budget_ <= 0) {
+      abandoned_ = true;
+      return Status::OK();
+    }
+    if (static_cast<int64_t>(to_write) > write_budget_) {
+      to_write = static_cast<size_t>(write_budget_);  // Tear mid-page.
+      abandoned_ = true;
+    }
+    write_budget_ -= static_cast<int64_t>(to_write);
+  }
+
+  if (std::fseek(file_, static_cast<long>(SlotOffset(pid)), SEEK_SET) != 0) {
+    return Status::IOError("page store seek failed");
+  }
+  if (to_write > 0 &&
+      std::fwrite(frame.data(), 1, to_write, file_) != to_write) {
+    return Status::IOError("page store write failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("page store flush failed");
+  }
+  bytes_written_ += static_cast<int64_t>(to_write);
+  return Status::OK();
+}
+
+}  // namespace dflow::db

@@ -1,0 +1,114 @@
+#ifndef DFLOW_DB_PAGE_STORE_H_
+#define DFLOW_DB_PAGE_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/page.h"
+#include "util/result.h"
+
+namespace dflow::db {
+
+/// Backing store for pages evicted from the buffer pool. Page ids are
+/// allocated by the pool; the store is a flat array of page slots.
+///
+/// Durability contract: the store holds *session-scoped spill state* — the
+/// database of record is the logical WAL, which recovery replays from
+/// scratch. The store's job is to let the working set exceed RAM and to
+/// detect (never silently serve) torn or corrupted writebacks.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  /// Reads page `pid` into `image` (exactly kPageSize bytes) and returns
+  /// its stored LSN. NotFound if the page was never written; Corruption if
+  /// the stored bytes are torn or fail the checksum.
+  virtual Result<uint64_t> Read(uint32_t pid, std::string* image) = 0;
+
+  /// Writes the page image (must be kPageSize bytes) under `pid`.
+  virtual Status Write(uint32_t pid, std::string_view image,
+                       uint64_t lsn) = 0;
+
+  virtual int64_t bytes_written() const = 0;
+
+  /// SIGKILL-equivalent for chaos tests: after `budget` further bytes
+  /// reach the medium, the write tears mid-page and every later write is
+  /// dropped, exactly as if the process died at that byte. Default no-op
+  /// (memory stores cannot tear).
+  virtual void AbandonAfter(int64_t budget) { (void)budget; }
+  virtual bool abandoned() const { return false; }
+};
+
+/// In-memory store: the backing for volatile databases, so a bounded pool
+/// still evicts and reloads deterministically without touching disk.
+class MemPageStore : public PageStore {
+ public:
+  Result<uint64_t> Read(uint32_t pid, std::string* image) override;
+  Status Write(uint32_t pid, std::string_view image, uint64_t lsn) override;
+  int64_t bytes_written() const override { return bytes_written_; }
+
+ private:
+  struct Slot {
+    std::string image;
+    uint64_t lsn = 0;
+  };
+  std::vector<std::optional<Slot>> slots_;
+  int64_t bytes_written_ = 0;
+};
+
+/// File-backed store: a flat file of fixed-size page slots, each framed as
+///   [u32 len][u32 crc][u64 lsn][kPageSize image]
+/// — the same u32 len + CRC-32 discipline as the WAL, so a torn writeback
+/// (crash mid-write) is detected on read and discarded as Corruption
+/// rather than served as data.
+class FilePageStore : public PageStore {
+ public:
+  ~FilePageStore() override;
+
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  /// Creates (truncating any previous spill file) at `path`.
+  static Result<std::unique_ptr<FilePageStore>> Create(
+      const std::string& path);
+
+  /// Opens an existing spill file read-only-in-spirit (used by crash tests
+  /// to prove torn pages are detected; normal opens always Create fresh).
+  static Result<std::unique_ptr<FilePageStore>> OpenExisting(
+      const std::string& path);
+
+  Result<uint64_t> Read(uint32_t pid, std::string* image) override;
+  Status Write(uint32_t pid, std::string_view image, uint64_t lsn) override;
+  int64_t bytes_written() const override { return bytes_written_; }
+
+  void AbandonAfter(int64_t budget) override {
+    write_budget_ = budget;
+    budget_armed_ = true;
+  }
+  bool abandoned() const override { return abandoned_; }
+
+  /// On-disk geometry, exposed so chaos tests can tear specific bytes.
+  static constexpr size_t kFrameHeaderBytes = 16;
+  static constexpr size_t kSlotBytes = kFrameHeaderBytes + kPageSize;
+  static int64_t SlotOffset(uint32_t pid) {
+    return static_cast<int64_t>(pid) * static_cast<int64_t>(kSlotBytes);
+  }
+
+ private:
+  explicit FilePageStore(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+  int64_t bytes_written_ = 0;
+  int64_t write_budget_ = 0;
+  bool budget_armed_ = false;
+  bool abandoned_ = false;
+};
+
+}  // namespace dflow::db
+
+#endif  // DFLOW_DB_PAGE_STORE_H_

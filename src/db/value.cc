@@ -107,7 +107,9 @@ void Value::EncodeTo(ByteWriter& w) const {
       w.PutU8(AsBool() ? 1 : 0);
       break;
     case Type::kInt64:
-      w.PutI64(AsInt());
+      // ZigZag varint: small ids and counters (the common case) take one
+      // byte on a heap page instead of eight.
+      w.PutVarintSigned(AsInt());
       break;
     case Type::kDouble:
       w.PutDouble(std::get<double>(data_));
@@ -128,7 +130,7 @@ Result<Value> Value::DecodeFrom(ByteReader& r) {
       return Value::Bool(v != 0);
     }
     case Type::kInt64: {
-      DFLOW_ASSIGN_OR_RETURN(int64_t v, r.GetI64());
+      DFLOW_ASSIGN_OR_RETURN(int64_t v, r.GetVarintSigned());
       return Value::Int(v);
     }
     case Type::kDouble: {

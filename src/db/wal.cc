@@ -32,6 +32,7 @@ Status WalWriter::Append(std::string_view payload) {
                            std::string(std::strerror(errno)));
   }
   bytes_written_ += 8 + len;
+  ++last_lsn_;
   return Status::OK();
 }
 
@@ -39,7 +40,15 @@ Status WalWriter::Sync() {
   if (std::fflush(file_) != 0) {
     return Status::IOError("WAL flush failed");
   }
+  durable_lsn_ = last_lsn_;
   return Status::OK();
+}
+
+Status WalWriter::EnsureDurable(uint64_t lsn) {
+  if (lsn <= durable_lsn_) {
+    return Status::OK();
+  }
+  return Sync();
 }
 
 Result<std::vector<std::string>> WalReadAll(const std::string& path) {

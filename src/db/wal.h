@@ -43,11 +43,28 @@ class WalWriter {
 
   int64_t bytes_written() const { return bytes_written_; }
 
+  /// LSNs: each Append gets sequence number last_lsn()+1 (per-session
+  /// record counter); durable_lsn() is the highest LSN known flushed to the
+  /// medium. The buffer pool's WAL-before-page barrier is
+  /// EnsureDurable(page_lsn): a no-op when already durable, else a Sync.
+  uint64_t last_lsn() const { return last_lsn_; }
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  Status EnsureDurable(uint64_t lsn);
+
+  /// Seeds the LSN counter after recovery replay, so LSNs stay contiguous
+  /// with the records already in the log.
+  void set_last_lsn(uint64_t lsn) {
+    last_lsn_ = lsn;
+    durable_lsn_ = lsn;
+  }
+
  private:
   explicit WalWriter(std::FILE* file) : file_(file) {}
 
   std::FILE* file_;
   int64_t bytes_written_ = 0;
+  uint64_t last_lsn_ = 0;
+  uint64_t durable_lsn_ = 0;
 };
 
 /// Reads every intact record from a log file. A torn or corrupt tail

@@ -34,6 +34,13 @@ class ByteWriter {
   /// Unsigned LEB128 varint.
   void PutVarint(uint64_t v);
 
+  /// Signed varint: ZigZag-mapped (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...)
+  /// then LEB128, so small-magnitude values of either sign stay short.
+  void PutVarintSigned(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
+  }
+
   /// Length-prefixed (varint) byte string.
   void PutString(std::string_view s);
 
@@ -71,6 +78,10 @@ class ByteReader {
   Result<int64_t> GetI64();
   Result<double> GetDouble();
   Result<uint64_t> GetVarint();
+  Result<int64_t> GetVarintSigned() {
+    DFLOW_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
   Result<std::string> GetString();
   /// Reads exactly `len` raw bytes.
   Result<std::string> GetRaw(size_t len);

@@ -100,6 +100,8 @@ class TornTailTest : public ::testing::Test {
   void TearDown() override {
     std::filesystem::remove(path_);
     std::filesystem::remove(path_.string() + ".cut");
+    std::filesystem::remove(path_.string() + ".pages");
+    std::filesystem::remove(path_.string() + ".cut.pages");
   }
 
   std::filesystem::path path_;
@@ -160,6 +162,86 @@ TEST_F(TornTailTest, FinalTransactionTornAtEveryByte) {
     } else {
       EXPECT_EQ(rows, 20);
       EXPECT_EQ(count->rows[0][1].AsInt(), 3);
+    }
+  }
+}
+
+// SIGKILL mid-PAGE-writeback: the buffer pool's spill store dies after an
+// arbitrary byte budget, tearing a page frame mid-write (the page-level
+// analogue of the WAL torn-tail sweep; FilePageStoreTest covers every
+// single byte offset of one frame at the store level — here the tear is
+// driven through the full engine under eviction pressure). The WAL is then
+// cut at its durable size as of the LAST writeback — exactly what the OS
+// had when the process died — and recovery must land on a
+// transaction-consistent prefix. Along the way, every writeback must obey
+// WAL-before-page: no page image may carry an LSN past the durable WAL.
+TEST_F(TornTailTest, PageWritebackTornAtSweptBudgets) {
+  const std::string cut_path = path_.string() + ".cut";
+  for (int64_t budget = 0; budget < 64 * 1024; budget += 997) {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".pages");
+    int64_t committed_txns = 0;
+    uintmax_t durable_wal_bytes = 0;
+    int64_t wal_violations = 0;
+    {
+      DatabaseOptions opts;
+      opts.pool_frames = 3;  // Evictions (and writebacks) on every txn.
+      auto db = Database::Open(path_.string(), opts);
+      ASSERT_TRUE(db.ok());
+      PageStore* store = (*db)->pool()->store();
+      (*db)->pool()->SetWritebackProbe(
+          [&, store](uint32_t, uint64_t page_lsn, uint64_t durable_lsn) {
+            if (page_lsn > durable_lsn) {
+              ++wal_violations;
+            }
+            // The barrier just synced: the on-disk WAL size IS the durable
+            // prefix the OS would keep if we died inside this writeback.
+            // Post-mortem writebacks (store already abandoned) are the
+            // test driver outliving the "crash" — they must not count.
+            if (!store->abandoned()) {
+              durable_wal_bytes = std::filesystem::file_size(path_);
+            }
+          });
+      ASSERT_TRUE((*db)->Execute("CREATE TABLE t (txn INT, pad TEXT)").ok());
+      store->AbandonAfter(budget);
+      for (int txn = 0; txn < 60; ++txn) {
+        ASSERT_TRUE((*db)->Begin().ok());
+        for (int k = 0; k < 5; ++k) {
+          ASSERT_TRUE((*db)
+                          ->Execute("INSERT INTO t VALUES (" +
+                                    std::to_string(txn) + ", '" +
+                                    std::string(400, 'p') + "')")
+                          .ok());
+        }
+        ASSERT_TRUE((*db)->Commit().ok());
+        if ((*db)->pool()->store()->abandoned()) {
+          break;  // The "process" died tearing a page during this txn.
+        }
+        ++committed_txns;
+      }
+      ASSERT_TRUE((*db)->pool()->store()->abandoned())
+          << "budget " << budget << " never exhausted";
+      EXPECT_EQ(wal_violations, 0) << "budget " << budget;
+    }
+    ASSERT_GT(durable_wal_bytes, 0u) << "budget " << budget;
+
+    // Reconstruct what disk held at death: the WAL cut at its last durable
+    // size (the torn .pages spill is discarded wholesale by Open).
+    std::filesystem::copy_file(
+        path_, cut_path, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(cut_path, durable_wal_bytes);
+    auto db = Database::Open(cut_path);
+    ASSERT_TRUE(db.ok()) << "budget " << budget;
+    ASSERT_NE((*db)->catalog().Find("t"), nullptr) << "budget " << budget;
+    auto count = (*db)->Execute("SELECT COUNT(*), MAX(txn) FROM t");
+    ASSERT_TRUE(count.ok()) << "budget " << budget;
+    const int64_t rows = count->rows[0][0].AsInt();
+    EXPECT_EQ(rows % 5, 0) << "partial txn visible, budget " << budget;
+    EXPECT_GE(rows / 5, committed_txns) << "committed txn lost, budget "
+                                        << budget;
+    if (rows > 0) {
+      EXPECT_EQ(count->rows[0][1].AsInt(), rows / 5 - 1)
+          << "non-prefix txns, budget " << budget;
     }
   }
 }
