@@ -3,6 +3,8 @@
 // CPU costs behind the paper's "50 to 200 processors" estimate.
 
 #include <cmath>
+#include <complex>
+#include <numbers>
 
 #include <benchmark/benchmark.h>
 
@@ -33,6 +35,30 @@ void BM_Fft(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_FftTwiddleTable(benchmark::State& state) {
+  // The hoisted process-wide twiddle cache: after the first call for a
+  // size, every lookup is one acquire load. The micro-check pins both
+  // halves of the contract: (a) repeated calls return the SAME table (no
+  // per-call rebuild — the hoist that removed the per-Fft mutex+map walk),
+  // and (b) every entry equals the direct cos/sin evaluation, so the cache
+  // can never drift from exp(-2*pi*i*j/n).
+  const size_t n = 1 << 14;
+  const auto& table = FftTwiddleTable(n);
+  DFLOW_CHECK(&FftTwiddleTable(n) == &table);  // Stable across calls.
+  DFLOW_CHECK(table.size() == n / 2);
+  for (size_t j = 0; j < n / 2; ++j) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                         static_cast<double>(n);
+    DFLOW_CHECK(table[j] ==
+                std::complex<double>(std::cos(angle), std::sin(angle)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&FftTwiddleTable(n));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FftTwiddleTable);
 
 void BM_DedisperseOneTrial(benchmark::State& state) {
   SpectrometerModel model(96, 1 << 14, 6.4e-5, 2);

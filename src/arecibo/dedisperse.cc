@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "par/par.h"
+#include "simd/simd.h"
 #include "util/logging.h"
 
 namespace dflow::arecibo {
@@ -47,6 +48,11 @@ TimeSeries Dedisperser::Dedisperse(const DynamicSpectrum& spectrum,
   // sample) bounds arithmetic in the hot loop.
   const std::vector<int64_t> shifts = DelayShiftTable(spectrum, dm);
   double* out = series.samples.data();
+  // The shift-sum and normalization run through the SIMD kernel layer:
+  // float->double widening is exact and each output element sees one add
+  // per channel in channel-major order, so scalar and vector dispatch
+  // produce byte-identical series.
+  const simd::KernelTable& kernels = simd::Kernels();
   for (int channel = 0; channel < spectrum.num_channels; ++channel) {
     const int64_t shift = shifts[static_cast<size_t>(channel)];
     // src = s + shift must stay inside [0, num_samples): clamp the loop
@@ -60,17 +66,15 @@ TimeSeries Dedisperser::Dedisperse(const DynamicSpectrum& spectrum,
     const float* row =
         spectrum.power.data() +
         static_cast<size_t>(channel) * static_cast<size_t>(spectrum.num_samples);
-    for (int64_t s = lo; s < hi; ++s) {
-      out[s] += static_cast<double>(row[s + shift]);
+    if (hi > lo) {
+      kernels.add_f32_to_f64(row + lo + shift, out + lo, hi - lo);
     }
   }
   // Normalize to unit noise: the sum of C unit-variance channels has
   // sigma = sqrt(C).
   const double norm = 1.0 / std::sqrt(static_cast<double>(
                                 spectrum.num_channels));
-  for (double& x : series.samples) {
-    x *= norm;
-  }
+  kernels.scale_f64(out, static_cast<int64_t>(series.samples.size()), norm);
   return series;
 }
 

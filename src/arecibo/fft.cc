@@ -1,42 +1,47 @@
 #include "arecibo/fft.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cmath>
-#include <map>
-#include <memory>
 #include <mutex>
 #include <numbers>
 
+#include "simd/simd.h"
+#include "util/logging.h"
+
 namespace dflow::arecibo {
 
-namespace {
-
-/// Forward-transform twiddle table for size n: table[j] = exp(-2*pi*i*j/n)
-/// for j in [0, n/2). Stage `len` of a size-n transform uses entries at
-/// stride n/len. Cached per size behind a mutex; the returned reference is
-/// valid for the life of the process (entries are never evicted — the
-/// survey touches a handful of distinct sizes).
-const std::vector<std::complex<double>>& TwiddleTable(size_t n) {
-  static std::mutex mu;
-  static std::map<size_t, std::unique_ptr<std::vector<std::complex<double>>>>*
-      cache = new std::map<size_t,
-                           std::unique_ptr<std::vector<std::complex<double>>>>;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache->find(n);
-  if (it == cache->end()) {
-    auto table = std::make_unique<std::vector<std::complex<double>>>(n / 2);
-    for (size_t j = 0; j < n / 2; ++j) {
-      const double angle =
-          -2.0 * std::numbers::pi * static_cast<double>(j) /
-          static_cast<double>(n);
-      (*table)[j] = std::complex<double>(std::cos(angle), std::sin(angle));
-    }
-    it = cache->emplace(n, std::move(table)).first;
+const std::vector<std::complex<double>>& FftTwiddleTable(size_t n) {
+  DFLOW_CHECK(n >= 1 && (n & (n - 1)) == 0)
+      << "FftTwiddleTable size must be a power of two, got " << n;
+  // One slot per power of two; entries are never evicted (the survey
+  // touches a handful of distinct sizes). Steady state is one acquire
+  // load; the mutex only serializes first-time construction per size.
+  using Table = std::vector<std::complex<double>>;
+  static std::array<std::atomic<const Table*>, 64> slots{};
+  std::atomic<const Table*>& slot =
+      slots[static_cast<size_t>(std::countr_zero(n))];
+  const Table* table = slot.load(std::memory_order_acquire);
+  if (table != nullptr) {
+    return *table;
   }
-  return *it->second;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  table = slot.load(std::memory_order_relaxed);
+  if (table == nullptr) {
+    auto* fresh = new Table(n / 2);
+    for (size_t j = 0; j < n / 2; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                           static_cast<double>(n);
+      (*fresh)[j] = std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    slot.store(fresh, std::memory_order_release);
+    table = fresh;
+  }
+  return *table;
 }
-
-}  // namespace
 
 size_t NextPowerOfTwo(size_t n) {
   size_t p = 1;
@@ -62,27 +67,18 @@ Status Fft(std::vector<std::complex<double>>& data, bool inverse) {
       std::swap(data[i], data[j]);
     }
   }
-  // Butterflies with cached twiddles (conjugated for the inverse).
-  const std::vector<std::complex<double>>& twiddles = TwiddleTable(n);
+  // Butterflies with cached twiddles (conjugated on the fly for the
+  // inverse), dispatched through the SIMD kernel layer. The kernel table
+  // is resolved once per transform, and the twiddle lookup is a single
+  // acquire load in the steady state — nothing is re-derived per stage.
+  const std::vector<std::complex<double>>& twiddles = FftTwiddleTable(n);
+  const simd::KernelTable& kernels = simd::Kernels();
   for (size_t len = 2; len <= n; len <<= 1) {
-    const size_t stride = n / len;
-    for (size_t i = 0; i < n; i += len) {
-      for (size_t k = 0; k < len / 2; ++k) {
-        std::complex<double> w = twiddles[k * stride];
-        if (inverse) {
-          w = std::conj(w);
-        }
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-      }
-    }
+    kernels.fft_stage(data.data(), n, len, twiddles.data(), n / len, inverse);
   }
   if (inverse) {
-    for (auto& x : data) {
-      x /= static_cast<double>(n);
-    }
+    kernels.div_f64(reinterpret_cast<double*>(data.data()),
+                    static_cast<int64_t>(2 * n), static_cast<double>(n));
   }
   return Status::OK();
 }

@@ -15,11 +15,21 @@ namespace dflow::arecibo {
 /// (§2.1 "Fourier analysis"), implemented from scratch per the
 /// reproduction rules.
 ///
-/// Twiddle factors come from a process-wide table cached per transform
-/// size (computed once, shared by every thread): faster than the old
-/// incremental w *= wlen recurrence and more accurate — each factor is a
-/// direct cos/sin evaluation instead of an accumulated product.
+/// Twiddle factors come from FftTwiddleTable(); the butterfly stages run
+/// through the dflow::simd kernel layer, whose scalar/vector variants are
+/// bit-identical (same mul/add sequence per lane, no FMA contraction).
 Status Fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Forward-transform twiddle table for size n (a power of two):
+/// table[j] = exp(-2*pi*i*j/n) for j in [0, n/2). Stage `len` of a size-n
+/// transform uses entries at stride n/len; the inverse transform
+/// conjugates on the fly. Computed once per size and cached for the life
+/// of the process in a lock-free log2-indexed slot array: the steady-state
+/// lookup is a single acquire load — no mutex, no map walk — so calling it
+/// per transform costs nanoseconds. Each factor is a direct cos/sin
+/// evaluation (not an accumulated w *= wlen product), which is also the
+/// invariant the bench_micro_signal twiddle check pins.
+const std::vector<std::complex<double>>& FftTwiddleTable(size_t n);
 
 /// Reusable scratch for the spectrum helpers below. PowerSpectrum /
 /// PowerSpectrumPair zero-pad into an internal complex buffer; routing

@@ -5,6 +5,7 @@
 
 #include "arecibo/fft.h"
 #include "par/par.h"
+#include "simd/simd.h"
 #include "util/logging.h"
 
 namespace dflow::arecibo {
@@ -55,36 +56,44 @@ std::vector<Candidate> PeriodicitySearch::SearchPower(
   std::vector<double> best_snr(num_bins, 0.0);
   std::vector<int> best_fold(num_bins, 1);
 
-  // Harmonic summing, parallel across spectral bins: each bin k owns its
-  // best_snr / best_fold slot, and the running sum adds power[k*h] in
-  // ascending h exactly like the old fold-outer loop — so outputs are
-  // bit-identical to the serial code at any thread count. (Inside
-  // SearchBatch this region is nested and runs inline on the worker.)
+  // Harmonic summing, parallel across spectral bins and vectorized across
+  // k within each chunk (fold-major): every bin k still accumulates
+  // power[k*h] in ascending h and evaluates the same snr expression at the
+  // same fold boundaries as the old bin-outer loop — one add / sub / div
+  // per element in identical order — so outputs are bit-identical to the
+  // serial scalar code at any thread count and any DFLOW_SIMD tier.
+  // (Inside SearchBatch this region is nested and runs inline on the
+  // worker.)
   par::Options options;
   options.label = "arecibo.harmonic_sum";
   options.grain = 2048;
+  const simd::KernelTable& kernels = simd::Kernels();
   par::ParallelFor(
       static_cast<int64_t>(config_.min_bin), static_cast<int64_t>(num_bins),
       [&](int64_t chunk_begin, int64_t chunk_end) {
-        for (int64_t k64 = chunk_begin; k64 < chunk_end; ++k64) {
-          const size_t k = static_cast<size_t>(k64);
-          double summed = 0.0;
-          int previous_fold = 0;
-          for (int fold = 1; fold <= config_.max_harmonics; fold *= 2) {
-            if (k * static_cast<size_t>(fold) >= num_bins) {
-              break;
-            }
-            for (int h = previous_fold + 1; h <= fold; ++h) {
-              summed += power[k * static_cast<size_t>(h)];
-            }
-            previous_fold = fold;
-            const double snr = (summed - fold * location) /
-                               (scale * std::sqrt(static_cast<double>(fold)));
-            if (snr > best_snr[k]) {
-              best_snr[k] = snr;
-              best_fold[k] = fold;
-            }
+        std::vector<double> summed(
+            static_cast<size_t>(chunk_end - chunk_begin), 0.0);
+        int previous_fold = 0;
+        for (int fold = 1; fold <= config_.max_harmonics; fold *= 2) {
+          // The old per-bin loop broke out once k*fold >= num_bins, so
+          // fold participates only for k < ceil(num_bins/fold).
+          const int64_t k_limit =
+              (static_cast<int64_t>(num_bins) - 1) / fold + 1;
+          const int64_t hi = std::min(chunk_end, k_limit);
+          if (chunk_begin >= hi) {
+            break;
           }
+          const int64_t m = hi - chunk_begin;
+          for (int h = previous_fold + 1; h <= fold; ++h) {
+            kernels.strided_add_f64(
+                summed.data(), power.data() + chunk_begin * h, h, m);
+          }
+          previous_fold = fold;
+          const double bias = fold * location;
+          const double denom = scale * std::sqrt(static_cast<double>(fold));
+          kernels.snr_best_update(summed.data(), m, bias, denom, fold,
+                                  best_snr.data() + chunk_begin,
+                                  best_fold.data() + chunk_begin);
         }
       },
       options);

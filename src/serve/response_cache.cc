@@ -1,6 +1,7 @@
 #include "serve/response_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -13,7 +14,7 @@ constexpr size_t kPerEntryOverhead = 64;
 // FNV-1a 64-bit: deterministic across platforms and runs (std::hash makes
 // no such promise), so shard assignment — and therefore per-shard counter
 // expectations in tests — replays exactly.
-uint64_t Fnv1a(const std::string& s) {
+uint64_t Fnv1a(std::string_view s) {
   uint64_t h = 1469598103934665603ull;
   for (unsigned char c : s) {
     h ^= c;
@@ -35,41 +36,47 @@ ShardedResponseCache::ShardedResponseCache(CacheConfig config)
       config_.capacity_bytes / static_cast<size_t>(config_.num_shards);
 }
 
-std::string ShardedResponseCache::CanonicalKey(
-    const core::ServiceRequest& request) {
+void ShardedResponseCache::CanonicalKeyInto(
+    const core::ServiceRequest& request, std::string* out) {
   // '\x1e' (record sep) between fields, '\x1f' (unit sep) between key and
   // value: no parameter content can forge another request's key.
+  out->clear();
+  out->append(request.path);
+  for (const auto& [name, value] : request.params) {  // std::map: sorted.
+    out->push_back('\x1e');
+    out->append(name);
+    out->push_back('\x1f');
+    out->append(value);
+  }
+}
+
+std::string ShardedResponseCache::CanonicalKey(
+    const core::ServiceRequest& request) {
   std::string key;
   key.reserve(request.path.size() + 16 * request.params.size());
-  key += request.path;
-  for (const auto& [name, value] : request.params) {  // std::map: sorted.
-    key += '\x1e';
-    key += name;
-    key += '\x1f';
-    key += value;
-  }
+  CanonicalKeyInto(request, &key);
   return key;
 }
 
-int ShardedResponseCache::ShardOf(const std::string& key) const {
+int ShardedResponseCache::ShardOf(std::string_view key) const {
   return static_cast<int>(Fnv1a(key) %
                           static_cast<uint64_t>(shards_.size()));
 }
 
 size_t ShardedResponseCache::EntryBytes(
-    const std::string& key, const core::ServiceResponse& response) {
+    std::string_view key, const core::ServiceResponse& response) {
   return key.size() + response.body.size() + response.content_type.size() +
          kPerEntryOverhead;
 }
 
-std::optional<core::ServiceResponse> ShardedResponseCache::Lookup(
-    const std::string& key, double now_sec) {
+ResponsePtr ShardedResponseCache::LookupShared(std::string_view key,
+                                               double now_sec) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
+  auto it = shard.index.find(key);  // Heterogeneous: no temporary string.
   if (it == shard.index.end()) {
     ++shard.stats.misses;
-    return std::nullopt;
+    return nullptr;
   }
   auto entry_it = it->second;
   if (entry_it->expires_at_sec > 0.0 && now_sec >= entry_it->expires_at_sec) {
@@ -78,18 +85,31 @@ std::optional<core::ServiceResponse> ShardedResponseCache::Lookup(
     shard.index.erase(it);
     ++shard.stats.expirations;
     ++shard.stats.misses;
-    return std::nullopt;
+    return nullptr;
   }
-  // Refresh recency: splice to the front of the LRU list.
+  // Refresh recency: splice to the front of the LRU list (relinks nodes,
+  // allocates nothing), then hand out another reference to the body.
   shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
   ++shard.stats.hits;
   return entry_it->response;
 }
 
-void ShardedResponseCache::Insert(const std::string& key,
-                                  core::ServiceResponse response,
-                                  double now_sec, double ttl_sec) {
-  size_t bytes = EntryBytes(key, response);
+std::optional<core::ServiceResponse> ShardedResponseCache::Lookup(
+    const std::string& key, double now_sec) {
+  ResponsePtr shared = LookupShared(key, now_sec);
+  if (shared == nullptr) {
+    return std::nullopt;
+  }
+  return *shared;
+}
+
+void ShardedResponseCache::InsertShared(std::string_view key,
+                                        ResponsePtr response, double now_sec,
+                                        double ttl_sec) {
+  if (response == nullptr) {
+    return;
+  }
+  size_t bytes = EntryBytes(key, *response);
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (bytes > shard_capacity_bytes_) {
@@ -107,13 +127,13 @@ void ShardedResponseCache::Insert(const std::string& key,
                                         : ttl_sec;
   }
   Entry entry;
-  entry.key = key;
+  entry.key = std::string(key);
   entry.response = std::move(response);
   entry.expires_at_sec =
       effective_ttl > 0.0 ? now_sec + effective_ttl : 0.0;
   entry.bytes = bytes;
   shard.lru.push_front(std::move(entry));
-  shard.index.emplace(key, shard.lru.begin());
+  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
   shard.bytes += bytes;
   ++shard.stats.inserts;
   while (shard.bytes > shard_capacity_bytes_) {
@@ -123,6 +143,15 @@ void ShardedResponseCache::Insert(const std::string& key,
     shard.lru.pop_back();
     ++shard.stats.evictions;
   }
+}
+
+void ShardedResponseCache::Insert(const std::string& key,
+                                  core::ServiceResponse response,
+                                  double now_sec, double ttl_sec) {
+  InsertShared(key,
+               std::make_shared<const core::ServiceResponse>(
+                   std::move(response)),
+               now_sec, ttl_sec);
 }
 
 bool ShardedResponseCache::Erase(const std::string& key) {
@@ -160,6 +189,9 @@ CacheStats ShardedResponseCache::ShardStats(int shard_index) const {
 }
 
 CacheStats ShardedResponseCache::Totals() const {
+  // Each ShardStats() call snapshots that shard's counters under its own
+  // mutex — the shard lock every writer holds — so no individual counter
+  // (or the bytes/entries pair) is ever read mid-update.
   CacheStats total;
   for (int i = 0; i < num_shards(); ++i) {
     CacheStats s = ShardStats(i);

@@ -2,17 +2,25 @@
 #define DFLOW_SERVE_RESPONSE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/web_service.h"
 
 namespace dflow::serve {
+
+/// Cached responses are immutable and handed out by reference count: a hit
+/// copies a shared_ptr (one atomic increment), never the body bytes. This
+/// is what makes the serve hit path memcpy-free — every reader shares the
+/// one body the handler produced.
+using ResponsePtr = std::shared_ptr<const core::ServiceResponse>;
 
 struct CacheConfig {
   /// Number of independently locked shards. More shards, less contention;
@@ -67,15 +75,33 @@ class ShardedResponseCache {
   /// differ only in parameter insertion order canonicalize identically.
   static std::string CanonicalKey(const core::ServiceRequest& request);
 
-  /// Returns the cached response and refreshes its recency, or nullopt on
-  /// miss/expiry. `now_sec` must be non-decreasing per key for TTL
-  /// accounting to make sense.
+  /// Allocation-conscious form: builds the canonical key into `*out`
+  /// (cleared first). A caller that reuses one string across requests pays
+  /// zero allocations once its capacity has warmed up — the serve hit path
+  /// depends on this.
+  static void CanonicalKeyInto(const core::ServiceRequest& request,
+                               std::string* out);
+
+  /// Zero-copy lookup: returns a refcounted handle to the cached response
+  /// (refreshing its recency), or nullptr on miss/expiry. Performs no heap
+  /// allocation and no body copy — the hot path of the dissemination tier.
+  /// `now_sec` must be non-decreasing per key for TTL accounting to make
+  /// sense.
+  ResponsePtr LookupShared(std::string_view key, double now_sec);
+
+  /// Inserts (or replaces) the shared response under `key`. `ttl_sec` == 0
+  /// uses the config default; > 0 overrides it (the effective TTL is the
+  /// tighter of the two when both are set). The body is NOT copied — the
+  /// cache shares ownership with every outstanding reader.
+  void InsertShared(std::string_view key, ResponsePtr response,
+                    double now_sec, double ttl_sec = 0.0);
+
+  /// Copying shim over LookupShared for callers that want a value.
   std::optional<core::ServiceResponse> Lookup(const std::string& key,
                                               double now_sec);
 
-  /// Inserts (or replaces) `response` under `key`. `ttl_sec` == 0 uses the
-  /// config default; > 0 overrides it (the effective TTL is the tighter of
-  /// the two when both are set).
+  /// Copying-free shim over InsertShared (wraps `response` in a fresh
+  /// control block; the body itself is moved, not copied).
   void Insert(const std::string& key, core::ServiceResponse response,
               double now_sec, double ttl_sec = 0.0);
 
@@ -85,28 +111,45 @@ class ShardedResponseCache {
   /// Drops every entry (counters are preserved).
   void Clear();
 
+  /// Aggregate counters. Each shard's counters are snapshotted atomically
+  /// under that shard's own lock (the same lock every mutation holds), so
+  /// the per-shard slices are internally consistent — hits/misses/bytes
+  /// from one shard can never tear mid-update. Shards are read one after
+  /// another, so the aggregate is a sequence of per-shard snapshots, not a
+  /// single global freeze — the usual sharded-counter semantics.
   CacheStats Totals() const;
   CacheStats ShardStats(int shard) const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
   /// Which shard `key` lives in (FNV-1a; stable across runs/platforms).
-  int ShardOf(const std::string& key) const;
+  int ShardOf(std::string_view key) const;
 
  private:
+  /// Transparent heterogeneous hash so LookupShared can probe the index
+  /// with a string_view — no temporary std::string on the hit path.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   struct Entry {
     std::string key;
-    core::ServiceResponse response;
+    ResponsePtr response;
     double expires_at_sec = 0.0;  // 0 = never.
     size_t bytes = 0;
   };
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // Front = most recently used.
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::unordered_map<std::string, std::list<Entry>::iterator, StringHash,
+                       std::equal_to<>>
+        index;
     size_t bytes = 0;
     CacheStats stats;
   };
 
-  static size_t EntryBytes(const std::string& key,
+  static size_t EntryBytes(std::string_view key,
                            const core::ServiceResponse& response);
 
   CacheConfig config_;

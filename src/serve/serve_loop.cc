@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "serve/request_scratch.h"
+#include "simd/simd.h"
 #include "util/logging.h"
 
 namespace dflow::serve {
@@ -57,6 +59,10 @@ ServeLoop::ServeLoop(core::ServiceRegistry* registry, ServeConfig config,
     reg_.cache_hits = registry->GetCounter("serve.cache_hits");
     reg_.cache_misses = registry->GetCounter("serve.cache_misses");
     reg_latency_ = registry->GetHistogram("serve.latency_sec", num_stripes);
+    reg_hit_alloc_ = registry->GetGauge("serve.hit_alloc_bytes");
+    // Publish which ISA tier the kernel layer dispatched to, so scenario
+    // fingerprints and benches can assert on the code path they measured.
+    simd::PublishDispatch(registry);
     if (config_.breaker.enabled) {
       breaker_reg_.opened = registry->GetCounter("serve.breaker_opened");
       breaker_reg_.closed = registry->GetCounter("serve.breaker_closed");
@@ -287,7 +293,7 @@ Result<core::ServiceResponse> ServeLoop::Dispatch(
   return Status::Internal("unreachable: unknown breaker route");
 }
 
-void ServeLoop::Process(core::ServiceRequest request, DoneFn done,
+void ServeLoop::Process(core::ServiceRequest request, SharedDoneFn done,
                         std::string key, double start_sec,
                         double deadline_at_sec, int64_t trace_admit_us) {
   obs::Tracer* tracer = ActiveTracer();
@@ -328,39 +334,67 @@ void ServeLoop::Process(core::ServiceRequest request, DoneFn done,
   if (result.ok()) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     Bump(reg_.completed);
+    // One shared immutable copy of the response: the cache and every
+    // outstanding reader refcount the SAME object — the body is never
+    // copied again after this move.
+    ResponsePtr shared =
+        std::make_shared<const core::ServiceResponse>(std::move(*result));
     if (cache_ != nullptr &&
-        result->cache_max_age_sec >= 0.0) {  // kUncacheable is negative.
-      cache_->Insert(key, *result, NowSec(), result->cache_max_age_sec);
+        shared->cache_max_age_sec >= 0.0) {  // kUncacheable is negative.
+      cache_->InsertShared(key, shared, NowSec(), shared->cache_max_age_sec);
+    }
+    if (done) {
+      done(Result<ResponsePtr>(std::move(shared)));
     }
   } else {
     errors_.fetch_add(1, std::memory_order_relaxed);
     Bump(reg_.errors);
-  }
-  if (done) {
-    done(result);
+    if (done) {
+      done(result.status());
+    }
   }
 }
 
-Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
-                          double deadline_sec) {
+Status ServeLoop::EnqueueInternal(const core::ServiceRequest& request,
+                                  core::ServiceRequest* owned,
+                                  SharedDoneFn done, double deadline_sec) {
   offered_.fetch_add(1, std::memory_order_relaxed);
   Bump(reg_.offered);
   obs::Tracer* tracer = ActiveTracer();
   double start_sec = NowSec();
-  std::string key = ShardedResponseCache::CanonicalKey(request);
+  // Canonical key goes into the calling thread's warmed scratch buffer:
+  // after warmup this performs no allocation. Growth (warmup, or a key
+  // longer than any seen before on this thread) is accounted into the
+  // hit_alloc_bytes instrumentation the zero-alloc regression test pins.
+  RequestScratch& scratch = RequestScratch::ForThisThread();
+  std::string& key = scratch.KeyBuffer();
+  const size_t key_cap_before = key.capacity();
+  ShardedResponseCache::CanonicalKeyInto(request, &key);
+  const int64_t grew =
+      scratch.NoteStringGrowth(key_cap_before, key.capacity());
+  if (grew > 0) {
+    hit_alloc_bytes_.fetch_add(grew, std::memory_order_relaxed);
+    if (reg_hit_alloc_ != nullptr) {
+      reg_hit_alloc_->Set(static_cast<double>(
+          hit_alloc_bytes_.load(std::memory_order_relaxed)));
+    }
+  }
   if (cache_ != nullptr) {
     int64_t lookup_start_us = tracer != nullptr ? tracer->NowUs() : 0;
-    std::optional<core::ServiceResponse> hit = cache_->Lookup(key, start_sec);
+    ResponsePtr hit = cache_->LookupShared(key, start_sec);
     if (tracer != nullptr) {
       int64_t lookup_end_us = tracer->NowUs();
       tracer->CompleteEvent("cache_lookup", "serve", lookup_start_us,
                             lookup_end_us - lookup_start_us,
                             {{"path", request.path},
-                             {"result", hit.has_value() ? "hit" : "miss"}});
+                             {"result", hit != nullptr ? "hit" : "miss"}});
     }
-    if (hit.has_value()) {
+    if (hit != nullptr) {
       // Cache hits bypass the admission queue entirely: the whole point of
       // the dissemination cache is that hot requests cost no backend time.
+      // From here to `done` there is no allocation and no body copy —
+      // counters are relaxed atomics, RecordLatency writes fixed-size
+      // histogram arrays, and the response rides out by refcount.
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       admitted_.fetch_add(1, std::memory_order_relaxed);
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -370,7 +404,7 @@ Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
       consecutive_sheds_.store(0, std::memory_order_relaxed);
       RecordLatency(NowSec() - start_sec);
       if (done) {
-        done(Result<core::ServiceResponse>(*std::move(hit)));
+        done(Result<ResponsePtr>(std::move(hit)));
       }
       return Status::OK();
     }
@@ -385,9 +419,13 @@ Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
       effective_deadline > 0.0 ? start_sec + effective_deadline : 0.0;
 
   int64_t trace_admit_us = tracer != nullptr ? tracer->NowUs() : -1;
+  // Miss path: the task needs its own request and key. Move from the
+  // caller's copy when it handed us ownership; copy otherwise.
+  core::ServiceRequest task_request =
+      owned != nullptr ? std::move(*owned) : request;
   bool accepted = pool_->TrySubmit(
-      [this, request = std::move(request), done = std::move(done),
-       key = std::move(key), start_sec, deadline_at_sec,
+      [this, request = std::move(task_request), done = std::move(done),
+       key = std::string(key), start_sec, deadline_at_sec,
        trace_admit_us]() mutable {
         Process(std::move(request), std::move(done), std::move(key),
                 start_sec, deadline_at_sec, trace_admit_us);
@@ -417,6 +455,31 @@ Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
   return Status::OK();
 }
 
+Status ServeLoop::Enqueue(core::ServiceRequest request, DoneFn done,
+                          double deadline_sec) {
+  SharedDoneFn shared_done;
+  if (done) {
+    // Value-callback shim: materialize one copy of the response at
+    // delivery time (the same single copy the old cache-insert path
+    // performed before responses were shared).
+    shared_done = [done = std::move(done)](const Result<ResponsePtr>& r) {
+      if (r.ok()) {
+        done(Result<core::ServiceResponse>(**r));
+      } else {
+        done(r.status());
+      }
+    };
+  }
+  return EnqueueInternal(request, &request, std::move(shared_done),
+                         deadline_sec);
+}
+
+Status ServeLoop::EnqueueShared(const core::ServiceRequest& request,
+                                SharedDoneFn done, double deadline_sec) {
+  return EnqueueInternal(request, /*owned=*/nullptr, std::move(done),
+                         deadline_sec);
+}
+
 Result<core::ServiceResponse> ServeLoop::Execute(
     const core::ServiceRequest& request, double deadline_sec) {
   auto promise =
@@ -425,6 +488,22 @@ Result<core::ServiceResponse> ServeLoop::Execute(
   Status admitted = Enqueue(
       request,
       [promise](const Result<core::ServiceResponse>& result) {
+        promise->set_value(result);
+      },
+      deadline_sec);
+  if (!admitted.ok()) {
+    return admitted;
+  }
+  return future.get();
+}
+
+Result<ResponsePtr> ServeLoop::ExecuteShared(
+    const core::ServiceRequest& request, double deadline_sec) {
+  auto promise = std::make_shared<std::promise<Result<ResponsePtr>>>();
+  std::future<Result<ResponsePtr>> future = promise->get_future();
+  Status admitted = EnqueueShared(
+      request,
+      [promise](const Result<ResponsePtr>& result) {
         promise->set_value(result);
       },
       deadline_sec);
@@ -491,6 +570,7 @@ ServeStats ServeLoop::Stats() const {
   stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.hit_alloc_bytes = hit_alloc_bytes_.load(std::memory_order_relaxed);
   stats.last_retry_after_sec =
       last_retry_after_sec_.load(std::memory_order_relaxed);
   stats.breaker_opened = breaker_opened_.load(std::memory_order_relaxed);

@@ -118,6 +118,11 @@ struct ServeStats {
   int64_t deadline_expired = 0;  // Admitted but died waiting in the queue.
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  /// Cumulative bytes of backing storage the cache-HIT path has ever had
+  /// to acquire (thread-local key-buffer warmup, in practice). Flat under
+  /// steady load == the hit path is allocation-free; mirrored as the
+  /// "serve.hit_alloc_bytes" gauge.
+  int64_t hit_alloc_bytes = 0;
   double last_retry_after_sec = 0.0;
   // Breaker bookkeeping (all zero unless ServeConfig::breaker.enabled).
   int64_t breaker_opened = 0;    // closed/half-open -> open transitions.
@@ -151,6 +156,10 @@ struct ServeStats {
 class ServeLoop {
  public:
   using DoneFn = std::function<void(const Result<core::ServiceResponse>&)>;
+  /// Zero-copy completion: the response arrives as a refcounted handle to
+  /// the (immutable) cached object — no body copy anywhere between the
+  /// handler that produced it and the callback that reads it.
+  using SharedDoneFn = std::function<void(const Result<ResponsePtr>&)>;
 
   /// `registry` must outlive the loop. `cache` may be null (no caching);
   /// if set, OK responses are inserted with the handler's
@@ -174,10 +183,25 @@ class ServeLoop {
   Status Enqueue(core::ServiceRequest request, DoneFn done = nullptr,
                  double deadline_sec = 0.0);
 
+  /// The raw-speed submit: identical admission/deadline semantics to
+  /// Enqueue, but a cache hit performs ZERO heap allocations and ZERO
+  /// response-body copies — the canonical key is built into a warmed
+  /// thread-local buffer (RequestScratch), the cache probe is a
+  /// string_view lookup, and `done` receives a refcount handle to the
+  /// cached response, invoked inline on the calling thread. On a miss the
+  /// request is copied into the queued task (the caller keeps ownership).
+  Status EnqueueShared(const core::ServiceRequest& request,
+                       SharedDoneFn done = nullptr,
+                       double deadline_sec = 0.0);
+
   /// Blocking submit for closed-loop clients: admission control still
   /// applies (a shed request returns ResourceExhausted immediately).
   Result<core::ServiceResponse> Execute(const core::ServiceRequest& request,
                                         double deadline_sec = 0.0);
+
+  /// Blocking form of EnqueueShared.
+  Result<ResponsePtr> ExecuteShared(const core::ServiceRequest& request,
+                                    double deadline_sec = 0.0);
 
   /// Blocks until every admitted request has completed.
   void Drain();
@@ -232,8 +256,15 @@ class ServeLoop {
     double open_until_sec = 0.0;  // NowSec() deadline of the open window.
   };
 
-  void Process(core::ServiceRequest request, DoneFn done, std::string key,
-               double start_sec, double deadline_at_sec,
+  /// Shared admission path. `request` is always valid; when `owned` is
+  /// non-null it is the SAME object and a miss may move from it instead of
+  /// copying (the legacy Enqueue owns its by-value argument; EnqueueShared
+  /// passes null and pays one copy on the miss path only).
+  Status EnqueueInternal(const core::ServiceRequest& request,
+                         core::ServiceRequest* owned, SharedDoneFn done,
+                         double deadline_sec);
+  void Process(core::ServiceRequest request, SharedDoneFn done,
+               std::string key, double start_sec, double deadline_at_sec,
                int64_t trace_admit_us);
   Result<core::ServiceResponse> Dispatch(const core::ServiceRequest& request);
   /// The pre-breaker dispatch: serialize per `lock_key` (per config) and
@@ -270,6 +301,7 @@ class ServeLoop {
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> consecutive_sheds_{0};
+  std::atomic<int64_t> hit_alloc_bytes_{0};
   std::atomic<double> last_retry_after_sec_{0.0};
 
   std::vector<std::unique_ptr<HistogramStripe>> stripes_;
@@ -287,6 +319,7 @@ class ServeLoop {
   };
   RegistryCounters reg_;
   obs::StripedHistogram* reg_latency_ = nullptr;
+  obs::Gauge* reg_hit_alloc_ = nullptr;  // "serve.hit_alloc_bytes".
 
   // Breaker state. Registry mirrors are resolved only when the breaker is
   // enabled AND a registry is attached, so a disabled breaker leaves the

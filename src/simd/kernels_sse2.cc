@@ -1,0 +1,128 @@
+// SSE2 tier: 2-wide double kernels. SSE2 is baseline on every x86-64, so
+// this tier exists mostly to prove the dispatch plumbing on hosts without
+// AVX2; kernels it does not accelerate inherit the scalar entries.
+//
+// Bit-identity notes: x - y is computed as x + (-y) where SSE2 lacks
+// addsub (IEEE-identical — negation is a sign-bit flip), and every lane
+// runs the same mul/mul/sub(add) sequence as the scalar reference. This TU
+// is compiled with -ffp-contract=off and no FMA.
+
+#include "simd/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+namespace dflow::simd::detail {
+
+namespace {
+
+void AddF32ToF64(const float* src, double* acc, int64_t n) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Load 2 floats (the low half of a 4-float load would over-read; use
+    // _mm_loadl_pi-free path via _mm_castsi128_ps of a 64-bit load).
+    __m128i bits = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(src + i));
+    __m128d wide = _mm_cvtps_pd(_mm_castsi128_ps(bits));
+    __m128d sum = _mm_add_pd(_mm_loadu_pd(acc + i), wide);
+    _mm_storeu_pd(acc + i, sum);
+  }
+  for (; i < n; ++i) {
+    acc[i] += static_cast<double>(src[i]);
+  }
+}
+
+void ScaleF64(double* data, int64_t n, double factor) {
+  const __m128d f = _mm_set1_pd(factor);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(data + i, _mm_mul_pd(_mm_loadu_pd(data + i), f));
+  }
+  for (; i < n; ++i) {
+    data[i] *= factor;
+  }
+}
+
+void DivF64(double* data, int64_t n, double divisor) {
+  const __m128d f = _mm_set1_pd(divisor);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(data + i, _mm_div_pd(_mm_loadu_pd(data + i), f));
+  }
+  for (; i < n; ++i) {
+    data[i] /= divisor;
+  }
+}
+
+void FftStage(std::complex<double>* cdata, size_t n, size_t len,
+              const std::complex<double>* ctwiddles, size_t stride,
+              bool inverse) {
+  double* d = reinterpret_cast<double*>(cdata);
+  const double* tw = reinterpret_cast<const double*>(ctwiddles);
+  const size_t half = len / 2;
+  // Sign masks: negate the imaginary (high) lane for conjugation, the
+  // real (low) lane to turn add into the scalar's subtraction.
+  const __m128d neg_hi = _mm_castsi128_pd(
+      _mm_set_epi64x(static_cast<long long>(0x8000000000000000ull), 0));
+  const __m128d neg_lo = _mm_castsi128_pd(
+      _mm_set_epi64x(0, static_cast<long long>(0x8000000000000000ull)));
+  for (size_t i = 0; i < n; i += len) {
+    for (size_t k = 0; k < half; ++k) {
+      const size_t a = 2 * (i + k);
+      const size_t b = a + 2 * half;
+      __m128d w = _mm_loadu_pd(tw + 2 * k * stride);  // [wr, wi]
+      if (inverse) {
+        w = _mm_xor_pd(w, neg_hi);  // conj: [wr, -wi]
+      }
+      const __m128d wr = _mm_unpacklo_pd(w, w);  // [wr, wr]
+      const __m128d wi = _mm_unpackhi_pd(w, w);  // [wi, wi]
+      const __m128d bv = _mm_loadu_pd(d + b);          // [br, bi]
+      const __m128d bs = _mm_shuffle_pd(bv, bv, 1);    // [bi, br]
+      // v = [br*wr - bi*wi, bi*wr + br*wi]: t2's low lane is negated and
+      // added (== the scalar subtraction, bit for bit).
+      const __m128d t1 = _mm_mul_pd(bv, wr);   // [br*wr, bi*wr]
+      const __m128d t2 = _mm_mul_pd(bs, wi);   // [bi*wi, br*wi]
+      const __m128d v = _mm_add_pd(t1, _mm_xor_pd(t2, neg_lo));
+      const __m128d u = _mm_loadu_pd(d + a);
+      _mm_storeu_pd(d + a, _mm_add_pd(u, v));
+      _mm_storeu_pd(d + b, _mm_sub_pd(u, v));
+    }
+  }
+}
+
+void StridedAddF64(double* acc, const double* src, int64_t stride,
+                   int64_t n) {
+  int64_t i = 0;
+  if (stride == 1) {
+    for (; i + 2 <= n; i += 2) {
+      _mm_storeu_pd(acc + i,
+                    _mm_add_pd(_mm_loadu_pd(acc + i), _mm_loadu_pd(src + i)));
+    }
+  }
+  for (; i < n; ++i) {
+    acc[i] += src[i * stride];
+  }
+}
+
+}  // namespace
+
+void FillSse2(KernelTable* table) {
+  table->add_f32_to_f64 = &AddF32ToF64;
+  table->scale_f64 = &ScaleF64;
+  table->div_f64 = &DivF64;
+  table->fft_stage = &FftStage;
+  table->strided_add_f64 = &StridedAddF64;
+  // snr_best_update / rank_contrib / gather_sum_f64 stay scalar: SSE2 has
+  // no gather and no epi64 compare, and the scalar forms are exact anyway.
+}
+
+}  // namespace dflow::simd::detail
+
+#else  // !x86
+
+namespace dflow::simd::detail {
+void FillSse2(KernelTable*) {}
+}  // namespace dflow::simd::detail
+
+#endif

@@ -83,6 +83,7 @@ void HsmCache::Evict(const std::string& file) {
   DFLOW_CHECK_OK(cache_disk_->Free(it->second.bytes));
   lru_.erase(it->second.lru_it);
   cache_entries_.erase(it);
+  disk_contents_.erase(file);
   ++evictions_;
   Bump(obs_.evictions);
 }
@@ -188,6 +189,150 @@ Status HsmCache::GetChecked(const std::string& file,
   }
   RecallWithRetry(file, 0, std::move(on_complete));
   return Status::OK();
+}
+
+Status HsmCache::PutContent(const std::string& file, std::string content,
+                            std::function<void(int64_t)> on_complete) {
+  const int64_t raw_bytes = static_cast<int64_t>(content.size());
+  DFLOW_RETURN_IF_ERROR(MakeRoom(raw_bytes));
+  // The disk tier keeps the RAW copy (capacity traded for hit latency);
+  // compression happens inside the tape library on write-through.
+  InstallInCache(file, raw_bytes);
+  disk_contents_[file] = content;
+  double disk_time = cache_disk_->AccessTime(raw_bytes);
+  auto cb =
+      std::make_shared<std::function<void(int64_t)>>(std::move(on_complete));
+  simulation_->Schedule(
+      disk_time, [this, file, content = std::move(content), cb]() mutable {
+        Status s = tape_->WriteContent(
+            file, std::move(content), [cb](int64_t stored) {
+              if (*cb) {
+                (*cb)(stored);
+              }
+            });
+        if (!s.ok()) {
+          DFLOW_LOG(Error) << "HSM tape content write of '" << file
+                           << "' failed: " << s.ToString();
+        }
+      });
+  return Status::OK();
+}
+
+Status HsmCache::GetContentChecked(
+    const std::string& file,
+    std::function<void(Result<std::string>)> done) {
+  auto it = cache_entries_.find(file);
+  auto content_it = disk_contents_.find(file);
+  if (it != cache_entries_.end() && content_it != disk_contents_.end()) {
+    ++hits_;
+    Bump(obs_.cache_hits);
+    Touch(file);
+    int64_t bytes = it->second.bytes;
+    double access_time = cache_disk_->AccessTime(bytes);
+    if (obs::Tracer* tracer = ActiveTracer()) {
+      tracer->CompleteEvent("hsm.cache_read", "storage",
+                            UsOf(simulation_->Now()), UsOf(access_time),
+                            {{"file", file},
+                             {"bytes", std::to_string(bytes)}});
+    }
+    simulation_->Schedule(access_time, [content = content_it->second,
+                                        cb = std::move(done)]() mutable {
+      if (cb) {
+        cb(std::move(content));
+      }
+    });
+    return Status::OK();
+  }
+  if (!tape_->HasContent(file)) {
+    return Status::NotFound("HSM: no content '" + file + "'");
+  }
+  ++misses_;
+  Bump(obs_.cache_misses);
+  DFLOW_ASSIGN_OR_RETURN(int64_t raw_bytes, tape_->RawContentSize(file));
+  DFLOW_RETURN_IF_ERROR(MakeRoom(raw_bytes));
+  InstallInCache(file, raw_bytes);
+  if (obs::Tracer* tracer = ActiveTracer()) {
+    double start_sec = simulation_->Now();
+    auto inner = std::move(done);
+    done = [this, tracer, file, start_sec,
+            cb = std::move(inner)](Result<std::string> result) mutable {
+      double end_sec = simulation_->Now();
+      tracer->CompleteEvent("hsm.recall", "storage", UsOf(start_sec),
+                            UsOf(end_sec - start_sec),
+                            {{"file", file},
+                             {"outcome", result.ok() ? "ok" : "error"}});
+      if (cb) {
+        cb(std::move(result));
+      }
+    };
+  }
+  // Wrap to install the recalled bytes on success, roll the cache
+  // accounting back on total failure.
+  auto wrapped = [this, file,
+                  cb = std::move(done)](Result<std::string> result) mutable {
+    if (result.ok()) {
+      disk_contents_[file] = *result;
+    } else {
+      Evict(file);  // Undo the speculative installation; evictions_ is
+                    // bumped, matching the size-only path's accounting.
+    }
+    if (cb) {
+      cb(std::move(result));
+    }
+  };
+  RecallContentWithRetry(file, 0, std::move(wrapped));
+  return Status::OK();
+}
+
+void HsmCache::RecallContentWithRetry(
+    const std::string& file, int attempt,
+    std::function<void(Result<std::string>)> on_complete) {
+  Status s = tape_->ReadContentChecked(
+      file, [this, file, attempt,
+             cb = std::move(on_complete)](Result<std::string> content) mutable {
+        if (content.ok()) {
+          if (cb) {
+            cb(std::move(content));
+          }
+          return;
+        }
+        ++read_faults_;
+        Bump(obs_.read_faults);
+        if (obs::Tracer* tracer = ActiveTracer()) {
+          tracer->InstantEvent("hsm.read_fault", "storage",
+                               {{"file", file},
+                                {"attempt", std::to_string(attempt)}});
+        }
+        // Only IOError (bad block) is operator-repairable; Corruption
+        // means the stored frames themselves are rotten — re-reading the
+        // same tape returns the same bytes, so fail fast.
+        const bool retryable =
+            content.status().code() == StatusCode::kIOError;
+        if (!retryable || attempt + 1 >= fault_policy_.max_read_attempts) {
+          ++read_failures_;
+          Bump(obs_.read_failures);
+          if (cb) {
+            cb(std::move(content));
+          }
+          return;
+        }
+        DFLOW_LOG(Warning) << "HSM: content recall of '" << file << "' hit "
+                           << content.status().ToString()
+                           << "; operator repair scheduled";
+        simulation_->Schedule(
+            fault_policy_.operator_repair_seconds,
+            [this, file, attempt, cb = std::move(cb)]() mutable {
+              ++operator_repairs_;
+              Bump(obs_.operator_repairs);
+              if (obs::Tracer* tracer = ActiveTracer()) {
+                tracer->InstantEvent("hsm.operator_repair", "storage",
+                                     {{"file", file}});
+              }
+              tape_->RepairBadBlock(file);
+              RecallContentWithRetry(file, attempt + 1, std::move(cb));
+            });
+      });
+  DFLOW_CHECK_OK(s);
 }
 
 void HsmCache::RecallWithRetry(

@@ -55,6 +55,23 @@ class HsmCache {
   Status GetChecked(const std::string& file,
                     std::function<void(Result<int64_t>)> on_complete);
 
+  /// Content-bearing Put: the raw bytes land in the disk cache (raw — the
+  /// disk tier trades capacity for latency) and are written through to
+  /// tape, where they are chunk-compressed per the tape config.
+  /// `on_complete` receives the STORED tape byte count once durable.
+  Status PutContent(const std::string& file, std::string content,
+                    std::function<void(int64_t)> on_complete);
+
+  /// Content-bearing fault-aware read. A cache hit streams the raw copy
+  /// from disk (no decompression — the hot tier stays raw). A miss recalls
+  /// from tape: IOError recalls (bad blocks) are retried per the fault
+  /// policy exactly like GetChecked; a Corruption result (a compressed
+  /// frame's CRC failed) fails fast — operator repair fixes media, not
+  /// rot — and counts as a read failure. On total failure the cache
+  /// installation is rolled back.
+  Status GetContentChecked(const std::string& file,
+                           std::function<void(Result<std::string>)> done);
+
   void SetFaultPolicy(HsmFaultPolicy policy) { fault_policy_ = policy; }
   const HsmFaultPolicy& fault_policy() const { return fault_policy_; }
 
@@ -97,6 +114,9 @@ class HsmCache {
   void Touch(const std::string& file);
   void RecallWithRetry(const std::string& file, int attempt,
                        std::function<void(Result<int64_t>)> on_complete);
+  void RecallContentWithRetry(
+      const std::string& file, int attempt,
+      std::function<void(Result<std::string>)> on_complete);
 
   sim::Simulation* simulation_;
   DiskVolume* cache_disk_;
@@ -109,6 +129,8 @@ class HsmCache {
   };
   std::list<std::string> lru_;
   std::map<std::string, Entry> cache_entries_;
+  /// Raw bytes of content-bearing cached files (subset of cache_entries_).
+  std::map<std::string, std::string> disk_contents_;
 
   // Observability (both null until SetObserver): counter handles are
   // resolved once, bumps are one null-check when no registry is attached.

@@ -153,10 +153,31 @@ void MediaMigration::MigrateOne(const std::string& file, int attempt,
       MigrateOne(file, attempt + 1, start_sec);
       return;
     }
-    Status write = destination_->Write(
-        file, bytes, [this, file, attempt, start_sec] {
-          FinishFile(file, attempt, start_sec, /*migrated=*/true);
-        });
+    Status write;
+    if (source_->HasContent(file)) {
+      // Content-bearing file: decode the source container (instant — the
+      // drive time for this file was already paid by ReadChecked above)
+      // and let the destination re-compress per ITS config. A Corruption
+      // here means the source frames themselves are rotten; retrying the
+      // same medium cannot help, so the file is lost.
+      Result<std::string> content = source_->ContentSnapshot(file);
+      if (!content.ok()) {
+        DFLOW_LOG(Error) << "migration: source content of '" << file
+                         << "' is rotten: " << content.status().ToString();
+        FinishFile(file, attempt, start_sec, /*migrated=*/false);
+        return;
+      }
+      write = destination_->WriteContent(
+          file, std::move(*content), [this, file, attempt, start_sec](
+                                         int64_t /*stored*/) {
+            FinishFile(file, attempt, start_sec, /*migrated=*/true);
+          });
+    } else {
+      write = destination_->Write(
+          file, bytes, [this, file, attempt, start_sec] {
+            FinishFile(file, attempt, start_sec, /*migrated=*/true);
+          });
+    }
     if (!write.ok()) {
       DFLOW_LOG(Error) << "migration write failed: " << write.ToString();
       FinishFile(file, attempt, start_sec, /*migrated=*/false);
@@ -175,6 +196,24 @@ Status MediaMigration::Verify() const {
     if (!destination_->Contains(file)) {
       return Status::Corruption("migration verify: '" + file +
                                 "' missing on destination");
+    }
+    if (source_->HasContent(file)) {
+      // Content-bearing files are verified byte-for-byte on the RAW
+      // payload: the destination re-compressed per its own config, so
+      // stored sizes legitimately differ.
+      if (!destination_->HasContent(file)) {
+        return Status::Corruption("migration verify: content of '" + file +
+                                  "' missing on destination");
+      }
+      DFLOW_ASSIGN_OR_RETURN(std::string src_content,
+                             source_->ContentSnapshot(file));
+      DFLOW_ASSIGN_OR_RETURN(std::string dst_content,
+                             destination_->ContentSnapshot(file));
+      if (src_content != dst_content) {
+        return Status::Corruption("migration verify: content mismatch for '" +
+                                  file + "'");
+      }
+      continue;
     }
     DFLOW_ASSIGN_OR_RETURN(int64_t src_bytes, source_->FileSize(file));
     DFLOW_ASSIGN_OR_RETURN(int64_t dst_bytes, destination_->FileSize(file));

@@ -20,6 +20,16 @@ struct TapeLibraryConfig {
   double mount_seconds = 90.0;          // Robot fetch + load + position.
   double stream_bytes_per_sec = 120.0e6; // LTO-class streaming rate.
   int64_t capacity_bytes = 2 * 1000LL * 1000 * 1000 * 1000 * 1000;  // 2 PB.
+
+  /// Content-bearing writes (WriteContent/ReadContentChecked) are chunked
+  /// and wlz-compressed on migrate: fewer stored bytes (capacity, and
+  /// streaming time per recall scales with the STORED size) at the price
+  /// of per-block compress/decompress CPU, modeled by the two rates below.
+  /// Size-only Write()/Read() are unaffected.
+  bool compress_content = true;
+  size_t compress_block_bytes = 64 * 1024;
+  double compress_bytes_per_sec = 250e6;    // Raw bytes in per second.
+  double decompress_bytes_per_sec = 500e6;  // Raw bytes out per second.
 };
 
 /// Discrete-event model of a robotic tape archive. Files are stored by
@@ -51,6 +61,46 @@ class TapeLibrary {
   /// front). Returns NotFound immediately for absent files.
   Status ReadChecked(const std::string& file,
                      std::function<void(Result<int64_t>)> on_complete);
+
+  /// Content-bearing archive: stores `content` under `file`, chunked and
+  /// wlz-compressed when `config.compress_content` is set (stored-raw
+  /// frames cap expansion on incompressible data). The STORED size is what
+  /// counts against capacity and what FileSize/FileNames report — so the
+  /// scrubber and migration walk compressed files exactly like size-only
+  /// ones. Drive time = AccessTime(stored) + raw/compress rate. The
+  /// callback receives the stored byte count.
+  Status WriteContent(const std::string& file, std::string content,
+                      std::function<void(int64_t)> on_complete);
+
+  /// Fault-aware content recall. Pays AccessTime(stored bytes) plus the
+  /// decompress cost, then delivers:
+  ///  - IOError, if the file has a bad block (same as ReadChecked);
+  ///  - Corruption, if a compressed frame's CRC no longer matches — this
+  ///    is how CorruptSilently on a COMPRESSED file surfaces: the per-frame
+  ///    CRC in the wlzc container detects the flipped byte at recall time,
+  ///    no scrubber needed;
+  ///  - the raw content otherwise. Uncompressed content carries no frame
+  ///    CRCs, so a silently corrupted uncompressed file returns its rotten
+  ///    bytes without complaint (why archives scrub, and why this PR
+  ///    compresses).
+  Status ReadContentChecked(const std::string& file,
+                            std::function<void(Result<std::string>)> done);
+
+  bool HasContent(const std::string& file) const {
+    return contents_.count(file) > 0;
+  }
+
+  /// Uncompressed size of a content-bearing file (NotFound if the file has
+  /// no stored content).
+  Result<int64_t> RawContentSize(const std::string& file) const;
+
+  /// Instant (no virtual time, no drive) decode of a content-bearing file,
+  /// for migration: the media-migration copy loop already pays its own
+  /// read+write drive time, and re-compresses for the destination library.
+  Result<std::string> ContentSnapshot(const std::string& file) const;
+
+  int64_t content_raw_bytes() const { return content_raw_bytes_; }
+  int64_t content_stored_bytes() const { return content_stored_bytes_; }
 
   /// Fault hook: one drive fails and is occupied by repair for
   /// `repair_seconds` — the next free drive goes into the shop, shrinking
@@ -107,11 +157,25 @@ class TapeLibrary {
   double AccessTime(int64_t bytes) const;
 
  private:
+  /// Stored payload of a content-bearing file plus the bookkeeping needed
+  /// to flip (and later restore) one byte on CorruptSilently.
+  struct ContentRecord {
+    std::string stored;       // wlzc container, or raw bytes if uncompressed.
+    int64_t raw_bytes = 0;
+    bool compressed = false;
+    size_t corrupt_offset = 0;
+    char original_byte = 0;
+    bool corrupted = false;
+  };
+
   sim::Simulation* simulation_;
   std::string name_;
   TapeLibraryConfig config_;
   sim::Resource drives_;
   std::map<std::string, int64_t> files_;
+  std::map<std::string, ContentRecord> contents_;
+  int64_t content_raw_bytes_ = 0;
+  int64_t content_stored_bytes_ = 0;
   std::set<std::string> bad_blocks_;
   std::set<std::string> silent_corruptions_;
   int64_t silent_corruptions_injected_ = 0;

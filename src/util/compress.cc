@@ -159,4 +159,111 @@ Result<std::string> WlzDecompress(std::string_view compressed) {
   return out;
 }
 
+namespace {
+
+constexpr char kChunkedMagic[4] = {'W', 'L', 'Z', 'C'};
+constexpr uint8_t kFrameRaw = 0x00;
+constexpr uint8_t kFrameWlz = 0x01;
+
+}  // namespace
+
+std::string WlzChunkedCompress(std::string_view input, size_t block_bytes,
+                               WlzChunkedStats* stats) {
+  if (block_bytes == 0) {
+    block_bytes = 64 * 1024;
+  }
+  ByteWriter w;
+  w.PutRaw(kChunkedMagic, sizeof(kChunkedMagic));
+  w.PutVarint(block_bytes);
+  w.PutVarint(input.size());
+  WlzChunkedStats local;
+  local.raw_bytes = static_cast<int64_t>(input.size());
+  for (size_t off = 0; off < input.size(); off += block_bytes) {
+    const std::string_view block =
+        input.substr(off, std::min(block_bytes, input.size() - off));
+    std::string packed = WlzCompress(block);
+    ++local.blocks;
+    if (packed.size() >= block.size()) {
+      // Incompressible: store raw. Expansion is capped at this frame's
+      // header, regardless of what the codec did.
+      ++local.raw_blocks;
+      w.PutU8(kFrameRaw);
+      w.PutVarint(block.size());
+      w.PutU32(Crc32::Of(block));
+      w.PutRaw(block);
+    } else {
+      w.PutU8(kFrameWlz);
+      w.PutVarint(packed.size());
+      // CRC over the STORED (compressed) payload: corruption on the
+      // medium is caught before any decode touches the frame.
+      w.PutU32(Crc32::Of(packed));
+      w.PutRaw(packed);
+    }
+  }
+  std::string out = w.Take();
+  local.stored_bytes = static_cast<int64_t>(out.size());
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return out;
+}
+
+Result<std::string> WlzChunkedDecompress(std::string_view compressed) {
+  ByteReader r(compressed);
+  DFLOW_ASSIGN_OR_RETURN(std::string magic, r.GetRaw(4));
+  if (std::memcmp(magic.data(), kChunkedMagic, 4) != 0) {
+    return Status::Corruption("wlzc: bad magic");
+  }
+  DFLOW_ASSIGN_OR_RETURN(uint64_t block_bytes, r.GetVarint());
+  DFLOW_ASSIGN_OR_RETURN(uint64_t raw_size, r.GetVarint());
+  if (block_bytes == 0) {
+    return Status::Corruption("wlzc: zero block size");
+  }
+  std::string out;
+  // Upfront reserve is capped: the size header is untrusted until the
+  // frame CRCs pass (same policy as WlzDecompress).
+  constexpr uint64_t kMaxUpfrontReserve = uint64_t{1} << 20;
+  out.reserve(
+      static_cast<size_t>(std::min<uint64_t>(raw_size, kMaxUpfrontReserve)));
+  while (!r.AtEnd()) {
+    if (out.size() >= raw_size) {
+      return Status::Corruption("wlzc: trailing frames beyond raw size");
+    }
+    const uint64_t expected_block =
+        std::min<uint64_t>(block_bytes, raw_size - out.size());
+    DFLOW_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+    if (tag != kFrameRaw && tag != kFrameWlz) {
+      return Status::Corruption("wlzc: unknown frame tag");
+    }
+    DFLOW_ASSIGN_OR_RETURN(uint64_t payload_len, r.GetVarint());
+    DFLOW_ASSIGN_OR_RETURN(uint32_t expected_crc, r.GetU32());
+    if (payload_len > r.remaining()) {
+      return Status::Corruption("wlzc: truncated frame payload");
+    }
+    DFLOW_ASSIGN_OR_RETURN(std::string payload,
+                           r.GetRaw(static_cast<size_t>(payload_len)));
+    // The frame CRC gates everything else: a corrupted stored payload is
+    // reported as Corruption without ever being decoded.
+    if (Crc32::Of(payload) != expected_crc) {
+      return Status::Corruption("wlzc: frame checksum mismatch");
+    }
+    if (tag == kFrameRaw) {
+      if (payload.size() != expected_block) {
+        return Status::Corruption("wlzc: raw frame size mismatch");
+      }
+      out += payload;
+    } else {
+      DFLOW_ASSIGN_OR_RETURN(std::string block, WlzDecompress(payload));
+      if (block.size() != expected_block) {
+        return Status::Corruption("wlzc: decoded block size mismatch");
+      }
+      out += block;
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status::Corruption("wlzc: size mismatch");
+  }
+  return out;
+}
+
 }  // namespace dflow

@@ -24,6 +24,44 @@ std::string WlzCompress(std::string_view input);
 /// invalid match distances, or checksum mismatch.
 Result<std::string> WlzDecompress(std::string_view compressed);
 
+/// Accounting for one chunked-compression pass (the stored-bytes vs
+/// recall-latency tradeoff curve reads these).
+struct WlzChunkedStats {
+  int64_t raw_bytes = 0;     // Input size.
+  int64_t stored_bytes = 0;  // Total container size (headers included).
+  int64_t blocks = 0;        // Total block frames emitted.
+  int64_t raw_blocks = 0;    // Blocks stored raw (incompressible).
+
+  double ratio() const {
+    return stored_bytes == 0
+               ? 0.0
+               : static_cast<double>(raw_bytes) / stored_bytes;
+  }
+};
+
+/// Chunked container over WlzCompress for the tape/HSM tier: the input is
+/// split into fixed-size blocks, each compressed independently and framed
+/// with a CRC-32 over the STORED payload — so silent media corruption is
+/// detected per block before any decode runs, and a recall only ever
+/// decompresses whole blocks.
+///
+/// Incompressible blocks (wlz output >= the raw block) fall back to a
+/// stored-raw frame: expansion is bounded by the per-block frame header
+/// (~11 bytes), never by codec behavior — the guarantee the
+/// already-compressed-input tests pin.
+///
+/// Format: "WLZC" magic, varint block_bytes, varint raw size, then per
+/// block: tag u8 (0x01 wlz / 0x00 stored raw), varint payload length,
+/// u32 CRC-32 of the stored payload, payload bytes.
+std::string WlzChunkedCompress(std::string_view input,
+                               size_t block_bytes = 64 * 1024,
+                               WlzChunkedStats* stats = nullptr);
+
+/// Inverse of WlzChunkedCompress. Per-frame CRCs are verified BEFORE any
+/// payload is decoded; any mismatch, truncation, or size inconsistency
+/// returns Status::Corruption.
+Result<std::string> WlzChunkedDecompress(std::string_view compressed);
+
 }  // namespace dflow
 
 #endif  // DFLOW_UTIL_COMPRESS_H_

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "par/par.h"
+#include "simd/simd.h"
 
 namespace dflow::weblab {
 
@@ -124,7 +125,8 @@ int WebGraph::OutDegree(int node) const {
   return static_cast<int>(offsets_[i + 1] - offsets_[i]);
 }
 
-std::vector<double> WebGraph::PageRank(int iterations, double damping) const {
+std::vector<double> WebGraph::PageRank(int iterations, double damping,
+                                       bool allow_fast_fp) const {
   const size_t n = urls_.size();
   if (n == 0) {
     return {};
@@ -135,18 +137,18 @@ std::vector<double> WebGraph::PageRank(int iterations, double damping) const {
   par::Options options;
   options.label = "weblab.pagerank";
   options.grain = 1024;
+  const simd::KernelTable& kernels = simd::Kernels();
   for (int iter = 0; iter < iterations; ++iter) {
     // contrib[i] = rank[i] / out-degree (0 for dangling nodes): pre-sized
-    // slot writes, trivially thread-count-invariant.
+    // slot writes through the SIMD kernel layer — one int->double convert
+    // and one divide per node, exact at every ISA tier.
     par::ParallelFor(
         0, static_cast<int64_t>(n),
         [&](int64_t chunk_begin, int64_t chunk_end) {
-          for (int64_t i = chunk_begin; i < chunk_end; ++i) {
-            const int degree = OutDegree(static_cast<int>(i));
-            contrib[static_cast<size_t>(i)] =
-                degree == 0 ? 0.0
-                            : rank[static_cast<size_t>(i)] / degree;
-          }
+          kernels.rank_contrib(rank.data() + chunk_begin,
+                               offsets_.data() + chunk_begin,
+                               contrib.data() + chunk_begin,
+                               chunk_end - chunk_begin);
         },
         options);
     // Dangling mass: a floating-point reduction, so it runs through the
@@ -169,17 +171,28 @@ std::vector<double> WebGraph::PageRank(int iterations, double damping) const {
     // Pull phase: each node gathers from its in-links in transpose-CSR
     // order into its own slot. Same math as the old scatter loop, but
     // parallel AND deterministic (the scatter form would need atomics and
-    // would sum in scheduling order).
+    // would sum in scheduling order). With allow_fast_fp the gather runs
+    // through the vector gather-sum kernel — multiple accumulators, so
+    // the per-node sum is reassociated (deterministic per ISA tier, not
+    // bit-identical to the sequential order below).
     par::ParallelFor(
         0, static_cast<int64_t>(n),
         [&](int64_t chunk_begin, int64_t chunk_end) {
           for (int64_t i = chunk_begin; i < chunk_end; ++i) {
-            double gathered = 0.0;
-            auto [begin, end] = InLinks(static_cast<int>(i));
-            for (const int* s = begin; s != end; ++s) {
-              gathered += contrib[static_cast<size_t>(*s)];
+            double gathered;
+            const size_t node = static_cast<size_t>(i);
+            if (allow_fast_fp) {
+              gathered = kernels.gather_sum_f64(
+                  contrib.data(), sources_.data() + in_offsets_[node],
+                  in_offsets_[node + 1] - in_offsets_[node]);
+            } else {
+              gathered = 0.0;
+              auto [begin, end] = InLinks(static_cast<int>(i));
+              for (const int* s = begin; s != end; ++s) {
+                gathered += contrib[static_cast<size_t>(*s)];
+              }
             }
-            next[static_cast<size_t>(i)] = teleport + damping * gathered;
+            next[node] = teleport + damping * gathered;
           }
         },
         options);

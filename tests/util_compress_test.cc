@@ -177,5 +177,145 @@ TEST(WlzTest, SingleByteCorruptionNeverSilentlyWrong) {
   }
 }
 
+// --- Chunked container (wlzc). ------------------------------------------
+
+TEST(WlzChunkedTest, EmptyAndTinyRoundTrip) {
+  for (const std::string& input : {std::string(), std::string("x"),
+                                   std::string("abc")}) {
+    WlzChunkedStats stats;
+    std::string packed = WlzChunkedCompress(input, 64, &stats);
+    EXPECT_EQ(stats.raw_bytes, static_cast<int64_t>(input.size()));
+    auto out = WlzChunkedDecompress(packed);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(WlzChunkedTest, IncompressibleInputStoresRawWithBoundedExpansion) {
+  // High-entropy input: every block must fall back to a stored-raw frame,
+  // and total expansion is capped by the per-block frame header —
+  // regardless of what the codec would have produced.
+  Rng rng(77);
+  std::string input;
+  for (int i = 0; i < 64 * 1024; ++i) {
+    input.push_back(static_cast<char>(rng.Uniform(0, 255)));
+  }
+  constexpr size_t kBlock = 4096;
+  WlzChunkedStats stats;
+  std::string packed = WlzChunkedCompress(input, kBlock, &stats);
+  EXPECT_EQ(stats.raw_blocks, stats.blocks) << "random data compressed?";
+  // Container magic+varints plus <= 11 bytes per frame (tag + 5-byte
+  // varint worst case + CRC).
+  const size_t max_overhead = 16 + static_cast<size_t>(stats.blocks) * 11;
+  EXPECT_LE(packed.size(), input.size() + max_overhead);
+  auto out = WlzChunkedDecompress(packed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(WlzChunkedTest, AlreadyCompressedInputRoundTripsWithoutExpansion) {
+  // Compressing a wlzc container again (the double-compression accident):
+  // output of the first pass is mostly incompressible, so the second pass
+  // must stay within header overhead and round-trip exactly.
+  std::string text;
+  for (int i = 0; i < 2000; ++i) {
+    text += "beam=7;dm=112.5;cand=42;";
+  }
+  std::string once = WlzChunkedCompress(text, 1024);
+  WlzChunkedStats stats;
+  std::string twice = WlzChunkedCompress(once, 1024, &stats);
+  const size_t max_overhead = 16 + static_cast<size_t>(stats.blocks) * 11;
+  EXPECT_LE(twice.size(), once.size() + max_overhead);
+  auto unpacked_twice = WlzChunkedDecompress(twice);
+  ASSERT_TRUE(unpacked_twice.ok());
+  auto unpacked_once = WlzChunkedDecompress(*unpacked_twice);
+  ASSERT_TRUE(unpacked_once.ok());
+  EXPECT_EQ(*unpacked_once, text);
+}
+
+TEST(WlzChunkedTest, ExactRoundTripAtEveryChunkBoundary) {
+  // Sizes straddling every block boundary: block-1, block, block+1, and
+  // the same around multiples — the off-by-one territory of the framer.
+  constexpr size_t kBlock = 256;
+  Rng rng(78);
+  for (size_t base : {kBlock, 2 * kBlock, 3 * kBlock}) {
+    for (int64_t delta = -2; delta <= 2; ++delta) {
+      const size_t size = base + static_cast<size_t>(delta);
+      std::string input;
+      input.reserve(size);
+      for (size_t i = 0; i < size; ++i) {
+        // Mildly compressible mix so both frame kinds occur.
+        input.push_back(i % 3 == 0
+                            ? 'a'
+                            : static_cast<char>(rng.Uniform(0, 255)));
+      }
+      auto out = WlzChunkedDecompress(WlzChunkedCompress(input, kBlock));
+      ASSERT_TRUE(out.ok()) << "size=" << size;
+      EXPECT_EQ(*out, input) << "size=" << size;
+    }
+  }
+}
+
+TEST(WlzChunkedTest, RandomizedRoundTrips) {
+  // 1k randomized round-trips across sizes and block sizes, mixed entropy.
+  Rng rng(79);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const size_t block =
+        static_cast<size_t>(rng.Uniform(16, 512));
+    const size_t size = static_cast<size_t>(rng.Uniform(0, 2048));
+    const int entropy = static_cast<int>(rng.Uniform(1, 255));
+    std::string input;
+    input.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(0, entropy)));
+    }
+    WlzChunkedStats stats;
+    std::string packed = WlzChunkedCompress(input, block, &stats);
+    EXPECT_EQ(stats.raw_bytes, static_cast<int64_t>(input.size()));
+    EXPECT_EQ(stats.stored_bytes, static_cast<int64_t>(packed.size()));
+    auto out = WlzChunkedDecompress(packed);
+    ASSERT_TRUE(out.ok()) << "trial=" << trial << " block=" << block
+                          << " size=" << size;
+    ASSERT_EQ(*out, input) << "trial=" << trial;
+  }
+}
+
+TEST(WlzChunkedTest, PerFrameCorruptionIsDetectedBeforeDecode) {
+  std::string text;
+  for (int i = 0; i < 4000; ++i) {
+    text += "survey=palfa;beam=" + std::to_string(i % 7) + ";";
+  }
+  std::string packed = WlzChunkedCompress(text, 1024);
+  Rng rng(80);
+  int detected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string damaged = packed;
+    // Flip one bit anywhere past the container header.
+    const size_t pos = static_cast<size_t>(
+        rng.Uniform(10, static_cast<int64_t>(damaged.size()) - 1));
+    damaged[pos] ^= static_cast<char>(1 << rng.Uniform(0, 7));
+    auto out = WlzChunkedDecompress(damaged);
+    if (!out.ok()) {
+      EXPECT_TRUE(out.status().IsCorruption()) << out.status().ToString();
+      ++detected;
+    } else {
+      // The flip landed somewhere expendable only if output still exact.
+      EXPECT_EQ(*out, text);
+    }
+  }
+  EXPECT_GT(detected, 150) << "frame CRCs should catch nearly every flip";
+}
+
+TEST(WlzChunkedTest, TruncationAndBadMagicAreCorruption) {
+  std::string packed = WlzChunkedCompress("hello chunked world", 8);
+  EXPECT_TRUE(WlzChunkedDecompress(packed.substr(0, packed.size() - 3))
+                  .status()
+                  .IsCorruption());
+  std::string bad_magic = packed;
+  bad_magic[3] = 'X';
+  EXPECT_TRUE(WlzChunkedDecompress(bad_magic).status().IsCorruption());
+  EXPECT_TRUE(WlzChunkedDecompress("").status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace dflow
