@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <thread>
 #include <utility>
@@ -27,12 +28,31 @@ std::string SeqTag(int64_t seq) {
   return buf;
 }
 
+/// Empty-shard digest basis: a node holding no copy of a shard digests the
+/// same as one holding an empty copy, so convergence compares content, not
+/// map-entry existence.
+constexpr uint64_t kEmptyShardDigest = 0x6a09e667f3bcc909ull;
+
+std::string TimeTag(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t=%.6f", t);
+  return buf;
+}
+
+int ClampQuorum(int requested, int n) {
+  if (requested <= 0) {
+    return n / 2 + 1;  // Majority default.
+  }
+  return requested > n ? n : requested;
+}
+
 }  // namespace
 
 uint64_t Cluster::ShardData::ContentDigest() const {
-  uint64_t digest = 0x6a09e667f3bcc909ull;
-  for (const auto& [key, value] : entries) {
-    digest ^= Hash64(key + "=" + value, 0x3c6ef372fe94f82bull);
+  uint64_t digest = kEmptyShardDigest;
+  for (const auto& [key, entry] : entries) {
+    digest ^= Hash64(key + "=" + entry.value + "@" + entry.version.ToString(),
+                     0x3c6ef372fe94f82bull);
   }
   return digest;
 }
@@ -67,6 +87,21 @@ Status Cluster::Init(const BackendFactory& backends) {
     return it != nodes_by_name_.end() &&
            it->second->alive.load(std::memory_order_acquire);
   });
+  // The router only runs under mu_ (Route/Get/DecisionLog all lock), so
+  // the callback may read the partition topology directly.
+  router_.SetReachableCheck([this](const std::string& from,
+                                   const std::string& to) {
+    return BiReachableLocked(from, to);
+  });
+
+  int effective_replicas = config_.replication_factor < 1
+                               ? 1
+                               : config_.replication_factor;
+  if (effective_replicas > config_.num_nodes) {
+    effective_replicas = config_.num_nodes;
+  }
+  write_quorum_ = ClampQuorum(config_.write_quorum, effective_replicas);
+  read_quorum_ = ClampQuorum(config_.read_quorum, effective_replicas);
 
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry* m = config_.metrics;
@@ -77,7 +112,14 @@ Status Cluster::Init(const BackendFactory& backends) {
     reg_.forward_drops = m->GetCounter("cluster.forward_drops");
     reg_.failed = m->GetCounter("cluster.failed");
     reg_.writes = m->GetCounter("cluster.writes");
+    reg_.put_failures = m->GetCounter("cluster.put_failures");
+    reg_.get_failures = m->GetCounter("cluster.get_failures");
     reg_.replica_writes = m->GetCounter("cluster.replica_writes");
+    reg_.read_repairs = m->GetCounter("cluster.read_repairs");
+    reg_.hints_stored = m->GetCounter("cluster.hints_stored");
+    reg_.hints_drained = m->GetCounter("cluster.hints_drained");
+    reg_.partition_transitions =
+        m->GetCounter("cluster.partition_transitions");
     reg_.dual_writes = m->GetCounter("cluster.dual_writes");
     reg_.rebalance_moves = m->GetCounter("cluster.rebalance_moves");
     reg_.kills = m->GetCounter("cluster.kills");
@@ -107,6 +149,18 @@ Status Cluster::Init(const BackendFactory& backends) {
   for (const auto& node : nodes_) {
     nodes_by_name_[node->name] = node.get();
   }
+
+  // The partition topology: a full mesh of directed virtual-time links
+  // over the node set, driven only by AdvancePartitionTime(). Everything
+  // starts reachable.
+  net::TopologyConfig topo_config;
+  topo_config.seed = config_.seed;
+  topology_ = std::make_unique<net::Topology>(&partition_sim_, topo_config);
+  for (const auto& node : nodes_) {
+    DFLOW_RETURN_IF_ERROR(topology_->AddNode(node->name));
+  }
+  DFLOW_RETURN_IF_ERROR(topology_->FullMesh());
+  reachability_ = topology_->ReachabilityMatrix();
 
   // Serve loops come up after every registry exists, because breaker
   // failover wires each node's replica registry to its successor's.
@@ -215,7 +269,8 @@ Result<core::ServiceResponse> Cluster::Execute(
   }
 
   // Walk the chain from the chosen target onward; simulated forward drops
-  // and nodes that died after routing advance to the next replica.
+  // and nodes that died or were partitioned away after routing advance to
+  // the next replica.
   auto start = std::find(decision.chain.begin(), decision.chain.end(),
                          decision.target);
   int attempt = 0;
@@ -225,6 +280,16 @@ Result<core::ServiceResponse> Cluster::Execute(
   for (auto it = start; it != decision.chain.end(); ++it, ++attempt) {
     Result<Node*> found = FindNode(*it);
     if (!found.ok() || !(*found)->alive.load(std::memory_order_acquire)) {
+      reroutes_.fetch_add(1, std::memory_order_relaxed);
+      Count(reg_.reroutes);
+      continue;
+    }
+    bool pair_reachable;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pair_reachable = BiReachableLocked(decision.ingress, *it);
+    }
+    if (!pair_reachable) {
       reroutes_.fetch_add(1, std::memory_order_relaxed);
       Count(reg_.reroutes);
       continue;
@@ -276,10 +341,14 @@ Result<core::ServiceResponse> Cluster::Execute(
   return last_error;
 }
 
-Status Cluster::ApplyWrite(Node* node, int shard, const std::string& key,
-                           const std::string& value) {
+bool Cluster::ApplyWrite(Node* node, int shard, const std::string& key,
+                         const std::string& value, const Version& version) {
   ShardData& data = node->shards[shard];
-  data.entries[key] = value;
+  auto have = data.entries.find(key);
+  if (have != data.entries.end() && !(have->second.version < version)) {
+    return false;  // Apply-if-newer: resident copy already at/past this.
+  }
+  data.entries[key] = VersionedValue{value, version};
   ++data.applied;
   replica_writes_.fetch_add(1, std::memory_order_relaxed);
   Count(reg_.replica_writes);
@@ -291,11 +360,85 @@ Status Cluster::ApplyWrite(Node* node, int shard, const std::string& key,
     recover::JournaledProduct product;
     product.name = key;
     product.attributes.emplace_back("value", value);
+    product.attributes.emplace_back("epoch", std::to_string(version.epoch));
+    product.attributes.emplace_back("counter",
+                                    std::to_string(version.counter));
+    product.attributes.emplace_back("node", version.node);
     record.outputs.push_back(std::move(product));
-    DFLOW_RETURN_IF_ERROR(node->journal->Append(record));
-    DFLOW_RETURN_IF_ERROR(node->journal->Sync());
+    DFLOW_CHECK_OK(node->journal->Append(record));
+    DFLOW_CHECK_OK(node->journal->Sync());
   }
-  return Status::OK();
+  return true;
+}
+
+bool Cluster::BiReachableLocked(const std::string& a,
+                                const std::string& b) const {
+  if (a == b) {
+    return true;
+  }
+  if (topology_ == nullptr) {
+    return true;
+  }
+  // Quorum membership needs the request out AND the ack back, so a
+  // one-way cut excludes the pair even though one direction still flows.
+  return topology_->Reachable(a, b) && topology_->Reachable(b, a);
+}
+
+void Cluster::RecordLocked(HistoryEvent event) {
+  if (config_.history == nullptr) {
+    return;
+  }
+  event.time_sec = partition_sim_.Now();
+  config_.history->Append(std::move(event));
+}
+
+void Cluster::DrainHintsLocked() {
+  for (auto& holder : nodes_) {
+    if (holder->hints.empty() ||
+        !holder->alive.load(std::memory_order_acquire)) {
+      continue;
+    }
+    std::vector<Hint> kept;
+    for (Hint& hint : holder->hints) {
+      auto target_it = nodes_by_name_.find(hint.target);
+      Node* target =
+          target_it == nodes_by_name_.end() ? nullptr : target_it->second;
+      if (target == nullptr ||
+          !target->alive.load(std::memory_order_acquire) ||
+          !BiReachableLocked(holder->name, hint.target)) {
+        kept.push_back(std::move(hint));
+        continue;
+      }
+      // Delivered (apply-if-newer keeps this idempotent against
+      // read-repair and rejoin catch-up racing the same write home).
+      ApplyWrite(target, hint.shard, hint.key, hint.value, hint.version);
+      hints_drained_.fetch_add(1, std::memory_order_relaxed);
+      Count(reg_.hints_drained);
+    }
+    holder->hints = std::move(kept);
+  }
+}
+
+void Cluster::RefreshReachabilityLocked(const std::string& cause) {
+  if (topology_ == nullptr) {
+    return;
+  }
+  std::string matrix = topology_->ReachabilityMatrix();
+  if (matrix == reachability_) {
+    return;
+  }
+  reachability_ = std::move(matrix);
+  ++epoch_;
+  partition_transitions_.fetch_add(1, std::memory_order_relaxed);
+  Count(reg_.partition_transitions);
+  HistoryEvent event;
+  event.kind = HistoryEvent::Kind::kReach;
+  event.detail = cause + " epoch=" + std::to_string(epoch_) + " rm=" +
+                 Md5::HexOf(reachability_).substr(0, 8);
+  RecordLocked(std::move(event));
+  // Pairs that just became bidirectionally reachable can take their
+  // banked writes now.
+  DrainHintsLocked();
 }
 
 Result<std::vector<Cluster::Node*>> Cluster::WriteSetLocked(int shard) {
@@ -326,31 +469,167 @@ Status Cluster::Put(const std::string& key, const std::string& value) {
   std::lock_guard<std::mutex> lock(mu_);
   int shard = map_.ShardOf(key);
   DFLOW_ASSIGN_OR_RETURN(std::vector<Node*> targets, WriteSetLocked(shard));
+
+  auto reject = [&](Status status, const std::string& why) {
+    put_failures_.fetch_add(1, std::memory_order_relaxed);
+    Count(reg_.put_failures);
+    HistoryEvent event;
+    event.kind = HistoryEvent::Kind::kPutFail;
+    event.key = key;
+    event.detail = why;
+    RecordLocked(std::move(event));
+    return status;
+  };
+
   if (targets.empty()) {
-    return Status::IOError("no alive replica for shard " +
-                           std::to_string(shard));
+    return reject(Status::IOError("no alive replica for shard " +
+                                  std::to_string(shard)),
+                  "no alive replica");
   }
+
+  // Coordinator: the key's ingress node when alive, else the first alive
+  // chain replica — the node the client's write actually lands on.
+  std::string coordinator = router_.IngressOf(key);
+  if (!IsAlive(coordinator)) {
+    coordinator = targets.front()->name;
+  }
+
+  // Count the reachable set BEFORE applying anything: a sub-quorum write
+  // is rejected with zero side effects (ops are serialized under mu_, so
+  // nothing observes the intermediate state either way).
+  std::vector<Node*> acked;
+  std::vector<Node*> missed;  // Alive but partitioned away: hint these.
   for (Node* node : targets) {
-    DFLOW_RETURN_IF_ERROR(ApplyWrite(node, shard, key, value));
+    (BiReachableLocked(coordinator, node->name) ? acked : missed)
+        .push_back(node);
   }
+  if (static_cast<int>(acked.size()) < write_quorum_) {
+    return reject(
+        Status::ResourceExhausted(
+            "write quorum not met for shard " + std::to_string(shard) +
+            ": " + std::to_string(acked.size()) + " of " +
+            std::to_string(write_quorum_) + " replicas reachable"),
+        "quorum " + std::to_string(acked.size()) + "<" +
+            std::to_string(write_quorum_));
+  }
+
+  Version version{epoch_, ++version_counter_, coordinator};
+  for (Node* node : acked) {
+    ApplyWrite(node, shard, key, value, version);
+  }
+  for (Node* node : missed) {
+    // Hinted handoff: the first acking replica banks the write for the
+    // unreachable one, to be drained when the pair heals.
+    acked.front()->hints.push_back(Hint{node->name, shard, key, value,
+                                        version});
+    hints_stored_.fetch_add(1, std::memory_order_relaxed);
+    Count(reg_.hints_stored);
+  }
+
   writes_.fetch_add(1, std::memory_order_relaxed);
   Count(reg_.writes);
+  HistoryEvent event;
+  event.kind = HistoryEvent::Kind::kPutOk;
+  event.key = key;
+  event.value = value;
+  event.node = coordinator;
+  event.version = version;
+  event.acks = static_cast<int>(acked.size());
+  RecordLocked(std::move(event));
   return Status::OK();
 }
 
-Result<std::string> Cluster::Get(const std::string& key) const {
+Result<std::string> Cluster::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  DFLOW_ASSIGN_OR_RETURN(RouteDecision decision, router_.Decide(key));
-  DFLOW_ASSIGN_OR_RETURN(Node * node, FindNode(decision.target));
-  auto shard_it = node->shards.find(decision.shard);
-  if (shard_it == node->shards.end()) {
+  int shard = map_.ShardOf(key);
+  DFLOW_ASSIGN_OR_RETURN(
+      std::vector<std::string> replicas,
+      map_.ReplicasOfShard(shard, config_.replication_factor));
+
+  auto reject = [&](const std::string& message, const std::string& why) {
+    get_failures_.fetch_add(1, std::memory_order_relaxed);
+    Count(reg_.get_failures);
+    HistoryEvent event;
+    event.kind = HistoryEvent::Kind::kGetFail;
+    event.key = key;
+    event.detail = why;
+    RecordLocked(std::move(event));
+    return Status::ResourceExhausted(message);
+  };
+
+  std::vector<Node*> alive;
+  for (const std::string& name : replicas) {
+    auto it = nodes_by_name_.find(name);
+    if (it != nodes_by_name_.end() &&
+        it->second->alive.load(std::memory_order_acquire)) {
+      alive.push_back(it->second);
+    }
+  }
+  if (alive.empty()) {
+    return reject("every replica of shard " + std::to_string(shard) +
+                      " is dead or unreachable",
+                  "no alive replica");
+  }
+
+  std::string coordinator = router_.IngressOf(key);
+  if (!IsAlive(coordinator)) {
+    coordinator = alive.front()->name;
+  }
+  std::vector<Node*> consulted;
+  for (Node* node : alive) {
+    if (BiReachableLocked(coordinator, node->name)) {
+      consulted.push_back(node);
+    }
+  }
+  if (static_cast<int>(consulted.size()) < read_quorum_) {
+    return reject("read quorum not met for shard " + std::to_string(shard) +
+                      ": " + std::to_string(consulted.size()) + " of " +
+                      std::to_string(read_quorum_) + " replicas reachable",
+                  "quorum " + std::to_string(consulted.size()) + "<" +
+                      std::to_string(read_quorum_));
+  }
+
+  // Newest version across the quorum wins; W + R > N guarantees at least
+  // one consulted replica holds the latest acknowledged write.
+  const VersionedValue* best = nullptr;
+  for (Node* node : consulted) {
+    auto shard_it = node->shards.find(shard);
+    if (shard_it == node->shards.end()) {
+      continue;
+    }
+    auto entry = shard_it->second.entries.find(key);
+    if (entry == shard_it->second.entries.end()) {
+      continue;
+    }
+    if (best == nullptr || best->version < entry->second.version) {
+      best = &entry->second;
+    }
+  }
+
+  HistoryEvent event;
+  event.key = key;
+  event.node = coordinator;
+  event.acks = static_cast<int>(consulted.size());
+  if (best == nullptr) {
+    event.kind = HistoryEvent::Kind::kGetMiss;
+    RecordLocked(std::move(event));
     return Status::NotFound("key '" + key + "' not found");
   }
-  auto entry = shard_it->second.entries.find(key);
-  if (entry == shard_it->second.entries.end()) {
-    return Status::NotFound("key '" + key + "' not found");
+  // Copy out before read-repair: ApplyWrite mutates the maps `best`
+  // points into.
+  std::string value = best->value;
+  Version version = best->version;
+  for (Node* node : consulted) {
+    if (ApplyWrite(node, shard, key, value, version)) {
+      read_repairs_.fetch_add(1, std::memory_order_relaxed);
+      Count(reg_.read_repairs);
+    }
   }
-  return entry->second;
+  event.kind = HistoryEvent::Kind::kGetOk;
+  event.value = value;
+  event.version = version;
+  RecordLocked(std::move(event));
+  return value;
 }
 
 Status Cluster::KillNode(const std::string& node_id) {
@@ -362,10 +641,20 @@ Status Cluster::KillNode(const std::string& node_id) {
   }
   node->alive.store(false, std::memory_order_release);
   // Volatile state dies with the process; the journal file survives.
+  // Banked hints are volatile too — a killed holder loses them, and the
+  // target's rejoin catch-up is what covers the gap.
   node->shards.clear();
+  node->hints.clear();
   node->journal.reset();
+  ++epoch_;  // Membership change: later writes order after everything
+             // the dead node acked.
   kills_.fetch_add(1, std::memory_order_relaxed);
   Count(reg_.kills);
+  HistoryEvent event;
+  event.kind = HistoryEvent::Kind::kKill;
+  event.node = node->name;
+  event.detail = "epoch=" + std::to_string(epoch_);
+  RecordLocked(std::move(event));
   if (config_.tracer != nullptr && config_.tracer->enabled()) {
     config_.tracer->InstantEvent("node_kill", "cluster", {},
                                  node->trace_tid);
@@ -393,13 +682,25 @@ Status Cluster::RejoinNode(const std::string& node_id) {
         int shard = std::atoi(record.stage.c_str() + 5);
         const recover::JournaledProduct& product = record.outputs.front();
         std::string value;
+        Version version;
         for (const auto& [attr, attr_value] : product.attributes) {
           if (attr == "value") {
             value = attr_value;
+          } else if (attr == "epoch") {
+            version.epoch = std::atoll(attr_value.c_str());
+          } else if (attr == "counter") {
+            version.counter = std::atoll(attr_value.c_str());
+          } else if (attr == "node") {
+            version.node = attr_value;
           }
         }
+        // Replay order is journal (seq) order; apply-if-newer keeps a
+        // replayed read-repair or hint from regressing a later write.
         ShardData& data = node->shards[shard];
-        data.entries[product.name] = value;
+        auto have = data.entries.find(product.name);
+        if (have == data.entries.end() || have->second.version < version) {
+          data.entries[product.name] = VersionedValue{value, version};
+        }
         ++data.applied;
         journal_replayed_.fetch_add(1, std::memory_order_relaxed);
         Count(reg_.journal_replayed);
@@ -431,12 +732,15 @@ Status Cluster::RejoinNode(const std::string& node_id) {
       continue;
     }
     // The authoritative copy: the first ALIVE replica other than the
-    // rejoiner (while it was dead, that copy took the writes).
+    // rejoiner that the rejoiner can actually talk to (while it was dead,
+    // that copy took the writes). A partitioned-away peer syncs later,
+    // when the heal drains hints and reads repair.
     Node* owner = nullptr;
     for (const std::string& name : *replicas) {
       auto it = nodes_by_name_.find(name);
       if (it != nodes_by_name_.end() && it->second != node &&
-          it->second->alive.load(std::memory_order_acquire)) {
+          it->second->alive.load(std::memory_order_acquire) &&
+          BiReachableLocked(node->name, name)) {
         owner = it->second;
         break;
       }
@@ -448,9 +752,11 @@ Status Cluster::RejoinNode(const std::string& node_id) {
     const ShardData* truth =
         owner_it == owner->shards.end() ? nullptr : &owner_it->second;
     auto mine_it = node->shards.find(shard);
-    uint64_t mine_digest =
-        mine_it == node->shards.end() ? 0 : mine_it->second.ContentDigest();
-    uint64_t truth_digest = truth == nullptr ? 0 : truth->ContentDigest();
+    uint64_t mine_digest = mine_it == node->shards.end()
+                               ? kEmptyShardDigest
+                               : mine_it->second.ContentDigest();
+    uint64_t truth_digest =
+        truth == nullptr ? kEmptyShardDigest : truth->ContentDigest();
     if (mine_digest == truth_digest) {
       continue;
     }
@@ -460,16 +766,22 @@ Status Cluster::RejoinNode(const std::string& node_id) {
       node->shards.erase(shard);
       continue;
     }
-    ShardData& mine = node->shards[shard];
-    for (const auto& [key, value] : truth->entries) {
-      auto have = mine.entries.find(key);
-      if (have == mine.entries.end() || have->second != value) {
-        DFLOW_RETURN_IF_ERROR(ApplyWrite(node, shard, key, value));
-      }
+    for (const auto& [key, entry] : truth->entries) {
+      ApplyWrite(node, shard, key, entry.value, entry.version);
     }
   }
+  ++epoch_;  // Membership change, mirroring KillNode.
   rejoins_.fetch_add(1, std::memory_order_relaxed);
   Count(reg_.rejoins);
+  HistoryEvent event;
+  event.kind = HistoryEvent::Kind::kRejoin;
+  event.node = node->name;
+  event.detail = "epoch=" + std::to_string(epoch_);
+  RecordLocked(std::move(event));
+  // Hints banked for this node while it was unreachable-by-death deliver
+  // now, AFTER journal replay and owner catch-up: apply-if-newer makes
+  // the three sources commute.
+  DrainHintsLocked();
   if (config_.tracer != nullptr && config_.tracer->enabled()) {
     config_.tracer->InstantEvent("node_rejoin", "cluster", {},
                                  node->trace_tid);
@@ -481,6 +793,176 @@ bool Cluster::IsAlive(const std::string& node_id) const {
   auto it = nodes_by_name_.find(node_id);
   return it != nodes_by_name_.end() &&
          it->second->alive.load(std::memory_order_acquire);
+}
+
+Status Cluster::ArmPartitionPlan(const fault::FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate up front: the handlers CHECK at fire time, so a malformed
+  // target must never get that far.
+  for (const fault::FaultEvent& event : plan.events()) {
+    if (event.time_sec < partition_sim_.Now()) {
+      return Status::OutOfRange("fault event at t=" +
+                                std::to_string(event.time_sec) +
+                                " is behind the partition clock");
+    }
+    if (event.kind == fault::FaultKind::kPartition) {
+      if (event.duration_sec <= 0.0) {
+        return Status::InvalidArgument("partition needs a positive duration");
+      }
+      DFLOW_ASSIGN_OR_RETURN(auto groups,
+                             net::Topology::ParseGroups(event.target));
+      for (const auto& group : groups) {
+        for (const std::string& name : group) {
+          if (nodes_by_name_.count(name) == 0) {
+            return Status::InvalidArgument("partition spec names unknown node '" +
+                                           name + "'");
+          }
+        }
+      }
+    } else if (event.kind == fault::FaultKind::kLinkCut) {
+      if (event.duration_sec <= 0.0) {
+        return Status::InvalidArgument("link cut needs a positive duration");
+      }
+      size_t sep = event.target.find("->");
+      if (sep == std::string::npos) {
+        return Status::InvalidArgument("link cut target '" + event.target +
+                                       "' is not of the form a->b");
+      }
+      std::string from = event.target.substr(0, sep);
+      std::string to = event.target.substr(sep + 2);
+      if (nodes_by_name_.count(from) == 0 || nodes_by_name_.count(to) == 0 ||
+          from == to) {
+        return Status::InvalidArgument("link cut target '" + event.target +
+                                       "' does not name a cluster link");
+      }
+    }
+  }
+
+  auto injector =
+      std::make_unique<fault::Injector>(&partition_sim_, plan);
+  net::Topology* topology = topology_.get();
+  std::set<std::pair<fault::FaultKind, std::string>> registered;
+  for (const fault::FaultEvent& event : plan.events()) {
+    if (event.kind != fault::FaultKind::kPartition &&
+        event.kind != fault::FaultKind::kLinkCut) {
+      continue;  // Foreign kinds fire unmatched (logged, counted).
+    }
+    if (!registered.insert({event.kind, event.target}).second) {
+      continue;
+    }
+    if (event.kind == fault::FaultKind::kPartition) {
+      DFLOW_RETURN_IF_ERROR(injector->Register(
+          fault::FaultKind::kPartition, event.target,
+          [topology](const fault::FaultEvent& e) {
+            DFLOW_CHECK_OK(topology->Partition(e.target, e.duration_sec));
+          }));
+    } else {
+      size_t sep = event.target.find("->");
+      std::string from = event.target.substr(0, sep);
+      std::string to = event.target.substr(sep + 2);
+      DFLOW_RETURN_IF_ERROR(injector->Register(
+          fault::FaultKind::kLinkCut, event.target,
+          [topology, from, to](const fault::FaultEvent& e) {
+            DFLOW_CHECK_OK(topology->CutLink(from, to, e.duration_sec));
+          }));
+    }
+    // Both the cut and its heal are reachability boundaries the advance
+    // loop must stop at.
+    partition_boundaries_.push_back(event.time_sec);
+    partition_boundaries_.push_back(event.time_sec + event.duration_sec);
+  }
+  DFLOW_RETURN_IF_ERROR(injector->Arm());
+  std::sort(partition_boundaries_.begin(), partition_boundaries_.end());
+  // Armed events hold a reference to their injector; keep it alive.
+  partition_injectors_.push_back(std::move(injector));
+  return Status::OK();
+}
+
+Status Cluster::PartitionNodes(const std::string& group_spec,
+                               double duration_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFLOW_RETURN_IF_ERROR(topology_->Partition(group_spec, duration_sec));
+  partition_boundaries_.push_back(partition_sim_.Now() + duration_sec);
+  std::sort(partition_boundaries_.begin(), partition_boundaries_.end());
+  RefreshReachabilityLocked("partition " + group_spec);
+  return Status::OK();
+}
+
+Status Cluster::CutLink(const std::string& from, const std::string& to,
+                        double duration_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFLOW_RETURN_IF_ERROR(topology_->CutLink(from, to, duration_sec));
+  partition_boundaries_.push_back(partition_sim_.Now() + duration_sec);
+  std::sort(partition_boundaries_.begin(), partition_boundaries_.end());
+  RefreshReachabilityLocked("cut " + from + "->" + to);
+  return Status::OK();
+}
+
+Status Cluster::AdvancePartitionTime(double time_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (time_sec < partition_sim_.Now()) {
+    return Status::OutOfRange(
+        "partition clock only advances (now=" +
+        std::to_string(partition_sim_.Now()) + ", asked=" +
+        std::to_string(time_sec) + ")");
+  }
+  // Stop at every armed cut/heal boundary in (now, time_sec] so each
+  // reachability transition is observed — epoch bumps, history records,
+  // and hint drains happen per transition, not once at the end. The no-op
+  // event pins the clock to the boundary even when the queue is empty.
+  for (double boundary : partition_boundaries_) {
+    if (boundary <= partition_sim_.Now() || boundary > time_sec) {
+      continue;
+    }
+    partition_sim_.ScheduleAt(boundary, [] {});
+    partition_sim_.RunUntil(boundary);
+    RefreshReachabilityLocked(TimeTag(boundary));
+  }
+  partition_sim_.ScheduleAt(time_sec, [] {});
+  partition_sim_.RunUntil(time_sec);
+  RefreshReachabilityLocked(TimeTag(time_sec));
+  return Status::OK();
+}
+
+double Cluster::PartitionNow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partition_sim_.Now();
+}
+
+std::string Cluster::ReachabilityMatrix() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topology_->ReachabilityMatrix();
+}
+
+bool Cluster::ReplicasConverged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int shard = 0; shard < map_.config().num_shards; ++shard) {
+    Result<std::vector<std::string>> replicas =
+        map_.ReplicasOfShard(shard, config_.replication_factor);
+    if (!replicas.ok()) {
+      continue;
+    }
+    bool first = true;
+    uint64_t want = 0;
+    for (const std::string& name : *replicas) {
+      auto it = nodes_by_name_.find(name);
+      if (it == nodes_by_name_.end() ||
+          !it->second->alive.load(std::memory_order_acquire)) {
+        continue;
+      }
+      auto shard_it = it->second->shards.find(shard);
+      uint64_t digest = shard_it == it->second->shards.end()
+                            ? kEmptyShardDigest
+                            : shard_it->second.ContentDigest();
+      if (first) {
+        want = digest;
+        first = false;
+      } else if (digest != want) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 Status Cluster::BeginShardMove(int shard, const std::string& to_node) {
@@ -505,8 +987,8 @@ Status Cluster::BeginShardMove(int shard, const std::string& to_node) {
   DFLOW_ASSIGN_OR_RETURN(Node * owner_node, FindNode(owner));
   auto owner_it = owner_node->shards.find(shard);
   if (owner_it != owner_node->shards.end()) {
-    for (const auto& [key, value] : owner_it->second.entries) {
-      DFLOW_RETURN_IF_ERROR(ApplyWrite(target, shard, key, value));
+    for (const auto& [key, entry] : owner_it->second.entries) {
+      ApplyWrite(target, shard, key, entry.value, entry.version);
     }
   }
   moving_[shard] = to_node;
@@ -568,7 +1050,14 @@ ClusterStats Cluster::Stats() const {
   stats.forward_drops = forward_drops_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.writes = writes_.load(std::memory_order_relaxed);
+  stats.put_failures = put_failures_.load(std::memory_order_relaxed);
+  stats.get_failures = get_failures_.load(std::memory_order_relaxed);
   stats.replica_writes = replica_writes_.load(std::memory_order_relaxed);
+  stats.read_repairs = read_repairs_.load(std::memory_order_relaxed);
+  stats.hints_stored = hints_stored_.load(std::memory_order_relaxed);
+  stats.hints_drained = hints_drained_.load(std::memory_order_relaxed);
+  stats.partition_transitions =
+      partition_transitions_.load(std::memory_order_relaxed);
   stats.dual_writes = dual_writes_.load(std::memory_order_relaxed);
   stats.rebalance_moves = rebalance_moves_.load(std::memory_order_relaxed);
   stats.kills = kills_.load(std::memory_order_relaxed);

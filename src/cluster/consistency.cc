@@ -1,0 +1,199 @@
+#include "cluster/consistency.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "util/md5.h"
+
+namespace dflow::cluster {
+
+int Version::Compare(const Version& other) const {
+  if (epoch != other.epoch) {
+    return epoch < other.epoch ? -1 : 1;
+  }
+  if (counter != other.counter) {
+    return counter < other.counter ? -1 : 1;
+  }
+  return node.compare(other.node) < 0 ? -1
+         : node == other.node         ? 0
+                                      : 1;
+}
+
+std::string Version::ToString() const {
+  if (IsNull()) {
+    return "null";
+  }
+  return "e" + std::to_string(epoch) + "c" + std::to_string(counter) + "@" +
+         node;
+}
+
+std::string_view HistoryKindName(HistoryEvent::Kind kind) {
+  switch (kind) {
+    case HistoryEvent::Kind::kPutOk:
+      return "put_ok";
+    case HistoryEvent::Kind::kPutFail:
+      return "put_fail";
+    case HistoryEvent::Kind::kGetOk:
+      return "get_ok";
+    case HistoryEvent::Kind::kGetMiss:
+      return "get_miss";
+    case HistoryEvent::Kind::kGetFail:
+      return "get_fail";
+    case HistoryEvent::Kind::kKill:
+      return "kill";
+    case HistoryEvent::Kind::kRejoin:
+      return "rejoin";
+    case HistoryEvent::Kind::kReach:
+      return "reach";
+  }
+  return "unknown";
+}
+
+std::string HistoryEvent::ToString() const {
+  char head[64];
+  std::snprintf(head, sizeof(head), "#%lld t=%.6f ",
+                static_cast<long long>(seq), time_sec);
+  std::string line = head;
+  line += HistoryKindName(kind);
+  if (!key.empty()) {
+    line += " key=" + key;
+  }
+  if (!value.empty()) {
+    line += " value=" + value;
+  }
+  if (!node.empty()) {
+    line += " node=" + node;
+  }
+  if (!version.IsNull()) {
+    line += " ver=" + version.ToString();
+  }
+  if (acks != 0) {
+    line += " acks=" + std::to_string(acks);
+  }
+  if (!detail.empty()) {
+    line += " [" + detail + "]";
+  }
+  return line;
+}
+
+void HistoryRecorder::Append(HistoryEvent event) {
+  event.seq = static_cast<int64_t>(events_.size());
+  events_.push_back(std::move(event));
+}
+
+std::string HistoryRecorder::ToString() const {
+  std::string out;
+  for (const HistoryEvent& event : events_) {
+    out += event.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string HistoryRecorder::Fingerprint() const {
+  return Md5::HexOf(ToString());
+}
+
+namespace {
+
+constexpr size_t kMaxReportedErrors = 8;
+
+void Violation(ConsistencyReport* report, const HistoryEvent& event,
+               const std::string& what) {
+  ++report->violations;
+  if (report->errors.size() < kMaxReportedErrors) {
+    report->errors.push_back(what + " at " + event.ToString());
+  }
+}
+
+}  // namespace
+
+std::string ConsistencyReport::ToString() const {
+  std::string out = "acked_writes=" + std::to_string(acked_writes) +
+                    " rejected_writes=" + std::to_string(rejected_writes) +
+                    " reads=" + std::to_string(reads) +
+                    " failed_reads=" + std::to_string(failed_reads) +
+                    " violations=" + std::to_string(violations);
+  for (const std::string& error : errors) {
+    out += "\n  " + error;
+  }
+  return out;
+}
+
+ConsistencyReport CheckHistory(const std::vector<HistoryEvent>& events) {
+  ConsistencyReport report;
+  struct KeyState {
+    Version latest;            // Latest acknowledged version.
+    std::string latest_value;  // Its value.
+    Version last_read;         // Last version a successful read returned.
+    std::map<std::string, std::string> acked;  // version string -> value.
+  };
+  std::map<std::string, KeyState> keys;
+
+  for (const HistoryEvent& event : events) {
+    switch (event.kind) {
+      case HistoryEvent::Kind::kPutOk: {
+        ++report.acked_writes;
+        KeyState& state = keys[event.key];
+        if (!(state.latest < event.version)) {
+          Violation(&report, event,
+                    "acked write version not past the previous ack (" +
+                        state.latest.ToString() + ")");
+        }
+        state.latest = event.version;
+        state.latest_value = event.value;
+        state.acked[event.version.ToString()] = event.value;
+        break;
+      }
+      case HistoryEvent::Kind::kPutFail:
+        ++report.rejected_writes;
+        break;
+      case HistoryEvent::Kind::kGetOk: {
+        ++report.reads;
+        KeyState& state = keys[event.key];
+        auto acked = state.acked.find(event.version.ToString());
+        if (acked == state.acked.end()) {
+          Violation(&report, event,
+                    "read returned a version no acknowledged write made");
+        } else if (acked->second != event.value) {
+          Violation(&report, event,
+                    "read returned the wrong value for its version (want '" +
+                        acked->second + "')");
+        }
+        if (event.version != state.latest) {
+          Violation(&report, event,
+                    "acknowledged write lost: read missed latest ack " +
+                        state.latest.ToString());
+        }
+        if (event.version < state.last_read) {
+          Violation(&report, event,
+                    "non-monotonic read: previously saw " +
+                        state.last_read.ToString());
+        }
+        state.last_read = event.version;
+        break;
+      }
+      case HistoryEvent::Kind::kGetMiss: {
+        ++report.reads;
+        auto it = keys.find(event.key);
+        if (it != keys.end() && !it->second.latest.IsNull()) {
+          Violation(&report, event,
+                    "acknowledged write lost: quorum read missed ack " +
+                        it->second.latest.ToString());
+        }
+        break;
+      }
+      case HistoryEvent::Kind::kGetFail:
+        ++report.failed_reads;
+        break;
+      case HistoryEvent::Kind::kKill:
+      case HistoryEvent::Kind::kRejoin:
+      case HistoryEvent::Kind::kReach:
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace dflow::cluster

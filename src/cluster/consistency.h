@@ -1,0 +1,124 @@
+#ifndef DFLOW_CLUSTER_CONSISTENCY_H_
+#define DFLOW_CLUSTER_CONSISTENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dflow::cluster {
+
+/// Per-key write version: totally ordered by (epoch, counter, node). The
+/// epoch bumps on every membership or reachability transition (kill,
+/// rejoin, partition cut/heal), the counter bumps per accepted write, and
+/// the coordinator name breaks ties — so a replica can always decide
+/// which of two copies is newer, which is what makes hinted handoff,
+/// read-repair, and rejoin merges idempotent (apply-if-newer never
+/// regresses a key).
+struct Version {
+  int64_t epoch = 0;
+  int64_t counter = 0;
+  std::string node;
+
+  bool IsNull() const { return epoch == 0 && counter == 0 && node.empty(); }
+
+  /// <0, 0, >0 — lexicographic over (epoch, counter, node).
+  int Compare(const Version& other) const;
+  bool operator<(const Version& other) const { return Compare(other) < 0; }
+  bool operator==(const Version& other) const {
+    return Compare(other) == 0;
+  }
+  bool operator!=(const Version& other) const { return !(*this == other); }
+
+  /// "e<epoch>c<counter>@<node>" ("null" for the null version) — the
+  /// canonical form journals, digests, and histories embed.
+  std::string ToString() const;
+};
+
+/// One line of a cluster operation history. The recorder appends these
+/// under the cluster's state lock, stamped with the partition clock's
+/// virtual time, so a history is a pure function of (seed, call sequence)
+/// — byte-identical across same-seed runs, which is what lets the offline
+/// checker double as a determinism gate.
+struct HistoryEvent {
+  enum class Kind {
+    kPutOk = 0,   // Acknowledged write: >= W replicas applied `version`.
+    kPutFail,     // Rejected write: quorum not met; zero side effects.
+    kGetOk,       // Quorum read returning (value, version).
+    kGetMiss,     // Quorum read, key absent on every consulted replica.
+    kGetFail,     // Read quorum not met; nothing returned.
+    kKill,        // Node killed (volatile state + hints dropped).
+    kRejoin,      // Node rejoined (journal replay + version merge).
+    kReach,       // Reachability matrix changed (cut or heal).
+  };
+
+  Kind kind = Kind::kPutOk;
+  int64_t seq = 0;       // Recorder-assigned, dense from 0.
+  double time_sec = 0.0; // Partition-clock virtual time.
+  std::string key;
+  std::string value;
+  std::string node;      // Coordinator (ops) or subject node (kill/rejoin).
+  Version version;
+  int acks = 0;          // Replicas that applied (puts) / consulted (gets).
+  std::string detail;    // Reachability snapshot, error text, ...
+
+  /// Canonical one-line form; the history identity is the concatenation.
+  std::string ToString() const;
+};
+
+std::string_view HistoryKindName(HistoryEvent::Kind kind);
+
+/// Append-only operation history. Not thread-safe: the cluster appends
+/// under its own state lock, which also serializes the seq numbering.
+class HistoryRecorder {
+ public:
+  void Append(HistoryEvent event);
+
+  const std::vector<HistoryEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// One ToString() line per event — the byte-identity artifact.
+  std::string ToString() const;
+
+  /// MD5 of ToString().
+  std::string Fingerprint() const;
+
+ private:
+  std::vector<HistoryEvent> events_;
+};
+
+/// Verdict of the offline consistency check.
+struct ConsistencyReport {
+  int64_t acked_writes = 0;
+  int64_t rejected_writes = 0;
+  int64_t reads = 0;          // kGetOk + kGetMiss (quorum reads).
+  int64_t failed_reads = 0;   // kGetFail (quorum not met; always legal).
+  int64_t violations = 0;
+  /// First few violation descriptions (capped so a broken run stays
+  /// readable).
+  std::vector<std::string> errors;
+
+  bool ok() const { return violations == 0; }
+  std::string ToString() const;
+};
+
+/// Offline checker over a serialized history. Because every Put/Get is
+/// serialized under the cluster's state lock, quorum intersection
+/// (W + R > N) makes the contract exact, not just eventual:
+///   * no acknowledged write is ever lost — every successful read returns
+///     exactly the latest previously-acknowledged version of its key, with
+///     that write's value, and a quorum miss is only legal before the
+///     key's first acknowledged write;
+///   * reads are per-key monotonic — the version sequence returned for a
+///     key never goes backward;
+///   * reads never fabricate — a returned version must correspond to an
+///     acknowledged write (rejected writes have zero side effects).
+/// Failed (sub-quorum) reads and writes may appear anywhere; they assert
+/// nothing. Histories that interleave shard moves are outside the
+/// checker's model (ownership changes the chain mid-history).
+ConsistencyReport CheckHistory(const std::vector<HistoryEvent>& events);
+
+}  // namespace dflow::cluster
+
+#endif  // DFLOW_CLUSTER_CONSISTENCY_H_

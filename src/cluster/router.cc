@@ -27,6 +27,20 @@ void Router::SetAliveCheck(std::function<bool(const std::string&)> alive) {
   alive_ = std::move(alive);
 }
 
+void Router::SetReachableCheck(
+    std::function<bool(const std::string&, const std::string&)> reachable) {
+  reachable_ = std::move(reachable);
+}
+
+std::string Router::IngressOf(std::string_view key) const {
+  // A seeded hash spreads entry points over the sorted node list,
+  // decorrelated from the ownership hash so cross-node forwards actually
+  // happen (key and ingress salts differ).
+  std::vector<std::string> nodes = map_->nodes();
+  return nodes[Hash64(key, map_->config().seed ^ 0xa5a5a5a55a5a5a5aull) %
+               nodes.size()];
+}
+
 Result<RouteDecision> Router::Decide(std::string_view key) const {
   if (map_->num_nodes() == 0) {
     return Status::FailedPrecondition("shard map has no nodes");
@@ -38,17 +52,13 @@ Result<RouteDecision> Router::Decide(std::string_view key) const {
       decision.chain, map_->ReplicasOfShard(decision.shard,
                                             replication_factor_));
   decision.owner = decision.chain.front();
-
-  // Ingress: a seeded hash spreads entry points over the sorted node list,
-  // decorrelated from the ownership hash so cross-node forwards actually
-  // happen (key and ingress salts differ).
-  std::vector<std::string> nodes = map_->nodes();
-  decision.ingress = nodes[Hash64(key, map_->config().seed ^
-                                           0xa5a5a5a55a5a5a5aull) %
-                           nodes.size()];
+  decision.ingress = IngressOf(key);
 
   for (const std::string& candidate : decision.chain) {
-    if (alive_ == nullptr || alive_(candidate)) {
+    bool alive = alive_ == nullptr || alive_(candidate);
+    bool reachable = reachable_ == nullptr ||
+                     reachable_(decision.ingress, candidate);
+    if (alive && reachable) {
       decision.target = candidate;
       break;
     }
@@ -57,7 +67,7 @@ Result<RouteDecision> Router::Decide(std::string_view key) const {
   if (decision.target.empty()) {
     return Status::ResourceExhausted(
         "every replica of shard " + std::to_string(decision.shard) +
-        " is dead");
+        " is dead or unreachable");
   }
   decision.forwarded = decision.target != decision.ingress;
   return decision;

@@ -52,8 +52,23 @@ class Router {
   /// selection (and counted in `reroutes`). Null means "everything alive".
   void SetAliveCheck(std::function<bool(const std::string&)> alive);
 
+  /// Reachability view, distinct from liveness: reachable(from, to)
+  /// answers whether `from` can talk to `to` RIGHT NOW. A replica that is
+  /// alive but partitioned away from the ingress is skipped exactly like
+  /// a dead one (and counted in `reroutes`), but it keeps its state and
+  /// resumes serving the moment the partition heals. Null means "full
+  /// mesh, nothing cut".
+  void SetReachableCheck(
+      std::function<bool(const std::string&, const std::string&)> reachable);
+
+  /// The ingress node of `key`: a seeded hash over the sorted node list,
+  /// decorrelated from the ownership hash (stands in for a client-side
+  /// load balancer). Pure function of (map, key).
+  std::string IngressOf(std::string_view key) const;
+
   /// Routes `key`. FailedPrecondition when the map is empty;
-  /// ResourceExhausted when every replica in the chain is dead.
+  /// ResourceExhausted when every replica in the chain is dead or
+  /// unreachable from the ingress.
   Result<RouteDecision> Decide(std::string_view key) const;
 
   /// Formats one decision line per key (Decide errors render as
@@ -66,6 +81,7 @@ class Router {
   const ShardMap* map_;
   int replication_factor_;
   std::function<bool(const std::string&)> alive_;
+  std::function<bool(const std::string&, const std::string&)> reachable_;
 };
 
 }  // namespace dflow::cluster

@@ -7,7 +7,9 @@
 // drags in net/storage/core; callers that wire a scenario already link
 // those libraries.
 
+#include <set>
 #include <string>
+#include <utility>
 
 #include "core/flow_runner.h"
 #include "fault/injector.h"
@@ -39,6 +41,45 @@ inline void ArmTopology(Injector& injector, net::Topology* topology) {
   DFLOW_CHECK(topology != nullptr);
   for (net::NetworkLink* link : topology->links()) {
     ArmNetworkLink(injector, link);
+  }
+}
+
+/// Arms a topology against the partition events of `plan`: kPartition
+/// events cut every link crossing their group spec's boundaries for the
+/// event duration, and kLinkCut events cut exactly the one directed link
+/// their target names ("a->b" — the reverse direction stays up, which is
+/// the asymmetric failure mode). Unlike the per-component adapters, the
+/// registered targets come from the plan itself (group specs are
+/// free-form), so this adapter needs the plan to know what to listen for.
+inline void ArmTopologyPartitions(Injector& injector, net::Topology* topology,
+                                  const FaultPlan& plan) {
+  DFLOW_CHECK(topology != nullptr);
+  std::set<std::pair<FaultKind, std::string>> registered;
+  for (const FaultEvent& event : plan.events()) {
+    if (event.kind != FaultKind::kPartition &&
+        event.kind != FaultKind::kLinkCut) {
+      continue;
+    }
+    if (!registered.insert({event.kind, event.target}).second) {
+      continue;
+    }
+    if (event.kind == FaultKind::kPartition) {
+      DFLOW_CHECK_OK(injector.Register(
+          FaultKind::kPartition, event.target,
+          [topology](const FaultEvent& e) {
+            DFLOW_CHECK_OK(topology->Partition(e.target, e.duration_sec));
+          }));
+    } else {
+      size_t sep = event.target.find("->");
+      DFLOW_CHECK(sep != std::string::npos);
+      std::string from = event.target.substr(0, sep);
+      std::string to = event.target.substr(sep + 2);
+      DFLOW_CHECK_OK(injector.Register(
+          FaultKind::kLinkCut, event.target,
+          [topology, from, to](const FaultEvent& e) {
+            DFLOW_CHECK_OK(topology->CutLink(from, to, e.duration_sec));
+          }));
+    }
   }
 }
 

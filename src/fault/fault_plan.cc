@@ -26,6 +26,10 @@ std::string_view FaultKindName(FaultKind kind) {
       return "stage_crash";
     case FaultKind::kTransientStageError:
       return "transient_stage_error";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLinkCut:
+      return "link_cut";
   }
   return "unknown";
 }

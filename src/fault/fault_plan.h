@@ -22,6 +22,11 @@ enum class FaultKind {
   kBadBlock,            // An archived file develops an unreadable block.
   kStageCrash,          // A workflow stage's workers restart (`duration_sec`).
   kTransientStageError, // The next `count` products at a stage fail once.
+  kPartition,           // The node set splits into groups for `duration_sec`.
+                        // `target` is the group spec ("a,b|c,d"): every
+                        // directed link crossing a group boundary is cut.
+  kLinkCut,             // One-way cut of the directed link `target` names
+                        // ("a->b") for `duration_sec`; b->a stays up.
 };
 
 /// Stable lowercase name for `kind` (used in fingerprints and reports).

@@ -1,5 +1,7 @@
 #include "net/topology.h"
 
+#include <set>
+
 namespace dflow::net {
 namespace {
 
@@ -87,6 +89,117 @@ Result<NetworkLink*> Topology::LinkBetween(const std::string& from,
     return Status::NotFound("no link " + LinkName(from, to));
   }
   return it->second.get();
+}
+
+Result<std::vector<std::vector<std::string>>> Topology::ParseGroups(
+    const std::string& spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("partition spec must not be empty");
+  }
+  std::vector<std::vector<std::string>> groups;
+  std::set<std::string> seen;
+  std::vector<std::string> group;
+  std::string token;
+  auto flush_token = [&]() -> Status {
+    if (token.empty()) {
+      return Status::InvalidArgument("partition spec '" + spec +
+                                     "' has an empty node name");
+    }
+    if (!seen.insert(token).second) {
+      return Status::InvalidArgument("partition spec '" + spec +
+                                     "' names '" + token + "' twice");
+    }
+    group.push_back(token);
+    token.clear();
+    return Status::OK();
+  };
+  for (char c : spec) {
+    if (c == ',') {
+      Status flushed = flush_token();
+      if (!flushed.ok()) {
+        return flushed;
+      }
+    } else if (c == '|') {
+      Status flushed = flush_token();
+      if (!flushed.ok()) {
+        return flushed;
+      }
+      groups.push_back(std::move(group));
+      group.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  Status flushed = flush_token();
+  if (!flushed.ok()) {
+    return flushed;
+  }
+  groups.push_back(std::move(group));
+  if (groups.size() < 2) {
+    return Status::InvalidArgument("partition spec '" + spec +
+                                   "' needs at least two groups");
+  }
+  return groups;
+}
+
+Status Topology::CutLink(const std::string& from, const std::string& to,
+                         double duration_sec) {
+  if (duration_sec <= 0.0) {
+    return Status::InvalidArgument("cut duration must be > 0");
+  }
+  DFLOW_ASSIGN_OR_RETURN(NetworkLink * link, LinkBetween(from, to));
+  link->InjectOutage(duration_sec);
+  return Status::OK();
+}
+
+Status Topology::Partition(const std::string& group_spec,
+                           double duration_sec) {
+  DFLOW_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> groups,
+                         ParseGroups(group_spec));
+  for (const auto& group : groups) {
+    for (const std::string& name : group) {
+      if (nodes_.count(name) == 0) {
+        return Status::NotFound("partition names unknown node '" + name +
+                                "'");
+      }
+    }
+  }
+  // Group index per node, then cut every existing cross-group edge both
+  // ways (each direction is its own link, so each takes its own window).
+  std::map<std::string, size_t> group_of;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const std::string& name : groups[g]) {
+      group_of[name] = g;
+    }
+  }
+  for (const auto& [key, link] : links_) {
+    auto from_it = group_of.find(key.first);
+    auto to_it = group_of.find(key.second);
+    if (from_it == group_of.end() || to_it == group_of.end() ||
+        from_it->second == to_it->second) {
+      continue;
+    }
+    link->InjectOutage(duration_sec);
+  }
+  return Status::OK();
+}
+
+bool Topology::Reachable(const std::string& from,
+                         const std::string& to) const {
+  if (from == to) {
+    return true;
+  }
+  auto it = links_.find({from, to});
+  return it != links_.end() && !it->second->IsDown();
+}
+
+std::string Topology::ReachabilityMatrix() const {
+  std::string out;
+  for (const auto& [key, link] : links_) {
+    out += link->name();
+    out += link->IsDown() ? " down\n" : " up\n";
+  }
+  return out;
 }
 
 std::vector<std::string> Topology::nodes() const {

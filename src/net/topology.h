@@ -59,6 +59,41 @@ class Topology {
   Result<NetworkLink*> LinkBetween(const std::string& from,
                                    const std::string& to) const;
 
+  // --- Partition fault surface ---------------------------------------
+  //
+  // Cuts are one-way link outages in virtual time: a cut on "a->b" drops
+  // a's traffic toward b while b->a flows untouched (the asymmetric
+  // failure mode real WAN cuts exhibit). A partition is just the closure
+  // of cuts across a group boundary. Both are armed from fault plans via
+  // fault::ArmTopologyPartitions, and both heal by the clock — the link
+  // comes back when the simulation passes the outage window.
+
+  /// Parses a partition group spec "a,b|c,d" into its node groups.
+  /// InvalidArgument on an empty spec, empty group, or duplicate node.
+  static Result<std::vector<std::vector<std::string>>> ParseGroups(
+      const std::string& spec);
+
+  /// Cuts the directed from -> to edge for `duration_sec` of virtual time
+  /// (repeated cuts extend the window). NotFound when the link is absent;
+  /// InvalidArgument for a non-positive duration.
+  Status CutLink(const std::string& from, const std::string& to,
+                 double duration_sec);
+
+  /// Applies a partition group spec: every directed link whose endpoints
+  /// fall in different groups is cut for `duration_sec`. Nodes named in
+  /// the spec must be registered; links that were never Connect()ed are
+  /// skipped (sparse topologies partition what exists).
+  Status Partition(const std::string& group_spec, double duration_sec);
+
+  /// True when from -> to traffic can flow at the simulation's current
+  /// time: the directed link exists and is not inside an outage window.
+  /// A node always reaches itself.
+  bool Reachable(const std::string& from, const std::string& to) const;
+
+  /// Canonical matrix dump, one "a->b up|down" line per directed link in
+  /// name order — a fingerprintable snapshot of the reachability state.
+  std::string ReachabilityMatrix() const;
+
   std::vector<std::string> nodes() const;
   std::vector<NetworkLink*> links() const;
   size_t num_links() const { return links_.size(); }

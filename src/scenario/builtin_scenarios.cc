@@ -725,6 +725,10 @@ Result<std::unique_ptr<cluster::Cluster>> MakeScenarioCluster(
   cluster::ClusterConfig config;
   config.num_nodes = num_nodes;
   config.replication_factor = 2;
+  // The kill/rebalance scenario writes through one-dead-replica windows;
+  // the pre-quorum availability contract is the one under test here.
+  config.write_quorum = 1;
+  config.read_quorum = 1;
   config.seed = params.seed;
   config.workers_per_node = 2;
   return cluster::Cluster::Create(config, ClusterBackends(/*service_us=*/40.0));
@@ -882,6 +886,115 @@ Result<ScenarioResult> RunNodeKillRebalance(const ScenarioParams& params) {
   return result;
 }
 
+/// Minority partition across the quorum-replicated cluster: node0 is cut
+/// off mid-traffic, majority-coordinated writes stay available while
+/// minority-coordinated ones are rejected, and the heal reconciles every
+/// replica through hinted handoff + read-repair. The recorded history is
+/// fed to the offline consistency checker — any acked-write loss or
+/// monotonicity violation is an Internal error (a matrix test failure),
+/// and the history/state digests are the deterministic fingerprint.
+Result<ScenarioResult> RunPartitionQuorum(const ScenarioParams& params) {
+  const int kNodes = 5;
+  const int num_keys = std::max(60, static_cast<int>(200 * params.scale));
+  cluster::HistoryRecorder history;
+  cluster::ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.replication_factor = 3;  // Majority quorums: W = R = 2.
+  config.seed = params.seed;
+  config.workers_per_node = 2;
+  config.history = &history;
+  DFLOW_ASSIGN_OR_RETURN(
+      std::unique_ptr<cluster::Cluster> cluster,
+      cluster::Cluster::Create(config, ClusterBackends(/*service_us=*/40.0)));
+
+  auto key_at = [](int i) { return "key/" + std::to_string(i); };
+  std::vector<double> latencies;
+  latencies.reserve(5 * static_cast<size_t>(num_keys));
+  auto timed_put = [&](const std::string& key,
+                       const std::string& value) -> Status {
+    double t0 = NowSec();
+    Status put = cluster->Put(key, value);
+    latencies.push_back(NowSec() - t0);
+    return put;
+  };
+
+  // Seed every key, then cut node0 off for 60 s of virtual time.
+  for (int i = 0; i < num_keys; ++i) {
+    DFLOW_RETURN_IF_ERROR(timed_put(key_at(i), "v" + std::to_string(i)));
+  }
+  DFLOW_RETURN_IF_ERROR(cluster->AdvancePartitionTime(5.0));
+  DFLOW_RETURN_IF_ERROR(
+      cluster->PartitionNodes("node0|node1,node2,node3,node4", 60.0));
+
+  // Write through the damage: majority-coordinated writes must land,
+  // minority-coordinated ones must be rejected with zero side effects.
+  int64_t acked = 0;
+  int64_t rejected = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < num_keys; ++i) {
+      Status put = timed_put(key_at(i), "p" + std::to_string(round));
+      if (put.ok()) {
+        ++acked;
+      } else if (put.IsResourceExhausted()) {
+        ++rejected;
+      } else {
+        return put;
+      }
+    }
+  }
+  if (acked == 0 || rejected == 0) {
+    return Status::Internal(
+        "partition did not split the workload: " + std::to_string(acked) +
+        " acked / " + std::to_string(rejected) + " rejected");
+  }
+
+  // Heal by the clock (hints drain), then a read sweep closes the rest.
+  DFLOW_RETURN_IF_ERROR(cluster->AdvancePartitionTime(70.0));
+  for (int i = 0; i < num_keys; ++i) {
+    double t0 = NowSec();
+    DFLOW_ASSIGN_OR_RETURN(std::string value, cluster->Get(key_at(i)));
+    latencies.push_back(NowSec() - t0);
+    (void)value;
+  }
+  if (!cluster->ReplicasConverged()) {
+    return Status::Internal("replicas diverged after heal + read sweep");
+  }
+  cluster::ConsistencyReport report = CheckHistory(history.events());
+  if (!report.ok()) {
+    return Status::Internal("consistency violation: " + report.ToString());
+  }
+
+  std::vector<std::string> keys;
+  keys.reserve(num_keys);
+  for (int i = 0; i < num_keys; ++i) {
+    keys.push_back(key_at(i));
+  }
+  cluster::ClusterStats stats = cluster->Stats();
+  ScenarioResult result;
+  result.offered = static_cast<int64_t>(latencies.size());
+  result.p50_ms = ExactPercentile(latencies, 0.50) * 1000.0;
+  result.p99_ms = ExactPercentile(latencies, 0.99) * 1000.0;
+  result.shed_rate =
+      static_cast<double>(rejected) / static_cast<double>(acked + rejected);
+  result.recovery_sec = 0.0;
+  Md5 identity;
+  identity.Update(history.ToString());
+  identity.Update(cluster->DecisionLog(keys));
+  identity.Update(cluster->DescribeState());
+  result.fingerprint = identity.HexDigest();
+  result.extra.emplace_back("acked", std::to_string(acked));
+  result.extra.emplace_back("rejected", std::to_string(rejected));
+  result.extra.emplace_back("hints_stored",
+                            std::to_string(stats.hints_stored));
+  result.extra.emplace_back("hints_drained",
+                            std::to_string(stats.hints_drained));
+  result.extra.emplace_back("read_repairs",
+                            std::to_string(stats.read_repairs));
+  result.extra.emplace_back("partition_transitions",
+                            std::to_string(stats.partition_transitions));
+  return result;
+}
+
 }  // namespace
 
 const ScenarioRegistry& BuiltinScenarios() {
@@ -925,6 +1038,12 @@ const ScenarioRegistry& BuiltinScenarios() {
          "replica killed mid-traffic, rejoined via catch-up, then a live "
          "shard-move sweep",
          RunNodeKillRebalance}));
+    DFLOW_CHECK_OK(r->Register(
+        {"chaos.partition_quorum", "chaos",
+         "minority partition under majority quorums: writes split by "
+         "coordinator side, heal reconciles via hints + read-repair, "
+         "checker-verified",
+         RunPartitionQuorum}));
     return r;
   }();
   return *registry;

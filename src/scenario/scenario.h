@@ -91,6 +91,9 @@ class ScenarioRegistry {
 ///                             cluster at 1 and 4 nodes
 ///   chaos.node_kill_rebalance — replica kill mid-traffic, catch-up
 ///                             rejoin, live shard-move sweep
+///   chaos.partition_quorum  — minority partition under majority quorums;
+///                             hint-drain + read-repair heal, checker-
+///                             verified history
 const ScenarioRegistry& BuiltinScenarios();
 
 }  // namespace dflow::scenario

@@ -86,6 +86,10 @@ RunArtifacts RunOnce(int num_nodes, uint64_t seed) {
   ClusterConfig config;
   config.num_nodes = num_nodes;
   config.replication_factor = 2;
+  // The history below writes through a one-dead-replica window; pin the
+  // pre-quorum availability contract so those writes land on the survivor.
+  config.write_quorum = 1;
+  config.read_quorum = 1;
   config.seed = seed;
   config.workers_per_node = 1;
   config.tracer = &tracer;

@@ -263,6 +263,10 @@ TEST(ClusterTest, KillRejoinReplaysJournalAndCatchesUp) {
   ClusterConfig config;
   config.num_nodes = 3;
   config.replication_factor = 2;
+  // Availability-over-consistency (the pre-quorum contract): with one of
+  // two replicas dead, writes must still land on the survivor.
+  config.write_quorum = 1;
+  config.read_quorum = 1;
   config.seed = 21;
   config.journal_dir = dir;
   auto cluster = Cluster::Create(config, PlainBackends());
@@ -444,6 +448,58 @@ TEST(ClusterStressTest, RebalanceUnderTrafficDropsNothing) {
     EXPECT_TRUE((*cluster)->Get("key/" + std::to_string(i)).ok())
         << "key " << i << " lost in rebalance";
   }
+}
+
+TEST(ClusterTest, MembershipErrorPathsReturnSpecificCodes) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.replication_factor = 2;
+  config.seed = 5;
+  auto cluster = Cluster::Create(config, PlainBackends());
+  ASSERT_TRUE(cluster.ok());
+
+  // Unknown ids are NotFound on both membership verbs.
+  EXPECT_TRUE((*cluster)->KillNode("node9").IsNotFound());
+  EXPECT_TRUE((*cluster)->RejoinNode("node9").IsNotFound());
+
+  // Rejoining a node that was never killed is a precondition failure,
+  // not a silent no-op (the journal-replay path must not run twice).
+  EXPECT_TRUE((*cluster)->RejoinNode("node0").IsFailedPrecondition());
+
+  // Killing twice: the second kill is FailedPrecondition, and the node
+  // stays rejoinable afterwards.
+  ASSERT_TRUE((*cluster)->KillNode("node1").ok());
+  EXPECT_TRUE((*cluster)->KillNode("node1").IsFailedPrecondition());
+  EXPECT_TRUE((*cluster)->RejoinNode("node1").ok());
+  EXPECT_TRUE((*cluster)->IsAlive("node1"));
+}
+
+TEST(ClusterTest, FullyDeadShardDistinguishesWriteAndReadErrors) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.replication_factor = 1;  // One replica per shard: killing both
+                                  // nodes kills every shard outright.
+  config.write_quorum = 1;
+  config.read_quorum = 1;
+  config.seed = 6;
+  auto cluster = Cluster::Create(config, PlainBackends());
+  ASSERT_TRUE(cluster.ok());
+
+  ASSERT_TRUE((*cluster)->Put("key/a", "v").ok());
+  ASSERT_TRUE((*cluster)->KillNode("node0").ok());
+  ASSERT_TRUE((*cluster)->KillNode("node1").ok());
+
+  // The write path keeps the PR 7 contract (IOError: no alive replica);
+  // the read path reports quorum starvation (ResourceExhausted). Both
+  // rejections land in the failure counters.
+  Status put = (*cluster)->Put("key/a", "w");
+  EXPECT_TRUE(put.IsIOError()) << put.message();
+  auto got = (*cluster)->Get("key/a");
+  EXPECT_TRUE(got.status().IsResourceExhausted()) << got.status().message();
+  ClusterStats stats = (*cluster)->Stats();
+  EXPECT_EQ(stats.put_failures, 1);
+  EXPECT_EQ(stats.get_failures, 1);
+  EXPECT_EQ(stats.writes, 1);
 }
 
 }  // namespace
